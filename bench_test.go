@@ -1,0 +1,362 @@
+// Benchmark harness: one testing.B entry per table and figure of the
+// paper's evaluation (run `go test -bench=. -benchmem`), plus real,
+// executing DeepBench-style kernel benchmarks on the host CPU. Each
+// experiment bench reports paper-vs-simulated key quantities through
+// b.ReportMetric, so `go test -bench=Table4` regenerates the Table IV
+// story the way the paper's harness would.
+package mlperf
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/kernels"
+	"mlperf/internal/tensor"
+	"mlperf/internal/train"
+)
+
+// BenchmarkTable2Registry regenerates the benchmark inventory.
+func BenchmarkTable2Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(Benchmarks()) != 13 {
+			b.Fatal("registry size changed")
+		}
+	}
+	b.ReportMetric(13, "benchmarks")
+}
+
+// BenchmarkTable3Systems regenerates the system inventory.
+func BenchmarkTable3Systems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(Systems()) != 6 {
+			b.Fatal("system catalog changed")
+		}
+	}
+	b.ReportMetric(6, "systems")
+}
+
+// BenchmarkTable4Scaling regenerates the scaling study.
+func BenchmarkTable4Scaling(b *testing.B) {
+	var rows []ScalingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Bench == "MLPf_Res50_TF" {
+			b.ReportMetric(r.S8, "res50tf-1to8-speedup")
+			b.ReportMetric(r.PtoV, "res50tf-PtoV")
+		}
+		if r.Bench == "MLPf_NCF_Py" {
+			b.ReportMetric(r.S8, "ncf-1to8-speedup")
+		}
+	}
+}
+
+// BenchmarkTable5Utilization regenerates the resource-usage study.
+func BenchmarkTable5Utilization(b *testing.B) {
+	var rows []UsageRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Bench == "MLPf_Res50_TF" && r.GPUs == 1 {
+			b.ReportMetric(r.CPUPct, "res50tf-1gpu-cpu-pct")
+		}
+		if r.Bench == "Dawn_DrQA_Py" {
+			b.ReportMetric(r.GPUPct, "drqa-gpu-pct")
+		}
+	}
+}
+
+// BenchmarkFig1PCA regenerates the workload-space analysis.
+func BenchmarkFig1PCA(b *testing.B) {
+	var r *PCAResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cum := r.PCA.CumulativeVariance()
+	b.ReportMetric(cum[3]*100, "pc1-4-variance-pct")
+	b.ReportMetric(r.CentroidSeparationPC1(), "pc1-centroid-separation")
+}
+
+// BenchmarkFig2Roofline regenerates the roofline placement.
+func BenchmarkFig2Roofline(b *testing.B) {
+	var r *RooflineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	memBound := 0.0
+	if r.AllMemoryBound() {
+		memBound = 1
+	}
+	b.ReportMetric(memBound, "all-memory-bound")
+	b.ReportMetric(float64(r.Model.Ridge("")), "tensor-ridge-flop-per-byte")
+}
+
+// BenchmarkFig3MixedPrecision regenerates the AMP study.
+func BenchmarkFig3MixedPrecision(b *testing.B) {
+	var rows []MixedPrecisionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Bench {
+		case "MLPf_Res50_TF":
+			b.ReportMetric(r.Speedup, "res50tf-amp-speedup")
+		case "MLPf_MRCNN_Py":
+			b.ReportMetric(r.Speedup, "mrcnn-amp-speedup")
+		}
+	}
+}
+
+// BenchmarkFig4Scheduling regenerates the 4-GPU scheduling search.
+func BenchmarkFig4Scheduling(b *testing.B) {
+	var r *SchedulingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = Fig4(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.SavedHours, "saved-hours-4gpu")
+}
+
+// BenchmarkFig5Topology regenerates the interconnect comparison.
+func BenchmarkFig5Topology(b *testing.B) {
+	var rows []TopologyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Bench == "MLPf_GNMT_Py" {
+			b.ReportMetric(r.NVLinkGain*100, "gnmt-nvlink-gain-pct")
+		}
+	}
+}
+
+// ---- Real kernels: the executable DeepBench analog (gemm_bench,
+// conv_bench, rnn_bench, nccl_single_all_reduce). ----
+
+// BenchmarkGEMM runs a DeepBench-shaped dense multiply for real.
+func BenchmarkGEMM(b *testing.B) {
+	for _, size := range []struct{ m, n, k int }{
+		{256, 16, 256}, {512, 32, 512}, {1024, 64, 1024},
+	} {
+		b.Run(sizeName(size.m, size.n, size.k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := tensor.Randn(rng, size.m, size.k)
+			y := tensor.Randn(rng, size.k, size.n)
+			out := tensor.New(size.m, size.n)
+			b.SetBytes(int64(4 * (size.m*size.k + size.k*size.n + size.m*size.n)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.GEMMInto(out, x, y)
+			}
+			flops := float64(kernels.GEMMFLOPs(size.m, size.n, size.k))
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkConv runs a DeepBench-shaped convolution for real.
+func BenchmarkConv(b *testing.B) {
+	specs := map[string]kernels.ConvSpec{
+		"resnet-stem": {Batch: 1, InChannels: 3, InH: 112, InW: 112, OutChans: 32,
+			KernelH: 7, KernelW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3},
+		"3x3-mid": {Batch: 1, InChannels: 32, InH: 28, InW: 28, OutChans: 64,
+			KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	}
+	for name, spec := range specs {
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			in := tensor.Randn(rng, spec.Batch, spec.InChannels, spec.InH, spec.InW)
+			w := tensor.Randn(rng, spec.OutChans, spec.InChannels, spec.KernelH, spec.KernelW)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.Conv2D(spec, in, w)
+			}
+			flops := float64(spec.FLOPs())
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkRNN runs the DeepBench recurrent configurations for real
+// (scaled-down hidden sizes; the Table II shapes are exercised by the
+// analytic model).
+func BenchmarkRNN(b *testing.B) {
+	kinds := []kernels.RNNKind{kernels.VanillaRNN, kernels.GRU, kernels.LSTM}
+	for _, kind := range kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			cell := kernels.NewRNNCell(kind, 128, 128)
+			rng := rand.New(rand.NewSource(3))
+			xs := make([]*tensor.Tensor, 8)
+			for i := range xs {
+				xs[i] = tensor.Randn(rng, 16, 128)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cell.RunSequence(xs, 16)
+			}
+			flops := float64(cell.StepFLOPs(16)) * 8
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkAllReduce runs the real ring all-reduce across goroutine ranks
+// (the nccl_single_all_reduce analog).
+func BenchmarkAllReduce(b *testing.B) {
+	for _, ranks := range []int{2, 4, 8} {
+		b.Run(rankName(ranks), func(b *testing.B) {
+			const elems = 1 << 18 // 1 MB fp32 per rank
+			bufs := make([][]float32, ranks)
+			for r := range bufs {
+				bufs[r] = make([]float32, elems)
+				for i := range bufs[r] {
+					bufs[r][i] = float32(r + i)
+				}
+			}
+			b.SetBytes(int64(4 * elems * 2 * (ranks - 1) / ranks))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := kernels.RingAllReduce(bufs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNCFTrainingEpoch really trains the NCF recommender for one
+// epoch on the synthetic corpus — the executable time-to-quality path.
+func BenchmarkNCFTrainingEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ratings := dataset.SyntheticRatings(rng, 50, 100, 10, 6)
+	sp := dataset.LeaveOneOut(ratings)
+	m, err := train.NewNCF(train.DefaultConfig(50, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := train.TrainToTarget(m, sp, 2.0 /*unreachable: run full*/, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(sp.Train)*5), "examples/epoch")
+}
+
+// BenchmarkSimulateStep measures the simulator itself.
+func BenchmarkSimulateStep(b *testing.B) {
+	sys, err := SystemByName("dss8440")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := BenchmarkByName("MLPf_Res50_TF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(sys, 8, bench); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(m, n, k int) string {
+	return "m" + itoa(m) + "n" + itoa(n) + "k" + itoa(k)
+}
+
+func rankName(r int) string { return "ranks" + itoa(r) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkMCTSMove measures the real Go engine's search (the RL
+// benchmark's inner loop).
+func BenchmarkMCTSMove(b *testing.B) {
+	board := NewGoBoard(5)
+	m := NewGoMCTS(50, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mv, _ := m.BestMove(board); mv < -1 {
+			b.Fatal("bad move")
+		}
+	}
+}
+
+// BenchmarkClassifierEpoch really trains the DAWNBench-style classifier
+// for one epoch.
+func BenchmarkClassifierEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	xs, ys := SyntheticImages(rng, 4, 50, 32, 0.3)
+	clf, err := NewClassifier(rng, 32, []int{24}, 4, 0.02, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range xs {
+			clf.Step(x, ys[j])
+		}
+	}
+	b.ReportMetric(float64(len(xs)), "examples/epoch")
+}
+
+// BenchmarkBroadcast runs the real ring broadcast across goroutine ranks.
+func BenchmarkBroadcast(b *testing.B) {
+	const elems = 1 << 18
+	bufs := make([][]float32, 4)
+	for r := range bufs {
+		bufs[r] = make([]float32, elems)
+	}
+	for i := range bufs[0] {
+		bufs[0][i] = float32(i)
+	}
+	b.SetBytes(int64(4 * elems))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kernels.RingBroadcast(bufs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command mlperf-profile runs the measurement toolchain — the nvprof,
+// dstat and nvidia-smi-dmon analogs — against a simulated training run
+// and writes their outputs, plus a Chrome-trace timeline of the training
+// pipeline.
+//
+//	mlperf-profile -bench MLPf_Res50_TF -system c4140k -gpus 4 -out /tmp/prof
+//
+// writes:
+//
+//	/tmp/prof/dstat.csv      host time series (dstat --output style)
+//	/tmp/prof/dmon.csv       per-GPU time series (nvidia-smi dmon style)
+//	/tmp/prof/kernels.csv    per-kernel profile (nvprof ROI style)
+//	/tmp/prof/trace.json     pipeline timeline for chrome://tracing
+//
+// and prints the characteristics vector and a text timeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/profile"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "MLPf_Res50_TF", "benchmark abbreviation")
+	system := flag.String("system", "c4140k", "system name")
+	gpus := flag.Int("gpus", 1, "GPU count")
+	duration := flag.Float64("duration", 60, "seconds of dstat/dmon samples")
+	out := flag.String("out", "profile-out", "output directory")
+	flag.Parse()
+
+	if err := run(*bench, *system, *gpus, *duration, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, systemName string, gpus int, duration float64, outDir string) error {
+	b, err := workload.ByName(benchName)
+	if err != nil {
+		return err
+	}
+	sys, err := hw.SystemByName(systemName)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+
+	sampler := profile.NewSampler()
+
+	ds, err := sampler.Dstat(b, sys, gpus, duration)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(outDir, "dstat.csv"), func(f *os.File) error {
+		return profile.WriteDstatCSV(f, ds)
+	}); err != nil {
+		return err
+	}
+
+	dm, err := sampler.Dmon(b, sys, gpus, duration)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(outDir, "dmon.csv"), func(f *os.File) error {
+		return profile.WriteDmonCSV(f, dm)
+	}); err != nil {
+		return err
+	}
+
+	recs := profile.Nvprof(b, &sys.GPU, 16)
+	if err := writeFile(filepath.Join(outDir, "kernels.csv"), func(f *os.File) error {
+		return profile.WriteKernelCSV(f, recs)
+	}); err != nil {
+		return err
+	}
+
+	res, err := sim.Run(sim.Config{System: sys, GPUCount: gpus, Job: b.Job})
+	if err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(outDir, "trace.json"), func(f *os.File) error {
+		return res.Timeline.WriteChromeTrace(f)
+	}); err != nil {
+		return err
+	}
+
+	chars, err := profile.Characterize(b, sys, gpus)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s with %d GPU(s)\n\n", b.Abbrev, sys.Name, gpus)
+	fmt.Println("workload characteristics (the Figure 1 feature vector):")
+	for i, name := range profile.CharacteristicNames {
+		fmt.Printf("  %-24s %12.2f\n", name, chars.Values[i])
+	}
+	fmt.Println()
+	fmt.Print(res.Timeline.RenderText(72))
+	ai, rate := profile.RooflinePoint(recs)
+	fmt.Printf("\nroofline point: AI %.2f FLOP/B at %.1f GFLOPS\n", float64(ai), rate.G())
+	fmt.Printf("\nwrote dstat.csv, dmon.csv, kernels.csv, trace.json to %s\n", outDir)
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

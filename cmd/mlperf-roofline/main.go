@@ -1,0 +1,62 @@
+// Command mlperf-roofline prints roofline models and workload placements
+// (paper Figure 2).
+//
+//	mlperf-roofline             V100 roofline + all 13 benchmarks
+//	mlperf-roofline -gpu p100   P100 roofline (no tensor ceiling)
+//	mlperf-roofline -host       really micro-benchmark this machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlperf/internal/experiments"
+	"mlperf/internal/hw"
+	"mlperf/internal/roofline"
+)
+
+func main() {
+	gpu := flag.String("gpu", "v100", "device model: v100, v100-pcie, p100")
+	host := flag.Bool("host", false, "micro-benchmark the host CPU instead")
+	flag.Parse()
+
+	if *host {
+		m := roofline.MeasureHost()
+		fmt.Printf("empirical roofline of this machine (%s):\n", m.Name)
+		fmt.Printf("  measured bandwidth : %.2f GB/s\n", m.MemBandwidth.GBs())
+		for _, c := range m.Ceilings {
+			fmt.Printf("  measured %-6s peak: %.2f GFLOPS (ridge %.2f FLOP/B)\n",
+				c.Name, c.Peak.G(), float64(m.Ridge(c.Name)))
+		}
+		return
+	}
+
+	var g hw.GPU
+	switch *gpu {
+	case "v100":
+		g = hw.TeslaV100SXM2
+	case "v100-pcie":
+		g = hw.TeslaV100PCIe
+	case "p100":
+		g = hw.TeslaP100
+	default:
+		fmt.Fprintf(os.Stderr, "mlperf-roofline: unknown GPU %q\n", *gpu)
+		os.Exit(1)
+	}
+	m := roofline.ForGPU(&g)
+	fmt.Printf("roofline of %s:\n", g.Name)
+	fmt.Printf("  memory slope: %.0f GB/s\n", m.MemBandwidth.GBs())
+	for _, c := range m.Ceilings {
+		fmt.Printf("  ceiling %-12s %9.1f GFLOPS (ridge %.1f FLOP/B)\n",
+			c.Name, c.Peak.G(), float64(m.Ridge(c.Name)))
+	}
+	fmt.Println()
+
+	r, err := experiments.Fig2()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-roofline:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderFig2(r))
+}

@@ -1,0 +1,80 @@
+// Command mlperf-sched schedules a mix of MLPerf training jobs on a
+// multi-GPU machine (paper Figure 4): it simulates each benchmark's
+// duration at every GPU width, then compares the naive all-GPUs-sequential
+// policy against the optimal plan found by search.
+//
+//	mlperf-sched                      the paper's 7-benchmark mix on 4 GPUs
+//	mlperf-sched -gpus 8
+//	mlperf-sched -jobs res50_tf,ncf_py,xfmr_py -gpus 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mlperf/internal/experiments"
+	"mlperf/internal/hw"
+	"mlperf/internal/sched"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+func main() {
+	gpus := flag.Int("gpus", 4, "GPU count of the machine")
+	jobsFlag := flag.String("jobs", "", "comma-separated benchmark names (default: all 7 MLPerf)")
+	flag.Parse()
+
+	if err := run(*gpus, *jobsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-sched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gpus int, jobsFlag string) error {
+	if jobsFlag == "" {
+		r, err := experiments.Fig4(gpus)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig4(r))
+		return nil
+	}
+
+	sys := hw.DSS8440()
+	var jobs []sched.Job
+	for _, name := range strings.Split(jobsFlag, ",") {
+		b, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		j := sched.Job{Name: b.Abbrev, Duration: map[int]float64{}}
+		for _, w := range []int{1, 2, 4, 8} {
+			if w > gpus {
+				break
+			}
+			res, err := sim.Run(sim.Config{System: sys, GPUCount: w, Job: b.Job})
+			if err != nil {
+				return err
+			}
+			j.Duration[w] = res.TimeToTrain.Seconds()
+		}
+		jobs = append(jobs, j)
+	}
+
+	naive, err := sched.Naive(jobs, gpus)
+	if err != nil {
+		return err
+	}
+	opt, err := sched.Optimal(jobs, gpus)
+	if err != nil {
+		return err
+	}
+	fmt.Println("(a) naive")
+	fmt.Print(sched.Gantt(naive, gpus, 64))
+	fmt.Println("\n(b) optimal")
+	fmt.Print(sched.Gantt(opt, gpus, 64))
+	fmt.Printf("\nsaving: %.1f h\n", (naive.Makespan-opt.Makespan)/3600)
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command mlperf-sweep runs a cartesian parameter sweep through the
+// simulator and writes CSV — the workhorse behind grid studies like
+// Table IV and Figure 5.
+//
+//	mlperf-sweep -bench res50_tf,ncf_py -system dss8440,dgx1 -gpus 1,2,4,8
+//	mlperf-sweep -bench res50_tf -gpus 8 -precision fp32,mixed -out amp.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mlperf/internal/sweep"
+)
+
+func main() {
+	bench := flag.String("bench", "", "comma-separated benchmarks (default: all MLPerf)")
+	system := flag.String("system", "dss8440", "comma-separated systems")
+	gpus := flag.String("gpus", "1", "comma-separated GPU counts")
+	batch := flag.String("batch", "", "comma-separated per-GPU batches (default: calibrated)")
+	prec := flag.String("precision", "", "comma-separated precisions: fp32,mixed")
+	out := flag.String("out", "", "CSV output path (default: stdout)")
+	flag.Parse()
+
+	if err := run(*bench, *system, *gpus, *batch, *prec, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, system, gpus, batch, prec, out string) error {
+	g := sweep.Grid{
+		Benchmarks: splitList(bench),
+		Systems:    splitList(system),
+		Precisions: splitList(prec),
+	}
+	var err error
+	if g.GPUCounts, err = splitInts(gpus); err != nil {
+		return err
+	}
+	if g.BatchPerGPU, err = splitInts(batch); err != nil {
+		return err
+	}
+
+	recs, err := sweep.Run(g)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sweep.WriteCSV(w, recs); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Printf("wrote %d sweep cells to %s\n", len(recs), out)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var outs []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			outs = append(outs, p)
+		}
+	}
+	return outs
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

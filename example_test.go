@@ -1,0 +1,68 @@
+package mlperf_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlperf"
+	"mlperf/internal/dataset"
+)
+
+// ExampleSimulate runs one benchmark on one system and reads the headline
+// metrics.
+func ExampleSimulate() {
+	sys, _ := mlperf.SystemByName("c4140k")
+	bench, _ := mlperf.BenchmarkByName("MLPf_NCF_Py")
+	res, _ := mlperf.Simulate(sys, 2, bench)
+	fmt.Println(res.LocalBatch > 0, res.TimeToTrain > 0, res.GPUUtilTotal > 0)
+	// Output: true true true
+}
+
+// ExampleSystemByName shows topology queries on a Table III system.
+func ExampleSystemByName() {
+	sys, _ := mlperf.SystemByName("t640")
+	fmt.Println(sys.Name, sys.GPUCount, sys.Topo.CanP2P("gpu0", "gpu1"))
+	// Output: T640 4 false
+}
+
+// ExampleScheduleOptimal packs two poorly-scaling jobs side by side.
+func ExampleScheduleOptimal() {
+	jobs := []mlperf.SchedJob{
+		{Name: "a", Duration: map[int]float64{1: 100, 2: 95}},
+		{Name: "b", Duration: map[int]float64{1: 100, 2: 95}},
+	}
+	s, _ := mlperf.ScheduleOptimal(jobs, 2)
+	fmt.Println(s.Makespan)
+	// Output: 100
+}
+
+// ExampleV100Roofline classifies a workload by arithmetic intensity.
+func ExampleV100Roofline() {
+	r := mlperf.V100Roofline()
+	fmt.Println(r.Bound(1, "fp32"), r.Bound(1000, "fp32"))
+	// Output: memory compute
+}
+
+// ExampleTrainNCFToTarget really trains the recommender to a quality
+// target (MLPerf's defining metric).
+func ExampleTrainNCFToTarget() {
+	rng := rand.New(rand.NewSource(21))
+	ratings := dataset.SyntheticRatings(rng, 40, 80, 10, 6)
+	split := dataset.LeaveOneOut(ratings)
+	m, _ := mlperf.NewNCF(mlperf.DefaultNCFConfig(40, 80))
+	res, _ := mlperf.TrainNCFToTarget(m, split, 0.5, 25)
+	fmt.Println(res.Reached)
+	// Output: true
+}
+
+// ExampleNewGoBoard plays a capture with the real Go engine.
+func ExampleNewGoBoard() {
+	b := mlperf.NewGoBoard(3)
+	for _, mv := range []int{1, 0, 3} { // B1, W0(corner), B3 captures
+		if err := b.Play(mv); err != nil {
+			fmt.Println(err)
+		}
+	}
+	fmt.Println(b.At(0))
+	// Output: empty
+}

@@ -1,0 +1,56 @@
+// MiniGo: the reinforcement-learning benchmark the paper excludes
+// (footnote 1), executed for real at reduced scale. MCTS self-play
+// generates games on a small board, a policy network behavior-clones the
+// searched moves, and the loop stops when the policy beats a random
+// player — the minigo time-to-quality protocol in miniature. Also
+// simulates what the full-scale benchmark would cost on a DGX-1.
+//
+//	go run ./examples/minigo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlperf"
+)
+
+func main() {
+	fmt.Println("== real self-play loop (4x4 board) ==")
+	res, err := mlperf.TrainMiniGoToWinRate(4 /*board*/, 4 /*games/gen*/, 40 /*playouts*/, 0.7, 6, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self-play games        : %d (%d training positions)\n", res.Games, res.Examples)
+	fmt.Printf("final win rate vs random: %.2f (target 0.70, reached=%v)\n", res.WinRate, res.Reached)
+	fmt.Printf("time to quality        : %v\n\n", res.Elapsed.Round(1e6))
+
+	// And a taste of the engine itself: MCTS picks the winning capture.
+	b := mlperf.NewGoBoard(4)
+	for _, mv := range []int{1, 2, 5, 6, 9, 10, 13, 14, 0, 4} {
+		if err := b.Play(mv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("== tactical position (Black to move; White intruder in atari) ==")
+	fmt.Print(b)
+	m := mlperf.NewGoMCTS(2000, -0.5, 3)
+	mv, _ := m.BestMove(b)
+	fmt.Printf("MCTS plays %d (the capture)\n\n", mv)
+
+	// What would the full-scale benchmark cost? Simulate the MiniGo
+	// network's training phase on NVIDIA's DGX-1.
+	fmt.Println("== simulated full-scale MiniGo on a DGX-1 ==")
+	dgx, err := mlperf.SystemByName("dgx1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ext := range mlperf.ExtensionBenchmarks() {
+		sim, err := mlperf.Simulate(dgx, 8, ext)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: one generation on 8x V100 = %.1f min (GPU util %v, CPU util %v)\n",
+			ext.Abbrev, sim.TimeToTrain.Minutes(), sim.GPUUtilTotal, sim.CPUUtil)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: simulate training MLPerf's ResNet-50 benchmark on the
+// 8-GPU DSS 8440 and print the numbers the paper's Table IV reports —
+// time-to-train and multi-GPU speedup.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlperf"
+)
+
+func main() {
+	sys, err := mlperf.SystemByName("dss8440")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := mlperf.BenchmarkByName("MLPf_Res50_TF")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (%s, submitted by %s) on %s\n\n",
+		bench.Abbrev, bench.ModelName, bench.Submitter, sys.Name)
+	fmt.Printf("quality target: %s, dataset: %s\n\n", bench.QualityTarget, bench.Job.Data.Name)
+
+	var base float64
+	for _, gpus := range []int{1, 2, 4, 8} {
+		res, err := mlperf.Simulate(sys, gpus, bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		min := res.TimeToTrain.Minutes()
+		if gpus == 1 {
+			base = min
+		}
+		fmt.Printf("%d GPU(s): time-to-train %7.1f min  (speedup %.2fx, step %.1f ms, "+
+			"%.0f samples/s, GPU util %v)\n",
+			gpus, min, base/min, res.StepTime*1e3, res.Throughput, res.GPUUtilTotal)
+	}
+
+	fmt.Println("\nwhere a training step goes (8 GPUs):")
+	res, err := mlperf.Simulate(sys, 8, bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  input pipeline : %6.2f ms (host CPUs)\n", res.Input*1e3)
+	fmt.Printf("  host-to-device : %6.2f ms (PCIe)\n", res.H2D*1e3)
+	fmt.Printf("  fwd+bwd compute: %6.2f ms\n", res.Compute*1e3)
+	fmt.Printf("  all-reduce     : %6.2f ms (%.2f ms exposed after overlap)\n",
+		res.AllReduce*1e3, res.ExposedComm*1e3)
+	fmt.Printf("  optimizer      : %6.2f ms\n", res.Optimizer*1e3)
+}

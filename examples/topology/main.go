@@ -1,0 +1,66 @@
+// Topology: the paper's Figure 5 scenario — you are buying a 4-GPU server
+// for distributed training; how much does the GPU interconnect matter?
+// Compares all five 4-GPU platforms of Table III for a communication-light
+// workload (ResNet-50) and a communication-heavy one (GNMT), and shows
+// the interconnect facts behind the difference.
+//
+//	go run ./examples/topology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlperf"
+)
+
+func main() {
+	systems := []string{"c4140m", "c4140k", "c4140b", "t640", "r940xa"}
+
+	for _, benchName := range []string{"MLPf_Res50_TF", "MLPf_GNMT_Py"} {
+		bench, err := mlperf.BenchmarkByName(benchName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (gradient volume per step: %v)\n",
+			bench.Abbrev, bench.Job.Net.GradientBytes())
+		fmt.Printf("  %-12s %-12s %14s %14s %12s\n",
+			"system", "interconnect", "time-to-train", "all-reduce", "exposed")
+		var worst, best float64
+		for _, name := range systems {
+			sys, err := mlperf.SystemByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := mlperf.Simulate(sys, 4, bench)
+			if err != nil {
+				log.Fatal(err)
+			}
+			min := res.TimeToTrain.Minutes()
+			if best == 0 || min < best {
+				best = min
+			}
+			if min > worst {
+				worst = min
+			}
+			fmt.Printf("  %-12s %-12s %11.0f min %11.1f ms %9.1f ms\n",
+				sys.Name, sys.Interconnect, min, res.AllReduce*1e3, res.ExposedComm*1e3)
+		}
+		fmt.Printf("  => NVLink saves %.0f%% over the worst PCIe attachment\n\n",
+			(worst-best)/worst*100)
+	}
+
+	// The hardware facts underneath: pairwise GPU bandwidth per topology.
+	fmt.Println("pairwise GPU0<->GPU1 bandwidth and peer-to-peer capability:")
+	for _, name := range systems {
+		sys, err := mlperf.SystemByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := sys.Topo.GPUPairBandwidth("gpu0", "gpu1")
+		p2p := sys.Topo.CanP2P("gpu0", "gpu1")
+		cross := sys.Topo.GPUPairBandwidth("gpu0", "gpu3")
+		fmt.Printf("  %-12s neighbor %8.1f GB/s (P2P %-5v)  far pair %8.1f GB/s\n",
+			sys.Name, bw.GBs(), p2p, cross.GBs())
+	}
+}

@@ -1,0 +1,368 @@
+// Package comm provides analytic cost models for the collective operations
+// data-parallel training uses — all-reduce above all — over the hardware
+// topologies of package hw. It mirrors what NCCL does: search for a ring
+// with the widest bottleneck link, prefer GPUDirect P2P routes (NVLink or
+// a shared PCIe switch), and fall back to staging through host memory
+// when no P2P route exists. The executable counterpart validating the
+// algorithmic invariants lives in internal/kernels (RingAllReduce).
+package comm
+
+import (
+	"fmt"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/units"
+)
+
+// Result describes one collective operation's cost.
+type Result struct {
+	// Algorithm is the collective algorithm chosen ("ring", "tree", ...).
+	Algorithm string
+	// Time is the operation latency in seconds.
+	Time float64
+	// PerGPUTraffic is the payload each participant sends.
+	PerGPUTraffic units.Bytes
+	// TrafficByKind attributes the total wire traffic to link kinds;
+	// Table V's PCIe and NVLink columns are built from this split.
+	TrafficByKind map[hw.LinkKind]units.Bytes
+	// BottleneckBW is the narrowest effective pair bandwidth used.
+	BottleneckBW units.BytesPerSecond
+	// Ring is the GPU ordering used (ring algorithms only).
+	Ring []string
+}
+
+// ringChunkSteps is the per-step software overhead of a ring collective
+// (kernel launch + protocol), in seconds.
+const ringStepOverhead = 12e-6
+
+// BestRing searches GPU orderings for the ring with the widest bottleneck
+// pair bandwidth, fixing the first element (rotations are equivalent). For
+// the ≤8-GPU systems of the paper an exhaustive permutation search is
+// cheap and exact.
+func BestRing(topo *hw.Topology, gpus []string) []string {
+	if len(gpus) <= 2 {
+		return append([]string(nil), gpus...)
+	}
+	// Precompute the pair-bandwidth matrix once; the permutation search
+	// then runs on indices only.
+	n := len(gpus)
+	bw := make([][]units.BytesPerSecond, n)
+	for i := range bw {
+		bw[i] = make([]units.BytesPerSecond, n)
+		for j := range bw[i] {
+			if i != j {
+				bw[i][j] = topo.GPUPairBandwidth(gpus[i], gpus[j])
+			}
+		}
+	}
+	bottleneck := func(order []int) units.BytesPerSecond {
+		minBW := units.BytesPerSecond(1e30)
+		for i := range order {
+			b := bw[order[i]][order[(i+1)%n]]
+			if b < minBW {
+				minBW = b
+			}
+		}
+		return minBW
+	}
+
+	best := make([]int, n)
+	for i := range best {
+		best[i] = i
+	}
+	bestBW := bottleneck(best)
+
+	perm := make([]int, n)
+	copy(perm, best)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			if b := bottleneck(perm); b > bestBW {
+				bestBW = b
+				copy(best, perm)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(1) // fix perm[0]: rotations are equivalent
+	out := make([]string, n)
+	for i, idx := range best {
+		out[i] = gpus[idx]
+	}
+	return out
+}
+
+// ringBottleneck returns the minimum pair bandwidth around a ring.
+func ringBottleneck(topo *hw.Topology, ring []string) units.BytesPerSecond {
+	minBW := units.BytesPerSecond(1e30)
+	for i := range ring {
+		next := ring[(i+1)%len(ring)]
+		bw := topo.GPUPairBandwidth(ring[i], next)
+		if bw < minBW {
+			minBW = bw
+		}
+	}
+	return minBW
+}
+
+// RingAllReduce models the bandwidth-optimal ring all-reduce of a payload
+// across the given GPUs: each rank moves 2(n−1)/n · payload, paced by the
+// ring's bottleneck link, plus 2(n−1) step overheads.
+func RingAllReduce(topo *hw.Topology, gpus []string, payload units.Bytes) (Result, error) {
+	n := len(gpus)
+	if n == 0 {
+		return Result{}, fmt.Errorf("comm: all-reduce with no GPUs")
+	}
+	if n == 1 {
+		return Result{Algorithm: "ring", Ring: gpus, TrafficByKind: map[hw.LinkKind]units.Bytes{}}, nil
+	}
+	ring := BestRing(topo, gpus)
+	bw := ringBottleneck(topo, ring)
+	if bw <= 0 {
+		return Result{}, fmt.Errorf("comm: GPUs not mutually reachable")
+	}
+	perGPU := units.Bytes(2 * float64(n-1) / float64(n) * float64(payload))
+	res := Result{
+		Algorithm:     "ring",
+		Ring:          ring,
+		PerGPUTraffic: perGPU,
+		BottleneckBW:  bw,
+		Time:          float64(perGPU)/float64(bw) + 2*float64(n-1)*ringStepOverhead,
+		TrafficByKind: map[hw.LinkKind]units.Bytes{},
+	}
+	// Attribute each pair's traffic to the link kinds its path crosses.
+	for i := range ring {
+		next := ring[(i+1)%n]
+		p, ok := topo.WidestPath(ring[i], next)
+		if !ok {
+			return Result{}, fmt.Errorf("comm: no path %s->%s", ring[i], next)
+		}
+		for _, k := range p.Kinds {
+			res.TrafficByKind[k] += perGPU
+		}
+	}
+	return res, nil
+}
+
+// TreeAllReduce models a binary-tree reduce+broadcast: latency-optimal for
+// small payloads, moving ~2·payload per level over ceil(log2 n) levels.
+func TreeAllReduce(topo *hw.Topology, gpus []string, payload units.Bytes) (Result, error) {
+	n := len(gpus)
+	if n == 0 {
+		return Result{}, fmt.Errorf("comm: all-reduce with no GPUs")
+	}
+	if n == 1 {
+		return Result{Algorithm: "tree", TrafficByKind: map[hw.LinkKind]units.Bytes{}}, nil
+	}
+	levels := 0
+	for m := n; m > 1; m = (m + 1) / 2 {
+		levels++
+	}
+	minBW := units.BytesPerSecond(1e30)
+	for i := 1; i < n; i++ {
+		parent := gpus[(i-1)/2]
+		if bw := topo.GPUPairBandwidth(gpus[i], parent); bw < minBW {
+			minBW = bw
+		}
+	}
+	if minBW <= 0 {
+		return Result{}, fmt.Errorf("comm: GPUs not mutually reachable")
+	}
+	res := Result{
+		Algorithm:     "tree",
+		PerGPUTraffic: 2 * payload,
+		BottleneckBW:  minBW,
+		Time:          2*float64(levels)*float64(payload)/float64(minBW) + 2*float64(levels)*ringStepOverhead,
+		TrafficByKind: map[hw.LinkKind]units.Bytes{},
+	}
+	for i := 1; i < n; i++ {
+		parent := gpus[(i-1)/2]
+		p, ok := topo.WidestPath(gpus[i], parent)
+		if !ok {
+			return Result{}, fmt.Errorf("comm: no path %s->%s", gpus[i], parent)
+		}
+		for _, k := range p.Kinds {
+			res.TrafficByKind[k] += 2 * payload
+		}
+	}
+	return res, nil
+}
+
+// AllReduce picks the fastest algorithm for the payload, as NCCL's tuner
+// does: trees win small messages (latency-bound), rings win large ones on
+// a single island, and the hierarchical schedule wins when the GPUs span
+// several P2P islands (it crosses the slow boundary once instead of
+// pacing the whole ring by it).
+func AllReduce(topo *hw.Topology, gpus []string, payload units.Bytes) (Result, error) {
+	best, err := RingAllReduce(topo, gpus, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	tree, err := TreeAllReduce(topo, gpus, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	if tree.Time < best.Time {
+		best = tree
+	}
+	hier, err := HierarchicalAllReduce(topo, gpus, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	if hier.Time < best.Time {
+		best = hier
+	}
+	return best, nil
+}
+
+// HostStagedAllReduce models a collective that copies every rank's payload
+// to host memory, reduces there, and broadcasts the result back — what a
+// framework without NCCL peer-to-peer (TensorFlow replicated variables in
+// the paper's Res50_TF submission) does. All traffic rides the CPU-GPU
+// links regardless of available NVLink.
+func HostStagedAllReduce(topo *hw.Topology, gpus []string, payload units.Bytes) (Result, error) {
+	n := len(gpus)
+	if n == 0 {
+		return Result{}, fmt.Errorf("comm: all-reduce with no GPUs")
+	}
+	if n == 1 {
+		return Result{Algorithm: "host-staged", TrafficByKind: map[hw.LinkKind]units.Bytes{}}, nil
+	}
+	res := Result{
+		Algorithm:     "host-staged",
+		PerGPUTraffic: 2 * payload, // D2H then H2D
+		TrafficByKind: map[hw.LinkKind]units.Bytes{},
+		BottleneckBW:  units.BytesPerSecond(1e30),
+	}
+	// Each GPU's D2H and H2D cross its host path; transfers on distinct
+	// links run concurrently, but links shared by several GPUs serialize.
+	type egress struct{ a, b string }
+	shares := map[egress]int{}
+	paths := map[string]hw.Path{}
+	cpus := topo.CPUs()
+	if len(cpus) == 0 {
+		return Result{}, fmt.Errorf("comm: topology has no CPU for host staging")
+	}
+	for _, gid := range gpus {
+		var best hw.Path
+		for _, c := range cpus {
+			if p, ok := topo.WidestPath(c, gid); ok && p.Bottleneck > best.Bottleneck {
+				best = p
+			}
+		}
+		if len(best.Hops) == 0 {
+			return Result{}, fmt.Errorf("comm: no host path to %s", gid)
+		}
+		paths[gid] = best
+		shares[egress{best.Hops[0], best.Hops[1]}]++
+	}
+	var worst float64
+	for _, gid := range gpus {
+		p := paths[gid]
+		bw := float64(p.Bottleneck)
+		if k := shares[egress{p.Hops[0], p.Hops[1]}]; k > 1 {
+			if s := float64(p.Bottleneck) / float64(k); s < bw {
+				bw = s
+			}
+		}
+		if units.BytesPerSecond(bw) < res.BottleneckBW {
+			res.BottleneckBW = units.BytesPerSecond(bw)
+		}
+		t := 2 * float64(payload) / bw
+		if t > worst {
+			worst = t
+		}
+		for _, kind := range p.Kinds {
+			res.TrafficByKind[kind] += 2 * payload
+		}
+	}
+	res.Time = worst + 2*ringStepOverhead
+	return res, nil
+}
+
+// ReduceScatter models the first half of a ring all-reduce: after n-1
+// steps each rank owns the fully reduced 1/n shard, having moved
+// (n-1)/n · payload.
+func ReduceScatter(topo *hw.Topology, gpus []string, payload units.Bytes) (Result, error) {
+	return halfRing(topo, gpus, payload, "reduce-scatter")
+}
+
+// AllGather models the second half: circulating the reduced shards back
+// to every rank, also (n-1)/n · payload per rank.
+func AllGather(topo *hw.Topology, gpus []string, payload units.Bytes) (Result, error) {
+	return halfRing(topo, gpus, payload, "all-gather")
+}
+
+func halfRing(topo *hw.Topology, gpus []string, payload units.Bytes, name string) (Result, error) {
+	n := len(gpus)
+	if n == 0 {
+		return Result{}, fmt.Errorf("comm: %s with no GPUs", name)
+	}
+	if n == 1 {
+		return Result{Algorithm: name, TrafficByKind: map[hw.LinkKind]units.Bytes{}}, nil
+	}
+	ring := BestRing(topo, gpus)
+	bw := ringBottleneck(topo, ring)
+	if bw <= 0 {
+		return Result{}, fmt.Errorf("comm: GPUs not mutually reachable")
+	}
+	perGPU := units.Bytes(float64(n-1) / float64(n) * float64(payload))
+	res := Result{
+		Algorithm:     name,
+		Ring:          ring,
+		PerGPUTraffic: perGPU,
+		BottleneckBW:  bw,
+		Time:          float64(perGPU)/float64(bw) + float64(n-1)*ringStepOverhead,
+		TrafficByKind: map[hw.LinkKind]units.Bytes{},
+	}
+	for i := range ring {
+		p, ok := topo.WidestPath(ring[i], ring[(i+1)%n])
+		if !ok {
+			return Result{}, fmt.Errorf("comm: no path %s->%s", ring[i], ring[(i+1)%n])
+		}
+		for _, k := range p.Kinds {
+			res.TrafficByKind[k] += perGPU
+		}
+	}
+	return res, nil
+}
+
+// Broadcast models a pipelined broadcast from gpus[0] along the best ring:
+// payload crosses each hop once.
+func Broadcast(topo *hw.Topology, gpus []string, payload units.Bytes) (Result, error) {
+	n := len(gpus)
+	if n == 0 {
+		return Result{}, fmt.Errorf("comm: broadcast with no GPUs")
+	}
+	if n == 1 {
+		return Result{Algorithm: "broadcast", TrafficByKind: map[hw.LinkKind]units.Bytes{}}, nil
+	}
+	ring := BestRing(topo, gpus)
+	bw := ringBottleneck(topo, ring)
+	if bw <= 0 {
+		return Result{}, fmt.Errorf("comm: GPUs not mutually reachable")
+	}
+	res := Result{
+		Algorithm:     "broadcast",
+		Ring:          ring,
+		PerGPUTraffic: payload,
+		BottleneckBW:  bw,
+		Time:          float64(payload)/float64(bw) + float64(n-1)*ringStepOverhead,
+		TrafficByKind: map[hw.LinkKind]units.Bytes{},
+	}
+	for i := 0; i < n-1; i++ {
+		p, ok := topo.WidestPath(ring[i], ring[i+1])
+		if !ok {
+			return Result{}, fmt.Errorf("comm: no path %s->%s", ring[i], ring[i+1])
+		}
+		for _, k := range p.Kinds {
+			res.TrafficByKind[k] += payload
+		}
+	}
+	return res, nil
+}

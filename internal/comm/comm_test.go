@@ -1,0 +1,211 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/units"
+)
+
+func TestRingAllReduceTrafficFormula(t *testing.T) {
+	s := hw.C4140K()
+	payload := 100 * units.MB
+	res, err := RingAllReduce(s.Topo, s.GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2(n-1)/n * payload with n=4 -> 150MB per GPU.
+	want := 150 * units.MB
+	if math.Abs(float64(res.PerGPUTraffic-want)) > 1 {
+		t.Errorf("per-GPU traffic = %v, want %v", res.PerGPUTraffic, want)
+	}
+	if res.Time <= 0 {
+		t.Error("non-positive all-reduce time")
+	}
+}
+
+func TestBestRingFindsWideNVLinkRing(t *testing.T) {
+	// On the C4140 NVLink mesh the naive ring 0-1-2-3 bottlenecks on a
+	// single-brick diagonal; the optimal ring uses only 2-brick pairs.
+	s := hw.C4140K()
+	ring := BestRing(s.Topo, s.GPUIDs())
+	bw := ringBottleneck(s.Topo, ring)
+	twoBricks := hw.NVLinkBricks(2).Effective()
+	if bw < twoBricks-1 {
+		t.Errorf("best ring bottleneck = %v, want the 2-brick %v", bw, twoBricks)
+	}
+}
+
+func TestAllReduceFasterOnNVLink(t *testing.T) {
+	// Figure 5's premise: the same collective is faster on NVLink systems
+	// than on PCIe-switch systems, which beat through-CPU systems.
+	payload := 100 * units.MB
+	timeOn := func(s *hw.System) float64 {
+		res, err := RingAllReduce(s.Topo, s.GPUIDs(), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	nv := timeOn(hw.C4140K())
+	sw := timeOn(hw.C4140B())
+	cpu := timeOn(hw.T640())
+	if !(nv < sw && sw < cpu) {
+		t.Errorf("all-reduce time ordering violated: nvlink=%.4fs switch=%.4fs cpu=%.4fs", nv, sw, cpu)
+	}
+}
+
+func TestTrafficAttributionByLinkKind(t *testing.T) {
+	payload := 10 * units.MB
+	// On the NVLink system, ring traffic flows over NVLink only.
+	res, err := RingAllReduce(hw.C4140K().Topo, hw.C4140K().GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrafficByKind[hw.NVLink] == 0 {
+		t.Error("NVLink system: expected NVLink traffic")
+	}
+	if res.TrafficByKind[hw.PCIe3] != 0 {
+		t.Error("NVLink system: GPU-GPU ring should not touch PCIe")
+	}
+	// On the T640 the ring must cross PCIe and UPI, never NVLink.
+	res, err = RingAllReduce(hw.T640().Topo, hw.T640().GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrafficByKind[hw.NVLink] != 0 {
+		t.Error("T640: no NVLink exists")
+	}
+	if res.TrafficByKind[hw.PCIe3] == 0 || res.TrafficByKind[hw.UPI] == 0 {
+		t.Errorf("T640: expected PCIe and UPI traffic, got %v", res.TrafficByKind)
+	}
+}
+
+func TestSingleGPUNoop(t *testing.T) {
+	s := hw.C4140K()
+	for _, f := range []func(*hw.Topology, []string, units.Bytes) (Result, error){
+		RingAllReduce, TreeAllReduce, AllReduce, Broadcast,
+	} {
+		res, err := f(s.Topo, []string{"gpu0"}, 100*units.MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Time != 0 || res.PerGPUTraffic != 0 {
+			t.Errorf("single-GPU collective should be free, got %+v", res)
+		}
+	}
+}
+
+func TestEmptyGPUListErrors(t *testing.T) {
+	s := hw.C4140K()
+	if _, err := RingAllReduce(s.Topo, nil, units.MB); err == nil {
+		t.Error("empty ring all-reduce must error")
+	}
+	if _, err := TreeAllReduce(s.Topo, nil, units.MB); err == nil {
+		t.Error("empty tree all-reduce must error")
+	}
+	if _, err := Broadcast(s.Topo, nil, units.MB); err == nil {
+		t.Error("empty broadcast must error")
+	}
+}
+
+func TestAllReducePicksTreeForTinyPayloads(t *testing.T) {
+	s := hw.DSS8440()
+	small, err := AllReduce(s.Topo, s.Topo.GPUs(), 1*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := AllReduce(s.Topo, s.Topo.GPUs(), 500*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Algorithm != "tree" {
+		t.Errorf("1KB all-reduce chose %s, want tree (latency-bound)", small.Algorithm)
+	}
+	// The DSS 8440 spans two P2P islands: for bandwidth-bound payloads the
+	// hierarchical schedule must win over the flat ring.
+	if large.Algorithm != "hierarchical" {
+		t.Errorf("500MB all-reduce chose %s, want hierarchical (two switch islands)", large.Algorithm)
+	}
+	// On a single island the selection reduces to the plain ring.
+	k := hw.C4140K()
+	single, err := AllReduce(k.Topo, k.GPUIDs(), 500*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Algorithm == "tree" {
+		t.Errorf("single-island 500MB all-reduce chose tree")
+	}
+}
+
+func TestAllReduceTimeMonotonicInPayload(t *testing.T) {
+	s := hw.C4140B()
+	prev := -1.0
+	for _, mb := range []float64{1, 10, 100, 500} {
+		res, err := RingAllReduce(s.Topo, s.GPUIDs(), units.Bytes(mb*1e6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Time <= prev {
+			t.Errorf("time not monotone at %vMB", mb)
+		}
+		prev = res.Time
+	}
+}
+
+func TestBroadcastCheaperThanAllReduce(t *testing.T) {
+	s := hw.C4140K()
+	payload := 100 * units.MB
+	b, err := Broadcast(s.Topo, s.GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RingAllReduce(s.Topo, s.GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Time >= a.Time {
+		t.Errorf("broadcast %.4fs should undercut all-reduce %.4fs", b.Time, a.Time)
+	}
+}
+
+func TestReduceScatterPlusAllGatherEqualsAllReduce(t *testing.T) {
+	// A ring all-reduce is exactly reduce-scatter followed by all-gather:
+	// the per-GPU traffic must compose, and the times must sum (minus one
+	// shared step-overhead accounting difference).
+	s := hw.C4140K()
+	payload := 200 * units.MB
+	rs, err := ReduceScatter(s.Topo, s.GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := AllGather(s.Topo, s.GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := RingAllReduce(s.Topo, s.GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rs.PerGPUTraffic+ag.PerGPUTraffic, ar.PerGPUTraffic; got != want {
+		t.Errorf("rs+ag traffic %v != allreduce %v", got, want)
+	}
+	sum := rs.Time + ag.Time
+	if math.Abs(sum-ar.Time) > 1e-9 {
+		t.Errorf("rs+ag time %.6f != allreduce %.6f", sum, ar.Time)
+	}
+}
+
+func TestHalfRingSingleGPU(t *testing.T) {
+	s := hw.C4140K()
+	for _, f := range []func(*hw.Topology, []string, units.Bytes) (Result, error){ReduceScatter, AllGather} {
+		res, err := f(s.Topo, []string{"gpu0"}, units.MB)
+		if err != nil || res.Time != 0 {
+			t.Errorf("single-GPU half-ring: %v %v", res, err)
+		}
+	}
+	if _, err := ReduceScatter(s.Topo, nil, units.MB); err == nil {
+		t.Error("empty reduce-scatter accepted")
+	}
+}

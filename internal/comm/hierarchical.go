@@ -1,0 +1,146 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/units"
+)
+
+// P2PGroups partitions GPUs into their GPUDirect peer-to-peer islands:
+// within a group every pair has a CPU-free route (NVLink mesh or shared
+// PCIe switch); between groups traffic must stage through host memory.
+// On the DSS 8440 this yields the two 4-GPU switch groups.
+func P2PGroups(topo *hw.Topology, gpus []string) [][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, g := range gpus {
+		parent[g] = g
+	}
+	for i := range gpus {
+		for j := i + 1; j < len(gpus); j++ {
+			if topo.CanP2P(gpus[i], gpus[j]) {
+				parent[find(gpus[i])] = find(gpus[j])
+			}
+		}
+	}
+	byRoot := map[string][]string{}
+	for _, g := range gpus {
+		r := find(g)
+		byRoot[r] = append(byRoot[r], g)
+	}
+	var groups [][]string
+	for _, members := range byRoot {
+		sort.Strings(members)
+		groups = append(groups, members)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return groups
+}
+
+// HierarchicalAllReduce models the three-phase collective NCCL uses on
+// multi-island machines: ring reduce-scatter within each P2P group, a
+// cross-group exchange of the reduced shards over the host links, then an
+// intra-group all-gather. Compared with one flat ring paced entirely by
+// the slowest (host-staged) hop, only payload-sized traffic crosses the
+// slow boundary.
+func HierarchicalAllReduce(topo *hw.Topology, gpus []string, payload units.Bytes) (Result, error) {
+	n := len(gpus)
+	if n == 0 {
+		return Result{}, fmt.Errorf("comm: all-reduce with no GPUs")
+	}
+	if n == 1 {
+		return Result{Algorithm: "hierarchical", TrafficByKind: map[hw.LinkKind]units.Bytes{}}, nil
+	}
+	groups := P2PGroups(topo, gpus)
+	if len(groups) == 1 {
+		// Single island: plain ring is already hierarchicality-free.
+		res, err := RingAllReduce(topo, gpus, payload)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Algorithm = "hierarchical"
+		return res, nil
+	}
+
+	res := Result{
+		Algorithm:     "hierarchical",
+		TrafficByKind: map[hw.LinkKind]units.Bytes{},
+		BottleneckBW:  units.BytesPerSecond(1e30),
+	}
+
+	// Phase 1+3: intra-group reduce-scatter and all-gather, each moving
+	// (k-1)/k * payload per GPU over the group's best ring. Groups run
+	// concurrently; the slowest group paces the phase.
+	var intraTime float64
+	for _, grp := range groups {
+		if len(grp) == 1 {
+			continue
+		}
+		ring := BestRing(topo, grp)
+		bw := ringBottleneck(topo, ring)
+		if bw <= 0 {
+			return Result{}, fmt.Errorf("comm: group %v not connected", grp)
+		}
+		if bw < res.BottleneckBW {
+			res.BottleneckBW = bw
+		}
+		k := float64(len(grp))
+		per := units.Bytes((k - 1) / k * float64(payload))
+		t := 2 * (float64(per)/float64(bw) + float64(len(grp)-1)*ringStepOverhead)
+		if t > intraTime {
+			intraTime = t
+		}
+		for i := range ring {
+			p, ok := topo.WidestPath(ring[i], ring[(i+1)%len(ring)])
+			if !ok {
+				return Result{}, fmt.Errorf("comm: no path in group %v", grp)
+			}
+			for _, kind := range p.Kinds {
+				res.TrafficByKind[kind] += 2 * per
+			}
+		}
+	}
+
+	// Phase 2: a ring all-reduce across the group leaders carries the
+	// reduced data over the slow boundary: 2(k-1)/k * payload per leader,
+	// paced by the narrowest leader-pair route. With two islands that is
+	// exactly one payload crossing per direction; with k singleton islands
+	// it degenerates to the flat ring (no free lunch).
+	k := len(groups)
+	crossShare := units.Bytes(2 * float64(k-1) / float64(k) * float64(payload))
+	minCross := units.BytesPerSecond(1e30)
+	for gi := range groups {
+		leader := groups[gi][0]
+		peer := groups[(gi+1)%k][0]
+		bw := topo.GPUPairBandwidth(leader, peer)
+		if bw <= 0 {
+			return Result{}, fmt.Errorf("comm: groups %v and %v not connected", groups[gi], groups[(gi+1)%k])
+		}
+		if bw < minCross {
+			minCross = bw
+		}
+		p, ok := topo.WidestPath(leader, peer)
+		if ok {
+			for _, kind := range p.Kinds {
+				res.TrafficByKind[kind] += crossShare
+			}
+		}
+	}
+	if minCross < res.BottleneckBW {
+		res.BottleneckBW = minCross
+	}
+	crossTime := float64(crossShare)/float64(minCross) + 2*float64(k-1)*ringStepOverhead
+
+	res.Time = intraTime + crossTime
+	res.PerGPUTraffic = units.Bytes(2 * float64(n-1) / float64(n) * float64(payload))
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package comm
+
+import (
+	"testing"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/units"
+)
+
+func TestP2PGroupsDSS8440(t *testing.T) {
+	s := hw.DSS8440()
+	groups := P2PGroups(s.Topo, s.GPUIDs())
+	if len(groups) != 2 {
+		t.Fatalf("%d groups, want 2 switch islands", len(groups))
+	}
+	if len(groups[0]) != 4 || len(groups[1]) != 4 {
+		t.Errorf("group sizes %d/%d, want 4/4", len(groups[0]), len(groups[1]))
+	}
+	if groups[0][0] != "gpu0" || groups[1][0] != "gpu4" {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestP2PGroupsT640(t *testing.T) {
+	// No P2P anywhere: every GPU is its own island.
+	s := hw.T640()
+	groups := P2PGroups(s.Topo, s.GPUIDs())
+	if len(groups) != 4 {
+		t.Errorf("%d groups, want 4 singletons", len(groups))
+	}
+}
+
+func TestP2PGroupsNVLinkMesh(t *testing.T) {
+	s := hw.C4140K()
+	groups := P2PGroups(s.Topo, s.GPUIDs())
+	if len(groups) != 1 || len(groups[0]) != 4 {
+		t.Errorf("groups = %v, want one 4-GPU island", groups)
+	}
+}
+
+func TestHierarchicalBeatsFlatRingAcrossIslands(t *testing.T) {
+	// On the DSS 8440's 8 GPUs with a large payload, the flat ring is
+	// paced end-to-end by the host-staged cross-socket hop; the
+	// hierarchical schedule only sends the payload across it once.
+	s := hw.DSS8440()
+	payload := 800 * units.MB
+	flat, err := RingAllReduce(s.Topo, s.Topo.GPUs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := HierarchicalAllReduce(s.Topo, s.Topo.GPUs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Time >= flat.Time {
+		t.Errorf("hierarchical %.3fs not faster than flat ring %.3fs", hier.Time, flat.Time)
+	}
+}
+
+func TestHierarchicalSingleIslandEqualsRing(t *testing.T) {
+	s := hw.C4140K()
+	payload := 100 * units.MB
+	ring, err := RingAllReduce(s.Topo, s.GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := HierarchicalAllReduce(s.Topo, s.GPUIDs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Time != ring.Time {
+		t.Errorf("single-island hierarchical %.4fs != ring %.4fs", hier.Time, ring.Time)
+	}
+}
+
+func TestHierarchicalDegenerateInputs(t *testing.T) {
+	s := hw.DSS8440()
+	if _, err := HierarchicalAllReduce(s.Topo, nil, units.MB); err == nil {
+		t.Error("empty GPU list accepted")
+	}
+	res, err := HierarchicalAllReduce(s.Topo, []string{"gpu0"}, units.MB)
+	if err != nil || res.Time != 0 {
+		t.Errorf("single GPU should be free: %v %v", res, err)
+	}
+}
+
+func TestHierarchicalTrafficSplit(t *testing.T) {
+	// Cross-island traffic rides PCIe; intra-island traffic stays on the
+	// switches (also PCIe on the DSS 8440) — UPI must carry only the
+	// cross exchange.
+	s := hw.DSS8440()
+	payload := 100 * units.MB
+	res, err := HierarchicalAllReduce(s.Topo, s.Topo.GPUs(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrafficByKind[hw.UPI] == 0 {
+		t.Error("cross-island exchange must cross UPI")
+	}
+	// UPI carries ~one payload per direction pair, far less than the
+	// intra-group PCIe total.
+	if res.TrafficByKind[hw.UPI] >= res.TrafficByKind[hw.PCIe3] {
+		t.Errorf("UPI %.0fMB >= PCIe %.0fMB; hierarchy should localize traffic",
+			res.TrafficByKind[hw.UPI].MB(), res.TrafficByKind[hw.PCIe3].MB())
+	}
+}

@@ -1,0 +1,211 @@
+// Package dataset describes the training datasets of Table II and provides
+// synthetic generators standing in for the real corpora (which we cannot
+// ship): sized descriptors drive the simulator's epoch lengths and memory
+// footprints, and the generators feed the real mini training engine.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlperf/internal/units"
+)
+
+// Dataset describes one training corpus.
+type Dataset struct {
+	Name string
+	// TrainSamples is the number of training samples (images, sentence
+	// pairs, ratings...).
+	TrainSamples int
+	// DiskBytes is the stored dataset size; ImageNet's ~300GB is what the
+	// paper blames for the image-classification CPU overhead (§V-A).
+	DiskBytes units.Bytes
+	// SampleBytes is the decoded in-memory size of one sample as it is
+	// shipped to the device.
+	SampleBytes units.Bytes
+	// EvalSamples is the validation-set size.
+	EvalSamples int
+}
+
+// String renders a one-line description.
+func (d Dataset) String() string {
+	return fmt.Sprintf("%s (%d samples, %v)", d.Name, d.TrainSamples, d.DiskBytes)
+}
+
+// FitsInHBM reports whether the decoded dataset fits in a device memory of
+// the given capacity — NCF's MovieLens does, ImageNet never does, which
+// drives their opposite host-traffic profiles in Table V.
+func (d Dataset) FitsInHBM(capacity units.Bytes) bool {
+	return units.Bytes(d.TrainSamples)*d.SampleBytes <= capacity
+}
+
+// Catalog of the paper's datasets (Table II).
+var (
+	// ImageNet is ILSVRC-2012 classification: 1.28M images, ~300GB as the
+	// paper quotes the on-disk footprint it coordinates through the CPU.
+	ImageNet = Dataset{
+		Name:         "ImageNet",
+		TrainSamples: 1281167,
+		DiskBytes:    300 * units.GB,
+		SampleBytes:  3 * 224 * 224 * 4,
+		EvalSamples:  50000,
+	}
+
+	// COCO2017 detection: 118k train images.
+	COCO = Dataset{
+		Name:         "Microsoft COCO",
+		TrainSamples: 118287,
+		DiskBytes:    19 * units.GB,
+		SampleBytes:  3 * 800 * 1344 * 4,
+		EvalSamples:  5000,
+	}
+
+	// COCO300 is the SSD view of COCO at 300x300 crops.
+	COCO300 = Dataset{
+		Name:         "Microsoft COCO (300px)",
+		TrainSamples: 118287,
+		DiskBytes:    19 * units.GB,
+		SampleBytes:  3 * 300 * 300 * 4,
+		EvalSamples:  5000,
+	}
+
+	// WMT17 English-German: ~4.5M sentence pairs.
+	WMT17 = Dataset{
+		Name:         "WMT17 En-De",
+		TrainSamples: 4500000,
+		DiskBytes:    1.4 * units.GB,
+		SampleBytes:  4 * 54, // avg token ids per pair
+		EvalSamples:  3004,
+	}
+
+	// MovieLens20M: 20M ratings over 138k users / 27k items. Its small
+	// size caps NCF's usable global batch, the paper's explanation for
+	// NCF's poor scaling (§IV-D).
+	MovieLens20M = Dataset{
+		Name:         "MovieLens 20-million",
+		TrainSamples: 19861770, // ratings after MLPerf's test holdout
+		DiskBytes:    190 * units.MB,
+		SampleBytes:  8,
+		EvalSamples:  138493,
+	}
+
+	// CIFAR10 for DAWNBench image classification.
+	CIFAR10 = Dataset{
+		Name:         "CIFAR10",
+		TrainSamples: 50000,
+		DiskBytes:    170 * units.MB,
+		SampleBytes:  3 * 32 * 32 * 4,
+		EvalSamples:  10000,
+	}
+
+	// SQuAD v1.1 for DrQA question answering.
+	SQuAD = Dataset{
+		Name:         "SQuAD",
+		TrainSamples: 87599,
+		DiskBytes:    35 * units.MB,
+		SampleBytes:  4 * 430,
+		EvalSamples:  10570,
+	}
+)
+
+// Rating is one implicit-feedback interaction for the real NCF trainer.
+type Rating struct {
+	User, Item int32
+}
+
+// SyntheticRatings generates a MovieLens-like implicit-feedback corpus
+// with learnable collaborative structure: users belong to `groups` taste
+// communities, each preferring a disjoint slice of the catalog, with a
+// small fraction of off-group noise interactions. A factorization model
+// can discover the communities, which makes the hit-rate@10 quality
+// target genuinely reachable (pure random interactions would pin hit-rate
+// at chance and void the time-to-quality metric).
+func SyntheticRatings(rng *rand.Rand, users, items, perUser, groups int) []Rating {
+	if users <= 0 || items <= 0 || perUser <= 0 || groups <= 0 {
+		panic("dataset: non-positive synthetic corpus dimension")
+	}
+	if groups > items {
+		groups = items
+	}
+	if perUser > items {
+		panic("dataset: perUser exceeds catalog size")
+	}
+	const noiseFrac = 0.1
+	ratings := make([]Rating, 0, users*perUser)
+	for u := 0; u < users; u++ {
+		g := u % groups
+		seen := make(map[int32]bool, perUser)
+		for len(seen) < perUser {
+			var it int32
+			if rng.Float64() < noiseFrac {
+				it = int32(rng.Intn(items))
+			} else {
+				// An in-group item: item ids congruent to g mod groups.
+				slot := rng.Intn((items + groups - 1 - g) / groups)
+				it = int32(slot*groups + g)
+			}
+			if int(it) >= items || seen[it] {
+				continue
+			}
+			seen[it] = true
+			ratings = append(ratings, Rating{User: int32(u), Item: it})
+		}
+	}
+	return ratings
+}
+
+// SyntheticImages generates a CIFAR-like labeled image set: each class
+// has a fixed random template and samples are template + Gaussian noise,
+// so a small classifier can genuinely reach a high accuracy target (the
+// DAWNBench time-to-accuracy protocol needs a learnable task, not noise).
+// Returns per-sample feature vectors in [0,1]-ish range and labels.
+func SyntheticImages(rng *rand.Rand, classes, perClass, dim int, noise float64) ([][]float64, []int) {
+	if classes < 2 || perClass <= 0 || dim <= 0 {
+		panic("dataset: bad synthetic image dimensions")
+	}
+	templates := make([][]float64, classes)
+	for c := range templates {
+		templates[c] = make([]float64, dim)
+		for i := range templates[c] {
+			templates[c][i] = rng.Float64()
+		}
+	}
+	xs := make([][]float64, 0, classes*perClass)
+	ys := make([]int, 0, classes*perClass)
+	for c := 0; c < classes; c++ {
+		for s := 0; s < perClass; s++ {
+			x := make([]float64, dim)
+			for i := range x {
+				x[i] = templates[c][i] + noise*rng.NormFloat64()
+			}
+			xs = append(xs, x)
+			ys = append(ys, c)
+		}
+	}
+	return xs, ys
+}
+
+// Split holds a train/test division with one held-out item per user, the
+// leave-one-out protocol NCF's hit-rate@10 metric uses.
+type Split struct {
+	Train []Rating
+	Test  []Rating // exactly one per user that appears
+}
+
+// LeaveOneOut splits ratings: the last interaction of each user is held
+// out for evaluation.
+func LeaveOneOut(ratings []Rating) Split {
+	lastIdx := map[int32]int{}
+	for i, r := range ratings {
+		lastIdx[r.User] = i
+	}
+	var sp Split
+	for i, r := range ratings {
+		if lastIdx[r.User] == i {
+			sp.Test = append(sp.Test, r)
+		} else {
+			sp.Train = append(sp.Train, r)
+		}
+	}
+	return sp
+}

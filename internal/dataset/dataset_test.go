@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlperf/internal/units"
+)
+
+func TestFitsInHBM(t *testing.T) {
+	// §V: MovieLens fits on-device; ImageNet cannot.
+	hbm := 16 * units.GiB
+	if !MovieLens20M.FitsInHBM(hbm) {
+		t.Error("MovieLens-20M should fit in 16GB HBM")
+	}
+	if ImageNet.FitsInHBM(hbm) {
+		t.Error("ImageNet must not fit in 16GB HBM")
+	}
+}
+
+func TestCatalogSanity(t *testing.T) {
+	all := []Dataset{ImageNet, COCO, COCO300, WMT17, MovieLens20M, CIFAR10, SQuAD}
+	for _, d := range all {
+		if d.TrainSamples <= 0 || d.SampleBytes <= 0 || d.DiskBytes <= 0 {
+			t.Errorf("%s has non-positive sizes: %+v", d.Name, d)
+		}
+	}
+	// The paper calls ImageNet "significantly bigger (around 300GB)".
+	if ImageNet.DiskBytes != 300*units.GB {
+		t.Errorf("ImageNet disk = %v", ImageNet.DiskBytes)
+	}
+}
+
+func TestSyntheticRatingsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rs := SyntheticRatings(rng, 50, 200, 10, 8)
+	if len(rs) != 500 {
+		t.Fatalf("got %d ratings, want 500", len(rs))
+	}
+	perUser := map[int32]map[int32]bool{}
+	for _, r := range rs {
+		if r.User < 0 || r.User >= 50 || r.Item < 0 || r.Item >= 200 {
+			t.Fatalf("rating out of range: %+v", r)
+		}
+		if perUser[r.User] == nil {
+			perUser[r.User] = map[int32]bool{}
+		}
+		if perUser[r.User][r.Item] {
+			t.Fatalf("duplicate interaction %+v", r)
+		}
+		perUser[r.User][r.Item] = true
+	}
+	for u, items := range perUser {
+		if len(items) != 10 {
+			t.Errorf("user %d has %d items, want 10", u, len(items))
+		}
+	}
+}
+
+func TestSyntheticRatingsDeterministic(t *testing.T) {
+	a := SyntheticRatings(rand.New(rand.NewSource(7)), 20, 100, 5, 4)
+	b := SyntheticRatings(rand.New(rand.NewSource(7)), 20, 100, 5, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("synthetic corpus not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestSyntheticRatingsPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on zero users")
+		}
+	}()
+	SyntheticRatings(rand.New(rand.NewSource(1)), 0, 10, 5, 4)
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rs := SyntheticRatings(rng, 30, 100, 8, 4)
+	sp := LeaveOneOut(rs)
+	if len(sp.Test) != 30 {
+		t.Errorf("test set has %d entries, want one per user (30)", len(sp.Test))
+	}
+	if len(sp.Train)+len(sp.Test) != len(rs) {
+		t.Error("split loses ratings")
+	}
+	seen := map[int32]bool{}
+	for _, r := range sp.Test {
+		if seen[r.User] {
+			t.Errorf("user %d held out twice", r.User)
+		}
+		seen[r.User] = true
+	}
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlperf/internal/comm"
+	"mlperf/internal/hw"
+	"mlperf/internal/precision"
+	"mlperf/internal/report"
+	"mlperf/internal/sim"
+	"mlperf/internal/units"
+	"mlperf/internal/workload"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: each isolates
+// one modeling or system-design choice and quantifies its effect, the way
+// the paper's observations would be stress-tested before being trusted.
+
+// CollectiveAblation compares all-reduce algorithms across payload sizes.
+type CollectiveAblation struct {
+	PayloadMB float64
+	// Seconds per algorithm.
+	Ring, Tree, Hierarchical, HostStaged float64
+}
+
+// AblateCollectives times every collective algorithm on the DSS 8440's
+// 8 GPUs across four payload decades. Expected shape: tree wins tiny
+// payloads (latency-bound), hierarchical wins large ones (it crosses the
+// UPI boundary once), host-staged is always worst.
+func AblateCollectives() ([]CollectiveAblation, error) {
+	s := hw.DSS8440()
+	gpus := s.Topo.GPUs()
+	var out []CollectiveAblation
+	for _, mb := range []float64{1, 10, 100, 1000} {
+		payload := units.Bytes(mb * 1e6)
+		row := CollectiveAblation{PayloadMB: mb}
+		for _, alg := range []struct {
+			dst *float64
+			fn  func(*hw.Topology, []string, units.Bytes) (comm.Result, error)
+		}{
+			{&row.Ring, comm.RingAllReduce},
+			{&row.Tree, comm.TreeAllReduce},
+			{&row.Hierarchical, comm.HierarchicalAllReduce},
+			{&row.HostStaged, comm.HostStagedAllReduce},
+		} {
+			res, err := alg.fn(s.Topo, gpus, payload)
+			if err != nil {
+				return nil, err
+			}
+			*alg.dst = res.Time
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderCollectiveAblation renders the algorithm comparison.
+func RenderCollectiveAblation(rows []CollectiveAblation) string {
+	t := report.NewTable("Ablation — all-reduce algorithm on DSS 8440 (8 GPUs), ms per call",
+		"Payload MB", "ring", "tree", "hierarchical", "host-staged")
+	for _, r := range rows {
+		t.AddRow(report.F1(r.PayloadMB),
+			report.F2(r.Ring*1e3), report.F2(r.Tree*1e3),
+			report.F2(r.Hierarchical*1e3), report.F2(r.HostStaged*1e3))
+	}
+	return t.String()
+}
+
+// OverlapAblation is one point of the comm/compute-overlap sweep.
+type OverlapAblation struct {
+	Overlap    float64
+	TimeToMin  float64
+	ExposedMS  float64
+	GPUUtilPct float64
+}
+
+// AblateOverlap sweeps the gradient-overlap quality for the Transformer
+// on 4 DSS 8440 GPUs — the knob behind the Figure 5 translation spread.
+func AblateOverlap() ([]OverlapAblation, error) {
+	b, err := workload.ByName("MLPf_XFMR_Py")
+	if err != nil {
+		return nil, err
+	}
+	sys := hw.DSS8440()
+	var out []OverlapAblation
+	for _, ov := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		job := b.Job
+		job.OverlapComm = ov
+		res, err := sim.Run(sim.Config{System: sys, GPUCount: 4, Job: job})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OverlapAblation{
+			Overlap:    ov,
+			TimeToMin:  res.TimeToTrain.Minutes(),
+			ExposedMS:  res.ExposedComm * 1e3,
+			GPUUtilPct: float64(res.GPUUtilTotal),
+		})
+	}
+	return out, nil
+}
+
+// RenderOverlapAblation renders the sweep.
+func RenderOverlapAblation(rows []OverlapAblation) string {
+	t := report.NewTable("Ablation — all-reduce/backward overlap, Transformer on 4x DSS 8440",
+		"Overlap", "Time-to-train (min)", "Exposed comm (ms)", "GPU util")
+	for _, r := range rows {
+		t.AddRow(report.F2(r.Overlap), report.F1(r.TimeToMin),
+			report.F1(r.ExposedMS), report.F1(r.GPUUtilPct)+"%")
+	}
+	return t.String()
+}
+
+// BatchAblation is one point of the per-GPU batch sweep.
+type BatchAblation struct {
+	Batch       int
+	Throughput  float64
+	HBMGB       float64
+	StepMS      float64
+	InputBoundP bool
+}
+
+// AblateBatch sweeps ResNet-50's per-GPU batch on one V100: throughput
+// rises with amortized launch overhead until memory or the input pipeline
+// binds.
+func AblateBatch() ([]BatchAblation, error) {
+	b, err := workload.ByName("MLPf_Res50_TF")
+	if err != nil {
+		return nil, err
+	}
+	sys := hw.DSS8440()
+	var out []BatchAblation
+	for _, batch := range []int{16, 32, 64, 128, 256, 512} {
+		job := b.Job
+		job.BatchPerGPU = batch
+		job.GreedyHBM = false // show the true memory-vs-batch scaling
+		res, err := sim.Run(sim.Config{System: sys, GPUCount: 1, Job: job})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BatchAblation{
+			Batch:       batch,
+			Throughput:  res.Throughput,
+			HBMGB:       res.HBMBytes.GB(),
+			StepMS:      res.StepTime * 1e3,
+			InputBoundP: res.Input > res.Compute,
+		})
+	}
+	return out, nil
+}
+
+// RenderBatchAblation renders the sweep.
+func RenderBatchAblation(rows []BatchAblation) string {
+	t := report.NewTable("Ablation — ResNet-50 per-GPU batch on one V100",
+		"Batch", "Samples/s", "Step (ms)", "HBM (GB)", "Input-bound")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Batch), report.F1(r.Throughput),
+			report.F1(r.StepMS), report.F2(r.HBMGB), fmt.Sprintf("%v", r.InputBoundP))
+	}
+	return t.String()
+}
+
+// EligibilityAblation is one point of the AMP-eligibility sweep.
+type EligibilityAblation struct {
+	EligibleFrac float64
+	Speedup      float64
+}
+
+// AblateEligibility sweeps the tensor-core-eligible fraction for Mask
+// R-CNN — the single knob that moves a model along Figure 3's 1.5x-3.3x
+// spectrum.
+func AblateEligibility() ([]EligibilityAblation, error) {
+	b, err := workload.ByName("MLPf_MRCNN_Py")
+	if err != nil {
+		return nil, err
+	}
+	sys := hw.DSS8440()
+	fp32 := b.Job
+	fp32.Precision.Policy = precision.FP32
+	base, err := sim.Run(sim.Config{System: sys, GPUCount: 8, Job: fp32})
+	if err != nil {
+		return nil, err
+	}
+	var out []EligibilityAblation
+	for _, elig := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		job := b.Job
+		job.Precision.EligibleFrac = elig
+		res, err := sim.Run(sim.Config{System: sys, GPUCount: 8, Job: job})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EligibilityAblation{
+			EligibleFrac: elig,
+			Speedup:      base.TimeToTrain.Seconds() / res.TimeToTrain.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// RenderEligibilityAblation renders the sweep.
+func RenderEligibilityAblation(rows []EligibilityAblation) string {
+	labels := make([]string, len(rows))
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = fmt.Sprintf("eligible %.0f%%", r.EligibleFrac*100)
+		vals[i] = r.Speedup
+	}
+	return report.Bar("Ablation — Mask R-CNN AMP speedup vs tensor-core eligibility (8x DSS 8440)",
+		labels, vals, report.Fx, 40)
+}
+
+// RingSearchAblation quantifies the NCCL-style ring search on the NVLink
+// mesh: bottleneck bandwidth of the naive GPU-ID ring vs the searched
+// ring (Figure 5's NVLink numbers depend on finding the 2-brick ring).
+type RingSearchAblation struct {
+	NaiveGBs, SearchedGBs float64
+}
+
+// AblateRingSearch compares ring choices on the C4140 (K) mesh.
+func AblateRingSearch() (RingSearchAblation, error) {
+	s := hw.C4140K()
+	gpus := s.GPUIDs()
+	// Naive ring: gpu0-1-2-3 over the *direct* NVLink edges (a ring
+	// cannot multi-hop through a busy intermediate GPU).
+	naive := units.BytesPerSecond(1e30)
+	for i := range gpus {
+		l, ok := s.Topo.DirectLink(gpus[i], gpus[(i+1)%len(gpus)])
+		if !ok {
+			naive = 0
+			break
+		}
+		if bw := l.Effective(); bw < naive {
+			naive = bw
+		}
+	}
+	best := comm.BestRing(s.Topo, gpus)
+	searched := units.BytesPerSecond(1e30)
+	for i := range best {
+		bw := s.Topo.GPUPairBandwidth(best[i], best[(i+1)%len(best)])
+		if bw < searched {
+			searched = bw
+		}
+	}
+	return RingSearchAblation{NaiveGBs: naive.GBs(), SearchedGBs: searched.GBs()}, nil
+}
+
+// LaneAblation quantifies §V-D's discussion of PCIe lane allocation: on a
+// multi-GPU system the CPU's 48 lanes get split, and x8-per-GPU
+// attachment halves the host-to-device bandwidth. We compare ResNet-50's
+// input-copy phase on a T640 with x16 vs x8 GPU links.
+type LaneAblation struct {
+	Lanes     int
+	H2DMs     float64
+	StepMs    float64
+	TimeToMin float64
+}
+
+// AblateLanes rebuilds the T640 with narrower GPU links and measures the
+// impact on an input-heavy workload.
+func AblateLanes() ([]LaneAblation, error) {
+	b, err := workload.ByName("MLPf_MRCNN_Py") // biggest per-sample payload
+	if err != nil {
+		return nil, err
+	}
+	var out []LaneAblation
+	for _, lanes := range []int{16, 8, 4} {
+		sys := t640WithLanes(lanes)
+		res, err := sim.Run(sim.Config{System: sys, GPUCount: 4, Job: b.Job})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LaneAblation{
+			Lanes:     lanes,
+			H2DMs:     res.H2D * 1e3,
+			StepMs:    res.StepTime * 1e3,
+			TimeToMin: res.TimeToTrain.Minutes(),
+		})
+	}
+	return out, nil
+}
+
+// t640WithLanes builds a T640 variant whose GPUs attach with the given
+// PCIe lane count.
+func t640WithLanes(lanes int) *hw.System {
+	base := hw.T640()
+	t := hw.NewTopology()
+	cpu := base.CPU
+	for i := 0; i < base.CPUSockets; i++ {
+		cc := cpu
+		t.AddNode(hw.Node{ID: fmt.Sprintf("cpu%d", i), Kind: hw.NodeCPU, CPU: &cc})
+		t.AddNode(hw.Node{ID: fmt.Sprintf("dram%d", i), Kind: hw.NodeMemory})
+		t.Connect(fmt.Sprintf("cpu%d", i), fmt.Sprintf("dram%d", i), hw.DRAMLink(cpu.MemChannels, base.DIMM.MTps))
+	}
+	t.Connect("cpu0", "cpu1", hw.UPILink())
+	g := base.GPU
+	for i := 0; i < 4; i++ {
+		gc := g
+		t.AddNode(hw.Node{ID: fmt.Sprintf("gpu%d", i), Kind: hw.NodeGPU, GPU: &gc})
+		t.Connect(fmt.Sprintf("gpu%d", i), fmt.Sprintf("cpu%d", i/2), hw.PCIe3Link(lanes))
+	}
+	sys := *base
+	sys.Name = fmt.Sprintf("T640 (x%d)", lanes)
+	sys.Topo = t
+	return &sys
+}
+
+// RenderLaneAblation renders the lane sweep.
+func RenderLaneAblation(rows []LaneAblation) string {
+	t := report.NewTable("Ablation — PCIe lanes per GPU on a T640, Mask R-CNN at 4 GPUs",
+		"Lanes", "H2D (ms)", "Step (ms)", "Time-to-train (min)")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("x%d", r.Lanes), report.F2(r.H2DMs),
+			report.F1(r.StepMs), report.F1(r.TimeToMin))
+	}
+	return t.String()
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateCollectivesShape(t *testing.T) {
+	rows, err := AblateCollectives()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Hierarchical must beat the flat ring across islands, and the
+		// host-staged fallback must be the worst bandwidth-bound option.
+		if r.Hierarchical >= r.Ring {
+			t.Errorf("payload %.0fMB: hierarchical %.4fs not below ring %.4fs",
+				r.PayloadMB, r.Hierarchical, r.Ring)
+		}
+		if r.HostStaged <= r.Ring && r.PayloadMB >= 10 {
+			t.Errorf("payload %.0fMB: host-staged %.4fs should trail ring %.4fs",
+				r.PayloadMB, r.HostStaged, r.Ring)
+		}
+	}
+	// Tree must lose to ring for large payloads (bandwidth-bound).
+	last := rows[len(rows)-1]
+	if last.Tree <= last.Ring {
+		t.Error("tree should lose at 1GB payloads")
+	}
+	if !strings.Contains(RenderCollectiveAblation(rows), "hierarchical") {
+		t.Error("render missing algorithm column")
+	}
+}
+
+func TestAblateOverlapMonotone(t *testing.T) {
+	rows, err := AblateOverlap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TimeToMin > rows[i-1].TimeToMin+1e-9 {
+			t.Errorf("time-to-train not monotone in overlap: %.2f -> %.2f",
+				rows[i-1].TimeToMin, rows[i].TimeToMin)
+		}
+		if rows[i].ExposedMS > rows[i-1].ExposedMS+1e-9 {
+			t.Error("exposed comm not monotone in overlap")
+		}
+	}
+	if rows[len(rows)-1].ExposedMS != 0 {
+		t.Errorf("full overlap leaves %.2fms exposed", rows[len(rows)-1].ExposedMS)
+	}
+}
+
+func TestAblateBatchShape(t *testing.T) {
+	rows, err := AblateBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Throughput < rows[i-1].Throughput {
+			t.Errorf("throughput fell with batch: %d -> %d", rows[i-1].Batch, rows[i].Batch)
+		}
+		if rows[i].HBMGB < rows[i-1].HBMGB-1e-9 {
+			t.Error("HBM footprint fell with batch")
+		}
+	}
+	// The memory cap must bind before the largest batch.
+	if rows[len(rows)-1].HBMGB > 16 {
+		t.Errorf("HBM %.1fGB exceeds the 16GB part", rows[len(rows)-1].HBMGB)
+	}
+}
+
+func TestAblateEligibilityMonotone(t *testing.T) {
+	rows, err := AblateEligibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup <= rows[i-1].Speedup {
+			t.Error("AMP speedup not monotone in eligibility")
+		}
+	}
+	if rows[0].Speedup < 0.9 {
+		t.Errorf("10%% eligibility speedup %.2f implausibly low", rows[0].Speedup)
+	}
+}
+
+func TestAblateRingSearchGain(t *testing.T) {
+	r, err := AblateRingSearch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The searched ring must find the all-2-brick cycle: exactly 2x the
+	// naive single-brick bottleneck.
+	if gain := r.SearchedGBs / r.NaiveGBs; gain < 1.9 || gain > 2.1 {
+		t.Errorf("ring search gain = %.2fx, want ~2x on the hybrid cube mesh", gain)
+	}
+}
+
+func TestAblateLanesMonotone(t *testing.T) {
+	rows, err := AblateLanes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].H2DMs <= rows[i-1].H2DMs {
+			t.Error("halving lanes must slow the copy")
+		}
+		if rows[i].TimeToMin <= rows[i-1].TimeToMin {
+			t.Error("narrower links must slow training end to end")
+		}
+	}
+	// Copy time scales exactly inversely with lane count.
+	if ratio := rows[1].H2DMs / rows[0].H2DMs; ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("x8/x16 H2D ratio = %.3f, want 2", ratio)
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/profile"
+	"mlperf/internal/report"
+	"mlperf/internal/stats"
+	"mlperf/internal/workload"
+)
+
+// PCAResult is the Figure 1 analysis: every benchmark projected into
+// principal-component space.
+type PCAResult struct {
+	// Benches holds abbreviations, row-aligned with Projection.
+	Benches []string
+	Suites  []workload.Suite
+	// Projection is len(Benches) x 8 component coordinates.
+	Projection *stats.Matrix
+	// PCA is the fitted analysis.
+	PCA *stats.PCA
+}
+
+// Fig1 characterizes all 13 benchmarks on one C4140 (K) GPU and fits PCA
+// over the paper's 8 workload characteristics.
+func Fig1() (*PCAResult, error) {
+	benches := workload.All()
+	chars, err := profile.CharacterizeAll(benches, hw.C4140K(), 1)
+	if err != nil {
+		return nil, err
+	}
+	obs := stats.NewMatrix(len(chars), 8)
+	names := make([]string, len(chars))
+	suites := make([]workload.Suite, len(chars))
+	for i, c := range chars {
+		names[i] = c.Bench
+		suites[i] = benches[i].Suite
+		for j, v := range c.Values {
+			obs.Set(i, j, v)
+		}
+	}
+	p, err := stats.FitPCA(obs, profile.CharacteristicNames)
+	if err != nil {
+		return nil, err
+	}
+	return &PCAResult{
+		Benches:    names,
+		Suites:     suites,
+		Projection: p.Transform(obs),
+		PCA:        p,
+	}, nil
+}
+
+// SuiteSeparationPC1 returns the gap between the MLPerf cluster and the
+// union of DAWNBench+DeepBench along PC1 (positive = disjoint clusters,
+// the paper's Figure 1a observation). Sign of PC1 is normalized so MLPerf
+// sits on the positive side.
+func (r *PCAResult) SuiteSeparationPC1() float64 {
+	var mlMin, mlMax, otherMin, otherMax = 1e18, -1e18, 1e18, -1e18
+	var mlMean, otherMean float64
+	var mlN, otherN int
+	for i, s := range r.Suites {
+		v := r.Projection.At(i, 0)
+		if s == workload.MLPerf {
+			mlMean += v
+			mlN++
+		} else {
+			otherMean += v
+			otherN++
+		}
+	}
+	sign := 1.0
+	if mlN > 0 && otherN > 0 && mlMean/float64(mlN) < otherMean/float64(otherN) {
+		sign = -1
+	}
+	for i, s := range r.Suites {
+		v := sign * r.Projection.At(i, 0)
+		if s == workload.MLPerf {
+			if v < mlMin {
+				mlMin = v
+			}
+			if v > mlMax {
+				mlMax = v
+			}
+		} else {
+			if v < otherMin {
+				otherMin = v
+			}
+			if v > otherMax {
+				otherMax = v
+			}
+		}
+	}
+	return mlMin - otherMax
+}
+
+// CentroidSeparationPC1 returns the distance between the MLPerf centroid
+// and the DAWNBench+DeepBench centroid along PC1 — a robust version of
+// the paper's cluster-separation observation (the extreme-point gap is
+// sensitive to individual benchmarks; see EXPERIMENTS.md).
+func (r *PCAResult) CentroidSeparationPC1() float64 {
+	var ml, other float64
+	var mlN, otherN int
+	for i, s := range r.Suites {
+		v := r.Projection.At(i, 0)
+		if s == workload.MLPerf {
+			ml += v
+			mlN++
+		} else {
+			other += v
+			otherN++
+		}
+	}
+	if mlN == 0 || otherN == 0 {
+		return 0
+	}
+	d := ml/float64(mlN) - other/float64(otherN)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// MinIntraMLPerfDistance returns the smallest pairwise distance between
+// MLPerf benchmarks in PC1-PC4 space — the paper's intra-suite diversity
+// claim ("there are no two MLPerf benchmarks that are very close to each
+// other").
+func (r *PCAResult) MinIntraMLPerfDistance() float64 {
+	min := 1e18
+	for i := range r.Benches {
+		if r.Suites[i] != workload.MLPerf {
+			continue
+		}
+		for j := i + 1; j < len(r.Benches); j++ {
+			if r.Suites[j] != workload.MLPerf {
+				continue
+			}
+			var d2 float64
+			for c := 0; c < 4; c++ {
+				d := r.Projection.At(i, c) - r.Projection.At(j, c)
+				d2 += d * d
+			}
+			if d2 < min {
+				min = d2
+			}
+		}
+	}
+	if min == 1e18 {
+		return 0
+	}
+	return math.Sqrt(min)
+}
+
+// RenderFig1 renders the PC1-PC2 and PC3-PC4 scatter plots plus the
+// variance/dominance summary.
+func RenderFig1(r *PCAResult) string {
+	mark := func(s workload.Suite) byte {
+		switch s {
+		case workload.MLPerf:
+			return 'M'
+		case workload.DAWNBench:
+			return 'D'
+		default:
+			return 'd'
+		}
+	}
+	var pts12, pts34 []report.ScatterPoint
+	for i, b := range r.Benches {
+		pts12 = append(pts12, report.ScatterPoint{
+			Label: b, X: r.Projection.At(i, 0), Y: r.Projection.At(i, 1), Mark: mark(r.Suites[i]),
+		})
+		pts34 = append(pts34, report.ScatterPoint{
+			Label: b, X: r.Projection.At(i, 2), Y: r.Projection.At(i, 3), Mark: mark(r.Suites[i]),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1 — workload space (M=MLPerf, D=DAWNBench, d=DeepBench)\n\n")
+	b.WriteString(report.Scatter("(a) PC1 - PC2", pts12, 64, 16, false, false))
+	b.WriteString("\n")
+	b.WriteString(report.Scatter("(b) PC3 - PC4", pts34, 64, 16, false, false))
+	b.WriteString("\n")
+
+	cum := r.PCA.CumulativeVariance()
+	fmt.Fprintf(&b, "variance covered by PC1-PC4: %.0f%% (paper: 88%%)\n", cum[3]*100)
+	for c := 0; c < 4; c++ {
+		_, name := r.PCA.DominantFeature(c)
+		fmt.Fprintf(&b, "PC%d dominant metric: %s\n", c+1, name)
+	}
+	fmt.Fprintf(&b, "PC1 MLPerf-vs-rest extreme gap: %.2f (positive = disjoint)\n", r.SuiteSeparationPC1())
+	fmt.Fprintf(&b, "PC1 MLPerf-vs-rest centroid separation: %.2f\n", r.CentroidSeparationPC1())
+	fmt.Fprintf(&b, "min intra-MLPerf distance (PC1-PC4): %.2f (diversity)\n", r.MinIntraMLPerfDistance())
+
+	t := report.NewTable("\nper-benchmark projection", "Benchmark", "PC1", "PC2", "PC3", "PC4")
+	for i, name := range r.Benches {
+		t.AddRow(name,
+			report.F2(r.Projection.At(i, 0)), report.F2(r.Projection.At(i, 1)),
+			report.F2(r.Projection.At(i, 2)), report.F2(r.Projection.At(i, 3)))
+	}
+	b.WriteString(t.String())
+
+	lt := report.NewTable("\nper-feature loadings (eigenvector components)",
+		"Feature", "PC1", "PC2", "PC3", "PC4")
+	for j, name := range r.PCA.FeatureNames {
+		lt.AddRow(name,
+			report.F2(r.PCA.Components.At(j, 0)), report.F2(r.PCA.Components.At(j, 1)),
+			report.F2(r.PCA.Components.At(j, 2)), report.F2(r.PCA.Components.At(j, 3)))
+	}
+	b.WriteString(lt.String())
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/precision"
+	"mlperf/internal/report"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+// MixedPrecisionRow is one Figure 3 bar: FP32 vs AMP time-to-train on the
+// DSS 8440 with 8 GPUs.
+type MixedPrecisionRow struct {
+	Bench string
+	// FP32Min and AMPMin are times in minutes (the paper plots NCF in
+	// seconds; we keep minutes uniformly).
+	FP32Min, AMPMin float64
+	Speedup         float64
+}
+
+// Fig3 runs the mixed-precision study: every MLPerf benchmark on the
+// DSS 8440 with all 8 GPUs, once in pure FP32 and once with AMP.
+func Fig3() ([]MixedPrecisionRow, error) {
+	sys := hw.DSS8440()
+	var rows []MixedPrecisionRow
+	for _, b := range workload.MLPerfSuite() {
+		amp := b.Job
+		fp32 := b.Job
+		fp32.Precision.Policy = precision.FP32
+
+		ra, err := sim.Run(sim.Config{System: sys, GPUCount: 8, Job: amp})
+		if err != nil {
+			return nil, fmt.Errorf("fig3: %s amp: %w", b.Abbrev, err)
+		}
+		rf, err := sim.Run(sim.Config{System: sys, GPUCount: 8, Job: fp32})
+		if err != nil {
+			return nil, fmt.Errorf("fig3: %s fp32: %w", b.Abbrev, err)
+		}
+		rows = append(rows, MixedPrecisionRow{
+			Bench:   b.Abbrev,
+			FP32Min: rf.TimeToTrain.Minutes(),
+			AMPMin:  ra.TimeToTrain.Minutes(),
+			Speedup: rf.TimeToTrain.Seconds() / ra.TimeToTrain.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig3 renders the speedup bars against the paper's values.
+func RenderFig3(rows []MixedPrecisionRow) string {
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		paper := workload.PaperMixedPrecision[r.Bench]
+		labels[i] = fmt.Sprintf("%s (paper %.1fx)", r.Bench, paper)
+		values[i] = r.Speedup
+	}
+	return report.Bar("Figure 3 — mixed-precision speedup, 8x V100 DSS 8440 (simulated vs paper)",
+		labels, values, report.Fx, 40)
+}

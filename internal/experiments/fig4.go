@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/sched"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+// SchedulingResult compares naive and optimal plans for the 7-benchmark
+// MLPerf mix on n GPUs (Figure 4 illustrates n=4).
+type SchedulingResult struct {
+	GPUs         int
+	Naive        sched.Schedule
+	Optimal      sched.Schedule
+	SavedHours   float64
+	Jobs         []sched.Job
+	PaperSavedHr float64
+}
+
+// schedulingJobs simulates every MLPerf benchmark at widths 1/2/4/8 on the
+// DSS 8440 to build the moldable-job durations the scheduler searches
+// over.
+func schedulingJobs(maxWidth int) ([]sched.Job, error) {
+	sys := hw.DSS8440()
+	var jobs []sched.Job
+	for _, b := range workload.MLPerfSuite() {
+		j := sched.Job{Name: b.Abbrev, Duration: map[int]float64{}}
+		for _, w := range []int{1, 2, 4, 8} {
+			if w > maxWidth {
+				break
+			}
+			res, err := sim.Run(sim.Config{System: sys, GPUCount: w, Job: b.Job})
+			if err != nil {
+				return nil, fmt.Errorf("fig4: %s @%d: %w", b.Abbrev, w, err)
+			}
+			j.Duration[w] = res.TimeToTrain.Seconds()
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// Fig4 runs the scheduling search for the given GPU count.
+func Fig4(gpus int) (*SchedulingResult, error) {
+	jobs, err := schedulingJobs(gpus)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := sched.Naive(jobs, gpus)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := sched.Optimal(jobs, gpus)
+	if err != nil {
+		return nil, err
+	}
+	return &SchedulingResult{
+		GPUs:         gpus,
+		Naive:        naive,
+		Optimal:      opt,
+		SavedHours:   (naive.Makespan - opt.Makespan) / 3600,
+		Jobs:         jobs,
+		PaperSavedHr: workload.PaperSchedulingSavingsHours[gpus],
+	}, nil
+}
+
+// RenderFig4 renders both Gantt charts and the saving.
+func RenderFig4(r *SchedulingResult) string {
+	out := fmt.Sprintf("Figure 4 — scheduling the 7 MLPerf benchmarks on %d GPUs\n\n", r.GPUs)
+	out += "(a) naive: each benchmark distributed over all GPUs, sequentially\n"
+	out += sched.Gantt(r.Naive, r.GPUs, 64)
+	out += "\n(b) optimal: found by search\n"
+	out += sched.Gantt(r.Optimal, r.GPUs, 64)
+	out += fmt.Sprintf("\nsaving: %.1f h (paper: ~%.1f h)\n", r.SavedHours, r.PaperSavedHr)
+	return out
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/report"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+// TopologySystems are the five 4-GPU platforms of Figure 5, in the
+// paper's bar order (NVLink systems first).
+func TopologySystems() []*hw.System {
+	return []*hw.System{hw.C4140M(), hw.C4140K(), hw.C4140B(), hw.T640(), hw.R940XA()}
+}
+
+// TopologyRow is one benchmark's training time across the five platforms.
+type TopologyRow struct {
+	Bench string
+	// Minutes maps system name to 4-GPU training minutes.
+	Minutes map[string]float64
+	// Best and Worst name the fastest/slowest systems.
+	Best, Worst string
+	// NVLinkGain is (worst - bestNVLink)/worst, the §V-E improvement.
+	NVLinkGain float64
+}
+
+// Fig5 runs every MLPerf benchmark on all five 4-GPU topologies.
+func Fig5() ([]TopologyRow, error) {
+	systems := TopologySystems()
+	var rows []TopologyRow
+	for _, b := range workload.MLPerfSuite() {
+		row := TopologyRow{Bench: b.Abbrev, Minutes: map[string]float64{}}
+		for _, sys := range systems {
+			res, err := sim.Run(sim.Config{System: sys, GPUCount: 4, Job: b.Job})
+			if err != nil {
+				return nil, fmt.Errorf("fig5: %s on %s: %w", b.Abbrev, sys.Name, err)
+			}
+			row.Minutes[sys.Name] = res.TimeToTrain.Minutes()
+		}
+		best, worst := "", ""
+		for name, m := range row.Minutes {
+			if best == "" || m < row.Minutes[best] {
+				best = name
+			}
+			if worst == "" || m > row.Minutes[worst] {
+				worst = name
+			}
+		}
+		row.Best, row.Worst = best, worst
+		nv := row.Minutes["C4140 (K)"]
+		if row.Minutes["C4140 (M)"] < nv {
+			nv = row.Minutes["C4140 (M)"]
+		}
+		if w := row.Minutes[worst]; w > 0 {
+			row.NVLinkGain = (w - nv) / w
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig5 renders the per-system times plus the NVLink improvement
+// against the paper's reported gains.
+func RenderFig5(rows []TopologyRow) string {
+	systems := TopologySystems()
+	headers := []string{"Benchmark"}
+	for _, s := range systems {
+		headers = append(headers, s.Name+" (min)")
+	}
+	headers = append(headers, "NVLink gain", "paper")
+	t := report.NewTable("Figure 5 — 4-GPU training time by interconnect topology (simulated)", headers...)
+	for _, r := range rows {
+		row := []string{r.Bench}
+		for _, s := range systems {
+			row = append(row, fmt.Sprintf("%.0f", r.Minutes[s.Name]))
+		}
+		row = append(row, fmt.Sprintf("%.0f%%", r.NVLinkGain*100))
+		if p, ok := workload.PaperTopologyGain[r.Bench]; ok {
+			row = append(row, fmt.Sprintf("%.0f%%", p*100))
+		} else {
+			row = append(row, "-")
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/report"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+// ScalingRow is one simulated Table IV row.
+type ScalingRow struct {
+	Bench string
+	// P100Min and V100Min are single-GPU training minutes.
+	P100Min, V100Min float64
+	// PtoV is P100-reference to V100-submission speedup.
+	PtoV float64
+	// S2, S4, S8 are 1-to-N speedups on the DSS 8440.
+	S2, S4, S8 float64
+}
+
+// Table4Benches lists the benchmarks the paper scales (all MLPerf GPU
+// submissions except GNMT, exactly as Table IV).
+var Table4Benches = []string{
+	"MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
+	"MLPf_MRCNN_Py", "MLPf_XFMR_Py", "MLPf_NCF_Py",
+}
+
+// Table4 runs the scalability study: reference code on the P100 machine,
+// optimized submissions on the DSS 8440 at 1/2/4/8 GPUs.
+func Table4() ([]ScalingRow, error) {
+	dss := hw.DSS8440()
+	p100 := hw.ReferenceP100()
+	rows := make([]ScalingRow, 0, len(Table4Benches))
+	for _, name := range Table4Benches {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{Bench: b.Abbrev}
+
+		ref, err := sim.Run(sim.Config{System: p100, GPUCount: 1, Job: b.RefJob})
+		if err != nil {
+			return nil, fmt.Errorf("table4: %s reference: %w", name, err)
+		}
+		row.P100Min = ref.TimeToTrain.Minutes()
+
+		var v100 [4]float64
+		for i, g := range []int{1, 2, 4, 8} {
+			res, err := sim.Run(sim.Config{System: dss, GPUCount: g, Job: b.Job})
+			if err != nil {
+				return nil, fmt.Errorf("table4: %s @%d GPUs: %w", name, g, err)
+			}
+			v100[i] = res.TimeToTrain.Minutes()
+		}
+		row.V100Min = v100[0]
+		row.PtoV = row.P100Min / row.V100Min
+		row.S2 = v100[0] / v100[1]
+		row.S4 = v100[0] / v100[2]
+		row.S8 = v100[0] / v100[3]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable4 renders simulated-vs-paper scaling.
+func RenderTable4(rows []ScalingRow) string {
+	t := report.NewTable("Table IV — training time and scaling (simulated | paper)",
+		"Benchmark", "1xP100 (min)", "1xV100 (min)", "P-to-V", "1-to-2", "1-to-4", "1-to-8")
+	paper := map[string]workload.PaperScaling{}
+	for _, p := range workload.TableIV {
+		paper[p.Bench] = p
+	}
+	for _, r := range rows {
+		p := paper[r.Bench]
+		t.AddRow(
+			r.Bench,
+			fmt.Sprintf("%.0f | %.0f", r.P100Min, p.P100Min),
+			fmt.Sprintf("%.0f | %.0f", r.V100Min, p.V100Min),
+			fmt.Sprintf("%.2fx | %.2fx", r.PtoV, p.PtoV),
+			fmt.Sprintf("%.2fx | %.2fx", r.S2, p.S2),
+			fmt.Sprintf("%.2fx | %.2fx", r.S4, p.S4),
+			fmt.Sprintf("%.2fx | %.2fx", r.S8, p.S8),
+		)
+	}
+	return t.String()
+}

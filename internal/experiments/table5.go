@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/report"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+// UsageRow is one simulated Table V row.
+type UsageRow struct {
+	Bench string
+	GPUs  int
+	// CPUPct, GPUPct: utilizations (GPU summed across devices).
+	CPUPct, GPUPct float64
+	// DRAMMB, HBMMB: footprints.
+	DRAMMB, HBMMB float64
+	// PCIeMbps, NVLinkMbps: bus rates.
+	PCIeMbps, NVLinkMbps float64
+}
+
+// Table5 runs the system-resource study on the C4140 (K), sweeping GPU
+// counts exactly like the paper: 1/2/4 for the MLPerf benchmarks and
+// Deep_Red, single-GPU for the rest.
+func Table5() ([]UsageRow, error) {
+	sys := hw.C4140K()
+	var rows []UsageRow
+	for _, b := range workload.All() {
+		counts := []int{1}
+		if b.Suite == workload.MLPerf || b.Abbrev == "Deep_Red_Cu" {
+			counts = []int{1, 2, 4}
+		}
+		for _, g := range counts {
+			res, err := sim.Run(sim.Config{System: sys, GPUCount: g, Job: b.Job})
+			if err != nil {
+				return nil, fmt.Errorf("table5: %s @%d: %w", b.Abbrev, g, err)
+			}
+			rows = append(rows, UsageRow{
+				Bench:      b.Abbrev,
+				GPUs:       g,
+				CPUPct:     float64(res.CPUUtil),
+				GPUPct:     float64(res.GPUUtilTotal),
+				DRAMMB:     res.DRAMBytes.MB(),
+				HBMMB:      res.HBMBytes.MB(),
+				PCIeMbps:   res.PCIeRate.Mbps(),
+				NVLinkMbps: res.NVLinkRate.Mbps(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable5 renders simulated-vs-paper usage.
+func RenderTable5(rows []UsageRow) string {
+	paper := map[string]workload.PaperUsage{}
+	for _, p := range workload.TableV {
+		paper[fmt.Sprintf("%s/%d", p.Bench, p.GPUs)] = p
+	}
+	t := report.NewTable("Table V — resource usage on C4140 (K) (simulated | paper)",
+		"Benchmark", "#GPU", "CPU %", "GPU %", "DRAM MB", "HBM MB", "PCIe Mbps", "NVLink Mbps")
+	for _, r := range rows {
+		p, ok := paper[fmt.Sprintf("%s/%d", r.Bench, r.GPUs)]
+		cmp := func(sim, paper float64) string {
+			if !ok {
+				return fmt.Sprintf("%.0f | -", sim)
+			}
+			return fmt.Sprintf("%.0f | %.0f", sim, paper)
+		}
+		t.AddRow(
+			r.Bench,
+			fmt.Sprintf("%d", r.GPUs),
+			fmt.Sprintf("%.2f | %.2f", r.CPUPct, p.CPUPct),
+			cmp(r.GPUPct, p.GPUPct),
+			cmp(r.DRAMMB, p.DRAMMB),
+			cmp(r.HBMMB, p.HBMMB),
+			cmp(r.PCIeMbps, p.PCIeMbps),
+			cmp(r.NVLinkMbps, p.NVLinkMbps),
+		)
+	}
+	return t.String()
+}

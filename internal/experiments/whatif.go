@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/report"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+// WhatIfRow compares 8-GPU training across interconnect generations for
+// one benchmark: the study's PCIe DSS 8440 versus NVIDIA's NVLink DGX-1 —
+// quantifying the paper's conclusion (i), "the importance of powerful
+// interconnects in multi-GPU systems", at the scale the paper could not
+// measure (it had no 8-GPU NVLink machine).
+type WhatIfRow struct {
+	Bench string
+	// DSSMin and DGXMin are 8-GPU training minutes.
+	DSSMin, DGXMin float64
+	// Speedup8DSS / Speedup8DGX are the 1-to-8 scaling factors.
+	Speedup8DSS, Speedup8DGX float64
+	// Gain is the DGX-1 time improvement over the DSS 8440.
+	Gain float64
+}
+
+// WhatIfNVLinkAt8 runs every Table IV benchmark at 1 and 8 GPUs on both
+// machines.
+func WhatIfNVLinkAt8() ([]WhatIfRow, error) {
+	dss := hw.DSS8440()
+	dgx := hw.DGX1()
+	var rows []WhatIfRow
+	for _, name := range Table4Benches {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row := WhatIfRow{Bench: b.Abbrev}
+		times := map[string][2]float64{}
+		for _, sys := range []*hw.System{dss, dgx} {
+			var t1, t8 float64
+			for _, g := range []int{1, 8} {
+				res, err := sim.Run(sim.Config{System: sys, GPUCount: g, Job: b.Job})
+				if err != nil {
+					return nil, fmt.Errorf("whatif: %s on %s: %w", name, sys.Name, err)
+				}
+				if g == 1 {
+					t1 = res.TimeToTrain.Minutes()
+				} else {
+					t8 = res.TimeToTrain.Minutes()
+				}
+			}
+			times[sys.Name] = [2]float64{t1, t8}
+		}
+		row.DSSMin = times[dss.Name][1]
+		row.DGXMin = times[dgx.Name][1]
+		row.Speedup8DSS = times[dss.Name][0] / times[dss.Name][1]
+		row.Speedup8DGX = times[dgx.Name][0] / times[dgx.Name][1]
+		if row.DSSMin > 0 {
+			row.Gain = (row.DSSMin - row.DGXMin) / row.DSSMin
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderWhatIf renders the comparison.
+func RenderWhatIf(rows []WhatIfRow) string {
+	t := report.NewTable("What-if — 8 GPUs: PCIe DSS 8440 vs NVLink DGX-1",
+		"Benchmark", "DSS 8440 (min)", "DGX-1 (min)", "1-to-8 DSS", "1-to-8 DGX", "DGX gain")
+	for _, r := range rows {
+		t.AddRow(r.Bench,
+			fmt.Sprintf("%.0f", r.DSSMin), fmt.Sprintf("%.0f", r.DGXMin),
+			report.Fx(r.Speedup8DSS), report.Fx(r.Speedup8DGX),
+			fmt.Sprintf("%.0f%%", r.Gain*100))
+	}
+	return t.String()
+}

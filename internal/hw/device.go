@@ -1,0 +1,224 @@
+// Package hw models the hardware the paper experiments on: NVIDIA Tesla
+// GPUs, Intel Xeon host CPUs, DDR4 memory, and the interconnects between
+// them (PCIe 3.0, PLX PCIe switches, NVLink, UPI). The six Dell PowerEdge
+// systems of Table III are provided as ready-made interconnect topology
+// graphs, so the rest of the library can ask questions like "what is the
+// bottleneck bandwidth between GPU1 and GPU3 on a T640, and does the path
+// cross a CPU?" — the exact questions whose answers shape Figure 5 and the
+// bus-utilization columns of Table V.
+package hw
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// Precision enumerates the floating-point precisions the paper's roofline
+// (Figure 2) draws ceilings for, plus the tensor-core mixed mode that
+// Figure 3 measures.
+type Precision int
+
+// Supported precisions.
+const (
+	FP64 Precision = iota
+	FP32
+	FP16
+	// TensorFP16 is FP16 multiply with FP32 accumulate on tensor cores —
+	// the mode NVIDIA AMP uses for eligible layers.
+	TensorFP16
+)
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case FP64:
+		return "fp64"
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case TensorFP16:
+		return "tensor-fp16"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// Size returns the element size of the precision in bytes. TensorFP16
+// operands are half precision.
+func (p Precision) Size() units.Bytes {
+	switch p {
+	case FP64:
+		return 8
+	case FP32:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// GPU describes an accelerator: peak arithmetic throughput per precision,
+// on-package memory capacity and bandwidth, and kernel-launch overhead.
+type GPU struct {
+	Name string
+	// Peak holds theoretical peak throughput per precision.
+	Peak map[Precision]units.FLOPSRate
+	// MemBandwidth is the peak HBM2 bandwidth.
+	MemBandwidth units.BytesPerSecond
+	// MemCapacity is the HBM2 capacity.
+	MemCapacity units.Bytes
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// LaunchOverhead approximates per-kernel launch latency in seconds.
+	LaunchOverhead float64
+	// HasTensorCores reports whether TensorFP16 is hardware-accelerated.
+	HasTensorCores bool
+}
+
+// PeakAt returns the peak throughput at precision p, falling back to FP32
+// scaled by the natural ratio when a precision is not in the table.
+func (g *GPU) PeakAt(p Precision) units.FLOPSRate {
+	if r, ok := g.Peak[p]; ok {
+		return r
+	}
+	base := g.Peak[FP32]
+	switch p {
+	case FP64:
+		return base / 2
+	case FP16:
+		return base * 2
+	case TensorFP16:
+		if g.HasTensorCores {
+			return base * 8
+		}
+		return base * 2
+	default:
+		return base
+	}
+}
+
+// CPU describes a host processor socket.
+type CPU struct {
+	Name  string
+	Cores int
+	// BaseGHz is the base clock in GHz.
+	BaseGHz float64
+	// FLOPsPerCycle is per-core FLOPs per cycle (AVX-512 FMA: 32 fp32).
+	FLOPsPerCycle int
+	// MemChannels is the number of DDR4 channels per socket.
+	MemChannels int
+	// PCIeLanes is the number of PCIe 3.0 lanes the socket provides.
+	PCIeLanes int
+}
+
+// PeakFLOPS returns the socket's peak fp32 throughput.
+func (c *CPU) PeakFLOPS() units.FLOPSRate {
+	return units.FLOPSRate(float64(c.Cores) * c.BaseGHz * 1e9 * float64(c.FLOPsPerCycle))
+}
+
+// DIMM describes one DDR4 module.
+type DIMM struct {
+	Size units.Bytes
+	// MTps is mega-transfers per second (DDR4-2666 → 2666).
+	MTps int
+}
+
+// Bandwidth returns the module's peak bandwidth (8 bytes per transfer).
+func (d DIMM) Bandwidth() units.BytesPerSecond {
+	return units.BytesPerSecond(float64(d.MTps) * 1e6 * 8)
+}
+
+// Catalog entries for the devices in Table III. Peak numbers follow the
+// NVIDIA V100/P100 datasheets and Intel ARK.
+var (
+	// TeslaV100SXM2 is the NVLink form factor (C4140 K and M).
+	TeslaV100SXM2 = GPU{
+		Name: "Tesla V100-SXM2-16GB",
+		Peak: map[Precision]units.FLOPSRate{
+			FP64:       7.8 * units.TFLOPS,
+			FP32:       15.7 * units.TFLOPS,
+			FP16:       31.4 * units.TFLOPS,
+			TensorFP16: 125 * units.TFLOPS,
+		},
+		MemBandwidth:   900 * units.GBps,
+		MemCapacity:    16 * units.GiB,
+		SMs:            80,
+		LaunchOverhead: 5e-6,
+		HasTensorCores: true,
+	}
+
+	// TeslaV100PCIe is the full-height/length PCIe card (T640, C4140 B,
+	// R940XA, DSS8440). Slightly lower clocks than SXM2.
+	TeslaV100PCIe = GPU{
+		Name: "Tesla V100-PCIE-16GB",
+		Peak: map[Precision]units.FLOPSRate{
+			FP64:       7.0 * units.TFLOPS,
+			FP32:       14.0 * units.TFLOPS,
+			FP16:       28.0 * units.TFLOPS,
+			TensorFP16: 112 * units.TFLOPS,
+		},
+		MemBandwidth:   900 * units.GBps,
+		MemCapacity:    16 * units.GiB,
+		SMs:            80,
+		LaunchOverhead: 5e-6,
+		HasTensorCores: true,
+	}
+
+	// TeslaV100PCIe32 is the 32GB variant (T640 and R940XA in Table III).
+	TeslaV100PCIe32 = GPU{
+		Name: "Tesla V100-PCIE-32GB",
+		Peak: map[Precision]units.FLOPSRate{
+			FP64:       7.0 * units.TFLOPS,
+			FP32:       14.0 * units.TFLOPS,
+			FP16:       28.0 * units.TFLOPS,
+			TensorFP16: 112 * units.TFLOPS,
+		},
+		MemBandwidth:   900 * units.GBps,
+		MemCapacity:    32 * units.GiB,
+		SMs:            80,
+		LaunchOverhead: 5e-6,
+		HasTensorCores: true,
+	}
+
+	// TeslaP100 is MLPerf's v0.5 reference machine GPU (Table IV column 1).
+	TeslaP100 = GPU{
+		Name: "Tesla P100-PCIE-16GB",
+		Peak: map[Precision]units.FLOPSRate{
+			FP64: 4.7 * units.TFLOPS,
+			FP32: 9.3 * units.TFLOPS,
+			FP16: 18.7 * units.TFLOPS,
+		},
+		MemBandwidth:   732 * units.GBps,
+		MemCapacity:    16 * units.GiB,
+		SMs:            56,
+		LaunchOverhead: 5e-6,
+		HasTensorCores: false,
+	}
+
+	// XeonGold6148 is the 20-core host CPU of five of the six systems.
+	XeonGold6148 = CPU{
+		Name:          "Xeon Gold 6148",
+		Cores:         20,
+		BaseGHz:       2.4,
+		FLOPsPerCycle: 32,
+		MemChannels:   6,
+		PCIeLanes:     48,
+	}
+
+	// XeonGold6142 is the 16-core host CPU of the DSS 8440.
+	XeonGold6142 = CPU{
+		Name:          "Xeon Gold 6142",
+		Cores:         16,
+		BaseGHz:       2.6,
+		FLOPsPerCycle: 32,
+		MemChannels:   6,
+		PCIeLanes:     48,
+	}
+
+	// DDR4_2666_16GB is the DIMM in most systems of Table III.
+	DDR4_2666_16GB = DIMM{Size: 16 * units.GiB, MTps: 2666}
+
+	// DDR4_2666_32GB is the DSS 8440 DIMM.
+	DDR4_2666_32GB = DIMM{Size: 32 * units.GiB, MTps: 2666}
+)

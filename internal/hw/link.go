@@ -1,0 +1,109 @@
+package hw
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// LinkKind enumerates the interconnect technologies of Table III.
+type LinkKind int
+
+// Link kinds.
+const (
+	// PCIe3 is a PCI Express 3.0 link; width (lanes) varies.
+	PCIe3 LinkKind = iota
+	// NVLink is NVIDIA's proprietary GPU-GPU interconnect.
+	NVLink
+	// UPI is Intel's Ultra Path Interconnect between CPU sockets.
+	UPI
+	// LocalDRAM is the CPU-socket-to-its-own-DIMMs channel; used to model
+	// the 128 GB/s local vs 20.8 GB/s remote asymmetry the paper describes
+	// in §V-C.
+	LocalDRAM
+)
+
+// String names the link kind.
+func (k LinkKind) String() string {
+	switch k {
+	case PCIe3:
+		return "PCIe3"
+	case NVLink:
+		return "NVLink"
+	case UPI:
+		return "UPI"
+	case LocalDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Link is a point-to-point connection with a unidirectional bandwidth and a
+// per-message latency.
+type Link struct {
+	Kind LinkKind
+	// Bandwidth is the theoretical unidirectional bandwidth.
+	Bandwidth units.BytesPerSecond
+	// Latency is the per-transfer latency in seconds.
+	Latency float64
+	// Efficiency scales the theoretical bandwidth to an achievable rate
+	// (protocol overhead); effective bandwidth = Bandwidth * Efficiency.
+	Efficiency float64
+}
+
+// Effective returns the achievable bandwidth after protocol overhead.
+func (l Link) Effective() units.BytesPerSecond {
+	e := l.Efficiency
+	if e <= 0 || e > 1 {
+		e = 1
+	}
+	return units.BytesPerSecond(float64(l.Bandwidth) * e)
+}
+
+// Standard link constructors. Numbers follow §V-D of the paper: PCIe 3.0 is
+// 984.6 MB/s per lane (15.8 GB/s at x16), each NVLink lane is 25 GB/s
+// unidirectional, and UPI is 20.8 GB/s unidirectional.
+
+// PCIe3Link builds a PCIe 3.0 link of the given lane count.
+func PCIe3Link(lanes int) Link {
+	return Link{
+		Kind:       PCIe3,
+		Bandwidth:  units.BytesPerSecond(float64(lanes) * 984.6e6),
+		Latency:    1.3e-6,
+		Efficiency: 0.78, // measured PCIe payload efficiency under DMA
+	}
+}
+
+// NVLinkBricks builds an NVLink connection of n "bricks" (lanes); the V100
+// SXM2 has six bricks total, and in the 4-GPU hybrid-cube-mesh used by the
+// C4140 each GPU pair is connected by one or two bricks.
+func NVLinkBricks(n int) Link {
+	return Link{
+		Kind:       NVLink,
+		Bandwidth:  units.BytesPerSecond(float64(n) * 25e9),
+		Latency:    0.7e-6,
+		Efficiency: 0.92,
+	}
+}
+
+// UPILink builds the socket-to-socket Ultra Path Interconnect.
+func UPILink() Link {
+	return Link{
+		Kind:       UPI,
+		Bandwidth:  20.8 * units.GBps,
+		Latency:    0.5e-6,
+		Efficiency: 0.85,
+	}
+}
+
+// DRAMLink builds the CPU-to-local-DRAM channel aggregate; the paper quotes
+// ~128 GB/s for six channels of DDR4-2666.
+func DRAMLink(channels int, mtps int) Link {
+	return Link{
+		Kind:       LocalDRAM,
+		Bandwidth:  units.BytesPerSecond(float64(channels) * float64(mtps) * 1e6 * 8),
+		Latency:    0.09e-6,
+		Efficiency: 0.80,
+	}
+}

@@ -1,0 +1,306 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"mlperf/internal/units"
+)
+
+// NodeKind classifies topology nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeCPU NodeKind = iota
+	NodeGPU
+	NodeSwitch
+	NodeMemory
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeCPU:
+		return "CPU"
+	case NodeGPU:
+		return "GPU"
+	case NodeSwitch:
+		return "Switch"
+	case NodeMemory:
+		return "Memory"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one vertex in the interconnect topology.
+type Node struct {
+	ID   string
+	Kind NodeKind
+	// GPU is set for NodeGPU vertices.
+	GPU *GPU
+	// CPU is set for NodeCPU vertices.
+	CPU *CPU
+}
+
+// edge is one directed adjacency.
+type edge struct {
+	to   string
+	link Link
+}
+
+// Topology is an undirected interconnect graph between CPUs, GPUs, PCIe
+// switches and memory nodes.
+type Topology struct {
+	nodes map[string]*Node
+	adj   map[string][]edge
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{
+		nodes: make(map[string]*Node),
+		adj:   make(map[string][]edge),
+	}
+}
+
+// AddNode inserts a vertex. Adding a duplicate ID panics: topologies are
+// built by trusted constructors and a duplicate is a programming error.
+func (t *Topology) AddNode(n Node) {
+	if _, dup := t.nodes[n.ID]; dup {
+		panic("hw: duplicate topology node " + n.ID)
+	}
+	cp := n
+	t.nodes[n.ID] = &cp
+}
+
+// Connect adds an undirected link between two existing nodes.
+func (t *Topology) Connect(a, b string, l Link) {
+	if _, ok := t.nodes[a]; !ok {
+		panic("hw: unknown topology node " + a)
+	}
+	if _, ok := t.nodes[b]; !ok {
+		panic("hw: unknown topology node " + b)
+	}
+	t.adj[a] = append(t.adj[a], edge{to: b, link: l})
+	t.adj[b] = append(t.adj[b], edge{to: a, link: l})
+}
+
+// Node returns the vertex with the given ID, or nil.
+func (t *Topology) Node(id string) *Node { return t.nodes[id] }
+
+// Nodes returns all vertex IDs sorted, for deterministic iteration.
+func (t *Topology) Nodes() []string {
+	ids := make([]string, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// GPUs returns the GPU vertex IDs in sorted order.
+func (t *Topology) GPUs() []string {
+	var ids []string
+	for id, n := range t.nodes {
+		if n.Kind == NodeGPU {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// CPUs returns the CPU vertex IDs in sorted order.
+func (t *Topology) CPUs() []string {
+	var ids []string
+	for id, n := range t.nodes {
+		if n.Kind == NodeCPU {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Path is a route between two vertices with its aggregate properties.
+type Path struct {
+	Hops []string
+	// Kinds holds the link kind of each hop (len(Hops)-1 entries), in hop
+	// order; Table V attributes traffic to PCIe vs NVLink based on these.
+	Kinds []LinkKind
+	// Bottleneck is the minimum effective bandwidth along the route.
+	Bottleneck units.BytesPerSecond
+	// Latency is the sum of per-hop latencies in seconds.
+	Latency float64
+	// CrossesCPU reports whether an intermediate hop is a CPU vertex —
+	// when true, GPUDirect peer-to-peer is impossible and traffic is
+	// staged through host memory.
+	CrossesCPU bool
+	// CrossesUPI reports whether the route traverses the socket
+	// interconnect.
+	CrossesUPI bool
+}
+
+// WidestPath finds the route from src to dst maximizing the bottleneck
+// bandwidth (ties broken by fewer hops), the metric NCCL's topology search
+// optimizes. It returns false when dst is unreachable.
+func (t *Topology) WidestPath(src, dst string) (Path, bool) {
+	if _, ok := t.nodes[src]; !ok {
+		return Path{}, false
+	}
+	if _, ok := t.nodes[dst]; !ok {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Hops: []string{src}, Bottleneck: units.BytesPerSecond(0)}, true
+	}
+
+	// Modified Dijkstra on (bottleneck desc, hops asc).
+	type state struct {
+		width units.BytesPerSecond
+		hops  int
+	}
+	best := map[string]state{src: {width: units.BytesPerSecond(1e30)}}
+	prev := map[string]string{}
+	prevLink := map[string]Link{}
+	visited := map[string]bool{}
+
+	for {
+		// Pick the unvisited node with the best (width, -hops).
+		var cur string
+		var curBest state
+		found := false
+		for _, id := range t.Nodes() {
+			if visited[id] {
+				continue
+			}
+			s, ok := best[id]
+			if !ok {
+				continue
+			}
+			if !found || s.width > curBest.width ||
+				(s.width == curBest.width && s.hops < curBest.hops) {
+				cur, curBest, found = id, s, true
+			}
+		}
+		if !found {
+			break
+		}
+		if cur == dst {
+			break
+		}
+		visited[cur] = true
+		for _, e := range t.adj[cur] {
+			if visited[e.to] {
+				continue
+			}
+			w := curBest.width
+			if eff := e.link.Effective(); eff < w {
+				w = eff
+			}
+			cand := state{width: w, hops: curBest.hops + 1}
+			old, ok := best[e.to]
+			if !ok || cand.width > old.width ||
+				(cand.width == old.width && cand.hops < old.hops) {
+				best[e.to] = cand
+				prev[e.to] = cur
+				prevLink[e.to] = e.link
+			}
+		}
+	}
+
+	s, ok := best[dst]
+	if !ok {
+		return Path{}, false
+	}
+	// Reconstruct.
+	var hops []string
+	var kinds []LinkKind
+	p := Path{Bottleneck: s.width}
+	for at := dst; ; {
+		hops = append(hops, at)
+		if at == src {
+			break
+		}
+		p.Latency += prevLink[at].Latency
+		kinds = append(kinds, prevLink[at].Kind)
+		if prevLink[at].Kind == UPI {
+			p.CrossesUPI = true
+		}
+		at = prev[at]
+	}
+	// Reverse both (kinds[i] describes the hop hops[i]->hops[i+1]).
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	for i, j := 0, len(kinds)-1; i < j; i, j = i+1, j-1 {
+		kinds[i], kinds[j] = kinds[j], kinds[i]
+	}
+	p.Hops = hops
+	p.Kinds = kinds
+	for _, h := range hops[1 : len(hops)-1] {
+		if t.nodes[h].Kind == NodeCPU {
+			p.CrossesCPU = true
+		}
+	}
+	return p, true
+}
+
+// DirectLink returns the widest direct edge between two nodes, if any —
+// the bandwidth a ring gets when it must use the physical link rather
+// than multi-hop routing.
+func (t *Topology) DirectLink(a, b string) (Link, bool) {
+	var best Link
+	found := false
+	for _, e := range t.adj[a] {
+		if e.to == b && (!found || e.link.Effective() > best.Effective()) {
+			best = e.link
+			found = true
+		}
+	}
+	return best, found
+}
+
+// CanP2P reports whether two GPUs can perform GPUDirect peer-to-peer
+// transfers: they must be connected by NVLink or share a single PCIe root
+// complex (path free of CPU vertices), per §V-E.
+func (t *Topology) CanP2P(gpuA, gpuB string) bool {
+	p, ok := t.WidestPath(gpuA, gpuB)
+	if !ok {
+		return false
+	}
+	return !p.CrossesCPU
+}
+
+// GPUPairBandwidth returns the effective GPU-to-GPU bandwidth. Without P2P
+// the transfer is staged through host memory (device→host, host→device),
+// which halves the achievable rate on the bottleneck link and adds the UPI
+// penalty when the GPUs hang off different sockets.
+func (t *Topology) GPUPairBandwidth(gpuA, gpuB string) units.BytesPerSecond {
+	p, ok := t.WidestPath(gpuA, gpuB)
+	if !ok {
+		return 0
+	}
+	bw := p.Bottleneck
+	if p.CrossesCPU {
+		// Staged copy: the payload crosses host memory (device-to-host
+		// then host-to-device), serializing two bus transfers and adding
+		// bounce-buffer copies; NCCL sustains roughly a third of the raw
+		// link rate on such routes.
+		bw /= 3
+	}
+	return bw
+}
+
+// HostToGPUBandwidth returns the effective bandwidth from a CPU vertex to a
+// GPU vertex, the rate at which input batches reach the device (Table V
+// PCIe column).
+func (t *Topology) HostToGPUBandwidth(cpu, gpu string) units.BytesPerSecond {
+	p, ok := t.WidestPath(cpu, gpu)
+	if !ok {
+		return 0
+	}
+	return p.Bottleneck
+}

@@ -1,0 +1,154 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlperf/internal/units"
+)
+
+func TestWidestPathSimple(t *testing.T) {
+	topo := NewTopology()
+	topo.AddNode(Node{ID: "a", Kind: NodeGPU})
+	topo.AddNode(Node{ID: "b", Kind: NodeSwitch})
+	topo.AddNode(Node{ID: "c", Kind: NodeGPU})
+	topo.Connect("a", "b", Link{Bandwidth: 10 * units.GBps, Efficiency: 1})
+	topo.Connect("b", "c", Link{Bandwidth: 5 * units.GBps, Efficiency: 1})
+
+	p, ok := topo.WidestPath("a", "c")
+	if !ok {
+		t.Fatal("no path a->c")
+	}
+	if p.Bottleneck != 5*units.GBps {
+		t.Errorf("bottleneck = %v, want 5GB/s", p.Bottleneck)
+	}
+	if len(p.Hops) != 3 || p.Hops[0] != "a" || p.Hops[2] != "c" {
+		t.Errorf("hops = %v", p.Hops)
+	}
+	if p.CrossesCPU {
+		t.Error("path through switch must not count as crossing a CPU")
+	}
+}
+
+func TestWidestPathPrefersWiderRoute(t *testing.T) {
+	// Two routes a->d: direct narrow edge vs two-hop wide route.
+	topo := NewTopology()
+	for _, id := range []string{"a", "b", "d"} {
+		topo.AddNode(Node{ID: id, Kind: NodeSwitch})
+	}
+	topo.Connect("a", "d", Link{Bandwidth: 1 * units.GBps, Efficiency: 1})
+	topo.Connect("a", "b", Link{Bandwidth: 50 * units.GBps, Efficiency: 1})
+	topo.Connect("b", "d", Link{Bandwidth: 40 * units.GBps, Efficiency: 1})
+
+	p, ok := topo.WidestPath("a", "d")
+	if !ok {
+		t.Fatal("no path")
+	}
+	if p.Bottleneck != 40*units.GBps {
+		t.Errorf("bottleneck = %v, want the wide 40GB/s route", p.Bottleneck)
+	}
+	if len(p.Hops) != 3 {
+		t.Errorf("hops = %v, want via b", p.Hops)
+	}
+}
+
+func TestWidestPathUnreachable(t *testing.T) {
+	topo := NewTopology()
+	topo.AddNode(Node{ID: "a", Kind: NodeGPU})
+	topo.AddNode(Node{ID: "b", Kind: NodeGPU})
+	if _, ok := topo.WidestPath("a", "b"); ok {
+		t.Error("disconnected nodes reported reachable")
+	}
+	if _, ok := topo.WidestPath("a", "zzz"); ok {
+		t.Error("unknown node reported reachable")
+	}
+}
+
+func TestWidestPathSelf(t *testing.T) {
+	topo := NewTopology()
+	topo.AddNode(Node{ID: "a", Kind: NodeGPU})
+	p, ok := topo.WidestPath("a", "a")
+	if !ok || len(p.Hops) != 1 {
+		t.Errorf("self path = %+v ok=%v", p, ok)
+	}
+}
+
+// Property: on random connected graphs, path bandwidth is symmetric and the
+// bottleneck never exceeds any edge on the reported path.
+func TestWidestPathProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		topo := NewTopology()
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('a' + i))
+			topo.AddNode(Node{ID: ids[i], Kind: NodeSwitch})
+		}
+		// Random spanning chain guarantees connectivity, plus extra edges.
+		edges := map[[2]string]units.BytesPerSecond{}
+		addEdge := func(a, b string) {
+			bw := units.BytesPerSecond(1+rng.Intn(100)) * units.GBps
+			topo.Connect(a, b, Link{Bandwidth: bw, Efficiency: 1})
+			edges[[2]string{a, b}] = bw
+			edges[[2]string{b, a}] = bw
+		}
+		for i := 1; i < n; i++ {
+			addEdge(ids[i-1], ids[i])
+		}
+		for k := 0; k < n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				addEdge(ids[i], ids[j])
+			}
+		}
+		src, dst := ids[rng.Intn(n)], ids[rng.Intn(n)]
+		if src == dst {
+			return true
+		}
+		p1, ok1 := topo.WidestPath(src, dst)
+		p2, ok2 := topo.WidestPath(dst, src)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if p1.Bottleneck != p2.Bottleneck {
+			return false
+		}
+		// Bottleneck cannot exceed the narrowest edge on the chosen hops.
+		// (Parallel edges may exist; compare against the widest parallel
+		// edge, which is an upper bound on any single-edge capacity.)
+		for i := 1; i < len(p1.Hops); i++ {
+			key := [2]string{p1.Hops[i-1], p1.Hops[i]}
+			if _, exists := edges[key]; !exists {
+				return false // reported a non-edge
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddNode did not panic")
+		}
+	}()
+	topo := NewTopology()
+	topo.AddNode(Node{ID: "x", Kind: NodeGPU})
+	topo.AddNode(Node{ID: "x", Kind: NodeGPU})
+}
+
+func TestConnectUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Connect with unknown node did not panic")
+		}
+	}()
+	topo := NewTopology()
+	topo.AddNode(Node{ID: "x", Kind: NodeGPU})
+	topo.Connect("x", "ghost", PCIe3Link(16))
+}

@@ -1,0 +1,135 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RingBroadcast propagates bufs[root] to every rank along a pipelined
+// ring, chunk by chunk, across goroutine ranks — the executable analog of
+// NCCL's broadcast.
+func RingBroadcast(bufs [][]float32, root int) error {
+	n := len(bufs)
+	if n == 0 {
+		return fmt.Errorf("kernels: broadcast with zero ranks")
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("kernels: broadcast root %d out of range", root)
+	}
+	size := len(bufs[root])
+	for i, b := range bufs {
+		if len(b) != size {
+			return fmt.Errorf("kernels: rank %d buffer size %d != %d", i, len(b), size)
+		}
+	}
+	if n == 1 || size == 0 {
+		return nil
+	}
+
+	const chunkElems = 4096
+	chunks := (size + chunkElems - 1) / chunkElems
+
+	type msg struct {
+		chunk int
+		data  []float32
+	}
+	inbox := make([]chan msg, n)
+	for i := range inbox {
+		inbox[i] = make(chan msg, chunks)
+	}
+
+	var wg sync.WaitGroup
+	for off := 0; off < n; off++ {
+		r := (root + off) % n
+		next := (r + 1) % n
+		isRoot := off == 0
+		isLast := off == n-1
+		wg.Add(1)
+		go func(r, next int, isRoot, isLast bool) {
+			defer wg.Done()
+			for c := 0; c < chunks; c++ {
+				lo := c * chunkElems
+				hi := lo + chunkElems
+				if hi > size {
+					hi = size
+				}
+				if isRoot {
+					payload := make([]float32, hi-lo)
+					copy(payload, bufs[r][lo:hi])
+					inbox[next] <- msg{chunk: c, data: payload}
+					continue
+				}
+				m := <-inbox[r]
+				mlo := m.chunk * chunkElems
+				copy(bufs[r][mlo:mlo+len(m.data)], m.data)
+				if !isLast {
+					inbox[next] <- m
+				}
+			}
+		}(r, next, isRoot, isLast)
+	}
+	wg.Wait()
+	return nil
+}
+
+// RingAllGather concatenates every rank's shard into every rank's output:
+// shards[r] is rank r's contribution; on return each outs[r] holds all
+// shards in rank order. The executable analog of NCCL's all-gather.
+func RingAllGather(shards [][]float32, outs [][]float32) error {
+	n := len(shards)
+	if n == 0 {
+		return fmt.Errorf("kernels: all-gather with zero ranks")
+	}
+	if len(outs) != n {
+		return fmt.Errorf("kernels: %d outputs for %d ranks", len(outs), n)
+	}
+	shardSize := len(shards[0])
+	for i, s := range shards {
+		if len(s) != shardSize {
+			return fmt.Errorf("kernels: rank %d shard size %d != %d", i, len(s), shardSize)
+		}
+		if len(outs[i]) != n*shardSize {
+			return fmt.Errorf("kernels: rank %d output size %d != %d", i, len(outs[i]), n*shardSize)
+		}
+	}
+	if shardSize == 0 {
+		return nil
+	}
+	// Seed each output with the local shard.
+	for r := 0; r < n; r++ {
+		copy(outs[r][r*shardSize:(r+1)*shardSize], shards[r])
+	}
+	if n == 1 {
+		return nil
+	}
+
+	type msg struct {
+		owner int
+		data  []float32
+	}
+	inbox := make([]chan msg, n)
+	for i := range inbox {
+		inbox[i] = make(chan msg, 1)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			next := (r + 1) % n
+			// In step s, rank r forwards the shard originally owned by
+			// (r-s) mod n and receives the one owned by (r-s-1) mod n.
+			for s := 0; s < n-1; s++ {
+				owner := ((r-s)%n + n) % n
+				payload := make([]float32, shardSize)
+				copy(payload, outs[r][owner*shardSize:(owner+1)*shardSize])
+				inbox[next] <- msg{owner: owner, data: payload}
+
+				m := <-inbox[r]
+				copy(outs[r][m.owner*shardSize:(m.owner+1)*shardSize], m.data)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return nil
+}

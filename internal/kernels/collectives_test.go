@@ -1,0 +1,153 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBroadcastSmall(t *testing.T) {
+	bufs := [][]float32{
+		{1, 2, 3},
+		{0, 0, 0},
+		{9, 9, 9},
+	}
+	if err := RingBroadcast(bufs, 0); err != nil {
+		t.Fatal(err)
+	}
+	for r := range bufs {
+		for i, want := range []float32{1, 2, 3} {
+			if bufs[r][i] != want {
+				t.Errorf("rank %d elem %d = %v, want %v", r, i, bufs[r][i], want)
+			}
+		}
+	}
+}
+
+func TestRingBroadcastNonZeroRoot(t *testing.T) {
+	bufs := [][]float32{{0, 0}, {5, 6}, {0, 0}, {0, 0}}
+	if err := RingBroadcast(bufs, 1); err != nil {
+		t.Fatal(err)
+	}
+	for r := range bufs {
+		if bufs[r][0] != 5 || bufs[r][1] != 6 {
+			t.Errorf("rank %d = %v", r, bufs[r])
+		}
+	}
+}
+
+func TestRingBroadcastErrors(t *testing.T) {
+	if err := RingBroadcast(nil, 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if err := RingBroadcast([][]float32{{1}}, 3); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if err := RingBroadcast([][]float32{{1, 2}, {1}}, 0); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+}
+
+// Property: broadcast replicates the root buffer exactly, for any rank
+// count, root, and size (crossing the chunking boundary).
+func TestRingBroadcastProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		size := 1 + rng.Intn(10000)
+		root := rng.Intn(n)
+		bufs := make([][]float32, n)
+		want := make([]float32, size)
+		for i := range want {
+			want[i] = float32(rng.Intn(1000))
+		}
+		for r := range bufs {
+			bufs[r] = make([]float32, size)
+			if r == root {
+				copy(bufs[r], want)
+			}
+		}
+		if err := RingBroadcast(bufs, root); err != nil {
+			return false
+		}
+		for r := range bufs {
+			for i := range want {
+				if bufs[r][i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingAllGatherSmall(t *testing.T) {
+	shards := [][]float32{{1, 2}, {3, 4}, {5, 6}}
+	outs := make([][]float32, 3)
+	for r := range outs {
+		outs[r] = make([]float32, 6)
+	}
+	if err := RingAllGather(shards, outs); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 4, 5, 6}
+	for r := range outs {
+		for i := range want {
+			if outs[r][i] != want[i] {
+				t.Errorf("rank %d = %v", r, outs[r])
+				break
+			}
+		}
+	}
+}
+
+func TestRingAllGatherErrors(t *testing.T) {
+	if err := RingAllGather(nil, nil); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if err := RingAllGather([][]float32{{1}}, [][]float32{}); err == nil {
+		t.Error("output count mismatch accepted")
+	}
+	if err := RingAllGather([][]float32{{1}, {2}}, [][]float32{{0, 0}, {0}}); err == nil {
+		t.Error("bad output size accepted")
+	}
+}
+
+// Property: all-gather yields the rank-ordered concatenation at every rank.
+func TestRingAllGatherProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		size := 1 + rng.Intn(100)
+		shards := make([][]float32, n)
+		want := make([]float32, 0, n*size)
+		for r := range shards {
+			shards[r] = make([]float32, size)
+			for i := range shards[r] {
+				shards[r][i] = float32(rng.Intn(100))
+			}
+			want = append(want, shards[r]...)
+		}
+		outs := make([][]float32, n)
+		for r := range outs {
+			outs[r] = make([]float32, n*size)
+		}
+		if err := RingAllGather(shards, outs); err != nil {
+			return false
+		}
+		for r := range outs {
+			for i := range want {
+				if outs[r][i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package kernels
+
+import (
+	"fmt"
+
+	"mlperf/internal/tensor"
+	"mlperf/internal/units"
+)
+
+// ConvSpec describes a 2-D convolution in NCHW layout.
+type ConvSpec struct {
+	Batch      int
+	InChannels int
+	InH, InW   int
+	OutChans   int
+	KernelH    int
+	KernelW    int
+	StrideH    int
+	StrideW    int
+	PadH       int
+	PadW       int
+}
+
+// OutH returns the output height.
+func (s ConvSpec) OutH() int { return (s.InH+2*s.PadH-s.KernelH)/s.StrideH + 1 }
+
+// OutW returns the output width.
+func (s ConvSpec) OutW() int { return (s.InW+2*s.PadW-s.KernelW)/s.StrideW + 1 }
+
+// Validate checks the geometry is realizable.
+func (s ConvSpec) Validate() error {
+	if s.Batch <= 0 || s.InChannels <= 0 || s.OutChans <= 0 {
+		return fmt.Errorf("kernels: conv spec has non-positive channel/batch: %+v", s)
+	}
+	if s.StrideH <= 0 || s.StrideW <= 0 {
+		return fmt.Errorf("kernels: conv spec has non-positive stride: %+v", s)
+	}
+	if s.OutH() <= 0 || s.OutW() <= 0 {
+		return fmt.Errorf("kernels: conv spec yields empty output: %+v", s)
+	}
+	return nil
+}
+
+// FLOPs returns the multiply-add count of the forward convolution.
+func (s ConvSpec) FLOPs() units.FLOPs {
+	return units.FLOPs(2 * float64(s.Batch) * float64(s.OutChans) *
+		float64(s.OutH()) * float64(s.OutW()) *
+		float64(s.InChannels) * float64(s.KernelH) * float64(s.KernelW))
+}
+
+// NaiveConv2D is the direct seven-loop reference convolution. Input is
+// [N, C, H, W]; weights are [OutC, C, KH, KW]; output is [N, OutC, OH, OW].
+func NaiveConv2D(spec ConvSpec, in, w *tensor.Tensor) *tensor.Tensor {
+	oh, ow := spec.OutH(), spec.OutW()
+	out := tensor.New(spec.Batch, spec.OutChans, oh, ow)
+	for n := 0; n < spec.Batch; n++ {
+		for oc := 0; oc < spec.OutChans; oc++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var sum float32
+					for c := 0; c < spec.InChannels; c++ {
+						for ky := 0; ky < spec.KernelH; ky++ {
+							iy := y*spec.StrideH + ky - spec.PadH
+							if iy < 0 || iy >= spec.InH {
+								continue
+							}
+							for kx := 0; kx < spec.KernelW; kx++ {
+								ix := x*spec.StrideW + kx - spec.PadW
+								if ix < 0 || ix >= spec.InW {
+									continue
+								}
+								sum += in.At(n, c, iy, ix) * w.At(oc, c, ky, kx)
+							}
+						}
+					}
+					out.Set(sum, n, oc, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Im2Col unrolls the input patches into a [C*KH*KW, OH*OW] matrix for one
+// image, the standard lowering that turns convolution into GEMM (and the
+// reason conv performance tracks GEMM performance on GPUs).
+func Im2Col(spec ConvSpec, in *tensor.Tensor, n int) *tensor.Tensor {
+	oh, ow := spec.OutH(), spec.OutW()
+	rows := spec.InChannels * spec.KernelH * spec.KernelW
+	cols := oh * ow
+	m := tensor.New(rows, cols)
+	md := m.Data()
+	ind := in.Data()
+	chanStride := spec.InH * spec.InW
+	imgOff := n * spec.InChannels * chanStride
+	r := 0
+	for c := 0; c < spec.InChannels; c++ {
+		base := imgOff + c*chanStride
+		for ky := 0; ky < spec.KernelH; ky++ {
+			for kx := 0; kx < spec.KernelW; kx++ {
+				col := 0
+				for y := 0; y < oh; y++ {
+					iy := y*spec.StrideH + ky - spec.PadH
+					for x := 0; x < ow; x++ {
+						ix := x*spec.StrideW + kx - spec.PadW
+						if iy >= 0 && iy < spec.InH && ix >= 0 && ix < spec.InW {
+							md[r*cols+col] = ind[base+iy*spec.InW+ix]
+						}
+						col++
+					}
+				}
+				r++
+			}
+		}
+	}
+	return m
+}
+
+// Conv2D computes the convolution by im2col + GEMM, per image.
+func Conv2D(spec ConvSpec, in, w *tensor.Tensor) *tensor.Tensor {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	oh, ow := spec.OutH(), spec.OutW()
+	out := tensor.New(spec.Batch, spec.OutChans, oh, ow)
+	wmat := w.Reshape(spec.OutChans, spec.InChannels*spec.KernelH*spec.KernelW)
+	outD := out.Data()
+	perImage := spec.OutChans * oh * ow
+	for n := 0; n < spec.Batch; n++ {
+		cols := Im2Col(spec, in, n)
+		res := GEMM(wmat, cols) // [OutC, OH*OW]
+		copy(outD[n*perImage:(n+1)*perImage], res.Data())
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlperf/internal/tensor"
+)
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	specs := []ConvSpec{
+		{Batch: 1, InChannels: 1, InH: 5, InW: 5, OutChans: 1, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1},
+		{Batch: 2, InChannels: 3, InH: 8, InW: 8, OutChans: 4, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{Batch: 2, InChannels: 2, InH: 9, InW: 7, OutChans: 3, KernelH: 3, KernelW: 2, StrideH: 2, StrideW: 2, PadH: 1},
+		{Batch: 1, InChannels: 4, InH: 6, InW: 6, OutChans: 8, KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1},
+	}
+	for _, s := range specs {
+		in := tensor.Randn(rng, s.Batch, s.InChannels, s.InH, s.InW)
+		w := tensor.Randn(rng, s.OutChans, s.InChannels, s.KernelH, s.KernelW)
+		want := NaiveConv2D(s, in, w)
+		got := Conv2D(s, in, w)
+		if !tensor.AllClose(got, want, 1e-3) {
+			t.Errorf("Conv2D %+v diverges by %v", s, tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestConvOutputGeometry(t *testing.T) {
+	// ResNet-50 stem: 224x224x3, 7x7/2 pad 3 -> 112x112.
+	s := ConvSpec{Batch: 1, InChannels: 3, InH: 224, InW: 224, OutChans: 64,
+		KernelH: 7, KernelW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}
+	if s.OutH() != 112 || s.OutW() != 112 {
+		t.Errorf("stem output %dx%d, want 112x112", s.OutH(), s.OutW())
+	}
+	// Its FLOP count: 2*64*112*112*3*49 ≈ 0.236 GFLOP.
+	if g := s.FLOPs().G(); g < 0.23 || g > 0.24 {
+		t.Errorf("stem FLOPs = %vG, want ~0.236", g)
+	}
+}
+
+func TestConvSpecValidate(t *testing.T) {
+	bad := []ConvSpec{
+		{Batch: 0, InChannels: 1, InH: 4, InW: 4, OutChans: 1, KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1},
+		{Batch: 1, InChannels: 1, InH: 4, InW: 4, OutChans: 1, KernelH: 1, KernelW: 1, StrideH: 0, StrideW: 1},
+		{Batch: 1, InChannels: 1, InH: 2, InW: 2, OutChans: 1, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate() accepted invalid spec %+v", i, s)
+		}
+	}
+	good := ConvSpec{Batch: 1, InChannels: 1, InH: 4, InW: 4, OutChans: 1,
+		KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate() rejected valid spec: %v", err)
+	}
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 1x1x2x2 input [[1,2],[3,4]] with 2x2 kernel, no pad: single column.
+	s := ConvSpec{Batch: 1, InChannels: 1, InH: 2, InW: 2, OutChans: 1,
+		KernelH: 2, KernelW: 2, StrideH: 1, StrideW: 1}
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	m := Im2Col(s, in, 0)
+	want := []float32{1, 2, 3, 4}
+	for i, v := range want {
+		if m.Data()[i] != v {
+			t.Errorf("im2col[%d] = %v, want %v", i, m.Data()[i], v)
+		}
+	}
+}
+
+func TestConvDeltaResponse(t *testing.T) {
+	// A delta kernel must reproduce the input (identity convolution).
+	s := ConvSpec{Batch: 1, InChannels: 1, InH: 6, InW: 6, OutChans: 1,
+		KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	rng := rand.New(rand.NewSource(2))
+	in := tensor.Randn(rng, 1, 1, 6, 6)
+	w := tensor.New(1, 1, 3, 3)
+	w.Set(1, 0, 0, 1, 1) // center tap
+	out := Conv2D(s, in, w)
+	if !tensor.AllClose(out, in.Reshape(1, 1, 6, 6), 1e-6) {
+		t.Error("delta-kernel convolution is not identity")
+	}
+}

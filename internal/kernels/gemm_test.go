@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlperf/internal/tensor"
+)
+
+func TestGEMMMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {17, 33, 9}, {64, 64, 64}, {5, 128, 7},
+	}
+	for _, s := range shapes {
+		a := tensor.Randn(rng, s.m, s.k)
+		b := tensor.Randn(rng, s.k, s.n)
+		want := NaiveGEMM(a, b)
+		got := GEMM(a, b)
+		if !tensor.AllClose(got, want, 1e-3) {
+			t.Errorf("GEMM(%dx%dx%d) diverges from naive by %v",
+				s.m, s.k, s.n, tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestGEMMIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := tensor.Randn(rng, 6, 6)
+	id := tensor.New(6, 6)
+	for i := 0; i < 6; i++ {
+		id.Set(1, i, i)
+	}
+	if got := GEMM(a, id); !tensor.AllClose(got, a, 1e-6) {
+		t.Error("A*I != A")
+	}
+	if got := GEMM(id, a); !tensor.AllClose(got, a, 1e-6) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestGEMMShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched GEMM did not panic")
+		}
+	}()
+	GEMM(tensor.New(2, 3), tensor.New(4, 2))
+}
+
+func TestGEMMTransBMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.Randn(rng, 7, 5)
+	b := tensor.Randn(rng, 9, 5) // Bᵀ is 5x9
+	bt := tensor.New(5, 9)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(b.At(i, j), j, i)
+		}
+	}
+	want := NaiveGEMM(a, bt)
+	got := GEMMTransB(a, b)
+	if !tensor.AllClose(got, want, 1e-4) {
+		t.Errorf("GEMMTransB diverges by %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+// Property: GEMM is linear in its first argument: (A1+A2)·B = A1·B + A2·B.
+func TestGEMMLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a1 := tensor.Randn(rng, m, k)
+		a2 := tensor.Randn(rng, m, k)
+		b := tensor.Randn(rng, k, n)
+		sum := tensor.New(m, k)
+		for i := range sum.Data() {
+			sum.Data()[i] = a1.Data()[i] + a2.Data()[i]
+		}
+		lhs := GEMM(sum, b)
+		r1, r2 := GEMM(a1, b), GEMM(a2, b)
+		rhs := tensor.New(m, n)
+		for i := range rhs.Data() {
+			rhs.Data()[i] = r1.Data()[i] + r2.Data()[i]
+		}
+		return tensor.AllClose(lhs, rhs, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGEMMFLOPs(t *testing.T) {
+	if got := GEMMFLOPs(10, 20, 30); got != 12000 {
+		t.Errorf("GEMMFLOPs = %v, want 12000", got)
+	}
+}
+
+func TestGEMMIntoReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.Randn(rng, 4, 4)
+	b := tensor.Randn(rng, 4, 4)
+	c := tensor.New(4, 4)
+	c.Fill(99) // must be overwritten, not accumulated
+	GEMMInto(c, a, b)
+	if !tensor.AllClose(c, NaiveGEMM(a, b), 1e-4) {
+		t.Error("GEMMInto did not overwrite destination")
+	}
+}

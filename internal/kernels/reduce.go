@@ -1,0 +1,150 @@
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mlperf/internal/units"
+)
+
+// Sum reduces a slice with GOMAXPROCS-way tree parallelism, the host analog
+// of a device-side reduction kernel.
+func Sum(x []float32) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if len(x) < 4096 || workers < 2 {
+		var s float64
+		for _, v := range x {
+			s += float64(v)
+		}
+		return s
+	}
+	chunk := (len(x) + workers - 1) / workers
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for _, v := range x[lo:hi] {
+				s += float64(v)
+			}
+			partial[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// AllReduceFLOPs: the collective itself performs only additions; NCCL's
+// all_reduce kernel is the one DeepBench entry with near-zero arithmetic
+// intensity (Deep_Red_Cu sits at the origin of Figure 2).
+func AllReduceFLOPs(elems, ranks int) units.FLOPs {
+	if ranks < 2 {
+		return 0
+	}
+	return units.FLOPs(float64(elems) * float64(ranks-1))
+}
+
+// RingAllReduce performs a real ring all-reduce (reduce-scatter followed by
+// all-gather, the algorithm NCCL uses) across len(bufs) goroutine "ranks",
+// each owning one equally-shaped buffer. On return every buffer holds the
+// element-wise sum across ranks. Data moves 2·(n−1)/n · size per rank,
+// exactly the traffic model internal/comm uses analytically.
+func RingAllReduce(bufs [][]float32) error {
+	n := len(bufs)
+	if n == 0 {
+		return fmt.Errorf("kernels: all-reduce with zero ranks")
+	}
+	size := len(bufs[0])
+	for i, b := range bufs {
+		if len(b) != size {
+			return fmt.Errorf("kernels: rank %d buffer size %d != %d", i, len(b), size)
+		}
+	}
+	if n == 1 || size == 0 {
+		return nil
+	}
+
+	// Partition each buffer into n chunks (last chunk absorbs remainder).
+	chunkBounds := func(c int) (int, int) {
+		per := size / n
+		lo := c * per
+		hi := lo + per
+		if c == n-1 {
+			hi = size
+		}
+		return lo, hi
+	}
+
+	// Per-rank inboxes carrying chunk payloads around the ring.
+	type msg struct {
+		chunk int
+		data  []float32
+	}
+	inbox := make([]chan msg, n)
+	for i := range inbox {
+		inbox[i] = make(chan msg, 1)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			next := (r + 1) % n
+			// Reduce-scatter: in step s, rank r sends chunk (r-s) and
+			// receives + accumulates chunk (r-s-1).
+			for s := 0; s < n-1; s++ {
+				sendChunk := ((r-s)%n + n) % n
+				lo, hi := chunkBounds(sendChunk)
+				payload := make([]float32, hi-lo)
+				copy(payload, bufs[r][lo:hi])
+				inbox[next] <- msg{chunk: sendChunk, data: payload}
+
+				m := <-inbox[r]
+				lo, hi = chunkBounds(m.chunk)
+				if hi-lo != len(m.data) {
+					errs[r] = fmt.Errorf("kernels: rank %d chunk %d size mismatch", r, m.chunk)
+					return
+				}
+				dst := bufs[r][lo:hi]
+				for i, v := range m.data {
+					dst[i] += v
+				}
+			}
+			// All-gather: circulate the fully reduced chunks.
+			for s := 0; s < n-1; s++ {
+				sendChunk := ((r+1-s)%n + n) % n
+				lo, hi := chunkBounds(sendChunk)
+				payload := make([]float32, hi-lo)
+				copy(payload, bufs[r][lo:hi])
+				inbox[next] <- msg{chunk: sendChunk, data: payload}
+
+				m := <-inbox[r]
+				lo, hi = chunkBounds(m.chunk)
+				copy(bufs[r][lo:hi], m.data)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

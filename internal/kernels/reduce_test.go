@@ -1,0 +1,105 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 4096, 100000} {
+		x := make([]float32, n)
+		var want float64
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+			want += float64(x[i])
+		}
+		got := Sum(x)
+		if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want))+1e-4 {
+			t.Errorf("Sum(n=%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestRingAllReduceSmall(t *testing.T) {
+	bufs := [][]float32{
+		{1, 2, 3, 4},
+		{10, 20, 30, 40},
+		{100, 200, 300, 400},
+	}
+	if err := RingAllReduce(bufs); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{111, 222, 333, 444}
+	for r, b := range bufs {
+		for i := range b {
+			if b[i] != want[i] {
+				t.Errorf("rank %d elem %d = %v, want %v", r, i, b[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRingAllReduceSingleRank(t *testing.T) {
+	bufs := [][]float32{{1, 2, 3}}
+	if err := RingAllReduce(bufs); err != nil {
+		t.Fatal(err)
+	}
+	if bufs[0][0] != 1 || bufs[0][2] != 3 {
+		t.Error("single-rank all-reduce must be identity")
+	}
+}
+
+func TestRingAllReduceErrors(t *testing.T) {
+	if err := RingAllReduce(nil); err == nil {
+		t.Error("zero ranks must error")
+	}
+	if err := RingAllReduce([][]float32{{1, 2}, {1}}); err == nil {
+		t.Error("mismatched sizes must error")
+	}
+}
+
+// Property (the paper's all-reduce invariant): after the collective, every
+// rank holds the element-wise global sum, for any rank count and size —
+// including sizes smaller than the rank count.
+func TestRingAllReduceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 2 + rng.Intn(7)
+		size := 1 + rng.Intn(50)
+		bufs := make([][]float32, ranks)
+		want := make([]float64, size)
+		for r := range bufs {
+			bufs[r] = make([]float32, size)
+			for i := range bufs[r] {
+				bufs[r][i] = float32(rng.Intn(100))
+				want[i] += float64(bufs[r][i])
+			}
+		}
+		if err := RingAllReduce(bufs); err != nil {
+			return false
+		}
+		for r := range bufs {
+			for i := range bufs[r] {
+				if math.Abs(float64(bufs[r][i])-want[i]) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllReduceFLOPs(t *testing.T) {
+	if got := AllReduceFLOPs(1000, 4); got != 3000 {
+		t.Errorf("AllReduceFLOPs = %v, want 3000", got)
+	}
+	if got := AllReduceFLOPs(1000, 1); got != 0 {
+		t.Errorf("single-rank all-reduce FLOPs = %v, want 0", got)
+	}
+}

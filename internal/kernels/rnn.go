@@ -1,0 +1,182 @@
+package kernels
+
+import (
+	"math"
+
+	"mlperf/internal/tensor"
+	"mlperf/internal/units"
+)
+
+// RNNKind enumerates the recurrent cell types DeepBench's rnn_bench covers
+// (Table II bottom: vanilla, GRU, LSTM).
+type RNNKind int
+
+// Cell kinds.
+const (
+	VanillaRNN RNNKind = iota
+	GRU
+	LSTM
+)
+
+// String names the cell kind.
+func (k RNNKind) String() string {
+	switch k {
+	case VanillaRNN:
+		return "vanilla"
+	case GRU:
+		return "gru"
+	case LSTM:
+		return "lstm"
+	default:
+		return "rnn?"
+	}
+}
+
+// gateCount returns the number of gate matrices the cell applies.
+func (k RNNKind) gateCount() int {
+	switch k {
+	case GRU:
+		return 3
+	case LSTM:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// RNNCell holds the weights of one recurrent cell: for each gate an
+// input-to-hidden matrix Wx [hidden, input] and a hidden-to-hidden matrix
+// Wh [hidden, hidden].
+type RNNCell struct {
+	Kind   RNNKind
+	Input  int
+	Hidden int
+	Wx     []*tensor.Tensor // one per gate
+	Wh     []*tensor.Tensor
+}
+
+// NewRNNCell allocates a cell with small deterministic weights: element
+// (i,j) = sin(i*cols+j) * scale, so tests are reproducible without an RNG.
+func NewRNNCell(kind RNNKind, input, hidden int) *RNNCell {
+	c := &RNNCell{Kind: kind, Input: input, Hidden: hidden}
+	g := kind.gateCount()
+	scale := float32(0.05)
+	fill := func(rows, cols, phase int) *tensor.Tensor {
+		t := tensor.New(rows, cols)
+		d := t.Data()
+		for i := range d {
+			d[i] = float32(math.Sin(float64(i+phase))) * scale
+		}
+		return t
+	}
+	for i := 0; i < g; i++ {
+		c.Wx = append(c.Wx, fill(hidden, input, i*131))
+		c.Wh = append(c.Wh, fill(hidden, hidden, i*257+17))
+	}
+	return c
+}
+
+// StepFLOPs returns the per-timestep FLOP count for batch size n: each gate
+// performs two GEMMs (input and recurrent) plus elementwise work.
+func (c *RNNCell) StepFLOPs(batch int) units.FLOPs {
+	g := float64(c.Kind.gateCount())
+	gemms := g * (2*float64(batch)*float64(c.Hidden)*float64(c.Input) +
+		2*float64(batch)*float64(c.Hidden)*float64(c.Hidden))
+	elem := 10 * float64(batch) * float64(c.Hidden)
+	return units.FLOPs(gemms + elem)
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+func tanh32(x float32) float32 {
+	return float32(math.Tanh(float64(x)))
+}
+
+// Step advances the cell one timestep. x is [batch, input]; h (and cell
+// state cs for LSTM) are [batch, hidden] and are replaced by the returned
+// tensors. For non-LSTM kinds cs may be nil and the returned cs is nil.
+func (c *RNNCell) Step(x, h, cs *tensor.Tensor) (hNew, csNew *tensor.Tensor) {
+	switch c.Kind {
+	case VanillaRNN:
+		pre := addInto(GEMMTransB(x, c.Wx[0]), GEMMTransB(h, c.Wh[0]))
+		applyUnary(pre, tanh32)
+		return pre, nil
+	case GRU:
+		z := addInto(GEMMTransB(x, c.Wx[0]), GEMMTransB(h, c.Wh[0]))
+		applyUnary(z, sigmoid)
+		r := addInto(GEMMTransB(x, c.Wx[1]), GEMMTransB(h, c.Wh[1]))
+		applyUnary(r, sigmoid)
+		rh := h.Clone()
+		mulInto(rh, r)
+		n := addInto(GEMMTransB(x, c.Wx[2]), GEMMTransB(rh, c.Wh[2]))
+		applyUnary(n, tanh32)
+		// h' = (1-z)*n + z*h
+		out := tensor.New(h.Shape()[0], h.Shape()[1])
+		od, zd, nd, hd := out.Data(), z.Data(), n.Data(), h.Data()
+		for i := range od {
+			od[i] = (1-zd[i])*nd[i] + zd[i]*hd[i]
+		}
+		return out, nil
+	case LSTM:
+		if cs == nil {
+			cs = tensor.New(h.Shape()[0], h.Shape()[1])
+		}
+		gate := func(g int, act func(float32) float32) *tensor.Tensor {
+			t := addInto(GEMMTransB(x, c.Wx[g]), GEMMTransB(h, c.Wh[g]))
+			applyUnary(t, act)
+			return t
+		}
+		i := gate(0, sigmoid)
+		f := gate(1, sigmoid)
+		g := gate(2, tanh32)
+		o := gate(3, sigmoid)
+		csNew = tensor.New(h.Shape()[0], h.Shape()[1])
+		cd, id, fd, gd, prev := csNew.Data(), i.Data(), f.Data(), g.Data(), cs.Data()
+		for k := range cd {
+			cd[k] = fd[k]*prev[k] + id[k]*gd[k]
+		}
+		hNew = tensor.New(h.Shape()[0], h.Shape()[1])
+		hd, od := hNew.Data(), o.Data()
+		for k := range hd {
+			hd[k] = od[k] * tanh32(cd[k])
+		}
+		return hNew, csNew
+	default:
+		panic("kernels: unknown RNN kind")
+	}
+}
+
+// RunSequence unrolls the cell over seq timesteps of input [batch, input]
+// and returns the final hidden state.
+func (c *RNNCell) RunSequence(xs []*tensor.Tensor, batch int) *tensor.Tensor {
+	h := tensor.New(batch, c.Hidden)
+	var cs *tensor.Tensor
+	for _, x := range xs {
+		h, cs = c.Step(x, h, cs)
+	}
+	return h
+}
+
+func addInto(dst, src *tensor.Tensor) *tensor.Tensor {
+	dd, sd := dst.Data(), src.Data()
+	for i := range dd {
+		dd[i] += sd[i]
+	}
+	return dst
+}
+
+func mulInto(dst, src *tensor.Tensor) {
+	dd, sd := dst.Data(), src.Data()
+	for i := range dd {
+		dd[i] *= sd[i]
+	}
+}
+
+func applyUnary(t *tensor.Tensor, f func(float32) float32) {
+	d := t.Data()
+	for i := range d {
+		d[i] = f(d[i])
+	}
+}

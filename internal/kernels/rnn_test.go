@@ -1,0 +1,112 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlperf/internal/tensor"
+)
+
+func TestRNNShapes(t *testing.T) {
+	for _, kind := range []RNNKind{VanillaRNN, GRU, LSTM} {
+		c := NewRNNCell(kind, 8, 16)
+		x := tensor.New(4, 8)
+		h := tensor.New(4, 16)
+		hNew, cs := c.Step(x, h, nil)
+		if !hNew.Shape().Equal(tensor.Shape{4, 16}) {
+			t.Errorf("%v: h' shape %v", kind, hNew.Shape())
+		}
+		if kind == LSTM && cs == nil {
+			t.Errorf("LSTM must return a cell state")
+		}
+		if kind != LSTM && cs != nil {
+			t.Errorf("%v must not return a cell state", kind)
+		}
+	}
+}
+
+func TestVanillaRNNStepMatchesManual(t *testing.T) {
+	c := NewRNNCell(VanillaRNN, 2, 3)
+	x := tensor.FromSlice([]float32{0.5, -0.25}, 1, 2)
+	h := tensor.FromSlice([]float32{0.1, 0.2, -0.3}, 1, 3)
+	got, _ := c.Step(x, h, nil)
+	for j := 0; j < 3; j++ {
+		var pre float64
+		for i := 0; i < 2; i++ {
+			pre += float64(x.At(0, i)) * float64(c.Wx[0].At(j, i))
+		}
+		for i := 0; i < 3; i++ {
+			pre += float64(h.At(0, i)) * float64(c.Wh[0].At(j, i))
+		}
+		want := math.Tanh(pre)
+		if math.Abs(float64(got.At(0, j))-want) > 1e-5 {
+			t.Errorf("h'[%d] = %v, want %v", j, got.At(0, j), want)
+		}
+	}
+}
+
+func TestRNNOutputsBounded(t *testing.T) {
+	// tanh-activated hidden states must stay in (-1, 1); sigmoid-gated
+	// states are convex combinations so remain bounded too.
+	rng := rand.New(rand.NewSource(9))
+	for _, kind := range []RNNKind{VanillaRNN, GRU, LSTM} {
+		c := NewRNNCell(kind, 4, 8)
+		xs := make([]*tensor.Tensor, 10)
+		for i := range xs {
+			xs[i] = tensor.Randn(rng, 2, 4)
+		}
+		h := c.RunSequence(xs, 2)
+		for _, v := range h.Data() {
+			if math.IsNaN(float64(v)) || math.Abs(float64(v)) >= 1.0001 {
+				t.Errorf("%v: hidden value %v out of bounds", kind, v)
+			}
+		}
+	}
+}
+
+func TestLSTMZeroInputZeroState(t *testing.T) {
+	// With zero input and zero state, i,f,o = sigmoid(0) = 0.5 and g =
+	// tanh(0) = 0, so c' = 0 and h' = 0.
+	c := NewRNNCell(LSTM, 4, 4)
+	x := tensor.New(1, 4)
+	h := tensor.New(1, 4)
+	hNew, cNew := c.Step(x, h, nil)
+	for i, v := range hNew.Data() {
+		if v != 0 {
+			t.Errorf("h'[%d] = %v, want 0", i, v)
+		}
+	}
+	for i, v := range cNew.Data() {
+		if v != 0 {
+			t.Errorf("c'[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestStepFLOPsGateScaling(t *testing.T) {
+	// LSTM has 4 gates, vanilla has 1: GEMM FLOPs must scale 4x.
+	v := NewRNNCell(VanillaRNN, 512, 512)
+	l := NewRNNCell(LSTM, 512, 512)
+	ratio := float64(l.StepFLOPs(16)) / float64(v.StepFLOPs(16))
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("LSTM/vanilla FLOP ratio = %v, want ~4", ratio)
+	}
+	g := NewRNNCell(GRU, 512, 512)
+	ratio = float64(g.StepFLOPs(16)) / float64(v.StepFLOPs(16))
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Errorf("GRU/vanilla FLOP ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestRNNDeterministic(t *testing.T) {
+	mk := func() *tensor.Tensor {
+		c := NewRNNCell(GRU, 8, 8)
+		rng := rand.New(rand.NewSource(4))
+		xs := []*tensor.Tensor{tensor.Randn(rng, 3, 8), tensor.Randn(rng, 3, 8)}
+		return c.RunSequence(xs, 3)
+	}
+	if !tensor.AllClose(mk(), mk(), 0) {
+		t.Error("RNN sequence run is nondeterministic")
+	}
+}

@@ -1,0 +1,356 @@
+// Package minigo is a real, minimal Go engine — board rules, Monte-Carlo
+// tree search, and a self-play training loop — standing in for MLPerf
+// v0.5's reinforcement-learning benchmark (a minigo fork), which the paper
+// excludes for lack of a GPU submission. Here the whole loop executes for
+// real at small board sizes: MCTS self-play generates positions, a policy
+// network (package train) learns to predict the searched moves, and
+// quality is measured as win rate against a reference player — the
+// time-to-quality protocol of the RL benchmark in miniature.
+package minigo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Color is a stone color.
+type Color int8
+
+// Colors.
+const (
+	Empty Color = iota
+	Black
+	White
+)
+
+// Opponent returns the other player.
+func (c Color) Opponent() Color {
+	switch c {
+	case Black:
+		return White
+	case White:
+		return Black
+	default:
+		return Empty
+	}
+}
+
+// String names the color.
+func (c Color) String() string {
+	switch c {
+	case Black:
+		return "black"
+	case White:
+		return "white"
+	default:
+		return "empty"
+	}
+}
+
+// Pass is the move index meaning "pass".
+const Pass = -1
+
+// Board is a square Go board with positional-superko tracking.
+type Board struct {
+	Size   int
+	cells  []Color
+	toPlay Color
+	// history holds the position keys seen so far (positional superko).
+	history map[string]bool
+	// passes counts consecutive passes; two ends the game.
+	passes int
+	// moves counts total moves played.
+	moves int
+}
+
+// NewBoard creates an empty board with Black to play.
+func NewBoard(size int) *Board {
+	if size < 2 || size > 19 {
+		panic(fmt.Sprintf("minigo: board size %d", size))
+	}
+	b := &Board{
+		Size:    size,
+		cells:   make([]Color, size*size),
+		toPlay:  Black,
+		history: make(map[string]bool),
+	}
+	b.history[b.key()] = true
+	return b
+}
+
+// Clone deep-copies the board.
+func (b *Board) Clone() *Board {
+	c := &Board{
+		Size:    b.Size,
+		cells:   append([]Color(nil), b.cells...),
+		toPlay:  b.toPlay,
+		history: make(map[string]bool, len(b.history)),
+		passes:  b.passes,
+		moves:   b.moves,
+	}
+	for k := range b.history {
+		c.history[k] = true
+	}
+	return c
+}
+
+// ToPlay returns whose turn it is.
+func (b *Board) ToPlay() Color { return b.toPlay }
+
+// At returns the stone at index i (row*Size+col).
+func (b *Board) At(i int) Color { return b.cells[i] }
+
+// Moves returns the number of moves played.
+func (b *Board) Moves() int { return b.moves }
+
+// GameOver reports whether two consecutive passes ended the game.
+func (b *Board) GameOver() bool { return b.passes >= 2 }
+
+// key serializes the position plus the player to move.
+func (b *Board) key() string {
+	var sb strings.Builder
+	sb.Grow(len(b.cells) + 1)
+	for _, c := range b.cells {
+		sb.WriteByte(byte('0' + c))
+	}
+	sb.WriteByte(byte('0' + b.toPlay))
+	return sb.String()
+}
+
+// neighbors appends the orthogonal neighbors of i to buf.
+func (b *Board) neighbors(i int, buf []int) []int {
+	r, c := i/b.Size, i%b.Size
+	if r > 0 {
+		buf = append(buf, i-b.Size)
+	}
+	if r < b.Size-1 {
+		buf = append(buf, i+b.Size)
+	}
+	if c > 0 {
+		buf = append(buf, i-1)
+	}
+	if c < b.Size-1 {
+		buf = append(buf, i+1)
+	}
+	return buf
+}
+
+// group flood-fills the chain containing i, returning its stones and
+// whether it has at least one liberty.
+func (b *Board) group(i int) (stones []int, hasLiberty bool) {
+	color := b.cells[i]
+	seen := make([]bool, len(b.cells))
+	stack := []int{i}
+	seen[i] = true
+	var nbuf [4]int
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stones = append(stones, cur)
+		for _, n := range b.neighbors(cur, nbuf[:0]) {
+			switch b.cells[n] {
+			case Empty:
+				hasLiberty = true
+			case color:
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+	}
+	return stones, hasLiberty
+}
+
+// tryPlay applies the move on a scratch board, returning the resulting
+// cells and capture count, or an error for illegal moves (occupied,
+// suicide). Superko is checked by the caller.
+func (b *Board) tryPlay(i int, who Color) ([]Color, int, error) {
+	if b.cells[i] != Empty {
+		return nil, 0, fmt.Errorf("minigo: point %d occupied", i)
+	}
+	scratch := &Board{Size: b.Size, cells: append([]Color(nil), b.cells...)}
+	scratch.cells[i] = who
+	// Remove opponent chains left without liberties.
+	captured := 0
+	var nbuf [4]int
+	for _, n := range scratch.neighbors(i, nbuf[:0]) {
+		if scratch.cells[n] == who.Opponent() {
+			stones, lib := scratch.group(n)
+			if !lib {
+				for _, s := range stones {
+					scratch.cells[s] = Empty
+				}
+				captured += len(stones)
+			}
+		}
+	}
+	// Suicide check.
+	if _, lib := scratch.group(i); !lib {
+		return nil, 0, fmt.Errorf("minigo: suicide at %d", i)
+	}
+	return scratch.cells, captured, nil
+}
+
+// Legal reports whether the move (or Pass) is legal for the current
+// player, including the positional-superko rule.
+func (b *Board) Legal(i int) bool {
+	if b.GameOver() {
+		return false
+	}
+	if i == Pass {
+		return true
+	}
+	if i < 0 || i >= len(b.cells) {
+		return false
+	}
+	cells, _, err := b.tryPlay(i, b.toPlay)
+	if err != nil {
+		return false
+	}
+	next := &Board{Size: b.Size, cells: cells, toPlay: b.toPlay.Opponent()}
+	return !b.history[next.key()]
+}
+
+// Play applies a legal move (or Pass) and flips the turn.
+func (b *Board) Play(i int) error {
+	if b.GameOver() {
+		return fmt.Errorf("minigo: game over")
+	}
+	if i == Pass {
+		b.passes++
+		b.moves++
+		b.toPlay = b.toPlay.Opponent()
+		b.history[b.key()] = true
+		return nil
+	}
+	if !b.Legal(i) {
+		return fmt.Errorf("minigo: illegal move %d for %v", i, b.toPlay)
+	}
+	cells, _, err := b.tryPlay(i, b.toPlay)
+	if err != nil {
+		return err
+	}
+	b.cells = cells
+	b.passes = 0
+	b.moves++
+	b.toPlay = b.toPlay.Opponent()
+	b.history[b.key()] = true
+	return nil
+}
+
+// LegalMoves returns all legal stone placements (Pass is always legal and
+// not included).
+func (b *Board) LegalMoves() []int {
+	var out []int
+	for i := range b.cells {
+		if b.Legal(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Score computes area scores (stones + territory surrounded by exactly
+// one color). Komi is added to White.
+func (b *Board) Score(komi float64) (black, white float64) {
+	seen := make([]bool, len(b.cells))
+	var nbuf [4]int
+	for i, c := range b.cells {
+		switch c {
+		case Black:
+			black++
+		case White:
+			white++
+		case Empty:
+			if seen[i] {
+				continue
+			}
+			// Flood-fill the empty region, noting bordering colors.
+			region := []int{i}
+			seen[i] = true
+			stack := []int{i}
+			touchBlack, touchWhite := false, false
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, n := range b.neighbors(cur, nbuf[:0]) {
+					switch b.cells[n] {
+					case Black:
+						touchBlack = true
+					case White:
+						touchWhite = true
+					case Empty:
+						if !seen[n] {
+							seen[n] = true
+							region = append(region, n)
+							stack = append(stack, n)
+						}
+					}
+				}
+			}
+			if touchBlack && !touchWhite {
+				black += float64(len(region))
+			} else if touchWhite && !touchBlack {
+				white += float64(len(region))
+			}
+		}
+	}
+	return black, white + komi
+}
+
+// Winner returns the winner under the komi, or Empty for a draw.
+func (b *Board) Winner(komi float64) Color {
+	black, white := b.Score(komi)
+	switch {
+	case black > white:
+		return Black
+	case white > black:
+		return White
+	default:
+		return Empty
+	}
+}
+
+// String renders the board.
+func (b *Board) String() string {
+	var sb strings.Builder
+	for r := 0; r < b.Size; r++ {
+		for c := 0; c < b.Size; c++ {
+			switch b.cells[r*b.Size+c] {
+			case Black:
+				sb.WriteByte('X')
+			case White:
+				sb.WriteByte('O')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Planes encodes the position as the policy network's input features:
+// own stones, opponent stones, and a to-play plane, flattened.
+func (b *Board) Planes() []float64 {
+	n := len(b.cells)
+	out := make([]float64, 3*n)
+	me := b.toPlay
+	for i, c := range b.cells {
+		switch c {
+		case me:
+			out[i] = 1
+		case me.Opponent():
+			out[n+i] = 1
+		}
+	}
+	fill := 0.0
+	if me == Black {
+		fill = 1
+	}
+	for i := 2 * n; i < 3*n; i++ {
+		out[i] = fill
+	}
+	return out
+}

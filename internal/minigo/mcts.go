@@ -1,0 +1,176 @@
+package minigo
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Policy scores candidate moves for a position: it returns a prior weight
+// per board point (len Size*Size); nil priors mean uniform. The self-play
+// loop plugs the trained network in here.
+type Policy func(b *Board) []float64
+
+// MCTS is a Monte-Carlo tree searcher with UCT selection, optional policy
+// priors (PUCT-style), and random-playout evaluation — the search at the
+// heart of the minigo benchmark.
+type MCTS struct {
+	// Playouts per move decision.
+	Playouts int
+	// Komi for terminal scoring.
+	Komi float64
+	// Prior, if set, biases selection toward policy-preferred moves.
+	Prior Policy
+	// MaxRolloutMoves caps playout length (guards against pathological
+	// superko dances).
+	MaxRolloutMoves int
+
+	rng *rand.Rand
+}
+
+// NewMCTS builds a searcher with the given playout budget.
+func NewMCTS(playouts int, komi float64, seed int64) *MCTS {
+	return &MCTS{
+		Playouts:        playouts,
+		Komi:            komi,
+		MaxRolloutMoves: 0, // set per board in BestMove
+		rng:             rand.New(rand.NewSource(seed)),
+	}
+}
+
+type node struct {
+	move     int // move that led here (Pass allowed)
+	parent   *node
+	children []*node
+	untried  []int
+	visits   int
+	wins     float64 // from the perspective of the player who just moved
+	prior    float64
+}
+
+// BestMove searches from the position and returns the chosen move (may be
+// Pass) plus the visit distribution over moves (for training targets).
+func (m *MCTS) BestMove(b *Board) (int, map[int]float64) {
+	if b.GameOver() {
+		return Pass, nil
+	}
+	maxMoves := m.MaxRolloutMoves
+	if maxMoves <= 0 {
+		maxMoves = 4 * b.Size * b.Size
+	}
+	root := &node{move: Pass, untried: append(b.LegalMoves(), Pass)}
+
+	var priors []float64
+	if m.Prior != nil {
+		priors = m.Prior(b)
+	}
+
+	for p := 0; p < m.Playouts; p++ {
+		bb := b.Clone()
+		n := root
+		// Selection.
+		for len(n.untried) == 0 && len(n.children) > 0 && !bb.GameOver() {
+			n = m.selectChild(n)
+			_ = bb.Play(n.move)
+		}
+		// Expansion.
+		if len(n.untried) > 0 && !bb.GameOver() {
+			idx := m.rng.Intn(len(n.untried))
+			mv := n.untried[idx]
+			n.untried[idx] = n.untried[len(n.untried)-1]
+			n.untried = n.untried[:len(n.untried)-1]
+			if mv != Pass && !bb.Legal(mv) {
+				// Legality may have changed along the tree path.
+				continue
+			}
+			_ = bb.Play(mv)
+			child := &node{move: mv, parent: n}
+			if !bb.GameOver() {
+				child.untried = append(bb.LegalMoves(), Pass)
+			}
+			if priors != nil && n == root && mv != Pass {
+				child.prior = priors[mv]
+			}
+			n.children = append(n.children, child)
+			n = child
+		}
+		// Rollout.
+		winner := m.rollout(bb, maxMoves)
+		// Backpropagation: wins are credited to the player who made the
+		// node's move (i.e. the opponent of bb.toPlay at that node).
+		for ; n != nil; n = n.parent {
+			n.visits++
+			// The player who moved into node n:
+			mover := moverOf(b, n)
+			if winner == mover {
+				n.wins++
+			} else if winner == Empty {
+				n.wins += 0.5
+			}
+		}
+	}
+
+	if len(root.children) == 0 {
+		return Pass, nil
+	}
+	best := root.children[0]
+	dist := make(map[int]float64, len(root.children))
+	total := 0.0
+	for _, c := range root.children {
+		dist[c.move] = float64(c.visits)
+		total += float64(c.visits)
+		if c.visits > best.visits {
+			best = c
+		}
+	}
+	for mv := range dist {
+		dist[mv] /= total
+	}
+	return best.move, dist
+}
+
+// moverOf determines which color made node n's move, by walking the depth
+// from the root: the root position has b.ToPlay() to move.
+func moverOf(rootBoard *Board, n *node) Color {
+	depth := 0
+	for p := n; p.parent != nil; p = p.parent {
+		depth++
+	}
+	// depth 1 = root player's move.
+	if depth%2 == 1 {
+		return rootBoard.ToPlay()
+	}
+	return rootBoard.ToPlay().Opponent()
+}
+
+// selectChild picks the UCT/PUCT-maximizing child.
+func (m *MCTS) selectChild(n *node) *node {
+	const c = 1.4
+	const cPrior = 2.0
+	var best *node
+	bestScore := math.Inf(-1)
+	for _, ch := range n.children {
+		exploit := ch.wins / float64(ch.visits)
+		explore := c * math.Sqrt(math.Log(float64(n.visits))/float64(ch.visits))
+		score := exploit + explore + cPrior*ch.prior/float64(1+ch.visits)
+		if score > bestScore {
+			best, bestScore = ch, score
+		}
+	}
+	return best
+}
+
+// rollout plays uniformly random legal moves until the game ends (or the
+// cap), then scores.
+func (m *MCTS) rollout(b *Board, maxMoves int) Color {
+	for steps := 0; !b.GameOver() && steps < maxMoves; steps++ {
+		moves := b.LegalMoves()
+		// Pass with small probability or when nothing else is legal,
+		// so games terminate.
+		if len(moves) == 0 || m.rng.Float64() < 0.05 {
+			_ = b.Play(Pass)
+			continue
+		}
+		_ = b.Play(moves[m.rng.Intn(len(moves))])
+	}
+	return b.Winner(m.Komi)
+}

@@ -1,0 +1,172 @@
+package minigo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMCTSReturnsLegalMove(t *testing.T) {
+	b := NewBoard(4)
+	m := NewMCTS(100, 0.5, 1)
+	mv, dist := m.BestMove(b)
+	if mv != Pass && !b.Legal(mv) {
+		t.Fatalf("MCTS returned illegal move %d", mv)
+	}
+	if len(dist) == 0 {
+		t.Fatal("no visit distribution")
+	}
+	var total float64
+	for _, p := range dist {
+		if p < 0 {
+			t.Error("negative visit share")
+		}
+		total += p
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("visit distribution sums to %v", total)
+	}
+}
+
+func TestMCTSGameOver(t *testing.T) {
+	b := NewBoard(3)
+	_ = b.Play(Pass)
+	_ = b.Play(Pass)
+	m := NewMCTS(50, 0.5, 2)
+	if mv, _ := m.BestMove(b); mv != Pass {
+		t.Errorf("move %d on a finished game", mv)
+	}
+}
+
+// TestMCTSFindsWinningCapture: a position where Black wins only by
+// capturing the white intruder in atari — any other move leaves White
+// ahead on territory. The searcher must find the capture.
+func TestMCTSFindsWinningCapture(t *testing.T) {
+	// 4x4: Black wall on column 1 plus the corner, White wall on column 2
+	// plus an intruder at 4 whose only liberty is 8. At komi -0.5 Black
+	// wins iff the intruder dies (area 8 vs 7.5); otherwise column 0 is
+	// neutral and White is comfortably ahead.
+	b := NewBoard(4)
+	mustPlay(t, b, 1)  // B
+	mustPlay(t, b, 2)  // W
+	mustPlay(t, b, 5)  // B
+	mustPlay(t, b, 6)  // W
+	mustPlay(t, b, 9)  // B
+	mustPlay(t, b, 10) // W
+	mustPlay(t, b, 13) // B
+	mustPlay(t, b, 14) // W
+	mustPlay(t, b, 0)  // B corner
+	mustPlay(t, b, 4)  // W intruder, one liberty (8)
+	m := NewMCTS(2000, -0.5, 3)
+	mv, _ := m.BestMove(b)
+	if mv != 8 {
+		t.Errorf("MCTS chose %d, want the capture at 8\n%s", mv, b)
+	}
+}
+
+// TestMCTSBeatsRandom: a modest-playout searcher must beat a uniform
+// random player convincingly on 4x4.
+func TestMCTSBeatsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	wins := 0.0
+	const games = 10
+	for g := 0; g < games; g++ {
+		b := NewBoard(4)
+		m := NewMCTS(60, 0.5, int64(g))
+		mctsColor := Black
+		if g%2 == 1 {
+			mctsColor = White
+		}
+		for !b.GameOver() && b.Moves() < 48 {
+			var mv int
+			if b.ToPlay() == mctsColor {
+				mv, _ = m.BestMove(b)
+			} else {
+				legal := b.LegalMoves()
+				if len(legal) == 0 || rng.Float64() < 0.05 {
+					mv = Pass
+				} else {
+					mv = legal[rng.Intn(len(legal))]
+				}
+			}
+			if err := b.Play(mv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		switch b.Winner(0.5) {
+		case mctsColor:
+			wins++
+		case Empty:
+			wins += 0.5
+		}
+	}
+	if rate := wins / games; rate < 0.7 {
+		t.Errorf("MCTS win rate vs random = %.2f, want >= 0.7", rate)
+	}
+}
+
+func TestSelfPlayProducesExamples(t *testing.T) {
+	ex := SelfPlay(4, 30, 0.5, 5)
+	if len(ex) == 0 {
+		t.Fatal("no examples")
+	}
+	for _, e := range ex {
+		if len(e.Planes) != 3*16 {
+			t.Fatalf("planes length %d", len(e.Planes))
+		}
+		if e.Move < 0 || e.Move >= 16 {
+			t.Fatalf("move %d out of range", e.Move)
+		}
+	}
+}
+
+// TestMiniGoTimeToQuality is the RL benchmark executing for real: the
+// behavior-cloned policy must learn to beat a random player.
+func TestMiniGoTimeToQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-play loop in -short mode")
+	}
+	res, err := TrainToWinRate(4, 4, 40, 0.7, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Examples == 0 {
+		t.Fatal("no training data generated")
+	}
+	if !res.Reached {
+		t.Errorf("win-rate target not reached: %.2f after %d games", res.WinRate, res.Games)
+	}
+}
+
+func TestTrainToWinRateBadConfig(t *testing.T) {
+	if _, err := TrainToWinRate(1, 1, 1, 0.5, 1, 1); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestAgentPriorShapesSearch(t *testing.T) {
+	a, err := NewAgent(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBoard(4)
+	pr := a.Prior()(b)
+	if len(pr) != 16 {
+		t.Fatalf("prior length %d", len(pr))
+	}
+	var sum float64
+	for _, p := range pr {
+		if p < 0 {
+			t.Error("negative prior")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("prior sums to %v", sum)
+	}
+	// An MCTS with the prior wired in must still return legal moves.
+	m := NewMCTS(50, 0.5, 4)
+	m.Prior = a.Prior()
+	if mv, _ := m.BestMove(b); mv != Pass && !b.Legal(mv) {
+		t.Error("prior-guided MCTS returned illegal move")
+	}
+}

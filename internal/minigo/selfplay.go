@@ -1,0 +1,225 @@
+package minigo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mlperf/internal/train"
+)
+
+// Example is one self-play training example: position features and the
+// move the search chose.
+type Example struct {
+	Planes []float64
+	Move   int // board index; Pass positions are not collected
+}
+
+// SelfPlay plays one MCTS-vs-MCTS game on a fresh board and returns the
+// (position, searched move) examples — the data-generation half of the
+// minigo loop.
+func SelfPlay(size, playouts int, komi float64, seed int64) []Example {
+	return SelfPlayWithPrior(size, playouts, komi, seed, nil)
+}
+
+// SelfPlayWithPrior is SelfPlay with a policy prior guiding the search —
+// the AlphaGo-Zero iteration, where each generation's network shapes the
+// next generation's games.
+func SelfPlayWithPrior(size, playouts int, komi float64, seed int64, prior Policy) []Example {
+	b := NewBoard(size)
+	m := NewMCTS(playouts, komi, seed)
+	m.Prior = prior
+	var out []Example
+	maxMoves := 3 * size * size
+	for !b.GameOver() && b.Moves() < maxMoves {
+		mv, _ := m.BestMove(b)
+		if mv != Pass {
+			out = append(out, Example{Planes: b.Planes(), Move: mv})
+		}
+		if err := b.Play(mv); err != nil {
+			break
+		}
+	}
+	return out
+}
+
+// Agent wraps a trained policy classifier as a player and as an MCTS
+// prior.
+type Agent struct {
+	Size int
+	clf  *train.Classifier
+}
+
+// NewAgent builds an untrained policy agent for the board size.
+func NewAgent(size int, seed int64) (*Agent, error) {
+	rng := rand.New(rand.NewSource(seed))
+	clf, err := train.NewClassifier(rng, 3*size*size, []int{64}, size*size, 0.02, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{Size: size, clf: clf}, nil
+}
+
+// TrainOn behavior-clones the searched moves for one epoch, returning the
+// mean training loss.
+func (a *Agent) TrainOn(examples []Example, rng *rand.Rand) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	order := rng.Perm(len(examples))
+	var loss float64
+	for _, i := range order {
+		loss += a.clf.Step(examples[i].Planes, examples[i].Move)
+	}
+	return loss / float64(len(examples))
+}
+
+// Prior returns the policy as an MCTS prior function.
+func (a *Agent) Prior() Policy {
+	return func(b *Board) []float64 {
+		return a.probs(b)
+	}
+}
+
+// probs returns softmax move probabilities masked to the board.
+func (a *Agent) probs(b *Board) []float64 {
+	logits := make([]float64, a.Size*a.Size)
+	d := make([]float64, a.Size*a.Size)
+	copy(logits, a.rawLogits(b))
+	// Softmax via train.SoftmaxCE's normalization trick: reuse a local
+	// implementation to avoid fake labels.
+	maxV := logits[0]
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(clamp(v - maxV))
+		d[i] = e
+		sum += e
+	}
+	for i := range d {
+		d[i] /= sum
+	}
+	return d
+}
+
+func (a *Agent) rawLogits(b *Board) []float64 {
+	return train.ClassifierLogits(a.clf, b.Planes())
+}
+
+// Move picks the best legal move according to the policy (greedy), or
+// Pass if nothing is legal.
+func (a *Agent) Move(b *Board, rng *rand.Rand) int {
+	probs := a.probs(b)
+	best, bestP := Pass, -1.0
+	for _, mv := range b.LegalMoves() {
+		if probs[mv] > bestP {
+			best, bestP = mv, probs[mv]
+		}
+	}
+	return best
+}
+
+func clamp(x float64) float64 {
+	if x > 30 {
+		return 30
+	}
+	if x < -30 {
+		return -30
+	}
+	return x
+}
+
+// RunResult reports one generation of the minigo loop.
+type RunResult struct {
+	Games     int
+	Examples  int
+	WinRate   float64
+	Reached   bool
+	Elapsed   time.Duration
+	MeanLoss  float64
+	Benchmark string
+}
+
+// TrainToWinRate runs the minigo time-to-quality loop on a small board:
+// generate self-play games with MCTS, behavior-clone the searched moves,
+// and evaluate the policy (greedy, no search) against a uniform-random
+// player until it wins at least `target` of evaluation games.
+func TrainToWinRate(size, games, playouts int, target float64, maxGenerations int, seed int64) (*RunResult, error) {
+	if size < 3 || games < 1 || playouts < 1 {
+		return nil, fmt.Errorf("minigo: bad loop config (size %d, games %d, playouts %d)", size, games, playouts)
+	}
+	agent, err := NewAgent(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	komi := 0.5
+	res := &RunResult{Benchmark: "MLPf_MiniGo_RL (real, reduced scale)"}
+	start := time.Now()
+	for gen := 0; gen < maxGenerations; gen++ {
+		// From the second generation on, the improving policy guides the
+		// search (AlphaGo-Zero's loop).
+		var prior Policy
+		if gen > 0 {
+			prior = agent.Prior()
+		}
+		var examples []Example
+		for g := 0; g < games; g++ {
+			examples = append(examples, SelfPlayWithPrior(size, playouts, komi, seed+int64(gen*1000+g), prior)...)
+		}
+		res.Games += games
+		res.Examples += len(examples)
+		for epoch := 0; epoch < 3; epoch++ {
+			res.MeanLoss = agent.TrainOn(examples, rng)
+		}
+		res.WinRate = EvalVsRandom(agent, size, komi, 30, rng)
+		if res.WinRate >= target {
+			res.Reached = true
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// EvalVsRandom plays the greedy policy against a uniform-random player,
+// alternating colors, and returns the policy's win rate.
+func EvalVsRandom(a *Agent, size int, komi float64, games int, rng *rand.Rand) float64 {
+	wins := 0.0
+	for g := 0; g < games; g++ {
+		b := NewBoard(size)
+		agentColor := Black
+		if g%2 == 1 {
+			agentColor = White
+		}
+		maxMoves := 3 * size * size
+		for !b.GameOver() && b.Moves() < maxMoves {
+			var mv int
+			if b.ToPlay() == agentColor {
+				mv = a.Move(b, rng)
+			} else {
+				legal := b.LegalMoves()
+				if len(legal) == 0 || rng.Float64() < 0.05 {
+					mv = Pass
+				} else {
+					mv = legal[rng.Intn(len(legal))]
+				}
+			}
+			if err := b.Play(mv); err != nil {
+				break
+			}
+		}
+		switch b.Winner(komi) {
+		case agentColor:
+			wins++
+		case Empty:
+			wins += 0.5
+		}
+	}
+	return wins / float64(games)
+}

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// DeepBench entries are not end-to-end networks but bags of kernels; we
+// model each benchmark as a Network whose layers are the kernel
+// configurations from the DeepBench repository (Table II bottom), so the
+// same aggregate queries work across all three suites.
+
+// DeepGEMM builds the gemm_bench aggregate: representative training GEMM
+// sizes from the DeepBench kernel list.
+func DeepGEMM() *Network {
+	n := &Network{Name: "DeepBench GEMM", InputBytes: 0}
+	sizes := []struct{ m, nn, k int }{
+		{1760, 16, 1760}, {1760, 32, 1760}, {1760, 64, 1760},
+		{1760, 128, 1760}, {2048, 16, 2048}, {2048, 32, 2048},
+		{2560, 64, 2560}, {4096, 16, 4096}, {3072, 128, 1024},
+	}
+	for i, s := range sizes {
+		// For a standalone kernel the traffic is exactly the operand
+		// movement: A, B and C, with no cross-layer reuse — the reason
+		// DeepBench sits at low arithmetic intensity in Figure 2.
+		n.Add(Layer{
+			Name:     fmt.Sprintf("gemm%d_%dx%dx%d", i, s.m, s.nn, s.k),
+			Kind:     Dense,
+			FwdFLOPs: units.FLOPs(2 * float64(s.m) * float64(s.nn) * float64(s.k)),
+			Params:   int64(s.m) * int64(s.k),
+			ActBytes: units.Bytes(s.m*s.k + s.k*s.nn + s.m*s.nn), // x4 traffic factor applies
+		})
+	}
+	return n
+}
+
+// DeepConv builds the conv_bench aggregate: representative training
+// convolution configurations (DeepSpeech-, vision- and OCR-shaped).
+func DeepConv() *Network {
+	n := &Network{Name: "DeepBench Conv", InputBytes: 0}
+	specs := []struct {
+		cin, h, w, cout, k, stride, pad int
+	}{
+		{1, 700, 161, 32, 5, 2, 0},
+		{32, 341, 79, 32, 5, 1, 2},
+		{3, 224, 224, 64, 7, 2, 3},
+		{64, 56, 56, 256, 1, 1, 0},
+		{256, 28, 28, 512, 3, 1, 1},
+		{512, 7, 7, 512, 3, 1, 1},
+	}
+	for i, s := range specs {
+		n.Add(conv(fmt.Sprintf("conv%d", i), s.cin, s.h, s.w, s.cout, s.k, s.k, s.stride, s.stride, s.pad, s.pad))
+	}
+	return n
+}
+
+// DeepRNN builds the rnn_bench aggregate: the six configurations the paper
+// profiles (Table II): vanilla 1760/N=16, GRU 2816/N=32, GRU 1024/N=32,
+// LSTM input 512/N=16, LSTM 4096/N=16, LSTM 256/N=16, each unrolled over
+// 50 timesteps as DeepBench does.
+func DeepRNN() *Network {
+	const seq = 50
+	n := &Network{Name: "DeepBench RNN", InputBytes: 0}
+	n.AddAll(
+		recurrent("vanilla_1760", 1, seq, 1760, 1760),
+		recurrent("gru_2816", 3, seq, 2816, 2816),
+		recurrent("gru_1024", 3, seq, 1024, 1024),
+		recurrent("lstm_512", 4, seq, 512, 512),
+		recurrent("lstm_4096", 4, seq, 4096, 4096),
+		recurrent("lstm_256", 4, seq, 256, 256),
+	)
+	return n
+}
+
+// DeepAllReduce builds the nccl_single_all_reduce benchmark: pure
+// communication, zero floating-point math — the outlier the paper calls
+// out in the PCA analysis (Deep_Red_Cu has zero FLOP throughput) and the
+// origin point of the roofline. Params carry the reduced buffer size
+// (100 MB of fp32) so GradientBytes reflects the collective payload.
+func DeepAllReduce() *Network {
+	n := &Network{Name: "DeepBench AllReduce", InputBytes: 0}
+	n.Add(Layer{
+		Name:     "allreduce_100MB",
+		Kind:     Elementwise,
+		FwdFLOPs: 0,
+		Params:   25 * 1000 * 1000, // 100 MB of fp32 gradients
+		ActBytes: 100 * units.MB,
+	})
+	return n
+}

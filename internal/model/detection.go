@@ -1,0 +1,160 @@
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// SSD300 builds MLPerf's light-weight object detector: a ResNet-34
+// backbone truncated after c4, six descending feature maps, and per-map
+// multibox classification/localization heads over the standard 8732
+// default boxes (81 COCO classes).
+func SSD300() *Network {
+	n := &Network{Name: "SSD300", InputBytes: units.Bytes(3 * 300 * 300 * 4)} // fp32: SSD augments on host
+	h, w, c := resNet34Features(n, 300, 300)                                  // 38x38x256
+
+	// Extra feature layers: 1x1 reduce + 3x3/2 expand, four times.
+	type extra struct{ mid, out, stride, pad int }
+	extras := []extra{
+		{256, 512, 2, 1}, // 19x19
+		{256, 512, 2, 1}, // 10x10
+		{128, 256, 2, 1}, // 5x5
+		{128, 256, 1, 0}, // 3x3
+	}
+	maps := []struct{ h, w, c, anchors int }{{h, w, c, 4}}
+	cin := c
+	for i, e := range extras {
+		tag := fmt.Sprintf("extra%d", i)
+		n.AddAll(
+			conv(tag+".conv1", cin, h, w, e.mid, 1, 1, 1, 1, 0, 0),
+			relu(tag+".relu1", e.mid*h*w),
+		)
+		oh := (h+2*e.pad-3)/e.stride + 1
+		ow := (w+2*e.pad-3)/e.stride + 1
+		n.AddAll(
+			conv(tag+".conv2", e.mid, h, w, e.out, 3, 3, e.stride, e.stride, e.pad, e.pad),
+			relu(tag+".relu2", e.out*oh*ow),
+		)
+		h, w, cin = oh, ow, e.out
+		anchors := 6
+		if i == len(extras)-1 {
+			anchors = 4
+		}
+		maps = append(maps, struct{ h, w, c, anchors int }{h, w, cin, anchors})
+	}
+	// Final 1x1 map.
+	n.AddAll(
+		conv("extra4.conv1", cin, h, w, 128, 1, 1, 1, 1, 0, 0),
+		relu("extra4.relu1", 128*h*w),
+		conv("extra4.conv2", 128, h, w, 256, 3, 3, 1, 1, 0, 0),
+		relu("extra4.relu2", 256*1*1),
+	)
+	maps = append(maps, struct{ h, w, c, anchors int }{1, 1, 256, 4})
+
+	// Multibox heads: per map, a 3x3 conv to anchors*4 box offsets and a
+	// 3x3 conv to anchors*81 class scores.
+	const classes = 81
+	totalBoxes := 0
+	for i, m := range maps {
+		tag := fmt.Sprintf("head%d", i)
+		n.AddAll(
+			conv(tag+".loc", m.c, m.h, m.w, m.anchors*4, 3, 3, 1, 1, 1, 1),
+			conv(tag+".cls", m.c, m.h, m.w, m.anchors*classes, 3, 3, 1, 1, 1, 1),
+		)
+		totalBoxes += m.h * m.w * m.anchors
+	}
+	n.Add(softmaxLayer("head.softmax", classes, totalBoxes))
+	return n
+}
+
+// MaskRCNN builds the heavy-weight detector: ResNet-50-FPN backbone at the
+// 800x1344 COCO training resolution, region proposal network over five
+// pyramid levels, a 512-RoI box head, and a 100-RoI mask head. FLOP counts
+// are per image; the many small RoI kernels are what keeps the model's
+// tensor-core speedup at only 1.5x (Figure 3).
+func MaskRCNN() *Network {
+	const (
+		imgH, imgW = 800, 1344
+		fpnC       = 256
+		numRoIs    = 512
+		maskRoIs   = 100
+		classes    = 81
+	)
+	n := &Network{Name: "Mask R-CNN", InputBytes: units.Bytes(3 * imgH * imgW)}
+
+	h, w, c := resNetBody(n, imgH, imgW, [4]int{3, 4, 6, 3}, true)
+	_ = c
+
+	// FPN lateral + output convs over levels P2..P5 (sizes /4../32) plus
+	// P6 pooling. Backbone output channels per level: 256,512,1024,2048.
+	levels := []struct{ h, w, cin int }{
+		{imgH / 4, imgW / 4, 256},
+		{imgH / 8, imgW / 8, 512},
+		{imgH / 16, imgW / 16, 1024},
+		{imgH / 32, imgW / 32, 2048},
+	}
+	for i, lv := range levels {
+		tag := fmt.Sprintf("fpn.p%d", i+2)
+		n.AddAll(
+			conv(tag+".lateral", lv.cin, lv.h, lv.w, fpnC, 1, 1, 1, 1, 0, 0),
+			conv(tag+".out", fpnC, lv.h, lv.w, fpnC, 3, 3, 1, 1, 1, 1),
+			elementwise(tag+".merge", fpnC*lv.h*lv.w),
+		)
+	}
+	n.Add(pool("fpn.p6", fpnC, h/2, w/2, 4))
+
+	// RPN head shared across levels: 3x3 conv + 1x1 objectness (3 anchors)
+	// + 1x1 box deltas.
+	for i, lv := range levels {
+		tag := fmt.Sprintf("rpn.p%d", i+2)
+		n.AddAll(
+			conv(tag+".conv", fpnC, lv.h, lv.w, fpnC, 3, 3, 1, 1, 1, 1),
+			relu(tag+".relu", fpnC*lv.h*lv.w),
+			conv(tag+".obj", fpnC, lv.h, lv.w, 3, 1, 1, 1, 1, 0, 0),
+			conv(tag+".box", fpnC, lv.h, lv.w, 12, 1, 1, 1, 1, 0, 0),
+		)
+	}
+
+	// Box head: RoIAlign 7x7 over 512 RoIs, two 1024-wide FC layers, then
+	// classification and regression outputs.
+	n.AddAll(
+		roi("box.roialign", numRoIs, fpnC, 7),
+		dense("box.fc1", fpnC*7*7, 1024),
+		relu("box.relu1", 1024),
+		dense("box.fc2", 1024, 1024),
+		relu("box.relu2", 1024),
+		dense("box.cls", 1024, classes),
+		dense("box.reg", 1024, classes*4),
+		softmaxLayer("box.softmax", classes, 1),
+	)
+	// The FC layers run once per RoI; scale their per-sample cost.
+	scaleLast(n, 7, float64(numRoIs))
+
+	// Mask head: RoIAlign 14x14 over 100 RoIs, four 3x3 convs, a 2x
+	// deconv, and a per-class 1x1 mask predictor at 28x28.
+	n.Add(roi("mask.roialign", maskRoIs, fpnC, 14))
+	for i := 0; i < 4; i++ {
+		tag := fmt.Sprintf("mask.conv%d", i+1)
+		n.AddAll(
+			conv(tag, fpnC, 14, 14, fpnC, 3, 3, 1, 1, 1, 1),
+			relu(tag+".relu", fpnC*14*14),
+		)
+	}
+	n.AddAll(
+		conv("mask.deconv", fpnC, 28, 28, fpnC, 2, 2, 1, 1, 1, 1),
+		conv("mask.predict", fpnC, 28, 28, classes, 1, 1, 1, 1, 0, 0),
+	)
+	scaleLast(n, 10, float64(maskRoIs))
+	return n
+}
+
+// scaleLast multiplies the per-sample costs of the last k layers by factor
+// — used when a head runs once per RoI rather than once per image. Params
+// are shared across RoIs and are not scaled.
+func scaleLast(n *Network, k int, factor float64) {
+	for i := len(n.Layers) - k; i < len(n.Layers); i++ {
+		n.Layers[i].FwdFLOPs = units.FLOPs(float64(n.Layers[i].FwdFLOPs) * factor)
+		n.Layers[i].ActBytes = units.Bytes(float64(n.Layers[i].ActBytes) * factor)
+	}
+}

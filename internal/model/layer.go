@@ -1,0 +1,267 @@
+// Package model provides the layer-graph intermediate representation the
+// simulator consumes, plus builders for every network the paper
+// benchmarks: ResNet-50 (MLPerf image classification), SSD300 and Mask
+// R-CNN (object detection), Transformer and GNMT (translation), NCF
+// (recommendation), DAWNBench's ResNet-18/CIFAR10 and DrQA, and the
+// DeepBench kernel configurations of Table II.
+//
+// Every layer carries analytically derived costs — forward FLOPs,
+// parameter count, activation bytes — computed from its geometry, so the
+// network-level quantities the paper measures (FLOP throughput, arithmetic
+// intensity, memory footprint, gradient volume) are functions of
+// architecture, not hand-entered constants.
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// LayerKind classifies layers; the mixed-precision model (package
+// precision) uses it to decide tensor-core eligibility.
+type LayerKind int
+
+// Layer kinds.
+const (
+	Conv2D LayerKind = iota
+	Dense
+	BatchNorm
+	LayerNorm
+	ReLU
+	Pool
+	Embedding
+	Attention
+	Recurrent
+	Softmax
+	RoIOp
+	Elementwise
+)
+
+// String names the layer kind.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv2D:
+		return "conv2d"
+	case Dense:
+		return "dense"
+	case BatchNorm:
+		return "batchnorm"
+	case LayerNorm:
+		return "layernorm"
+	case ReLU:
+		return "relu"
+	case Pool:
+		return "pool"
+	case Embedding:
+		return "embedding"
+	case Attention:
+		return "attention"
+	case Recurrent:
+		return "recurrent"
+	case Softmax:
+		return "softmax"
+	case RoIOp:
+		return "roi"
+	case Elementwise:
+		return "elementwise"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// TensorCoreEligible reports whether the layer's math maps onto tensor-core
+// GEMMs under AMP. Normalizations, activations, pooling, softmax and RoI
+// resampling run in CUDA cores regardless of precision — the reason Mask
+// R-CNN only gains 1.5x from mixed precision while ResNet-50 gains 3.3x
+// (Figure 3).
+func (k LayerKind) TensorCoreEligible() bool {
+	switch k {
+	case Conv2D, Dense, Attention, Recurrent:
+		return true
+	default:
+		return false
+	}
+}
+
+// Layer is one operator in a network with its per-sample forward costs.
+type Layer struct {
+	Name string
+	Kind LayerKind
+	// FwdFLOPs is the forward-pass FLOP count per sample.
+	FwdFLOPs units.FLOPs
+	// Params is the trainable parameter count.
+	Params int64
+	// ActBytes is the activation output size per sample at fp32.
+	ActBytes units.Bytes
+}
+
+// conv builds a Conv2D layer from geometry (NCHW, square independence not
+// assumed).
+func conv(name string, cin, h, w, cout, kh, kw, sh, sw, ph, pw int) Layer {
+	oh := (h+2*ph-kh)/sh + 1
+	ow := (w+2*pw-kw)/sw + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("model: conv %s yields empty output", name))
+	}
+	return Layer{
+		Name:     name,
+		Kind:     Conv2D,
+		FwdFLOPs: units.FLOPs(2 * float64(cout) * float64(oh) * float64(ow) * float64(cin) * float64(kh) * float64(kw)),
+		Params:   int64(cout) * int64(cin) * int64(kh) * int64(kw),
+		// Output activations plus the input re-reads of the three passes
+		// (fwd, bwd-data, bwd-weights each stream the input once;
+		// pre-divided by the x6 network traffic factor).
+		ActBytes: units.Bytes(4*cout*oh*ow) + units.Bytes(2*cin*h*w),
+	}
+}
+
+// assumedBatch is the typical minibatch over which weight streaming is
+// amortized when converting parameter reads into per-sample traffic; the
+// tuned submissions run batches of this order.
+const assumedBatch = 128
+
+// dense builds a fully connected layer. Its traffic includes the
+// batch-amortized weight stream: unlike convolutions, dense weights are
+// touched once per output with no reuse within a sample.
+func dense(name string, in, out int) Layer {
+	params := int64(in)*int64(out) + int64(out)
+	return Layer{
+		Name:     name,
+		Kind:     Dense,
+		FwdFLOPs: units.FLOPs(2 * float64(in) * float64(out)),
+		Params:   params,
+		ActBytes: units.Bytes(4*out) + weightStream(params),
+	}
+}
+
+// weightStream converts a parameter count into the per-sample share of
+// streaming those weights from HBM once per pass, pre-divided by the
+// training traffic factor so the network-level x6 recovers one read per
+// pass per batch.
+func weightStream(params int64) units.Bytes {
+	return units.Bytes(4 * float64(params) / assumedBatch)
+}
+
+// batchnorm builds a batch normalization over elems activations.
+func batchnorm(name string, channels, elems int) Layer {
+	return Layer{
+		Name:     name,
+		Kind:     BatchNorm,
+		FwdFLOPs: units.FLOPs(4 * float64(elems)),
+		Params:   2 * int64(channels),
+		ActBytes: units.Bytes(4 * elems),
+	}
+}
+
+// layernorm builds a layer normalization over elems activations.
+func layernorm(name string, dim, elems int) Layer {
+	return Layer{
+		Name:     name,
+		Kind:     LayerNorm,
+		FwdFLOPs: units.FLOPs(5 * float64(elems)),
+		Params:   2 * int64(dim),
+		ActBytes: units.Bytes(4 * elems),
+	}
+}
+
+// relu builds an activation over elems elements.
+func relu(name string, elems int) Layer {
+	return Layer{
+		Name:     name,
+		Kind:     ReLU,
+		FwdFLOPs: units.FLOPs(float64(elems)),
+		ActBytes: units.Bytes(4 * elems),
+	}
+}
+
+// pool builds a pooling layer: window ops per output element.
+func pool(name string, cout, oh, ow, window int) Layer {
+	elems := cout * oh * ow
+	return Layer{
+		Name:     name,
+		Kind:     Pool,
+		FwdFLOPs: units.FLOPs(float64(elems) * float64(window)),
+		ActBytes: units.Bytes(4 * elems),
+	}
+}
+
+// embedding builds a lookup table; lookups move memory but perform no FLOPs.
+func embedding(name string, vocab, dim, tokens int) Layer {
+	return Layer{
+		Name:     name,
+		Kind:     Embedding,
+		Params:   int64(vocab) * int64(dim),
+		ActBytes: units.Bytes(4 * tokens * dim),
+	}
+}
+
+// attention builds one multi-head self/cross-attention block over seqQ
+// query and seqK key positions of width dim (projections included).
+func attention(name string, seqQ, seqK, dim int) Layer {
+	proj := 4 * 2 * float64(seqQ) * float64(dim) * float64(dim) // Q,K,V,out
+	scores := 2 * float64(seqQ) * float64(seqK) * float64(dim)
+	softmax := 5 * float64(seqQ) * float64(seqK)
+	context := 2 * float64(seqQ) * float64(seqK) * float64(dim)
+	params := 4 * (int64(dim)*int64(dim) + int64(dim))
+	return Layer{
+		Name:     name,
+		Kind:     Attention,
+		FwdFLOPs: units.FLOPs(proj + scores + softmax + context),
+		Params:   params,
+		// Q/K/V/context tensors, the seqQ x seqK score matrix (written,
+		// softmaxed and re-read), and the projection weight stream.
+		ActBytes: units.Bytes(4*(seqQ*dim*4+3*seqQ*seqK)) + weightStream(params),
+	}
+}
+
+// recurrent builds one (multi-gate) RNN layer unrolled over seq steps.
+func recurrent(name string, kindGates, seq, in, hidden int) Layer {
+	perStep := 2*float64(hidden)*(float64(in)+float64(hidden))*float64(kindGates) +
+		10*float64(hidden)
+	return Layer{
+		Name:     name,
+		Kind:     Recurrent,
+		FwdFLOPs: units.FLOPs(perStep * float64(seq)),
+		Params:   int64(kindGates) * (int64(hidden)*int64(in+hidden) + int64(hidden)),
+		// Each step materializes every gate's pre-activation plus the new
+		// hidden state (kept for backprop-through-time), and the weight
+		// matrices stream from HBM once per timestep — the dominant
+		// traffic of recurrent layers and the reason RNNs sit far left on
+		// the roofline.
+		ActBytes: units.Bytes(4*seq*hidden*(kindGates+1)) +
+			units.Bytes(seq)*weightStream(int64(kindGates)*(int64(hidden)*int64(in+hidden)+int64(hidden))),
+	}
+}
+
+// softmaxLayer builds the output softmax over classes for tokens positions.
+func softmaxLayer(name string, classes, tokens int) Layer {
+	return Layer{
+		Name:     name,
+		Kind:     Softmax,
+		FwdFLOPs: units.FLOPs(5 * float64(classes) * float64(tokens)),
+		ActBytes: units.Bytes(4 * classes * tokens),
+	}
+}
+
+// roi builds an RoIAlign-style resampling op over rois regions of chans
+// channels at size×size output.
+func roi(name string, rois, chans, size int) Layer {
+	elems := rois * chans * size * size
+	return Layer{
+		Name:     name,
+		Kind:     RoIOp,
+		FwdFLOPs: units.FLOPs(8 * float64(elems)), // bilinear taps
+		ActBytes: units.Bytes(4 * elems),
+	}
+}
+
+// elementwise builds a generic pointwise op (residual adds, scaling).
+func elementwise(name string, elems int) Layer {
+	return Layer{
+		Name:     name,
+		Kind:     Elementwise,
+		FwdFLOPs: units.FLOPs(float64(elems)),
+		ActBytes: units.Bytes(4 * elems),
+	}
+}

@@ -1,0 +1,65 @@
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// MiniGo builds the policy-value network of MLPerf v0.5's reinforcement
+// learning benchmark (a fork of the minigo project, AlphaGo-Zero style):
+// a conv trunk of residual blocks on the 19x19 board with 17 input
+// planes, plus policy (move distribution) and value heads.
+//
+// The paper excludes this benchmark from its study because v0.5 had no
+// GPU submission (footnote 1); we provide the network as an extension so
+// the model zoo covers the full suite. workload.Extensions() exposes a
+// runnable job for it.
+func MiniGo() *Network {
+	const (
+		board  = 19
+		planes = 17
+		width  = 256
+		blocks = 19
+	)
+	n := &Network{
+		Name:       "MiniGo",
+		InputBytes: units.Bytes(board * board * planes), // uint8 planes
+	}
+	n.AddAll(
+		conv("stem.conv", planes, board, board, width, 3, 3, 1, 1, 1, 1),
+		batchnorm("stem.bn", width, width*board*board),
+		relu("stem.relu", width*board*board),
+	)
+	for b := 0; b < blocks; b++ {
+		tag := fmt.Sprintf("res%d", b)
+		n.AddAll(
+			conv(tag+".conv1", width, board, board, width, 3, 3, 1, 1, 1, 1),
+			batchnorm(tag+".bn1", width, width*board*board),
+			relu(tag+".relu1", width*board*board),
+			conv(tag+".conv2", width, board, board, width, 3, 3, 1, 1, 1, 1),
+			batchnorm(tag+".bn2", width, width*board*board),
+			elementwise(tag+".add", width*board*board),
+			relu(tag+".relu2", width*board*board),
+		)
+	}
+	// Policy head: 1x1 conv to 2 planes, then dense to 362 moves.
+	n.AddAll(
+		conv("policy.conv", width, board, board, 2, 1, 1, 1, 1, 0, 0),
+		batchnorm("policy.bn", 2, 2*board*board),
+		relu("policy.relu", 2*board*board),
+		dense("policy.fc", 2*board*board, board*board+1),
+		softmaxLayer("policy.softmax", board*board+1, 1),
+	)
+	// Value head: 1x1 conv to 1 plane, dense 256, dense 1, tanh.
+	n.AddAll(
+		conv("value.conv", width, board, board, 1, 1, 1, 1, 1, 0, 0),
+		batchnorm("value.bn", 1, board*board),
+		relu("value.relu", board*board),
+		dense("value.fc1", board*board, 256),
+		relu("value.relu2", 256),
+		dense("value.fc2", 256, 1),
+		elementwise("value.tanh", 1),
+	)
+	return n
+}

@@ -1,0 +1,220 @@
+package model
+
+import (
+	"testing"
+
+	"mlperf/internal/units"
+)
+
+func TestResNet50KnownQuantities(t *testing.T) {
+	n := ResNet50()
+	// ~25.5M parameters (torchvision: 25.557M).
+	if p := float64(n.Params()) / 1e6; p < 24 || p > 27 {
+		t.Errorf("ResNet-50 params = %.1fM, want ~25.5M", p)
+	}
+	// ~7.7 GFLOP forward at 224^2 counting mul+add separately
+	// (3.86 GMACs x 2).
+	if g := n.FwdFLOPs().G(); g < 7 || g > 9 {
+		t.Errorf("ResNet-50 fwd = %.2f GFLOP, want ~7.7", g)
+	}
+	if n.TrainFLOPs() != n.FwdFLOPs()*3 {
+		t.Error("TrainFLOPs must be 3x forward")
+	}
+}
+
+func TestResNet18CIFARKnownQuantities(t *testing.T) {
+	n := ResNet18CIFAR()
+	// ~11.2M parameters.
+	if p := float64(n.Params()) / 1e6; p < 10 || p > 12.5 {
+		t.Errorf("ResNet-18 params = %.1fM, want ~11.2M", p)
+	}
+	// ~1.1 GFLOP fwd at 32x32 (0.56 GMACs x 2).
+	if g := n.FwdFLOPs().G(); g < 0.8 || g > 1.5 {
+		t.Errorf("ResNet-18/CIFAR fwd = %.2f GFLOP, want ~1.1", g)
+	}
+}
+
+func TestTransformerKnownQuantities(t *testing.T) {
+	n := Transformer()
+	// Transformer big: ~210M params.
+	if p := float64(n.Params()) / 1e6; p < 170 || p > 250 {
+		t.Errorf("Transformer params = %.1fM, want ~210M", p)
+	}
+	// Per sentence pair (~54 tokens): fwd must land in the tens of GFLOPs.
+	if g := n.FwdFLOPs().G(); g < 10 || g > 60 {
+		t.Errorf("Transformer fwd = %.2f GFLOP per pair", g)
+	}
+}
+
+func TestGNMTKnownQuantities(t *testing.T) {
+	n := GNMT()
+	// GNMT-v2 with 32k vocab: ~130-200M params.
+	if p := float64(n.Params()) / 1e6; p < 110 || p > 220 {
+		t.Errorf("GNMT params = %.1fM, want ~160M", p)
+	}
+	if g := n.FwdFLOPs().G(); g < 5 || g > 60 {
+		t.Errorf("GNMT fwd = %.2f GFLOP per pair", g)
+	}
+}
+
+func TestNCFKnownQuantities(t *testing.T) {
+	n := NCF()
+	// Embeddings dominate: (138493+26744)*(64+128) ≈ 31.7M.
+	if p := float64(n.Params()) / 1e6; p < 30 || p > 34 {
+		t.Errorf("NCF params = %.1fM, want ~31.7M", p)
+	}
+	// Per-sample compute is tiny (sub-MFLOP).
+	if f := float64(n.FwdFLOPs()); f > 1e6 {
+		t.Errorf("NCF fwd = %v FLOP/sample, want < 1 MFLOP", f)
+	}
+	// ...which is the paper's explanation for NCF's poor scaling: gradient
+	// traffic (~127MB) dwarfs per-step compute.
+	if gb := n.GradientBytes().MB(); gb < 100 || gb > 140 {
+		t.Errorf("NCF gradient volume = %.0fMB, want ~127MB", gb)
+	}
+}
+
+func TestSSDKnownQuantities(t *testing.T) {
+	n := SSD300()
+	// SSD-ResNet34 ~ 20-40M params (heads are heavy), fwd tens of GFLOPs.
+	if p := float64(n.Params()) / 1e6; p < 15 || p > 60 {
+		t.Errorf("SSD params = %.1fM", p)
+	}
+	if g := n.FwdFLOPs().G(); g < 10 || g > 80 {
+		t.Errorf("SSD fwd = %.2f GFLOP", g)
+	}
+}
+
+func TestMaskRCNNHeaviestVisionModel(t *testing.T) {
+	m := MaskRCNN()
+	r := ResNet50()
+	s := SSD300()
+	if m.FwdFLOPs() <= s.FwdFLOPs() || m.FwdFLOPs() <= r.FwdFLOPs() {
+		t.Errorf("MaskRCNN fwd %.0fG must exceed SSD %.0fG and ResNet-50 %.0fG",
+			m.FwdFLOPs().G(), s.FwdFLOPs().G(), r.FwdFLOPs().G())
+	}
+	// Mask R-CNN at 800x1344 is hundreds of GFLOPs per image.
+	if g := m.FwdFLOPs().G(); g < 150 || g > 900 {
+		t.Errorf("MaskRCNN fwd = %.0f GFLOP, want hundreds", g)
+	}
+}
+
+// TestTensorCoreFraction checks the inputs to the Figure 3 model:
+// conv/dense FLOPs dominate every conv net, but ineligible work (RoI ops,
+// normalizations, elementwise glue) exists and Mask R-CNN carries RoI
+// layers that can never use tensor cores. The time-domain consequence
+// (1.5x vs 3.3x speedup) is validated in package precision.
+func TestTensorCoreFraction(t *testing.T) {
+	frac := func(n *Network) float64 {
+		return float64(n.TensorCoreFLOPs()) / float64(n.TrainFLOPs())
+	}
+	r50 := frac(ResNet50())
+	if r50 < 0.95 || r50 >= 1 {
+		t.Errorf("ResNet-50 tensor-core fraction = %.3f, want in [0.95, 1)", r50)
+	}
+	var roiLayers int
+	for _, l := range MaskRCNN().Layers {
+		if l.Kind == RoIOp {
+			roiLayers++
+		}
+	}
+	if roiLayers < 2 {
+		t.Errorf("MaskRCNN has %d RoI layers, want box + mask heads", roiLayers)
+	}
+	if RoIOp.TensorCoreEligible() {
+		t.Error("RoI ops must not be tensor-core eligible")
+	}
+}
+
+func TestDeepBenchKernels(t *testing.T) {
+	if f := DeepAllReduce().FwdFLOPs(); f != 0 {
+		t.Errorf("all-reduce kernel FLOPs = %v, want 0 (PCA outlier)", f)
+	}
+	if b := DeepAllReduce().GradientBytes(); b != 100*units.MB {
+		t.Errorf("all-reduce payload = %v, want 100MB", b)
+	}
+	if g := DeepGEMM().FwdFLOPs().G(); g <= 0 {
+		t.Error("GEMM bench has zero FLOPs")
+	}
+	// The LSTM-4096 config dominates DeepRNN compute.
+	rnn := DeepRNN()
+	var lstm4096 units.FLOPs
+	for _, l := range rnn.Layers {
+		if l.Name == "lstm_4096" {
+			lstm4096 = l.FwdFLOPs
+		}
+	}
+	if float64(lstm4096)/float64(rnn.FwdFLOPs()) < 0.5 {
+		t.Error("lstm_4096 should dominate rnn_bench FLOPs")
+	}
+}
+
+func TestIntensityOrderingAcrossSuites(t *testing.T) {
+	// Figure 2: DeepBench's bandwidth-bound kernels sit at lower intensity
+	// than the end-to-end conv nets.
+	convNet := ResNet50().Intensity()
+	redKernel := DeepAllReduce().Intensity()
+	if redKernel != 0 {
+		t.Errorf("all-reduce intensity = %v, want 0", redKernel)
+	}
+	if convNet <= 10 {
+		t.Errorf("ResNet-50 intensity = %v, want well above memory-bound kernels", convNet)
+	}
+}
+
+func TestKernelCount(t *testing.T) {
+	n := ResNet50()
+	if got := n.KernelCount(); got != 3*len(n.Layers) {
+		t.Errorf("KernelCount = %d, want %d", got, 3*len(n.Layers))
+	}
+	if len(n.Layers) < 100 {
+		t.Errorf("ResNet-50 has %d layers, expected >100 operator nodes", len(n.Layers))
+	}
+}
+
+func TestDrQASmall(t *testing.T) {
+	n := DrQA()
+	// DrQA's trainable params are small (GloVe frozen): < 20M.
+	if p := float64(n.Params()) / 1e6; p > 20 {
+		t.Errorf("DrQA trainable params = %.1fM, want < 20M", p)
+	}
+	if n.FwdFLOPs() <= 0 {
+		t.Error("DrQA has zero FLOPs")
+	}
+}
+
+func TestGradientBytesTracksParams(t *testing.T) {
+	n := ResNet50()
+	if n.GradientBytes() != units.Bytes(n.Params())*4 {
+		t.Error("GradientBytes must be 4 bytes per parameter")
+	}
+}
+
+func TestOptimizerState(t *testing.T) {
+	n := NCF()
+	if n.OptimizerStateBytes(2) != 2*n.OptimizerStateBytes(1) {
+		t.Error("optimizer state must scale with slots")
+	}
+}
+
+func TestMiniGoQuantities(t *testing.T) {
+	n := MiniGo()
+	// AlphaGo-Zero 19-block/256-wide trunk: ~23M params, ~20-50 GFLOP fwd
+	// per position (counting mul+add separately).
+	if p := float64(n.Params()) / 1e6; p < 20 || p > 27 {
+		t.Errorf("MiniGo params = %.1fM, want ~23M", p)
+	}
+	if g := n.FwdFLOPs().G(); g < 15 || g > 80 {
+		t.Errorf("MiniGo fwd = %.1f GFLOP", g)
+	}
+	// Policy head outputs 362 moves (19x19 + pass).
+	found := false
+	for _, l := range n.Layers {
+		if l.Name == "policy.fc" && l.Params == int64(2*19*19+1)*int64(19*19+1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("policy head geometry wrong")
+	}
+}

@@ -1,0 +1,49 @@
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// MovieLens-20M dimensions, the NCF dataset (Table II).
+const (
+	NCFUsers = 138493
+	NCFItems = 26744
+)
+
+// NCF builds the neural collaborative filtering recommender (NeuMF): a
+// 64-factor GMF branch and a [256,256,128,64] MLP branch over 128-d
+// embeddings, fused into a single prediction. The model is almost all
+// embedding lookup — per-sample FLOPs are tiny while parameters are tens
+// of millions, which is why NCF trains in minutes yet all-reduces heavily
+// (highest NVLink utilization among MLPerf entries in Table V).
+func NCF() *Network {
+	const (
+		mfDim  = 64
+		mlpDim = 128
+	)
+	n := &Network{
+		Name:       "NCF",
+		InputBytes: units.Bytes(4 * 2), // (user, item) id pair
+	}
+	n.AddAll(
+		embedding("gmf.user", NCFUsers, mfDim, 1),
+		embedding("gmf.item", NCFItems, mfDim, 1),
+		embedding("mlp.user", NCFUsers, mlpDim, 1),
+		embedding("mlp.item", NCFItems, mlpDim, 1),
+		elementwise("gmf.mul", mfDim),
+	)
+	dims := []int{2 * mlpDim, 256, 128, 64}
+	for i := 0; i+1 < len(dims); i++ {
+		n.AddAll(
+			dense(fmt.Sprintf("mlp.fc%d", i), dims[i], dims[i+1]),
+			relu(fmt.Sprintf("mlp.relu%d", i), dims[i+1]),
+		)
+	}
+	n.AddAll(
+		dense("neumf.out", mfDim+dims[len(dims)-1], 1),
+		softmaxLayer("neumf.sigmoid", 1, 1),
+	)
+	return n
+}

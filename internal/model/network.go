@@ -1,0 +1,105 @@
+package model
+
+import (
+	"mlperf/internal/units"
+)
+
+// Network is a layer graph with aggregate cost queries. The simulator and
+// the profiler analogs consume networks through these aggregates.
+type Network struct {
+	Name   string
+	Layers []Layer
+	// InputBytes is the host-to-device payload per sample (decoded image,
+	// token ids...), driving the PCIe column of Table V.
+	InputBytes units.Bytes
+}
+
+// Add appends a layer.
+func (n *Network) Add(l Layer) { n.Layers = append(n.Layers, l) }
+
+// AddAll appends several layers.
+func (n *Network) AddAll(ls ...Layer) { n.Layers = append(n.Layers, ls...) }
+
+// FwdFLOPs returns the forward FLOPs per sample.
+func (n *Network) FwdFLOPs() units.FLOPs {
+	var f units.FLOPs
+	for _, l := range n.Layers {
+		f += l.FwdFLOPs
+	}
+	return f
+}
+
+// TrainFLOPs returns the training FLOPs per sample using the standard
+// backward ≈ 2× forward rule (gradients w.r.t. both weights and inputs).
+func (n *Network) TrainFLOPs() units.FLOPs { return n.FwdFLOPs() * 3 }
+
+// TensorCoreFLOPs returns the portion of training FLOPs in tensor-core
+// eligible layers; the remainder must run on CUDA cores even under AMP.
+func (n *Network) TensorCoreFLOPs() units.FLOPs {
+	var f units.FLOPs
+	for _, l := range n.Layers {
+		if l.Kind.TensorCoreEligible() {
+			f += l.FwdFLOPs
+		}
+	}
+	return f * 3
+}
+
+// Params returns the trainable parameter count.
+func (n *Network) Params() int64 {
+	var p int64
+	for _, l := range n.Layers {
+		p += l.Params
+	}
+	return p
+}
+
+// ParamBytes returns parameter storage at elemSize bytes per parameter.
+func (n *Network) ParamBytes(elemSize units.Bytes) units.Bytes {
+	return units.Bytes(n.Params()) * elemSize
+}
+
+// GradientBytes returns the all-reduce payload per step: one fp32 gradient
+// per parameter (NCCL reduces fp32 even under AMP master weights).
+func (n *Network) GradientBytes() units.Bytes { return n.ParamBytes(4) }
+
+// ActBytes returns the activation bytes written per sample (fp32).
+func (n *Network) ActBytes() units.Bytes {
+	var b units.Bytes
+	for _, l := range n.Layers {
+		b += l.ActBytes
+	}
+	return b
+}
+
+// TrainMemTraffic estimates HBM traffic per sample during one training
+// step: forward writes activations once and reads them once; backward
+// reads them twice and writes gradients of comparable volume, and real
+// kernels add normalization statistics, optimizer traffic and workspace
+// spills on top — measured DRAM counters land near 6x the activation
+// volume, the factor used here.
+func (n *Network) TrainMemTraffic() units.Bytes { return n.ActBytes() * trafficFactor }
+
+// trafficFactor converts activation bytes to training-step DRAM traffic.
+const trafficFactor = 6
+
+// Intensity returns the training arithmetic intensity (FLOPs per byte of
+// HBM traffic), the roofline x-coordinate of Figure 2.
+func (n *Network) Intensity() units.Intensity {
+	return units.IntensityOf(n.TrainFLOPs(), n.TrainMemTraffic())
+}
+
+// KernelCount estimates kernel launches per training step: one forward and
+// two backward kernels per layer.
+func (n *Network) KernelCount() int { return 3 * len(n.Layers) }
+
+// OptimizerStateBytes returns per-parameter optimizer state (momentum SGD:
+// one fp32 slot; Adam-family: two), chosen by the heaviest optimizer the
+// reference implementation uses.
+func (n *Network) OptimizerStateBytes(slots int) units.Bytes {
+	return units.Bytes(n.Params()) * 4 * units.Bytes(slots)
+}
+
+// PeakActivationBytes estimates resident activation memory per sample
+// during training: all activations are kept for the backward pass.
+func (n *Network) PeakActivationBytes() units.Bytes { return n.ActBytes() }

@@ -1,0 +1,163 @@
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// Sequence-length assumptions for the translation models. MLPerf batches
+// WMT17 by token count; per-sentence costs below use the average
+// English/German sentence lengths of the newstest-style corpora.
+const (
+	avgSrcLen = 26
+	avgTgtLen = 28
+)
+
+// transformerFFN appends one position-wise feed-forward block (d -> 4d ->
+// d) applied at every position of a seq-length sequence.
+func transformerFFN(n *Network, tag string, seq, d int) {
+	ff := 4 * d
+	l1 := dense(tag+".ffn1", d, ff)
+	l2 := dense(tag+".ffn2", ff, d)
+	// dense() is per position; scale to the sequence.
+	l1.FwdFLOPs *= units.FLOPs(seq)
+	l1.ActBytes *= units.Bytes(seq)
+	l2.FwdFLOPs *= units.FLOPs(seq)
+	l2.ActBytes *= units.Bytes(seq)
+	n.AddAll(
+		l1,
+		relu(tag+".ffn_act", seq*ff),
+		l2,
+		layernorm(tag+".ln2", d, seq*d),
+	)
+}
+
+// Transformer builds the MLPerf translation model ("big" configuration:
+// d_model=1024, 16 heads, 6 encoder and 6 decoder layers, 4096-wide FFN,
+// ~33k shared BPE vocabulary). Costs are per sentence pair at average WMT
+// lengths.
+func Transformer() *Network {
+	const (
+		d     = 1024
+		layrs = 6
+		vocab = 33708
+	)
+	n := &Network{
+		Name: "Transformer",
+		// Token ids are tiny; H2D traffic is the embedded batch.
+		InputBytes: units.Bytes(4 * (avgSrcLen + avgTgtLen)),
+	}
+	n.Add(embedding("src_embed", vocab, d, avgSrcLen))
+	n.Add(embedding("tgt_embed", vocab, d, avgTgtLen))
+
+	for i := 0; i < layrs; i++ {
+		tag := fmt.Sprintf("enc%d", i)
+		n.AddAll(
+			attention(tag+".self", avgSrcLen, avgSrcLen, d),
+			layernorm(tag+".ln1", d, avgSrcLen*d),
+		)
+		transformerFFN(n, tag, avgSrcLen, d)
+	}
+	for i := 0; i < layrs; i++ {
+		tag := fmt.Sprintf("dec%d", i)
+		n.AddAll(
+			attention(tag+".self", avgTgtLen, avgTgtLen, d),
+			layernorm(tag+".ln1", d, avgTgtLen*d),
+			attention(tag+".cross", avgTgtLen, avgSrcLen, d),
+			layernorm(tag+".ln_x", d, avgTgtLen*d),
+		)
+		transformerFFN(n, tag, avgTgtLen, d)
+	}
+	// Output projection shares the embedding matrix; FLOPs still accrue at
+	// every target position.
+	proj := dense("out.proj", d, vocab)
+	proj.Params = 0 // tied with tgt_embed
+	proj.FwdFLOPs *= avgTgtLen
+	proj.ActBytes *= avgTgtLen
+	n.Add(proj)
+	n.Add(softmaxLayer("out.softmax", vocab, avgTgtLen))
+	return n
+}
+
+// GNMT builds the RNN translation model (GNMT-v2 as in the MLPerf
+// reference: 1024-wide LSTMs, 4-layer encoder with a bidirectional first
+// layer, 4-layer decoder with additive attention, 32k vocabulary).
+func GNMT() *Network {
+	const (
+		hidden = 1024
+		vocab  = 32320
+	)
+	n := &Network{
+		Name:       "GNMT",
+		InputBytes: units.Bytes(4 * (avgSrcLen + avgTgtLen)),
+	}
+	n.Add(embedding("src_embed", vocab, hidden, avgSrcLen))
+	n.Add(embedding("tgt_embed", vocab, hidden, avgTgtLen))
+
+	// Encoder: bidirectional layer 1 (two LSTMs), then 3 unidirectional.
+	n.AddAll(
+		recurrent("enc0.fwd", 4, avgSrcLen, hidden, hidden),
+		recurrent("enc0.bwd", 4, avgSrcLen, hidden, hidden),
+	)
+	n.Add(recurrent("enc1", 4, avgSrcLen, 2*hidden, hidden))
+	for i := 2; i < 4; i++ {
+		n.Add(recurrent(fmt.Sprintf("enc%d", i), 4, avgSrcLen, hidden, hidden))
+	}
+
+	// Decoder: 4 LSTM layers; layer 0 consumes [embedding; attention ctx].
+	n.Add(recurrent("dec0", 4, avgTgtLen, 2*hidden, hidden))
+	for i := 1; i < 4; i++ {
+		n.Add(recurrent(fmt.Sprintf("dec%d", i), 4, avgTgtLen, 2*hidden, hidden))
+	}
+	// Additive attention at every decoder step over all encoder states.
+	att := attention("dec.attention", avgTgtLen, avgSrcLen, hidden)
+	n.Add(att)
+
+	proj := dense("out.proj", hidden, vocab)
+	proj.FwdFLOPs *= avgTgtLen
+	proj.ActBytes *= avgTgtLen
+	n.Add(proj)
+	n.Add(softmaxLayer("out.softmax", vocab, avgTgtLen))
+	return n
+}
+
+// DrQA builds DAWNBench's SQuAD reader: 300-d GloVe embeddings (frozen),
+// 3-layer bidirectional LSTM document and question encoders (hidden 128),
+// and bilinear span-prediction attention. The network is small — the
+// paper's observation that DrQA is CPU-bound (20% GPU utilization) comes
+// from its preprocessing-heavy pipeline, modeled in package workload.
+func DrQA() *Network {
+	const (
+		embDim  = 300
+		hidden  = 128
+		docLen  = 400
+		qLen    = 30
+		vocabSz = 91187
+	)
+	n := &Network{
+		Name:       "DrQA",
+		InputBytes: units.Bytes(4 * (docLen + qLen)),
+	}
+	emb := embedding("glove", vocabSz, embDim, docLen+qLen)
+	emb.Params = 0 // frozen pretrained vectors are not trained
+	n.Add(emb)
+
+	in := embDim
+	for i := 0; i < 3; i++ {
+		n.AddAll(
+			recurrent(fmt.Sprintf("doc%d.fwd", i), 4, docLen, in, hidden),
+			recurrent(fmt.Sprintf("doc%d.bwd", i), 4, docLen, in, hidden),
+			recurrent(fmt.Sprintf("q%d.fwd", i), 4, qLen, in, hidden),
+			recurrent(fmt.Sprintf("q%d.bwd", i), 4, qLen, in, hidden),
+		)
+		in = 2 * hidden
+	}
+	n.AddAll(
+		attention("align", docLen, qLen, 2*hidden),
+		dense("start.bilinear", 2*hidden, 2*hidden),
+		dense("end.bilinear", 2*hidden, 2*hidden),
+		softmaxLayer("span.softmax", docLen, 2),
+	)
+	return n
+}

@@ -1,0 +1,178 @@
+package model
+
+import (
+	"fmt"
+
+	"mlperf/internal/units"
+)
+
+// bottleneck appends one ResNet bottleneck block (1x1 reduce, 3x3, 1x1
+// expand) at spatial size h×w, with an optional strided downsample on
+// entry. cin is the block input width, mid the bottleneck width; output
+// width is 4*mid. Returns the output spatial size and channel count.
+func bottleneck(n *Network, tag string, cin, mid, h, w, stride int) (int, int, int) {
+	oh, ow := h/stride, w/stride
+	cout := 4 * mid
+	n.AddAll(
+		conv(tag+".conv1", cin, h, w, mid, 1, 1, 1, 1, 0, 0),
+		batchnorm(tag+".bn1", mid, mid*h*w),
+		relu(tag+".relu1", mid*h*w),
+		conv(tag+".conv2", mid, h, w, mid, 3, 3, stride, stride, 1, 1),
+		batchnorm(tag+".bn2", mid, mid*oh*ow),
+		relu(tag+".relu2", mid*oh*ow),
+		conv(tag+".conv3", mid, oh, ow, cout, 1, 1, 1, 1, 0, 0),
+		batchnorm(tag+".bn3", cout, cout*oh*ow),
+	)
+	if cin != cout || stride != 1 {
+		n.AddAll(
+			conv(tag+".downsample", cin, h, w, cout, 1, 1, stride, stride, 0, 0),
+			batchnorm(tag+".bn_ds", cout, cout*oh*ow),
+		)
+	}
+	n.AddAll(
+		elementwise(tag+".add", cout*oh*ow),
+		relu(tag+".relu3", cout*oh*ow),
+	)
+	return oh, ow, cout
+}
+
+// basicBlock appends one ResNet basic block (two 3x3 convs), used by
+// ResNet-18/34. Returns output spatial size and channels.
+func basicBlock(n *Network, tag string, cin, cout, h, w, stride int) (int, int, int) {
+	oh, ow := h/stride, w/stride
+	n.AddAll(
+		conv(tag+".conv1", cin, h, w, cout, 3, 3, stride, stride, 1, 1),
+		batchnorm(tag+".bn1", cout, cout*oh*ow),
+		relu(tag+".relu1", cout*oh*ow),
+		conv(tag+".conv2", cout, oh, ow, cout, 3, 3, 1, 1, 1, 1),
+		batchnorm(tag+".bn2", cout, cout*oh*ow),
+	)
+	if cin != cout || stride != 1 {
+		n.AddAll(
+			conv(tag+".downsample", cin, h, w, cout, 1, 1, stride, stride, 0, 0),
+			batchnorm(tag+".bn_ds", cout, cout*oh*ow),
+		)
+	}
+	n.AddAll(
+		elementwise(tag+".add", cout*oh*ow),
+		relu(tag+".relu2", cout*oh*ow),
+	)
+	return oh, ow, cout
+}
+
+// resNetBody appends an ImageNet-style ResNet trunk (stem + 4 stages) and
+// returns the final feature map geometry. blocks holds the per-stage block
+// counts; bottle selects bottleneck vs basic blocks.
+func resNetBody(n *Network, inputH, inputW int, blocks [4]int, bottle bool) (int, int, int) {
+	h, w := inputH, inputW
+	n.AddAll(
+		conv("stem.conv", 3, h, w, 64, 7, 7, 2, 2, 3, 3),
+		batchnorm("stem.bn", 64, 64*(h/2)*(w/2)),
+		relu("stem.relu", 64*(h/2)*(w/2)),
+	)
+	h, w = h/2, w/2
+	n.Add(pool("stem.maxpool", 64, h/2, w/2, 9))
+	h, w = h/2, w/2
+
+	cin := 64
+	widths := [4]int{64, 128, 256, 512}
+	var c int
+	for stage := 0; stage < 4; stage++ {
+		for b := 0; b < blocks[stage]; b++ {
+			stride := 1
+			if b == 0 && stage > 0 {
+				stride = 2
+			}
+			tag := fmt.Sprintf("c%d.b%d", stage+2, b)
+			if bottle {
+				h, w, c = bottleneck(n, tag, cin, widths[stage], h, w, stride)
+			} else {
+				h, w, c = basicBlock(n, tag, cin, widths[stage], h, w, stride)
+			}
+			cin = c
+		}
+	}
+	return h, w, cin
+}
+
+// ResNet50 builds the MLPerf image-classification model at 224x224
+// ImageNet resolution: ~25.5M parameters, ~8 GFLOP forward per image
+// (counting multiply and add separately).
+func ResNet50() *Network {
+	// Images ship to the device as decoded uint8 NCHW tensors (1 byte per
+	// channel value), the format the optimized input pipelines use.
+	n := &Network{Name: "ResNet-50", InputBytes: units.Bytes(3 * 224 * 224)}
+	h, w, c := resNetBody(n, 224, 224, [4]int{3, 4, 6, 3}, true)
+	n.AddAll(
+		pool("head.avgpool", c, 1, 1, h*w),
+		dense("head.fc", c, 1000),
+		softmaxLayer("head.softmax", 1000, 1),
+	)
+	return n
+}
+
+// ResNet18CIFAR builds DAWNBench's modified ResNet-18 on 32x32 CIFAR10
+// (bkj's basenet entry): 3x3 stem (no downsampling), four 2-block stages,
+// 10-way classifier.
+func ResNet18CIFAR() *Network {
+	n := &Network{Name: "ResNet-18/CIFAR10", InputBytes: units.Bytes(3 * 32 * 32)}
+	h, w := 32, 32
+	n.AddAll(
+		conv("stem.conv", 3, h, w, 64, 3, 3, 1, 1, 1, 1),
+		batchnorm("stem.bn", 64, 64*h*w),
+		relu("stem.relu", 64*h*w),
+	)
+	cin := 64
+	widths := [4]int{64, 128, 256, 512}
+	var c int
+	for stage := 0; stage < 4; stage++ {
+		for b := 0; b < 2; b++ {
+			stride := 1
+			if b == 0 && stage > 0 {
+				stride = 2
+			}
+			tag := fmt.Sprintf("c%d.b%d", stage+2, b)
+			h, w, c = basicBlock(n, tag, cin, widths[stage], h, w, stride)
+			cin = c
+		}
+	}
+	n.AddAll(
+		pool("head.avgpool", c, 1, 1, h*w),
+		dense("head.fc", c, 10),
+		softmaxLayer("head.softmax", 10, 1),
+	)
+	return n
+}
+
+// resNet34Features appends a ResNet-34 trunk truncated after stage c4 at
+// the given input size — the SSD300 backbone MLPerf uses.
+func resNet34Features(n *Network, inputH, inputW int) (int, int, int) {
+	h, w := inputH, inputW
+	n.AddAll(
+		conv("stem.conv", 3, h, w, 64, 7, 7, 2, 2, 3, 3),
+		batchnorm("stem.bn", 64, 64*(h/2)*(w/2)),
+		relu("stem.relu", 64*(h/2)*(w/2)),
+	)
+	h, w = h/2, w/2
+	n.Add(pool("stem.maxpool", 64, h/2, w/2, 9))
+	h, w = h/2, w/2
+
+	cin := 64
+	blocks := [3]int{3, 4, 6} // stages c2..c4 only (SSD truncates c5)
+	widths := [3]int{64, 128, 256}
+	var c int
+	for stage := 0; stage < 3; stage++ {
+		for b := 0; b < blocks[stage]; b++ {
+			stride := 1
+			// MLPerf's SSD modifies ResNet-34 so stage c4 keeps stride 1,
+			// preserving the 38x38 feature map SSD300 anchors expect.
+			if b == 0 && stage == 1 {
+				stride = 2
+			}
+			tag := fmt.Sprintf("c%d.b%d", stage+2, b)
+			h, w, c = basicBlock(n, tag, cin, widths[stage], h, w, stride)
+			cin = c
+		}
+	}
+	return h, w, cin
+}

@@ -1,0 +1,164 @@
+package precision
+
+import (
+	"testing"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/model"
+)
+
+func v100() *hw.GPU { g := hw.TeslaV100SXM2; return &g }
+
+func TestAMPFasterThanFP32(t *testing.T) {
+	g := v100()
+	for _, n := range []*model.Network{model.ResNet50(), model.Transformer(), model.GNMT()} {
+		s := Speedup(g, n, 64, DefaultFP32(), DefaultAMP())
+		if s <= 1 {
+			t.Errorf("%s: AMP speedup = %.2f, want > 1", n.Name, s)
+		}
+		if s > 8 {
+			t.Errorf("%s: AMP speedup = %.2f implausibly high", n.Name, s)
+		}
+	}
+}
+
+func TestEligibilityControlsSpeedup(t *testing.T) {
+	// The Figure 3 lever: dropping EligibleFrac (Mask R-CNN's dynamic
+	// shapes) must monotonically reduce the speedup.
+	g := v100()
+	n := model.ResNet50()
+	fp32 := DefaultFP32()
+	prev := 100.0
+	for _, elig := range []float64{0.95, 0.6, 0.3, 0.1} {
+		amp := DefaultAMP()
+		amp.EligibleFrac = elig
+		s := Speedup(g, n, 64, fp32, amp)
+		if s >= prev {
+			t.Errorf("speedup %.3f at elig=%.2f not below %.3f", s, elig, prev)
+		}
+		prev = s
+	}
+}
+
+func TestZeroEligibilityNearUnity(t *testing.T) {
+	g := v100()
+	amp := DefaultAMP()
+	amp.EligibleFrac = 0
+	s := Speedup(g, model.ResNet50(), 64, DefaultFP32(), amp)
+	// Without tensor-core math the only gain is reduced traffic on
+	// ineligible layers; speedup must be modest.
+	if s < 0.9 || s > 1.6 {
+		t.Errorf("zero-eligibility speedup = %.2f, want ~1", s)
+	}
+}
+
+func TestNoTensorCoresNoSpeedup(t *testing.T) {
+	// P100 has no tensor cores: PeakAt(TensorFP16) is only 2x fp32, so
+	// AMP gains stay small.
+	g := hw.TeslaP100
+	sV := Speedup(v100(), model.ResNet50(), 64, DefaultFP32(), DefaultAMP())
+	sP := Speedup(&g, model.ResNet50(), 64, DefaultFP32(), DefaultAMP())
+	if sP >= sV {
+		t.Errorf("P100 speedup %.2f must be below V100's %.2f", sP, sV)
+	}
+}
+
+func TestLayerTimePositiveAndBatchAmortization(t *testing.T) {
+	g := v100()
+	l := model.ResNet50().Layers[0]
+	t1 := LayerTime(g, l, 1, DefaultFP32())
+	t64 := LayerTime(g, l, 64, DefaultFP32())
+	if t1 <= 0 || t64 <= 0 {
+		t.Fatal("non-positive layer time")
+	}
+	if t64 >= t1 {
+		t.Error("larger batch must amortize launch overhead per sample")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	g := v100()
+	l := model.ResNet50().Layers[0]
+	// Degenerate configs must not divide by zero or go negative.
+	bad := Config{Policy: AMP, EligibleFrac: 7, MathEff: -1, MemEff: 9}
+	if got := LayerTime(g, l, 0, bad); got <= 0 {
+		t.Errorf("LayerTime with degenerate config = %v", got)
+	}
+}
+
+func TestMemoryScale(t *testing.T) {
+	if MemoryScale(DefaultFP32()) != 1 {
+		t.Error("fp32 memory scale must be 1")
+	}
+	amp := DefaultAMP()
+	amp.EligibleFrac = 1
+	if got := MemoryScale(amp); got != 0.5 {
+		t.Errorf("full-AMP memory scale = %v, want 0.5", got)
+	}
+}
+
+func TestIntensityRisesUnderAMP(t *testing.T) {
+	n := model.ResNet50()
+	i32 := Intensity(n, DefaultFP32())
+	i16 := Intensity(n, DefaultAMP())
+	if i16 <= i32 {
+		t.Errorf("AMP intensity %v must exceed fp32 intensity %v", i16, i32)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FP32.String() != "fp32" || AMP.String() != "mixed" {
+		t.Error("policy names changed")
+	}
+}
+
+func TestLayerTrafficPolicy(t *testing.T) {
+	l := model.ResNet50().Layers[0] // stem conv: tensor-core eligible
+	fp32 := LayerTraffic(l, DefaultFP32())
+	amp := LayerTraffic(l, DefaultAMP())
+	if amp >= fp32 {
+		t.Errorf("AMP traffic %v not below fp32 %v for eligible layer", amp, fp32)
+	}
+	// Full eligibility halves the traffic exactly.
+	full := DefaultAMP()
+	full.EligibleFrac = 1
+	if got := LayerTraffic(l, full); got != fp32/2 {
+		t.Errorf("fully-eligible AMP traffic %v, want %v", got, fp32/2)
+	}
+	// Ineligible layers get the fixed 25% reduction.
+	var bn model.Layer
+	for _, cand := range model.ResNet50().Layers {
+		if cand.Kind == model.BatchNorm {
+			bn = cand
+			break
+		}
+	}
+	if got, want := LayerTraffic(bn, DefaultAMP()), LayerTraffic(bn, DefaultFP32()); float64(got) != 0.75*float64(want) {
+		t.Errorf("ineligible AMP traffic %v, want 0.75x %v", got, want)
+	}
+}
+
+func TestCriticalTrafficHalvesCounterTraffic(t *testing.T) {
+	l := model.ResNet50().Layers[0]
+	cfg := DefaultFP32()
+	if got, want := criticalTraffic(l, cfg), LayerTraffic(l, cfg)/2; got != want {
+		t.Errorf("critical traffic %v, want half of counter traffic %v", got, want)
+	}
+}
+
+// Property: step time is monotone non-increasing in every efficiency knob.
+func TestStepTimeMonotoneInEfficiency(t *testing.T) {
+	g := v100()
+	n := model.ResNet50()
+	base := Config{Policy: AMP, EligibleFrac: 0.9, MathEff: 0.5, TensorEff: 0.3, MemEff: 0.6}
+	t0 := StepTime(g, n, 64, base)
+	for _, bump := range []func(Config) Config{
+		func(c Config) Config { c.MathEff = 0.9; return c },
+		func(c Config) Config { c.TensorEff = 0.6; return c },
+		func(c Config) Config { c.MemEff = 0.9; return c },
+	} {
+		if t1 := StepTime(g, n, 64, bump(base)); t1 > t0 {
+			t.Errorf("raising an efficiency slowed the step: %v -> %v", t0, t1)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/workload"
+)
+
+func TestCharacterizeAllSuites(t *testing.T) {
+	sys := hw.C4140K()
+	chars, err := CharacterizeAll(workload.All(), sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chars) != 13 {
+		t.Fatalf("characterized %d benchmarks, want 13", len(chars))
+	}
+	for _, c := range chars {
+		for i, v := range c.Values {
+			if v < 0 {
+				t.Errorf("%s: characteristic %s = %v < 0", c.Bench, CharacteristicNames[i], v)
+			}
+		}
+	}
+}
+
+func TestCharacteristicSeparation(t *testing.T) {
+	// The Figure 1a driver: MLPerf benchmarks' GPU memory footprint
+	// dwarfs DeepBench kernels'.
+	sys := hw.C4140K()
+	get := func(name string) Characteristics {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Characterize(b, sys, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	mlperf := get("MLPf_Res50_TF")
+	deep := get("Deep_GEMM_Cu")
+	const hbmIdx = 4
+	if mlperf.Values[hbmIdx] < 4*deep.Values[hbmIdx] {
+		t.Errorf("Res50 HBM %v should dwarf DeepBench GEMM HBM %v",
+			mlperf.Values[hbmIdx], deep.Values[hbmIdx])
+	}
+	// Deep_Red_Cu has zero FLOP throughput (the paper's PC2 outlier).
+	red := get("Deep_Red_Cu")
+	const flopIdx = 5
+	if red.Values[flopIdx] != 0 {
+		t.Errorf("Deep_Red FLOP throughput = %v, want 0", red.Values[flopIdx])
+	}
+}
+
+func TestNvprofRecords(t *testing.T) {
+	b, err := workload.ByName("MLPf_Res50_TF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := hw.TeslaV100SXM2
+	recs := Nvprof(b, &g, 10)
+	if len(recs) != len(b.Job.Net.Layers) {
+		t.Fatalf("%d records for %d layers", len(recs), len(b.Job.Net.Layers))
+	}
+	for _, r := range recs {
+		if r.Invocations != 30 {
+			t.Errorf("%s: %d invocations, want 30", r.Name, r.Invocations)
+		}
+		if r.TotalTime <= 0 {
+			t.Errorf("%s: non-positive time", r.Name)
+		}
+	}
+}
+
+func TestRooflinePointConsistency(t *testing.T) {
+	b, err := workload.ByName("MLPf_Res50_TF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := hw.TeslaV100SXM2
+	recs := Nvprof(b, &g, 4)
+	ai, rate := RooflinePoint(recs)
+	if ai <= 0 || rate <= 0 {
+		t.Fatalf("degenerate roofline point (%v, %v)", ai, rate)
+	}
+	// Achieved rate can never exceed the tensor-core peak.
+	if rate > g.PeakAt(hw.TensorFP16) {
+		t.Errorf("achieved %v exceeds peak %v", rate, g.PeakAt(hw.TensorFP16))
+	}
+	if _, r := RooflinePoint(nil); r != 0 {
+		t.Error("empty profile should give zero rate")
+	}
+}
+
+func TestDstatSamples(t *testing.T) {
+	b, err := workload.ByName("MLPf_NCF_Py")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler()
+	samples, err := s.Dstat(b, hw.C4140K(), 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 31 {
+		t.Fatalf("%d samples for 30s at 1Hz, want 31", len(samples))
+	}
+	// Warmup ramp: first sample at zero, steady state later.
+	if samples[0].CPUPct != 0 {
+		t.Errorf("t=0 CPU = %v, want 0 during ramp", samples[0].CPUPct)
+	}
+	last := samples[len(samples)-1]
+	if last.CPUPct <= 0 || last.GPUPct <= 0 {
+		t.Error("steady-state samples should be positive")
+	}
+}
+
+func TestDmonPerGPU(t *testing.T) {
+	b, err := workload.ByName("MLPf_Res50_TF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler()
+	samples, err := s.Dmon(b, hw.C4140K(), 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpusSeen := map[int]bool{}
+	for _, smp := range samples {
+		gpusSeen[smp.GPU] = true
+		if smp.SMPct < 0 || smp.SMPct > 100 {
+			t.Errorf("SM%% = %v out of range", smp.SMPct)
+		}
+	}
+	if len(gpusSeen) != 4 {
+		t.Errorf("saw %d GPUs, want 4", len(gpusSeen))
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	b, err := workload.ByName("MLPf_SSD_Py")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler()
+	ds, err := s.Dstat(b, hw.C4140K(), 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDstatCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(ds)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(ds)+1)
+	}
+	if !strings.HasPrefix(lines[0], "time_s,cpu_pct") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+
+	dm, err := s.Dmon(b, hw.C4140K(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteDmonCSV(&buf, dm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nvlink_mbps") {
+		t.Error("dmon CSV missing nvlink column")
+	}
+
+	g := hw.TeslaV100SXM2
+	buf.Reset()
+	if err := WriteKernelCSV(&buf, Nvprof(b, &g, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "kernel,invocations") {
+		t.Error("kernel CSV missing header")
+	}
+}

@@ -1,0 +1,220 @@
+// Package report renders the library's tables and text "figures": aligned
+// text tables for the paper's Tables II-V and ASCII scatter/bar charts for
+// its figures, so every experiment can be regenerated on a terminal.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Bar renders a labeled horizontal bar chart with the given value
+// formatter; bars scale to the maximum value.
+func Bar(title string, labels []string, values []float64, format func(float64) string, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxLabel := 0
+	maxVal := 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	for i, l := range labels {
+		n := 0
+		if maxVal > 0 {
+			n = int(values[i] / maxVal * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %s\n", maxLabel, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), format(values[i]))
+	}
+	return b.String()
+}
+
+// ScatterPoint is one labeled point in a 2-D scatter.
+type ScatterPoint struct {
+	Label string
+	X, Y  float64
+	// Mark is a single-character glyph (suite identity in Figure 1).
+	Mark byte
+}
+
+// Scatter renders points into a text grid with axis ranges, log-scaling
+// optional per axis (the roofline is log-log).
+func Scatter(title string, pts []ScatterPoint, w, h int, logX, logY bool) string {
+	if w < 20 {
+		w = 72
+	}
+	if h < 8 {
+		h = 20
+	}
+	if len(pts) == 0 {
+		return title + "\n(no points)\n"
+	}
+	tx := func(v float64) float64 {
+		if logX {
+			if v <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if logY {
+			if v <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		x, y := tx(p.X), ty(p.Y)
+		if !math.IsInf(x, 0) {
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		}
+		if !math.IsInf(y, 0) {
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX {
+		minX, maxX = 0, 1
+	}
+	if minY > maxY {
+		minY, maxY = 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range pts {
+		x, y := tx(p.X), ty(p.Y)
+		if math.IsInf(x, 0) {
+			x = minX
+		}
+		if math.IsInf(y, 0) {
+			y = minY
+		}
+		c := int((x - minX) / (maxX - minX) * float64(w-1))
+		r := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+		if c >= 0 && c < w && r >= 0 && r < h {
+			mark := p.Mark
+			if mark == 0 {
+				mark = '*'
+			}
+			grid[r][c] = mark
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", row)
+	}
+	fmt.Fprintf(&b, "x: [%.3g, %.3g]%s  y: [%.3g, %.3g]%s\n",
+		unscale(minX, logX), unscale(maxX, logX), scaleNote(logX),
+		unscale(minY, logY), unscale(maxY, logY), scaleNote(logY))
+	return b.String()
+}
+
+func unscale(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func scaleNote(log bool) string {
+	if log {
+		return " (log)"
+	}
+	return ""
+}
+
+// F1, F2 format floats with one or two decimals.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Fx formats a speedup factor like the paper ("8.68x").
+func Fx(v float64) string { return fmt.Sprintf("%.2fx", v) }

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	// All body lines align to the same width.
+	if len(lines) != 5 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[2], "---") {
+		t.Errorf("header/separator wrong: %q / %q", lines[1], lines[2])
+	}
+	if !strings.HasPrefix(lines[4], "longer-name") {
+		t.Errorf("row order wrong: %q", lines[4])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	out := Bar("t", []string{"x", "y"}, []float64{1, 2}, F1, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	countHash := func(s string) int { return strings.Count(s, "#") }
+	if countHash(lines[2]) != 10 {
+		t.Errorf("max bar has %d hashes, want full width", countHash(lines[2]))
+	}
+	if countHash(lines[1]) != 5 {
+		t.Errorf("half bar has %d hashes, want 5", countHash(lines[1]))
+	}
+	if !strings.Contains(lines[1], "1.0") || !strings.Contains(lines[2], "2.0") {
+		t.Error("bar values missing")
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	out := Bar("", []string{"x"}, []float64{0}, F2, 10)
+	if strings.Contains(out, "#") {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestScatterPlacesPoints(t *testing.T) {
+	pts := []ScatterPoint{
+		{Label: "lo", X: 0, Y: 0, Mark: 'a'},
+		{Label: "hi", X: 10, Y: 10, Mark: 'b'},
+	}
+	out := Scatter("title", pts, 20, 10, false, false)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("points missing:\n%s", out)
+	}
+	// Low point is on a later (lower) row than the high point.
+	lines := strings.Split(out, "\n")
+	rowOf := func(mark string) int {
+		for i, l := range lines {
+			if strings.Contains(l, mark) {
+				return i
+			}
+		}
+		return -1
+	}
+	if rowOf("a") <= rowOf("b") {
+		t.Error("y axis inverted")
+	}
+	if !strings.Contains(out, "x: [0, 10]") {
+		t.Errorf("axis range missing:\n%s", out)
+	}
+}
+
+func TestScatterLogScale(t *testing.T) {
+	pts := []ScatterPoint{
+		{X: 1, Y: 1}, {X: 1000, Y: 1000},
+	}
+	out := Scatter("", pts, 20, 8, true, true)
+	if !strings.Contains(out, "(log)") {
+		t.Error("log annotation missing")
+	}
+	// Non-positive values under log must not panic and must render.
+	pts = append(pts, ScatterPoint{X: 0, Y: 0})
+	_ = Scatter("", pts, 20, 8, true, true)
+}
+
+func TestScatterEmpty(t *testing.T) {
+	if out := Scatter("t", nil, 10, 5, false, false); !strings.Contains(out, "no points") {
+		t.Error("empty scatter rendering")
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	// All points identical: range must expand, not divide by zero.
+	pts := []ScatterPoint{{X: 5, Y: 5}, {X: 5, Y: 5}}
+	out := Scatter("", pts, 10, 5, false, false)
+	if out == "" {
+		t.Error("degenerate scatter empty")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F1(1.25) != "1.2" && F1(1.25) != "1.3" {
+		t.Errorf("F1 = %q", F1(1.25))
+	}
+	if F2(3.14159) != "3.14" {
+		t.Errorf("F2 = %q", F2(3.14159))
+	}
+	if Fx(8.68) != "8.68x" {
+		t.Errorf("Fx = %q", Fx(8.68))
+	}
+}

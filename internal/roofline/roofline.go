@@ -1,0 +1,178 @@
+// Package roofline implements the roofline model of Figure 2: bandwidth
+// and compute ceilings for a device (with the empirical derating the
+// Berkeley Empirical Roofline Toolkit applies), placement of measured
+// workloads in (arithmetic intensity, achieved FLOPS) space, and a real
+// micro-benchmarked roofline of the host CPU this library runs on.
+package roofline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/kernels"
+	"mlperf/internal/tensor"
+	"mlperf/internal/units"
+)
+
+// Ceiling is one horizontal compute limit.
+type Ceiling struct {
+	Name string
+	Peak units.FLOPSRate
+}
+
+// Model is a roofline: one memory slope plus one or more compute ceilings.
+type Model struct {
+	Name string
+	// MemBandwidth is the achievable (ERT-style, not datasheet) bandwidth.
+	MemBandwidth units.BytesPerSecond
+	// Ceilings are sorted descending by peak.
+	Ceilings []Ceiling
+}
+
+// ertDerate is the fraction of datasheet peak the Empirical Roofline
+// Toolkit typically sustains on a V100 (§IV-B measures with ERT).
+const (
+	ertMemDerate  = 0.88
+	ertMathDerate = 0.90
+)
+
+// ForGPU builds the empirical roofline of a device, with double, single
+// and half-precision ceilings like the red/blue/green polylines of
+// Figure 2.
+func ForGPU(g *hw.GPU) *Model {
+	m := &Model{
+		Name:         g.Name,
+		MemBandwidth: units.BytesPerSecond(float64(g.MemBandwidth) * ertMemDerate),
+	}
+	add := func(name string, p hw.Precision) {
+		m.Ceilings = append(m.Ceilings, Ceiling{
+			Name: name,
+			Peak: units.FLOPSRate(float64(g.PeakAt(p)) * ertMathDerate),
+		})
+	}
+	add("fp64", hw.FP64)
+	add("fp32", hw.FP32)
+	if g.HasTensorCores {
+		add("fp16-tensor", hw.TensorFP16)
+	} else {
+		add("fp16", hw.FP16)
+	}
+	sort.Slice(m.Ceilings, func(i, j int) bool { return m.Ceilings[i].Peak > m.Ceilings[j].Peak })
+	return m
+}
+
+// Attainable returns the roofline ceiling value at intensity ai under the
+// named ceiling (empty name = the highest ceiling).
+func (m *Model) Attainable(ai units.Intensity, ceiling string) units.FLOPSRate {
+	peak := m.peak(ceiling)
+	memBound := units.FLOPSRate(float64(ai) * float64(m.MemBandwidth))
+	if memBound < peak {
+		return memBound
+	}
+	return peak
+}
+
+// Ridge returns the intensity where the memory slope meets the ceiling —
+// the "turn point" the paper notes no ML workload crosses.
+func (m *Model) Ridge(ceiling string) units.Intensity {
+	if m.MemBandwidth <= 0 {
+		return 0
+	}
+	return units.Intensity(float64(m.peak(ceiling)) / float64(m.MemBandwidth))
+}
+
+func (m *Model) peak(ceiling string) units.FLOPSRate {
+	if ceiling == "" && len(m.Ceilings) > 0 {
+		return m.Ceilings[0].Peak
+	}
+	for _, c := range m.Ceilings {
+		if c.Name == ceiling {
+			return c.Peak
+		}
+	}
+	if len(m.Ceilings) > 0 {
+		return m.Ceilings[0].Peak
+	}
+	return 0
+}
+
+// Bound classifies a workload at intensity ai as memory- or compute-bound
+// under the named ceiling.
+func (m *Model) Bound(ai units.Intensity, ceiling string) string {
+	if ai < m.Ridge(ceiling) {
+		return "memory"
+	}
+	return "compute"
+}
+
+// Point is one workload placed on the roofline.
+type Point struct {
+	Name      string
+	Intensity units.Intensity
+	Achieved  units.FLOPSRate
+}
+
+// Validate checks a point sits on or below the roofline (no workload can
+// exceed the model's envelope); points above indicate a measurement or
+// model bug.
+func (m *Model) Validate(p Point, ceiling string) error {
+	limit := m.Attainable(p.Intensity, ceiling)
+	if float64(p.Achieved) > 1.02*float64(limit) { // 2% tolerance
+		return fmt.Errorf("roofline: %s achieves %v above the %v envelope at %v",
+			p.Name, p.Achieved, limit, p.Intensity)
+	}
+	return nil
+}
+
+// MeasureHost runs real micro-benchmarks on the host CPU — a parallel
+// GEMM for the compute ceiling and a parallel triad for the bandwidth
+// slope — returning an empirical roofline of the machine this library
+// executes on, in the spirit of running ERT on the V100.
+func MeasureHost() *Model {
+	// Compute ceiling: time a square GEMM large enough to be math-bound.
+	const n = 384
+	a := tensor.New(n, n)
+	b := tensor.New(n, n)
+	for i := range a.Data() {
+		a.Data()[i] = float32(i%7) * 0.25
+		b.Data()[i] = float32(i%5) * 0.5
+	}
+	reps := 3
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		_ = kernels.GEMM(a, b)
+	}
+	elapsed := time.Since(start).Seconds()
+	flops := float64(kernels.GEMMFLOPs(n, n, n)) * float64(reps)
+	peak := units.FLOPSRate(flops / elapsed)
+
+	// Bandwidth: parallel triad over a buffer larger than LLC.
+	const elems = 8 << 20 // 32 MB per array
+	x := make([]float32, elems)
+	y := make([]float32, elems)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	start = time.Now()
+	triad(y, x, 1.5)
+	triad(x, y, 0.5)
+	elapsed = time.Since(start).Seconds()
+	bytes := float64(2*elems*4) * 3 // 2 passes x (2 reads + 1 write... write-allocate)
+	bw := units.BytesPerSecond(bytes / elapsed)
+
+	return &Model{
+		Name:         "host-cpu (measured)",
+		MemBandwidth: bw,
+		Ceilings:     []Ceiling{{Name: "fp32", Peak: peak}},
+	}
+}
+
+// triad computes dst = src*scale + dst in parallel via the kernels
+// package's reduction-style chunking.
+func triad(dst, src []float32, scale float32) {
+	for i := range dst {
+		dst[i] = src[i]*scale + dst[i]
+	}
+}

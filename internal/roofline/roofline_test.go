@@ -1,0 +1,116 @@
+package roofline
+
+import (
+	"testing"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/units"
+)
+
+func v100Model() *Model {
+	g := hw.TeslaV100SXM2
+	return ForGPU(&g)
+}
+
+func TestCeilingsOrdered(t *testing.T) {
+	m := v100Model()
+	if len(m.Ceilings) != 3 {
+		t.Fatalf("%d ceilings, want 3 (fp64/fp32/tensor)", len(m.Ceilings))
+	}
+	for i := 1; i < len(m.Ceilings); i++ {
+		if m.Ceilings[i].Peak > m.Ceilings[i-1].Peak {
+			t.Error("ceilings not descending")
+		}
+	}
+	if m.Ceilings[0].Name != "fp16-tensor" {
+		t.Errorf("top ceiling = %s, want fp16-tensor", m.Ceilings[0].Name)
+	}
+}
+
+func TestAttainablePiecewise(t *testing.T) {
+	m := v100Model()
+	ridge := m.Ridge("fp32")
+	// Below the ridge: memory slope (linear in AI).
+	low := m.Attainable(ridge/4, "fp32")
+	if got := float64(low) / (float64(ridge) / 4 * float64(m.MemBandwidth)); got < 0.999 || got > 1.001 {
+		t.Errorf("below-ridge attainable off the slope by factor %v", got)
+	}
+	// Above the ridge: flat at the ceiling.
+	high := m.Attainable(ridge*10, "fp32")
+	if high != m.Attainable(ridge*100, "fp32") {
+		t.Error("above-ridge attainable is not flat")
+	}
+}
+
+func TestRidgeOrdering(t *testing.T) {
+	// Higher ceilings turn later: ridge(tensor) > ridge(fp32) > ridge(fp64).
+	m := v100Model()
+	r64, r32, rT := m.Ridge("fp64"), m.Ridge("fp32"), m.Ridge("fp16-tensor")
+	if !(r64 < r32 && r32 < rT) {
+		t.Errorf("ridge ordering violated: %v %v %v", r64, r32, rT)
+	}
+	// V100 fp32 ridge sits near 15.7T*0.9 / (900G*0.88) ≈ 17.8 FLOP/B.
+	if r32 < 14 || r32 > 22 {
+		t.Errorf("fp32 ridge = %v, want ~17.8", r32)
+	}
+}
+
+func TestBoundClassification(t *testing.T) {
+	m := v100Model()
+	if m.Bound(1, "fp32") != "memory" {
+		t.Error("AI=1 must be memory-bound on a V100")
+	}
+	if m.Bound(1000, "fp32") != "compute" {
+		t.Error("AI=1000 must be compute-bound")
+	}
+}
+
+func TestValidateRejectsImpossiblePoints(t *testing.T) {
+	m := v100Model()
+	good := Point{Name: "ok", Intensity: 10, Achieved: m.Attainable(10, "fp32") / 2}
+	if err := m.Validate(good, "fp32"); err != nil {
+		t.Errorf("valid point rejected: %v", err)
+	}
+	bad := Point{Name: "impossible", Intensity: 10, Achieved: m.Attainable(10, "") * 2}
+	if err := m.Validate(bad, ""); err == nil {
+		t.Error("point above the envelope accepted")
+	}
+}
+
+func TestP100HasNoTensorCeiling(t *testing.T) {
+	g := hw.TeslaP100
+	m := ForGPU(&g)
+	for _, c := range m.Ceilings {
+		if c.Name == "fp16-tensor" {
+			t.Error("P100 roofline must not have a tensor ceiling")
+		}
+	}
+}
+
+func TestMeasureHostSane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("host measurement in -short mode")
+	}
+	m := MeasureHost()
+	if m.MemBandwidth < 100*units.MBps {
+		t.Errorf("measured host bandwidth %v implausibly low", m.MemBandwidth)
+	}
+	// Pure-Go scalar GEMM lands at a few GFLOPS; anything below ~0.2
+	// indicates the measurement itself broke.
+	if len(m.Ceilings) != 1 || m.Ceilings[0].Peak < 0.2*units.GFLOPS {
+		t.Errorf("measured host peak %v implausibly low", m.Ceilings)
+	}
+	if m.Ridge("fp32") <= 0 {
+		t.Error("host ridge must be positive")
+	}
+}
+
+func TestEmptyModelSafe(t *testing.T) {
+	m := &Model{}
+	if m.Attainable(10, "") != 0 {
+		t.Error("empty model attainable should be 0")
+	}
+	if m.Ridge("") != 0 {
+		t.Error("empty model ridge should be 0")
+	}
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders a schedule as an ASCII chart: one row per GPU, time along
+// the horizontal axis (the transpose of Figure 4's layout, which puts
+// GPUs on the x-axis), each job drawn with a distinct letter.
+func Gantt(s Schedule, n int, cols int) string {
+	if cols < 20 {
+		cols = 60
+	}
+	if s.Makespan <= 0 || len(s.Placements) == 0 {
+		return "(empty schedule)\n"
+	}
+	// Assign letters in placement order, deterministically.
+	letters := map[string]byte{}
+	names := make([]string, 0, len(s.Placements))
+	for _, p := range s.Placements {
+		if _, ok := letters[p.Job]; !ok {
+			letters[p.Job] = byte('A' + len(letters))
+			names = append(names, p.Job)
+		}
+	}
+
+	rows := make([][]byte, n)
+	for g := range rows {
+		rows[g] = []byte(strings.Repeat(".", cols))
+	}
+	scale := float64(cols) / s.Makespan
+	for _, p := range s.Placements {
+		lo := int(p.Start * scale)
+		hi := int(p.End * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > cols {
+			hi = cols
+		}
+		for _, g := range p.GPUs {
+			if g < 0 || g >= n {
+				continue
+			}
+			for x := lo; x < hi; x++ {
+				rows[g][x] = letters[p.Job]
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan: %.2f h\n", s.Makespan/3600)
+	for g := 0; g < n; g++ {
+		fmt.Fprintf(&b, "gpu%d |%s|\n", g, rows[g])
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %c = %s\n", letters[name], name)
+	}
+	return b.String()
+}

@@ -1,0 +1,251 @@
+// Package sched reproduces the paper's scheduling study (§IV-D, Figure 4):
+// given a mix of training jobs whose duration depends on how many GPUs
+// they get (moldable jobs), compare the naive policy — run every job on
+// all GPUs, one after another — against the optimal schedule found by
+// exhaustive search over per-job GPU allocations and placements. The
+// paper reports the optimal plan saves ~3.0 hours over naive for the
+// seven MLPerf benchmarks on 4 GPUs (4.1 h on 2 GPUs, 0.4 h on 8).
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Job is one moldable training job: Duration[w] is its runtime in seconds
+// when given w GPUs. Widths are typically powers of two.
+type Job struct {
+	Name string
+	// Duration maps GPU count to runtime in seconds.
+	Duration map[int]float64
+}
+
+// widths returns the job's available widths ≤ n, ascending.
+func (j Job) widths(n int) []int {
+	var out []int
+	for w := range j.Duration {
+		if w >= 1 && w <= n {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Placement is one scheduled run.
+type Placement struct {
+	Job   string
+	GPUs  []int
+	Start float64
+	End   float64
+}
+
+// Schedule is a complete plan.
+type Schedule struct {
+	Placements []Placement
+	Makespan   float64
+}
+
+// Validate checks the schedule is feasible on n GPUs: every GPU runs at
+// most one job at a time and every named job appears exactly once.
+func (s Schedule) Validate(jobs []Job, n int) error {
+	seen := map[string]int{}
+	type span struct{ start, end float64 }
+	perGPU := make([][]span, n)
+	for _, p := range s.Placements {
+		seen[p.Job]++
+		if p.End < p.Start {
+			return fmt.Errorf("sched: %s ends before it starts", p.Job)
+		}
+		if p.End > s.Makespan+1e-9 {
+			return fmt.Errorf("sched: %s ends after makespan", p.Job)
+		}
+		for _, g := range p.GPUs {
+			if g < 0 || g >= n {
+				return fmt.Errorf("sched: %s uses GPU %d outside [0,%d)", p.Job, g, n)
+			}
+			for _, sp := range perGPU[g] {
+				if p.Start < sp.end-1e-9 && sp.start < p.End-1e-9 {
+					return fmt.Errorf("sched: GPU %d double-booked by %s", g, p.Job)
+				}
+			}
+			perGPU[g] = append(perGPU[g], span{p.Start, p.End})
+		}
+	}
+	for _, j := range jobs {
+		if seen[j.Name] != 1 {
+			return fmt.Errorf("sched: job %s scheduled %d times", j.Name, seen[j.Name])
+		}
+	}
+	return nil
+}
+
+// Naive builds the paper's baseline: every job runs on all n GPUs, one
+// after another (Figure 4a) — no fragmentation, maximal per-job width.
+func Naive(jobs []Job, n int) (Schedule, error) {
+	var s Schedule
+	t := 0.0
+	gpus := make([]int, n)
+	for i := range gpus {
+		gpus[i] = i
+	}
+	for _, j := range jobs {
+		d, ok := j.Duration[n]
+		if !ok {
+			return Schedule{}, fmt.Errorf("sched: job %s has no duration at width %d", j.Name, n)
+		}
+		s.Placements = append(s.Placements, Placement{
+			Job: j.Name, GPUs: gpus, Start: t, End: t + d,
+		})
+		t += d
+	}
+	s.Makespan = t
+	return s, nil
+}
+
+// Optimal searches allocations and orderings for the minimum-makespan
+// plan, mirroring the paper's "search through all permutations of
+// scheduling" with branch-and-bound pruning: width vectors are pruned by
+// a work/criticality lower bound, and partial placements are pruned
+// against the incumbent.
+func Optimal(jobs []Job, n int) (Schedule, error) {
+	if len(jobs) == 0 {
+		return Schedule{}, nil
+	}
+	if n < 1 {
+		return Schedule{}, fmt.Errorf("sched: %d GPUs", n)
+	}
+	// Incumbent: the naive plan (always feasible if widths include n).
+	best, err := Naive(jobs, n)
+	if err != nil {
+		return Schedule{}, err
+	}
+
+	widthChoices := make([][]int, len(jobs))
+	for i, j := range jobs {
+		widthChoices[i] = j.widths(n)
+		if len(widthChoices[i]) == 0 {
+			return Schedule{}, fmt.Errorf("sched: job %s has no feasible width on %d GPUs", j.Name, n)
+		}
+	}
+
+	widths := make([]int, len(jobs))
+	var enumerate func(k int)
+	enumerate = func(k int) {
+		if k == len(jobs) {
+			// Lower bound: total work spread over n, and the longest job.
+			var work, longest float64
+			for i, j := range jobs {
+				d := j.Duration[widths[i]]
+				work += d * float64(widths[i])
+				if d > longest {
+					longest = d
+				}
+			}
+			lb := math.Max(work/float64(n), longest)
+			if lb >= best.Makespan-1e-9 {
+				return
+			}
+			if s, ok := packBnB(jobs, widths, n, best.Makespan); ok {
+				best = s
+			}
+			return
+		}
+		for _, w := range widthChoices[k] {
+			widths[k] = w
+			enumerate(k + 1)
+		}
+	}
+	enumerate(0)
+	return best, nil
+}
+
+// packBnB finds the best packing of rigid (width, duration) jobs on n
+// GPUs by branch-and-bound over job orderings with greedy earliest-start
+// placement; returns ok=false if nothing beats `bound`.
+func packBnB(jobs []Job, widths []int, n int, bound float64) (Schedule, bool) {
+	type item struct {
+		idx int
+		w   int
+		d   float64
+	}
+	items := make([]item, len(jobs))
+	for i, j := range jobs {
+		items[i] = item{idx: i, w: widths[i], d: j.Duration[widths[i]]}
+	}
+	// LPT order first makes the initial incumbent strong.
+	sort.Slice(items, func(a, b int) bool { return items[a].d > items[b].d })
+
+	free := make([]float64, n)
+	used := make([]bool, len(items))
+	placed := make([]Placement, 0, len(items))
+	var bestPlan []Placement
+	bestMakespan := bound
+	found := false
+
+	gpuIdx := make([]int, n)
+
+	var place func(count int, makespan float64)
+	place = func(count int, makespan float64) {
+		if makespan >= bestMakespan-1e-9 {
+			return
+		}
+		if count == len(items) {
+			bestMakespan = makespan
+			bestPlan = append([]Placement(nil), placed...)
+			found = true
+			return
+		}
+		for k := range items {
+			if used[k] {
+				continue
+			}
+			it := items[k]
+			// Earliest start: the it.w GPUs with smallest free times.
+			// gpuIdx is shared scratch re-sorted by deeper recursion, so
+			// the chosen ids must be copied out before recursing.
+			for i := range gpuIdx {
+				gpuIdx[i] = i
+			}
+			sort.Slice(gpuIdx, func(a, b int) bool { return free[gpuIdx[a]] < free[gpuIdx[b]] })
+			gpus := make([]int, it.w)
+			copy(gpus, gpuIdx[:it.w])
+			sort.Ints(gpus) // canonical order; also keeps save/restore pairing stable
+			start := 0.0
+			for _, g := range gpus {
+				if free[g] > start {
+					start = free[g]
+				}
+			}
+			end := start + it.d
+			if end >= bestMakespan-1e-9 {
+				continue
+			}
+			saved := make([]float64, it.w)
+			for i, g := range gpus {
+				saved[i] = free[g]
+				free[g] = end
+			}
+			used[k] = true
+			placed = append(placed, Placement{Job: jobs[it.idx].Name, GPUs: gpus, Start: start, End: end})
+
+			newMakespan := makespan
+			if end > newMakespan {
+				newMakespan = end
+			}
+			place(count+1, newMakespan)
+
+			placed = placed[:len(placed)-1]
+			used[k] = false
+			for i, g := range gpus {
+				free[g] = saved[i]
+			}
+		}
+	}
+	place(0, 0)
+	if !found {
+		return Schedule{}, false
+	}
+	return Schedule{Placements: bestPlan, Makespan: bestMakespan}, true
+}

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// mixJobs builds a small moldable job mix with known best structure.
+func mixJobs() []Job {
+	mk := func(name string, d1 float64, eff2, eff4 float64) Job {
+		return Job{Name: name, Duration: map[int]float64{
+			1: d1, 2: d1 / eff2, 4: d1 / eff4,
+		}}
+	}
+	return []Job{
+		mk("scalable-a", 4000, 1.95, 3.8),
+		mk("scalable-b", 3000, 1.9, 3.7),
+		mk("medium", 2000, 1.7, 2.6),
+		mk("poor", 1000, 1.2, 1.3),
+	}
+}
+
+func TestNaiveSequential(t *testing.T) {
+	jobs := mixJobs()
+	s, err := Naive(jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(jobs, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := 4000/3.8 + 3000/3.7 + 2000/2.6 + 1000/1.3
+	if diff := s.Makespan - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("naive makespan = %v, want %v", s.Makespan, want)
+	}
+	// Every placement uses all four GPUs.
+	for _, p := range s.Placements {
+		if len(p.GPUs) != 4 {
+			t.Errorf("naive placement %s uses %d GPUs", p.Job, len(p.GPUs))
+		}
+	}
+}
+
+func TestOptimalBeatsNaiveOnPoorScalers(t *testing.T) {
+	jobs := mixJobs()
+	naive, err := Naive(jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimal(jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Validate(jobs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Makespan >= naive.Makespan {
+		t.Errorf("optimal %v does not beat naive %v", opt.Makespan, naive.Makespan)
+	}
+}
+
+func TestOptimalSingleJob(t *testing.T) {
+	jobs := []Job{{Name: "only", Duration: map[int]float64{1: 100, 2: 60, 4: 40}}}
+	opt, err := Optimal(jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single job should simply take its fastest width.
+	if opt.Makespan != 40 {
+		t.Errorf("single-job makespan = %v, want 40", opt.Makespan)
+	}
+}
+
+func TestOptimalPrefersParallelSingles(t *testing.T) {
+	// Two identical non-scaling jobs on 2 GPUs: optimal runs them side by
+	// side on one GPU each (the paper's observation that two similar
+	// workloads in parallel beat sequential distributed runs).
+	jobs := []Job{
+		{Name: "x", Duration: map[int]float64{1: 100, 2: 95}},
+		{Name: "y", Duration: map[int]float64{1: 100, 2: 95}},
+	}
+	opt, err := Optimal(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Makespan != 100 {
+		t.Errorf("makespan = %v, want 100 (side-by-side)", opt.Makespan)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Naive([]Job{{Name: "w", Duration: map[int]float64{1: 5}}}, 4); err == nil {
+		t.Error("naive without full-width duration must error")
+	}
+	if _, err := Optimal([]Job{{Name: "w", Duration: map[int]float64{8: 5}}}, 4); err == nil {
+		t.Error("job with no feasible width must error")
+	}
+	if _, err := Optimal(nil, 4); err != nil {
+		t.Errorf("empty job list should be fine: %v", err)
+	}
+}
+
+// Property: optimal is always feasible and never worse than naive.
+func TestOptimalNeverWorseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := []int{2, 4}[rng.Intn(2)]
+		count := 2 + rng.Intn(4)
+		jobs := make([]Job, count)
+		for i := range jobs {
+			d1 := float64(100 + rng.Intn(5000))
+			e2 := 1 + rng.Float64()
+			e4 := e2 + rng.Float64()*2
+			jobs[i] = Job{
+				Name: string(rune('a' + i)),
+				Duration: map[int]float64{
+					1: d1, 2: d1 / e2, 4: d1 / e4,
+				},
+			}
+		}
+		naive, err := Naive(jobs, n)
+		if err != nil {
+			return false
+		}
+		opt, err := Optimal(jobs, n)
+		if err != nil {
+			return false
+		}
+		if opt.Validate(jobs, n) != nil {
+			return false
+		}
+		return opt.Makespan <= naive.Makespan+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", Duration: map[int]float64{1: 10}},
+		{Name: "b", Duration: map[int]float64{1: 10}},
+	}
+	bad := Schedule{
+		Makespan: 10,
+		Placements: []Placement{
+			{Job: "a", GPUs: []int{0}, Start: 0, End: 10},
+			{Job: "b", GPUs: []int{0}, Start: 5, End: 10},
+		},
+	}
+	if err := bad.Validate(jobs, 1); err == nil {
+		t.Error("overlapping schedule validated")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	jobs := mixJobs()
+	opt, err := Optimal(jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Gantt(opt, 4, 60)
+	if !strings.Contains(g, "gpu0") || !strings.Contains(g, "gpu3") {
+		t.Error("gantt missing GPU rows")
+	}
+	if !strings.Contains(g, "makespan") {
+		t.Error("gantt missing makespan line")
+	}
+	for _, j := range jobs {
+		if !strings.Contains(g, j.Name) {
+			t.Errorf("gantt legend missing %s", j.Name)
+		}
+	}
+	if got := Gantt(Schedule{}, 2, 40); !strings.Contains(got, "empty") {
+		t.Error("empty schedule rendering")
+	}
+}

@@ -1,0 +1,133 @@
+// Package sim simulates data-parallel training of a network on a multi-GPU
+// system: the input pipeline on host CPUs, host-to-device copies over
+// PCIe, forward/backward compute on each GPU, gradient all-reduce over the
+// interconnect, and the optimizer step. A discrete-event engine pipelines
+// these stages exactly as a prefetching training loop does, yielding the
+// steady-state step time, time-to-train (the MLPerf metric), and the
+// resource-utilization figures of Table V.
+package sim
+
+import (
+	"container/heap"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is a minimal deterministic discrete-event simulator: events fire
+// in (time, insertion) order.
+type Engine struct {
+	now float64
+	seq int64
+	pq  eventHeap
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule enqueues fn to run at absolute time at (clamped to now).
+func (e *Engine) Schedule(at float64, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After enqueues fn to run delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run processes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// Interval is one labeled busy span of a resource.
+type Interval struct {
+	Start, End float64
+	Label      string
+}
+
+// Resource is a single-server FIFO resource (a CPU worker pool, a PCIe
+// link, a GPU): requests serialize, and the busy intervals are recorded
+// for utilization accounting and timeline export.
+type Resource struct {
+	Name string
+	// freeAt is when the resource next becomes idle.
+	freeAt float64
+	// Busy accumulates total busy seconds.
+	Busy float64
+	// Intervals holds the busy spans in order.
+	Intervals []Interval
+}
+
+// Acquire reserves the resource for dur seconds starting no earlier than
+// at, returning the completion time.
+func (r *Resource) Acquire(at, dur float64) float64 {
+	return r.AcquireLabeled(at, dur, "")
+}
+
+// AcquireLabeled is Acquire with a span label for timeline export.
+func (r *Resource) AcquireLabeled(at, dur float64, label string) float64 {
+	start := at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end := start + dur
+	r.freeAt = end
+	if dur > 0 {
+		r.Busy += dur
+		r.Intervals = append(r.Intervals, Interval{Start: start, End: end, Label: label})
+	}
+	return end
+}
+
+// UtilizationOver returns the busy fraction during [from, to].
+func (r *Resource) UtilizationOver(from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	var busy float64
+	for _, iv := range r.Intervals {
+		lo, hi := iv.Start, iv.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			busy += hi - lo
+		}
+	}
+	return busy / (to - from)
+}

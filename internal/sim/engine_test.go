@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run()
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("event order = %v", got)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(1, func() { got = append(got, "a") })
+	e.Schedule(1, func() { got = append(got, "b") })
+	e.Run()
+	if got[0] != "a" || got[1] != "b" {
+		t.Errorf("same-time events reordered: %v", got)
+	}
+}
+
+func TestEngineScheduleInPastClamps(t *testing.T) {
+	e := NewEngine()
+	var fired float64 = -1
+	e.Schedule(5, func() {
+		e.Schedule(2, func() { fired = e.Now() }) // in the past
+	})
+	e.Run()
+	if fired != 5 {
+		t.Errorf("past event fired at %v, want clamped to 5", fired)
+	}
+}
+
+func TestEngineAfterNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	var fired bool
+	e.After(-3, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Error("negative-delay event never fired")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			e.After(1, chain)
+		}
+	}
+	e.After(0, chain)
+	e.Run()
+	if count != 100 {
+		t.Errorf("chain ran %d times, want 100", count)
+	}
+	if e.Now() != 99 {
+		t.Errorf("final time = %v, want 99", e.Now())
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of
+// insertion order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []float64
+		times := make([]float64, 50)
+		for i := range times {
+			times[i] = float64(rng.Intn(1000))
+			tt := times[i]
+			e.Schedule(tt, func() { fired = append(fired, tt) })
+		}
+		e.Run()
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := &Resource{Name: "gpu"}
+	end1 := r.Acquire(0, 10)
+	end2 := r.Acquire(5, 10) // requested while busy: queues behind
+	if end1 != 10 || end2 != 20 {
+		t.Errorf("ends = %v, %v; want 10, 20", end1, end2)
+	}
+	if r.Busy != 20 {
+		t.Errorf("busy = %v, want 20", r.Busy)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	r := &Resource{}
+	r.Acquire(0, 2)
+	r.Acquire(10, 2)
+	if got := r.UtilizationOver(0, 12); got != 4.0/12 {
+		t.Errorf("utilization = %v, want 1/3", got)
+	}
+	if got := r.UtilizationOver(10, 12); got != 1 {
+		t.Errorf("utilization over busy window = %v, want 1", got)
+	}
+	if got := r.UtilizationOver(5, 5); got != 0 {
+		t.Errorf("degenerate window = %v, want 0", got)
+	}
+}
+
+func TestResourceZeroDurationNotRecorded(t *testing.T) {
+	r := &Resource{}
+	r.Acquire(0, 0)
+	if len(r.Intervals) != 0 || r.Busy != 0 {
+		t.Error("zero-duration acquire should not record an interval")
+	}
+}

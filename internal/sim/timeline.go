@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Timeline is the labeled occupancy of each pipeline station during a
+// simulated run — the simulator's answer to an nvprof timeline.
+type Timeline struct {
+	// Lanes maps station name ("cpu-input", "pcie-h2d", "gpu") to its
+	// busy spans in time order.
+	Lanes map[string][]Interval
+}
+
+// Span returns the [min, max] time covered by any lane.
+func (t *Timeline) Span() (float64, float64) {
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, ivs := range t.Lanes {
+		for _, iv := range ivs {
+			if first || iv.Start < lo {
+				lo = iv.Start
+			}
+			if first || iv.End > hi {
+				hi = iv.End
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the timeline in the Chrome trace-event JSON
+// format, loadable in chrome://tracing or Perfetto — each station is a
+// track, each phase a slice.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	laneNames := make([]string, 0, len(t.Lanes))
+	for name := range t.Lanes {
+		laneNames = append(laneNames, name)
+	}
+	sort.Strings(laneNames)
+
+	var events []chromeEvent
+	// Thread-name metadata first, so tracks are labeled.
+	type meta struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	var metas []meta
+	for tid, name := range laneNames {
+		metas = append(metas, meta{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+		for _, iv := range t.Lanes[name] {
+			label := iv.Label
+			if label == "" {
+				label = name
+			}
+			events = append(events, chromeEvent{
+				Name: label, Ph: "X",
+				Ts:  iv.Start * 1e6,
+				Dur: (iv.End - iv.Start) * 1e6,
+				PID: 1, TID: tid,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	out := struct {
+		TraceEvents []any `json:"traceEvents"`
+	}{}
+	for _, m := range metas {
+		out.TraceEvents = append(out.TraceEvents, m)
+	}
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, e)
+	}
+	return enc.Encode(out)
+}
+
+// RenderText draws the timeline as aligned text lanes.
+func (t *Timeline) RenderText(cols int) string {
+	if cols < 20 {
+		cols = 80
+	}
+	lo, hi := t.Span()
+	if hi <= lo {
+		return "(empty timeline)\n"
+	}
+	scale := float64(cols) / (hi - lo)
+	laneNames := make([]string, 0, len(t.Lanes))
+	for name := range t.Lanes {
+		laneNames = append(laneNames, name)
+	}
+	sort.Strings(laneNames)
+	out := fmt.Sprintf("timeline %.3fs - %.3fs\n", lo, hi)
+	for _, name := range laneNames {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, iv := range t.Lanes[name] {
+			a := int((iv.Start - lo) * scale)
+			b := int((iv.End - lo) * scale)
+			if b <= a {
+				b = a + 1
+			}
+			if b > cols {
+				b = cols
+			}
+			for x := a; x < b; x++ {
+				row[x] = '#'
+			}
+		}
+		out += fmt.Sprintf("%-10s |%s|\n", name, row)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mlperf/internal/hw"
+)
+
+func timelineFromRun(t *testing.T, gpus int) *Timeline {
+	t.Helper()
+	res, err := Run(Config{System: hw.C4140K(), GPUCount: gpus, Job: testJob()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil {
+		t.Fatal("run produced no timeline")
+	}
+	return res.Timeline
+}
+
+func TestTimelineLanes(t *testing.T) {
+	tl := timelineFromRun(t, 2)
+	for _, lane := range []string{"cpu-input", "pcie-h2d", "gpu"} {
+		if len(tl.Lanes[lane]) == 0 {
+			t.Errorf("lane %s empty", lane)
+		}
+	}
+	// Intervals are ordered and labeled.
+	for lane, ivs := range tl.Lanes {
+		for i, iv := range ivs {
+			if iv.End <= iv.Start {
+				t.Errorf("%s[%d]: degenerate interval %+v", lane, i, iv)
+			}
+			if i > 0 && iv.Start < ivs[i-1].Start {
+				t.Errorf("%s: intervals out of order", lane)
+			}
+			if iv.Label == "" {
+				t.Errorf("%s[%d]: unlabeled", lane, i)
+			}
+		}
+	}
+	lo, hi := tl.Span()
+	if hi <= lo {
+		t.Error("degenerate span")
+	}
+}
+
+func TestTimelinePipelining(t *testing.T) {
+	// Steady-state pipelining: input for step N+1 must start before the
+	// GPU finishes step N (that is the whole point of prefetching).
+	tl := timelineFromRun(t, 1)
+	gpu := tl.Lanes["gpu"]
+	cpu := tl.Lanes["cpu-input"]
+	if len(gpu) < 4 || len(cpu) < 4 {
+		t.Fatal("too few intervals")
+	}
+	if cpu[2].Start >= gpu[1].End {
+		t.Errorf("input 2 starts at %v, after gpu step 1 ends at %v — no prefetch",
+			cpu[2].Start, gpu[1].End)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tl := timelineFromRun(t, 2)
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < 10 {
+		t.Errorf("only %d trace events", len(parsed.TraceEvents))
+	}
+	var haveMeta, haveSlice bool
+	for _, e := range parsed.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			haveMeta = true
+		case "X":
+			haveSlice = true
+			if dur, ok := e["dur"].(float64); !ok || dur <= 0 {
+				t.Errorf("slice with bad duration: %v", e)
+			}
+		}
+	}
+	if !haveMeta || !haveSlice {
+		t.Error("trace missing metadata or slices")
+	}
+}
+
+func TestTimelineRenderText(t *testing.T) {
+	tl := timelineFromRun(t, 1)
+	out := tl.RenderText(60)
+	for _, want := range []string{"cpu-input", "pcie-h2d", "gpu", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text timeline missing %q", want)
+		}
+	}
+	empty := &Timeline{Lanes: map[string][]Interval{}}
+	if !strings.Contains(empty.RenderText(40), "empty") {
+		t.Error("empty timeline rendering")
+	}
+}

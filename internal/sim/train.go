@@ -1,0 +1,471 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mlperf/internal/comm"
+	"mlperf/internal/dataset"
+	"mlperf/internal/hw"
+	"mlperf/internal/model"
+	"mlperf/internal/precision"
+	"mlperf/internal/units"
+)
+
+// Job is everything the simulator needs to know about one training
+// workload. The calibration fields encode implementation behaviour the
+// paper's measurements reflect but a layer graph cannot derive (input
+// pipeline cost, comm/compute overlap quality, allocator policy); their
+// per-benchmark values and rationale live in internal/workload/calibrate.go.
+type Job struct {
+	Name string
+	Net  *model.Network
+	Data dataset.Dataset
+	// EpochsToTarget is the epoch count needed to reach the Table II
+	// quality target.
+	EpochsToTarget float64
+	// BatchPerGPU is the reference per-GPU minibatch.
+	BatchPerGPU int
+	// MaxGlobalBatch caps the global batch (0 = uncapped); MovieLens's
+	// small size caps NCF here, which is what limits its scaling (§IV-D).
+	MaxGlobalBatch int
+	// Precision selects fp32 vs AMP execution.
+	Precision precision.Config
+	// OptimizerSlots is per-parameter fp32 optimizer state words.
+	OptimizerSlots int
+
+	// Calibration knobs:
+
+	// OverlapComm is the fraction of all-reduce hidden under backward.
+	OverlapComm float64
+	// CPUSecondsPerSample is host preprocessing core-seconds per sample.
+	CPUSecondsPerSample float64
+	// InputWorkersPerGPU is how many host cores feed each GPU.
+	InputWorkersPerGPU int
+	// HostSerialPerEpoch is non-parallelizable host work per epoch
+	// (shuffling, negative sampling) — the Amdahl term that caps NCF.
+	HostSerialPerEpoch float64
+	// HostBaseBytes is the DRAM footprint independent of GPU count.
+	HostBaseBytes units.Bytes
+	// HostBytesPerGPU is DRAM staging per training process.
+	HostBytesPerGPU units.Bytes
+	// GreedyHBM marks frameworks that preallocate nearly all of device
+	// memory (TensorFlow, and the tuned MLPerf submissions).
+	GreedyHBM bool
+	// GPUIdleFrac inflates compute time for kernel-gap stalls.
+	GPUIdleFrac float64
+	// GPUFixedPerStep is a constant GPU-side cost per step independent of
+	// batch size (launch storms, per-step eval/sync); it is what caps
+	// NCF's scaling beyond the batch-size ceiling.
+	GPUFixedPerStep float64
+	// Imbalance inflates multi-GPU compute by (1 + Imbalance*(1-1/g)):
+	// synchronized data parallelism waits for the slowest GPU, and
+	// variable-size inputs (Mask R-CNN's images) make that wait grow with
+	// GPU count.
+	Imbalance float64
+	// EpochGrowthPerDouble models large-batch convergence cost: epochs to
+	// target scale by (1+a)^log2(globalBatch/BatchPerGPU). MLPerf entries
+	// need more epochs at larger global batches (LR scaling, warmup).
+	EpochGrowthPerDouble float64
+	// FixedInputWorkers, when positive, fixes the host input pool size
+	// instead of scaling it with GPU count (single-process samplers).
+	FixedInputWorkers int
+	// H2DBytesPerSample overrides Net.InputBytes for the host-to-device
+	// payload (pipelines that ship augmented or cached intermediates).
+	H2DBytesPerSample units.Bytes
+	// ActLiveFrac is the fraction of activation memory simultaneously
+	// live on the device (frameworks free or recompute the rest);
+	// 0 means 1.0.
+	ActLiveFrac float64
+	// CommViaHost forces the collective through host memory even when
+	// peer-to-peer routes exist — TensorFlow's replicated-variable
+	// all-reduce staged over PCIe, visible in Table V where Res50_TF
+	// moves gradient traffic on PCIe rather than NVLink.
+	CommViaHost bool
+}
+
+// Validate reports configuration errors.
+func (j *Job) Validate() error {
+	if j.Net == nil {
+		return fmt.Errorf("sim: job %q has no network", j.Name)
+	}
+	if j.BatchPerGPU < 1 {
+		return fmt.Errorf("sim: job %q batch %d", j.Name, j.BatchPerGPU)
+	}
+	if j.EpochsToTarget <= 0 {
+		return fmt.Errorf("sim: job %q epochs %v", j.Name, j.EpochsToTarget)
+	}
+	if j.Data.TrainSamples <= 0 {
+		return fmt.Errorf("sim: job %q has empty dataset", j.Name)
+	}
+	return nil
+}
+
+// Config selects where and how to run a Job.
+type Config struct {
+	System *hw.System
+	// GPUCount uses the first N GPUs of the system (0 = all).
+	GPUCount int
+	Job      Job
+	// Steps is how many pipeline steps to simulate for the steady state
+	// (default 32).
+	Steps int
+}
+
+// Phases is the per-step time breakdown in seconds.
+type Phases struct {
+	// Input is the host preprocessing time per global batch.
+	Input float64
+	// H2D is the host-to-device copy time (slowest GPU).
+	H2D float64
+	// Compute is forward+backward on one GPU.
+	Compute float64
+	// AllReduce is the full collective latency.
+	AllReduce float64
+	// ExposedComm is the non-overlapped part of AllReduce.
+	ExposedComm float64
+	// Optimizer is the weight-update time.
+	Optimizer float64
+}
+
+// Result is one simulated training run.
+type Result struct {
+	Phases
+	// StepTime is the steady-state pipeline step latency in seconds.
+	StepTime float64
+	// LocalBatch and GlobalBatch are the realized batch sizes.
+	LocalBatch, GlobalBatch int
+	// StepsPerEpoch at the realized global batch.
+	StepsPerEpoch int
+	// TimeToTrain is the MLPerf metric: wall clock to the quality target.
+	TimeToTrain time.Duration
+	// Throughput is global samples per second.
+	Throughput float64
+	// CPUUtil is host utilization over all cores (Table V).
+	CPUUtil units.Percent
+	// GPUUtilTotal sums per-GPU utilization (400% max on 4 GPUs).
+	GPUUtilTotal units.Percent
+	// DRAMBytes and HBMBytes are the Table V footprints (HBM summed over
+	// GPUs).
+	DRAMBytes, HBMBytes units.Bytes
+	// PCIeRate and NVLinkRate are aggregate bus rates (Table V, Mbps).
+	PCIeRate, NVLinkRate units.BytesPerSecond
+	// Comm is the all-reduce cost detail.
+	Comm comm.Result
+	// Timeline is the labeled station occupancy of the simulated steps,
+	// exportable as a Chrome trace (WriteChromeTrace).
+	Timeline *Timeline
+}
+
+// LocalBatchFor returns the per-GPU batch after the global-batch cap.
+func (j *Job) LocalBatchFor(gpus int) int {
+	b := j.BatchPerGPU
+	if j.MaxGlobalBatch > 0 && b*gpus > j.MaxGlobalBatch {
+		b = j.MaxGlobalBatch / gpus
+		if b < 1 {
+			b = 1
+		}
+	}
+	return b
+}
+
+// Run simulates the job and returns the full result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("sim: nil system")
+	}
+	if err := cfg.Job.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.GPUCount
+	if g <= 0 || g > cfg.System.GPUCount {
+		g = cfg.System.GPUCount
+	}
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = 32
+	}
+	j := &cfg.Job
+	gpus := cfg.System.GPUIDs()[:g]
+	gpu := &cfg.System.GPU
+
+	localB := j.LocalBatchFor(g)
+	globalB := localB * g
+
+	var ph Phases
+
+	// Compute: per-sample roofline time across the layer graph, inflated
+	// by kernel-gap stalls, synchronization imbalance across GPUs, and
+	// any fixed per-step GPU overhead.
+	perSample := precision.StepTime(gpu, j.Net, localB, j.Precision)
+	imbalance := 1 + j.Imbalance*(1-1/float64(g))
+	ph.Compute = perSample*float64(localB)*(1+j.GPUIdleFrac)*imbalance + j.GPUFixedPerStep
+
+	// Optimizer: streams params + state + gradients through HBM.
+	optBytes := float64(j.Net.ParamBytes(4))*(2+float64(j.OptimizerSlots)) +
+		float64(j.Net.GradientBytes())
+	ph.Optimizer = optBytes / (float64(gpu.MemBandwidth) * 0.7)
+
+	// Input pipeline: dedicated worker cores (per GPU, or a fixed pool
+	// for single-process samplers).
+	totalCores := cfg.System.CPU.Cores * cfg.System.CPUSockets
+	var cores int
+	if j.FixedInputWorkers > 0 {
+		cores = j.FixedInputWorkers
+	} else {
+		workers := j.InputWorkersPerGPU
+		if workers < 1 {
+			workers = 1
+		}
+		cores = workers * g
+	}
+	if cores > totalCores {
+		cores = totalCores
+	}
+	ph.Input = float64(globalB) * j.CPUSecondsPerSample / float64(cores)
+
+	// H2D: per-GPU payload over its host path, derated when several GPUs
+	// share the same CPU egress link.
+	sampleBytes := j.Net.InputBytes
+	if j.H2DBytesPerSample > 0 {
+		sampleBytes = j.H2DBytesPerSample
+	}
+	ph.H2D = h2dTime(cfg.System, gpus, units.Bytes(localB)*sampleBytes)
+
+	// All-reduce (multi-GPU only).
+	var cr comm.Result
+	if g > 1 {
+		var err error
+		if j.CommViaHost {
+			cr, err = comm.HostStagedAllReduce(cfg.System.Topo, gpus, j.Net.GradientBytes())
+		} else {
+			cr, err = comm.AllReduce(cfg.System.Topo, gpus, j.Net.GradientBytes())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s on %s: %w", j.Name, cfg.System.Name, err)
+		}
+		ph.AllReduce = cr.Time
+		overlap := j.OverlapComm
+		if overlap < 0 {
+			overlap = 0
+		}
+		if overlap > 1 {
+			overlap = 1
+		}
+		// Comm hides under the backward pass: at most an `overlap`
+		// fraction of the collective, and never more than the overlap
+		// window the backward pass provides. Exposed time is therefore
+		// monotone in the collective's latency.
+		hidden := overlap * ph.Compute
+		if cap := ph.AllReduce * overlap; cap < hidden {
+			hidden = cap
+		}
+		ph.ExposedComm = ph.AllReduce - hidden
+	}
+
+	stepTime, cpuRes, pcieRes, gpuRes, span := runPipeline(ph, steps)
+
+	stepsPerEpoch := j.Data.TrainSamples / globalB
+	if stepsPerEpoch < 1 {
+		stepsPerEpoch = 1
+	}
+	epochs := j.EpochsToTarget
+	if j.EpochGrowthPerDouble > 0 && globalB > j.BatchPerGPU {
+		doublings := math.Log2(float64(globalB) / float64(j.BatchPerGPU))
+		epochs *= math.Pow(1+j.EpochGrowthPerDouble, doublings)
+	}
+	epochTime := float64(stepsPerEpoch)*stepTime + j.HostSerialPerEpoch
+	ttt := units.Seconds(epochs * epochTime)
+
+	res := &Result{
+		Phases:        ph,
+		StepTime:      stepTime,
+		LocalBatch:    localB,
+		GlobalBatch:   globalB,
+		StepsPerEpoch: stepsPerEpoch,
+		TimeToTrain:   ttt,
+		Throughput:    float64(globalB) / stepTime,
+		Comm:          cr,
+		Timeline: &Timeline{Lanes: map[string][]Interval{
+			"cpu-input": cpuRes.Intervals,
+			"pcie-h2d":  pcieRes.Intervals,
+			"gpu":       gpuRes.Intervals,
+		}},
+	}
+
+	// Utilizations over the steady-state span. Kernel-gap stalls
+	// (GPUIdleFrac) stretch the step but leave the SMs idle, so the
+	// dmon-style utilization counts only the un-inflated kernel time plus
+	// collective kernels.
+	gpuBusy := gpuRes.UtilizationOver(span[0], span[1])
+	busyWork := perSample*float64(localB)*imbalance + j.GPUFixedPerStep + ph.Optimizer + ph.ExposedComm
+	if gpuWorkTotal := ph.Compute + ph.ExposedComm + ph.Optimizer; gpuWorkTotal > 0 {
+		gpuBusy *= busyWork / gpuWorkTotal
+	}
+	if gpuBusy > 1 {
+		gpuBusy = 1
+	}
+	res.GPUUtilTotal = units.Percent(gpuBusy * 100 * float64(g))
+	// CPU: input workers + serialized per-epoch work amortized per step +
+	// a small OS floor.
+	serialPerStep := j.HostSerialPerEpoch / float64(stepsPerEpoch)
+	coreSeconds := cpuRes.UtilizationOver(span[0], span[1])*float64(cores)*stepTime +
+		serialPerStep + 0.004*float64(totalCores)*stepTime
+	res.CPUUtil = units.Percent(coreSeconds / (stepTime * float64(totalCores)) * 100).Clamp(100)
+
+	// Footprints.
+	res.DRAMBytes = j.HostBaseBytes + units.Bytes(g)*j.HostBytesPerGPU
+	res.HBMBytes = units.Bytes(g) * hbmPerGPU(j, gpu, localB)
+
+	// Bus rates: input H2D plus the collective traffic split by link
+	// kind. PCIe follows the paper's "sum over GPUs" semantics; NVLink is
+	// reported as the mean per-GPU rate, the closest consistent reading
+	// of the nvidia-smi lane counters (see EXPERIMENTS.md).
+	h2dBytesPerStep := float64(globalB) * float64(sampleBytes)
+	pcieBytes := h2dBytesPerStep
+	var nvlinkBytes float64
+	if g > 1 {
+		pcieBytes += float64(cr.TrafficByKind[hw.PCIe3])
+		nvlinkBytes = float64(cr.TrafficByKind[hw.NVLink]) / float64(g)
+	}
+	res.PCIeRate = units.BytesPerSecond(pcieBytes / stepTime)
+	res.NVLinkRate = units.BytesPerSecond(nvlinkBytes / stepTime)
+	return res, nil
+}
+
+// h2dTime computes the host-to-device copy time for one local batch,
+// accounting for GPUs that share a CPU egress link (e.g. four GPUs behind
+// one PLX switch divide a single x16 uplink).
+func h2dTime(s *hw.System, gpus []string, perGPUBytes units.Bytes) float64 {
+	if perGPUBytes <= 0 {
+		return 0
+	}
+	type egress struct{ a, b string }
+	shares := map[egress]int{}
+	paths := map[string]hw.Path{}
+	for _, gid := range gpus {
+		p := bestHostPath(s, gid)
+		paths[gid] = p
+		if len(p.Hops) >= 2 {
+			shares[egress{p.Hops[0], p.Hops[1]}]++
+		}
+	}
+	var worst float64
+	for _, gid := range gpus {
+		p := paths[gid]
+		bw := float64(p.Bottleneck)
+		if len(p.Hops) >= 2 {
+			if n := shares[egress{p.Hops[0], p.Hops[1]}]; n > 1 {
+				// The shared first hop caps each GPU to 1/n of it.
+				if shared := float64(p.Bottleneck) / float64(n); shared < bw {
+					bw = shared
+				}
+			}
+		}
+		if bw <= 0 {
+			continue
+		}
+		if t := float64(perGPUBytes) / bw; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// bestHostPath returns the widest path from any CPU to the GPU.
+func bestHostPath(s *hw.System, gpu string) hw.Path {
+	var best hw.Path
+	for _, c := range s.Topo.CPUs() {
+		if p, ok := s.Topo.WidestPath(c, gpu); ok && p.Bottleneck > best.Bottleneck {
+			best = p
+		}
+	}
+	return best
+}
+
+// hbmPerGPU estimates per-device memory: weights, gradients, optimizer
+// state, activations for the local batch, workspace, and context — or a
+// greedy grab of ~97% of the device for allocator-greedy frameworks.
+func hbmPerGPU(j *Job, gpu *hw.GPU, localB int) units.Bytes {
+	live := j.ActLiveFrac
+	if live <= 0 || live > 1 {
+		live = 1
+	}
+	need := float64(j.Net.ParamBytes(4)) +
+		float64(j.Net.GradientBytes()) +
+		float64(j.Net.OptimizerStateBytes(j.OptimizerSlots)) +
+		float64(j.Net.PeakActivationBytes())*float64(localB)*precision.MemoryScale(j.Precision)*live +
+		float64(units.GiB) // workspace + CUDA context
+	capFrac := 0.93 * float64(gpu.MemCapacity)
+	if j.GreedyHBM && need < capFrac {
+		return units.Bytes(capFrac)
+	}
+	if need > capFrac {
+		need = capFrac
+	}
+	return units.Bytes(need)
+}
+
+// prefetchDepth bounds how many batches the input pipeline may run ahead
+// of the GPU, like a framework's bounded prefetch queue; without the bound
+// a fast CPU would "complete" all input up front and its utilization would
+// read as zero in steady state.
+const prefetchDepth = 3
+
+// runPipeline simulates `steps` pipelined training iterations through the
+// three stations (CPU input, PCIe copy, GPU step) with the discrete-event
+// engine and returns the steady-state step time plus the station resources
+// and the measurement span.
+func runPipeline(ph Phases, steps int) (float64, *Resource, *Resource, *Resource, [2]float64) {
+	e := NewEngine()
+	cpu := &Resource{Name: "cpu"}
+	pcie := &Resource{Name: "pcie"}
+	gpu := &Resource{Name: "gpu"}
+
+	gpuWork := ph.Compute + ph.ExposedComm + ph.Optimizer
+	stepEnd := make([]float64, steps)
+
+	inflight := 0
+	next := 0
+	var tryLaunch func()
+	tryLaunch = func() {
+		for next < steps && inflight < prefetchDepth {
+			i := next
+			next++
+			inflight++
+			inDone := cpu.AcquireLabeled(e.Now(), ph.Input, fmt.Sprintf("input %d", i))
+			e.Schedule(inDone, func() {
+				cpDone := pcie.AcquireLabeled(e.Now(), ph.H2D, fmt.Sprintf("h2d %d", i))
+				e.Schedule(cpDone, func() {
+					gDone := gpu.AcquireLabeled(e.Now(), gpuWork, fmt.Sprintf("step %d", i))
+					e.Schedule(gDone, func() {
+						stepEnd[i] = e.Now()
+						inflight--
+						tryLaunch()
+					})
+				})
+			})
+			// Later inputs queue on the CPU resource behind this one, so
+			// launching them immediately is safe and keeps the pool busy.
+		}
+	}
+	tryLaunch()
+	e.Run()
+
+	half := steps / 2
+	if half < 1 {
+		half = 1
+	}
+	var stepTime float64
+	if steps > half {
+		stepTime = (stepEnd[steps-1] - stepEnd[half-1]) / float64(steps-half)
+	} else {
+		stepTime = stepEnd[steps-1]
+	}
+	if stepTime <= 0 {
+		stepTime = gpuWork + ph.Input + ph.H2D
+	}
+	span := [2]float64{stepEnd[half-1], stepEnd[steps-1]}
+	return stepTime, cpu, pcie, gpu, span
+}

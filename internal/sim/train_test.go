@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/hw"
+	"mlperf/internal/model"
+	"mlperf/internal/precision"
+	"mlperf/internal/units"
+)
+
+// testJob returns a ResNet-50-like job with neutral calibration.
+func testJob() Job {
+	return Job{
+		Name:                "test-res50",
+		Net:                 model.ResNet50(),
+		Data:                dataset.ImageNet,
+		EpochsToTarget:      2,
+		BatchPerGPU:         64,
+		Precision:           precision.DefaultAMP(),
+		OptimizerSlots:      1,
+		OverlapComm:         0.7,
+		CPUSecondsPerSample: 0.002,
+		InputWorkersPerGPU:  4,
+		HostBaseBytes:       8 * units.GB,
+		HostBytesPerGPU:     2 * units.GB,
+		GPUIdleFrac:         0.05,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(Config{System: hw.DSS8440(), GPUCount: 1, Job: testJob()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepTime <= 0 || res.TimeToTrain <= 0 || res.Throughput <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if res.LocalBatch != 64 || res.GlobalBatch != 64 {
+		t.Errorf("batch = %d/%d, want 64/64", res.LocalBatch, res.GlobalBatch)
+	}
+	if res.AllReduce != 0 || res.NVLinkRate != 0 {
+		t.Error("single-GPU run must have no collective traffic")
+	}
+	if res.GPUUtilTotal <= 0 || res.GPUUtilTotal > 100 {
+		t.Errorf("1-GPU utilization = %v", res.GPUUtilTotal)
+	}
+}
+
+func TestScalingReducesTimeToTrain(t *testing.T) {
+	sys := hw.DSS8440()
+	var prev float64 = 1e18
+	for _, g := range []int{1, 2, 4, 8} {
+		res, err := Run(Config{System: sys, GPUCount: g, Job: testJob()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := res.TimeToTrain.Seconds()
+		if tt >= prev {
+			t.Errorf("%d GPUs: time-to-train %v not below %v", g, tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestScalingSublinear(t *testing.T) {
+	// Communication must keep 8-GPU speedup below 8x.
+	sys := hw.DSS8440()
+	r1, err := Run(Config{System: sys, GPUCount: 1, Job: testJob()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(Config{System: sys, GPUCount: 8, Job: testJob()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := r1.TimeToTrain.Seconds() / r8.TimeToTrain.Seconds()
+	if speedup >= 8 {
+		t.Errorf("8-GPU speedup = %.2f, must be sublinear", speedup)
+	}
+	if speedup < 3 {
+		t.Errorf("8-GPU speedup = %.2f implausibly poor for ResNet-50", speedup)
+	}
+}
+
+func TestGlobalBatchCapThrottlesScaling(t *testing.T) {
+	// The NCF mechanism (§IV-D): with a capped global batch, adding GPUs
+	// shrinks the local batch and the speedup saturates.
+	sys := hw.DSS8440()
+	capped := testJob()
+	capped.MaxGlobalBatch = 64
+	r1, err := Run(Config{System: sys, GPUCount: 1, Job: capped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(Config{System: sys, GPUCount: 8, Job: capped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.LocalBatch != 8 {
+		t.Errorf("local batch = %d, want 8 under cap", r8.LocalBatch)
+	}
+	cappedSpeedup := r1.TimeToTrain.Seconds() / r8.TimeToTrain.Seconds()
+
+	free := testJob()
+	rf1, _ := Run(Config{System: sys, GPUCount: 1, Job: free})
+	rf8, _ := Run(Config{System: sys, GPUCount: 8, Job: free})
+	freeSpeedup := rf1.TimeToTrain.Seconds() / rf8.TimeToTrain.Seconds()
+	if cappedSpeedup >= freeSpeedup {
+		t.Errorf("capped speedup %.2f should trail uncapped %.2f", cappedSpeedup, freeSpeedup)
+	}
+}
+
+func TestTopologyOrdering(t *testing.T) {
+	// Figure 5: NVLink <= PCIe-switch <= through-CPU training time for a
+	// communication-heavy job.
+	j := testJob()
+	j.Net = model.Transformer() // 210M params: heavy all-reduce
+	j.Data = dataset.WMT17
+	j.BatchPerGPU = 128
+	j.OverlapComm = 0.3
+	times := map[string]float64{}
+	for _, sys := range []*hw.System{hw.C4140K(), hw.C4140B(), hw.T640()} {
+		res, err := Run(Config{System: sys, GPUCount: 4, Job: j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[sys.Name] = res.TimeToTrain.Seconds()
+	}
+	if !(times["C4140 (K)"] < times["C4140 (B)"] && times["C4140 (B)"] < times["T640"]) {
+		t.Errorf("topology ordering violated: %v", times)
+	}
+}
+
+func TestCPUUtilGrowsWithGPUs(t *testing.T) {
+	// §V-A: doubling GPUs roughly doubles host utilization.
+	sys := hw.C4140K()
+	var prev units.Percent
+	for _, g := range []int{1, 2, 4} {
+		res, err := Run(Config{System: sys, GPUCount: g, Job: testJob()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CPUUtil <= prev {
+			t.Errorf("%d GPUs: CPU util %v not above %v", g, res.CPUUtil, prev)
+		}
+		prev = res.CPUUtil
+	}
+}
+
+func TestHBMFootprintScalesWithGPUs(t *testing.T) {
+	sys := hw.C4140K()
+	r1, _ := Run(Config{System: sys, GPUCount: 1, Job: testJob()})
+	r4, _ := Run(Config{System: sys, GPUCount: 4, Job: testJob()})
+	ratio := float64(r4.HBMBytes) / float64(r1.HBMBytes)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("HBM footprint ratio 4GPU/1GPU = %.2f, want ~4", ratio)
+	}
+}
+
+func TestGreedyHBMGrabsDevice(t *testing.T) {
+	j := testJob()
+	j.GreedyHBM = true
+	res, err := Run(Config{System: hw.C4140K(), GPUCount: 1, Job: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.HBMBytes) / float64(hw.TeslaV100SXM2.MemCapacity)
+	if frac < 0.90 {
+		t.Errorf("greedy allocator used %.2f of HBM, want ~0.93", frac)
+	}
+}
+
+func TestNVLinkTrafficOnlyOnNVLinkSystems(t *testing.T) {
+	j := testJob()
+	rK, err := Run(Config{System: hw.C4140K(), GPUCount: 4, Job: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rK.NVLinkRate <= 0 {
+		t.Error("C4140(K) 4-GPU run must show NVLink traffic")
+	}
+	rB, err := Run(Config{System: hw.C4140B(), GPUCount: 4, Job: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rB.NVLinkRate != 0 {
+		t.Error("C4140(B) has no NVLink; rate must be 0")
+	}
+	if rB.PCIeRate <= rK.PCIeRate {
+		t.Error("PCIe system must carry more PCIe traffic than NVLink system")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil system accepted")
+	}
+	bad := testJob()
+	bad.Net = nil
+	if _, err := Run(Config{System: hw.T640(), Job: bad}); err == nil {
+		t.Error("nil network accepted")
+	}
+	bad = testJob()
+	bad.BatchPerGPU = 0
+	if _, err := Run(Config{System: hw.T640(), Job: bad}); err == nil {
+		t.Error("zero batch accepted")
+	}
+	bad = testJob()
+	bad.EpochsToTarget = 0
+	if _, err := Run(Config{System: hw.T640(), Job: bad}); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	bad = testJob()
+	bad.Data.TrainSamples = 0
+	if _, err := Run(Config{System: hw.T640(), Job: bad}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(Config{System: hw.DSS8440(), GPUCount: 4, Job: testJob()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{System: hw.DSS8440(), GPUCount: 4, Job: testJob()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StepTime != b.StepTime || a.TimeToTrain != b.TimeToTrain || a.CPUUtil != b.CPUUtil {
+		t.Error("simulation is nondeterministic")
+	}
+}
+
+func TestInputBoundJob(t *testing.T) {
+	// A job with an expensive input pipeline must be CPU-throughput bound:
+	// step time tracks the input phase, and GPU utilization drops.
+	j := testJob()
+	j.CPUSecondsPerSample = 0.1
+	j.InputWorkersPerGPU = 2
+	res, err := Run(Config{System: hw.C4140K(), GPUCount: 1, Job: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepTime < res.Input*0.95 {
+		t.Errorf("step %.4f below input %.4f: pipeline cannot beat its source", res.StepTime, res.Input)
+	}
+	if res.GPUUtilTotal > 50 {
+		t.Errorf("input-bound job shows %.1f%% GPU util, want low", float64(res.GPUUtilTotal))
+	}
+}
+
+// Property: for a comm-free single-GPU job, time-to-train scales linearly
+// with dataset size and epochs.
+func TestTimeToTrainLinearInWork(t *testing.T) {
+	f := func(mult uint8) bool {
+		m := 1 + int(mult%4)
+		base := testJob()
+		base.Data.TrainSamples = 100000
+		scaled := base
+		scaled.Data.TrainSamples = 100000 * m
+		sys := hw.C4140K()
+		r1, err := Run(Config{System: sys, GPUCount: 1, Job: base})
+		if err != nil {
+			return false
+		}
+		r2, err := Run(Config{System: sys, GPUCount: 1, Job: scaled})
+		if err != nil {
+			return false
+		}
+		// Serial per-epoch work is identical; step counts scale by m.
+		ratio := float64(r2.StepsPerEpoch) / float64(r1.StepsPerEpoch)
+		return ratio > float64(m)-0.05 && ratio < float64(m)+0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HBM footprint is monotone in per-GPU batch (non-greedy).
+func TestHBMMonotoneInBatch(t *testing.T) {
+	sys := hw.C4140K()
+	var prev units.Bytes
+	for _, batch := range []int{8, 32, 128} {
+		j := testJob()
+		j.GreedyHBM = false
+		j.BatchPerGPU = batch
+		res, err := Run(Config{System: sys, GPUCount: 1, Job: j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HBMBytes < prev {
+			t.Errorf("HBM fell when batch grew to %d", batch)
+		}
+		prev = res.HBMBytes
+	}
+}
+
+func TestGPUCountClamped(t *testing.T) {
+	// Requesting more GPUs than the system has uses all of them.
+	res, err := Run(Config{System: hw.C4140K(), GPUCount: 64, Job: testJob()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalBatch != res.LocalBatch*4 {
+		t.Errorf("global batch %d does not reflect the 4 available GPUs", res.GlobalBatch)
+	}
+}
+
+func TestStepsConfigRespected(t *testing.T) {
+	// More simulated steps must not change the steady-state step time
+	// (deterministic pipeline).
+	a, err := Run(Config{System: hw.C4140K(), GPUCount: 2, Job: testJob(), Steps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{System: hw.C4140K(), GPUCount: 2, Job: testJob(), Steps: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(a.StepTime-b.StepTime) / a.StepTime; rel > 0.02 {
+		t.Errorf("step time depends on simulated step count: %.5f vs %.5f", a.StepTime, b.StepTime)
+	}
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+)
+
+// PCA is a fitted principal component analysis.
+type PCA struct {
+	// Dim is the feature dimensionality.
+	Dim int
+	// FeatureNames labels the input features (optional).
+	FeatureNames []string
+	// Means and Stds are the standardization parameters.
+	Means, Stds []float64
+	// Eigenvalues are the component variances, descending.
+	Eigenvalues []float64
+	// Components holds the eigenvectors as columns (Dim x Dim).
+	Components *Matrix
+}
+
+// FitPCA standardizes the observation matrix (rows = observations) and
+// diagonalizes its covariance.
+func FitPCA(obs *Matrix, featureNames []string) (*PCA, error) {
+	if obs.Rows < 2 {
+		return nil, fmt.Errorf("stats: PCA needs >=2 observations, got %d", obs.Rows)
+	}
+	if featureNames != nil && len(featureNames) != obs.Cols {
+		return nil, fmt.Errorf("stats: %d feature names for %d columns", len(featureNames), obs.Cols)
+	}
+	std, means, stds := Standardize(obs)
+	cov := Covariance(std)
+	vals, vecs, err := JacobiEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	// Clamp tiny negative eigenvalues from roundoff.
+	for i, v := range vals {
+		if v < 0 && v > -1e-9 {
+			vals[i] = 0
+		}
+	}
+	return &PCA{
+		Dim:          obs.Cols,
+		FeatureNames: featureNames,
+		Means:        means,
+		Stds:         stds,
+		Eigenvalues:  vals,
+		Components:   vecs,
+	}, nil
+}
+
+// Transform projects raw observations into component space.
+func (p *PCA) Transform(obs *Matrix) *Matrix {
+	if obs.Cols != p.Dim {
+		panic(fmt.Sprintf("stats: transform %d-dim data with %d-dim PCA", obs.Cols, p.Dim))
+	}
+	out := NewMatrix(obs.Rows, p.Dim)
+	for i := 0; i < obs.Rows; i++ {
+		for c := 0; c < p.Dim; c++ {
+			var s float64
+			for j := 0; j < p.Dim; j++ {
+				v := obs.At(i, j) - p.Means[j]
+				if p.Stds[j] > 0 {
+					v /= p.Stds[j]
+				}
+				s += v * p.Components.At(j, c)
+			}
+			out.Set(i, c, s)
+		}
+	}
+	return out
+}
+
+// ExplainedVariance returns each component's share of total variance.
+func (p *PCA) ExplainedVariance() []float64 {
+	var total float64
+	for _, v := range p.Eigenvalues {
+		total += v
+	}
+	out := make([]float64, len(p.Eigenvalues))
+	if total <= 0 {
+		return out
+	}
+	for i, v := range p.Eigenvalues {
+		out[i] = v / total
+	}
+	return out
+}
+
+// CumulativeVariance returns the running sum of ExplainedVariance; the
+// paper notes PC1–PC4 cover 88% of variance.
+func (p *PCA) CumulativeVariance() []float64 {
+	ev := p.ExplainedVariance()
+	for i := 1; i < len(ev); i++ {
+		ev[i] += ev[i-1]
+	}
+	return ev
+}
+
+// DominantFeature returns the feature index (and name, if labeled) with
+// the largest absolute loading on component c — the paper's "dominant
+// metric ... the one with the greatest absolute value in the eigenvector".
+func (p *PCA) DominantFeature(c int) (int, string) {
+	best, bestAbs := 0, -1.0
+	for j := 0; j < p.Dim; j++ {
+		v := p.Components.At(j, c)
+		if v < 0 {
+			v = -v
+		}
+		if v > bestAbs {
+			best, bestAbs = j, v
+		}
+	}
+	name := ""
+	if p.FeatureNames != nil {
+		name = p.FeatureNames[best]
+	}
+	return best, name
+}

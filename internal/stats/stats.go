@@ -1,0 +1,228 @@
+// Package stats implements the statistical machinery behind the paper's
+// similarity analysis (Figure 1): standardization, covariance, a Jacobi
+// eigensolver for symmetric matrices, and principal component analysis —
+// all from scratch on stdlib only.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("stats: matrix %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At reads element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Standardize centers each column to zero mean and scales it to unit
+// standard deviation (constant columns are centered only), returning a new
+// matrix plus the per-column means and stds. PCA on heterogeneous units
+// (percent, MB, Mbps...) requires this, as the paper's 8 characteristics
+// span wildly different scales.
+func Standardize(m *Matrix) (*Matrix, []float64, []float64) {
+	out := NewMatrix(m.Rows, m.Cols)
+	means := make([]float64, m.Cols)
+	stds := make([]float64, m.Cols)
+	col := make([]float64, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			col[i] = m.At(i, j)
+		}
+		means[j] = Mean(col)
+		stds[j] = StdDev(col)
+		for i := 0; i < m.Rows; i++ {
+			v := m.At(i, j) - means[j]
+			if stds[j] > 0 {
+				v /= stds[j]
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out, means, stds
+}
+
+// Covariance returns the column covariance matrix of m (rows are
+// observations), using the population normalization 1/n.
+func Covariance(m *Matrix) *Matrix {
+	n := m.Rows
+	c := NewMatrix(m.Cols, m.Cols)
+	means := make([]float64, m.Cols)
+	col := make([]float64, n)
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = m.At(i, j)
+		}
+		means[j] = Mean(col)
+	}
+	for a := 0; a < m.Cols; a++ {
+		for b := a; b < m.Cols; b++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += (m.At(i, a) - means[a]) * (m.At(i, b) - means[b])
+			}
+			s /= float64(n)
+			c.Set(a, b, s)
+			c.Set(b, a, s)
+		}
+	}
+	return c
+}
+
+// JacobiEigen diagonalizes a symmetric matrix by cyclic Jacobi rotations,
+// returning eigenvalues (descending) and the matching orthonormal
+// eigenvectors as matrix columns.
+func JacobiEigen(sym *Matrix) ([]float64, *Matrix, error) {
+	n := sym.Rows
+	if sym.Cols != n {
+		return nil, nil, fmt.Errorf("stats: eigen of non-square %dx%d", sym.Rows, sym.Cols)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(sym.At(i, j)-sym.At(j, i)) > 1e-9*(1+math.Abs(sym.At(i, j))) {
+				return nil, nil, fmt.Errorf("stats: matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	a := sym.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += a.At(i, j) * a.At(i, j)
+			}
+		}
+		return s
+	}
+
+	for sweep := 0; sweep < 100 && offDiag() > 1e-22; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort descending by eigenvalue.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := range pairs {
+		pairs[i] = pair{a.At(i, i), i}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pairs[j].val > pairs[i].val {
+				pairs[i], pairs[j] = pairs[j], pairs[i]
+			}
+		}
+	}
+	vals := make([]float64, n)
+	vecs := NewMatrix(n, n)
+	for c, p := range pairs {
+		vals[c] = p.val
+		for r := 0; r < n; r++ {
+			vecs.Set(r, c, v.At(r, p.idx))
+		}
+	}
+	return vals, vecs, nil
+}
+
+// Correlation returns the column correlation matrix of m (rows are
+// observations): cov(a,b) / (std(a)*std(b)), with constant columns
+// yielding zero correlation to everything (and 1 on the diagonal).
+func Correlation(m *Matrix) *Matrix {
+	cov := Covariance(m)
+	out := NewMatrix(m.Cols, m.Cols)
+	for a := 0; a < m.Cols; a++ {
+		for b := 0; b < m.Cols; b++ {
+			va, vb := cov.At(a, a), cov.At(b, b)
+			if a == b {
+				out.Set(a, b, 1)
+				continue
+			}
+			if va <= 0 || vb <= 0 {
+				continue
+			}
+			out.Set(a, b, cov.At(a, b)/math.Sqrt(va*vb))
+		}
+	}
+	return out
+}

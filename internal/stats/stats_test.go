@@ -1,0 +1,307 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(x); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(x); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	m := NewMatrix(4, 2)
+	for i, v := range []float64{1, 10, 2, 20, 3, 30, 4, 40} {
+		m.Data[i] = v
+	}
+	std, means, stds := Standardize(m)
+	if means[0] != 2.5 || means[1] != 25 {
+		t.Errorf("means = %v", means)
+	}
+	for j := 0; j < 2; j++ {
+		col := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			col[i] = std.At(i, j)
+		}
+		if math.Abs(Mean(col)) > 1e-12 {
+			t.Errorf("col %d mean = %v, want 0", j, Mean(col))
+		}
+		if math.Abs(StdDev(col)-1) > 1e-12 {
+			t.Errorf("col %d std = %v, want 1", j, StdDev(col))
+		}
+	}
+	_ = stds
+}
+
+func TestStandardizeConstantColumn(t *testing.T) {
+	m := NewMatrix(3, 1)
+	m.Data = []float64{7, 7, 7}
+	std, _, stds := Standardize(m)
+	if stds[0] != 0 {
+		t.Errorf("constant column std = %v", stds[0])
+	}
+	for i := 0; i < 3; i++ {
+		if std.At(i, 0) != 0 {
+			t.Error("constant column should center to zero, not NaN")
+		}
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Perfectly correlated columns.
+	m := NewMatrix(3, 2)
+	m.Data = []float64{1, 2, 2, 4, 3, 6}
+	c := Covariance(m)
+	// var(x)=2/3, var(y)=8/3, cov=4/3.
+	if math.Abs(c.At(0, 0)-2.0/3) > 1e-12 || math.Abs(c.At(1, 1)-8.0/3) > 1e-12 {
+		t.Errorf("variances = %v, %v", c.At(0, 0), c.At(1, 1))
+	}
+	if math.Abs(c.At(0, 1)-4.0/3) > 1e-12 || c.At(0, 1) != c.At(1, 0) {
+		t.Errorf("covariance = %v / %v", c.At(0, 1), c.At(1, 0))
+	}
+}
+
+func TestJacobiKnownEigen(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewMatrix(2, 2)
+	m.Data = []float64{2, 1, 1, 2}
+	vals, vecs, err := JacobiEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// First eigenvector is (1,1)/sqrt2 up to sign.
+	r := vecs.At(0, 0) / vecs.At(1, 0)
+	if math.Abs(r-1) > 1e-8 {
+		t.Errorf("eigenvector ratio = %v, want 1", r)
+	}
+}
+
+func TestJacobiRejectsNonSymmetric(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Data = []float64{1, 2, 3, 4}
+	if _, _, err := JacobiEigen(m); err == nil {
+		t.Error("non-symmetric matrix accepted")
+	}
+}
+
+// Property: for random symmetric matrices, eigenvectors are orthonormal,
+// A·v = λ·v holds, and the eigenvalue sum equals the trace.
+func TestJacobiProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := JacobiEigen(m)
+		if err != nil {
+			return false
+		}
+		// Orthonormality.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				var dot float64
+				for k := 0; k < n; k++ {
+					dot += vecs.At(k, a) * vecs.At(k, b)
+				}
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		// A·v = λ·v.
+		for c := 0; c < n; c++ {
+			for r := 0; r < n; r++ {
+				var av float64
+				for k := 0; k < n; k++ {
+					av += m.At(r, k) * vecs.At(k, c)
+				}
+				if math.Abs(av-vals[c]*vecs.At(r, c)) > 1e-7 {
+					return false
+				}
+			}
+		}
+		// Trace preservation.
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += m.At(i, i)
+			sum += vals[i]
+		}
+		if math.Abs(trace-sum) > 1e-8 {
+			return false
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCATwoClusters(t *testing.T) {
+	// Two well-separated clusters along one informative axis: PC1 must be
+	// dominated by that feature and separate the clusters (the Figure 1a
+	// situation: GPU memory footprint separates MLPerf from the rest).
+	rng := rand.New(rand.NewSource(5))
+	m := NewMatrix(20, 3)
+	for i := 0; i < 20; i++ {
+		base := 0.0
+		if i >= 10 {
+			base = 100
+		}
+		// Two correlated cluster-informative features (after column
+		// standardization, only correlation structure matters) and one
+		// pure-noise feature.
+		m.Set(i, 0, base+rng.NormFloat64())        // footprint
+		m.Set(i, 1, base/10+0.5*rng.NormFloat64()) // correlated echo
+		m.Set(i, 2, rng.NormFloat64())             // noise
+	}
+	p, err := FitPCA(m, []string{"footprint", "echo", "noise"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, _ := p.DominantFeature(0); idx == 2 {
+		t.Error("PC1 dominated by the noise feature")
+	}
+	proj := p.Transform(m)
+	// Clusters must not overlap on PC1.
+	var minA, maxA, minB, maxB = 1e18, -1e18, 1e18, -1e18
+	for i := 0; i < 10; i++ {
+		v := proj.At(i, 0)
+		minA, maxA = math.Min(minA, v), math.Max(maxA, v)
+	}
+	for i := 10; i < 20; i++ {
+		v := proj.At(i, 0)
+		minB, maxB = math.Min(minB, v), math.Max(maxB, v)
+	}
+	if !(maxA < minB || maxB < minA) {
+		t.Errorf("clusters overlap on PC1: [%v,%v] vs [%v,%v]", minA, maxA, minB, maxB)
+	}
+}
+
+func TestPCAVarianceAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMatrix(30, 5)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	p, err := FitPCA(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := p.CumulativeVariance()
+	if math.Abs(cum[len(cum)-1]-1) > 1e-9 {
+		t.Errorf("cumulative variance ends at %v, want 1", cum[len(cum)-1])
+	}
+	ev := p.ExplainedVariance()
+	for i := 1; i < len(ev); i++ {
+		if ev[i] > ev[i-1]+1e-12 {
+			t.Error("explained variance not descending")
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	m := NewMatrix(1, 3)
+	if _, err := FitPCA(m, nil); err == nil {
+		t.Error("PCA with one observation accepted")
+	}
+	m2 := NewMatrix(4, 2)
+	if _, err := FitPCA(m2, []string{"only-one"}); err == nil {
+		t.Error("mismatched feature names accepted")
+	}
+}
+
+func TestTransformDimensionPanic(t *testing.T) {
+	m := NewMatrix(4, 2)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	p, err := FitPCA(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-dim Transform did not panic")
+		}
+	}()
+	p.Transform(NewMatrix(2, 5))
+}
+
+func TestCorrelationKnown(t *testing.T) {
+	// Perfectly correlated, anti-correlated, and constant columns.
+	m := NewMatrix(4, 3)
+	for i := 0; i < 4; i++ {
+		m.Set(i, 0, float64(i))
+		m.Set(i, 1, float64(-2*i))
+		m.Set(i, 2, 7)
+	}
+	c := Correlation(m)
+	if math.Abs(c.At(0, 1)-(-1)) > 1e-12 {
+		t.Errorf("corr(x,-2x) = %v, want -1", c.At(0, 1))
+	}
+	if c.At(0, 2) != 0 || c.At(2, 0) != 0 {
+		t.Error("constant column should correlate 0")
+	}
+	for i := 0; i < 3; i++ {
+		if c.At(i, i) != 1 {
+			t.Errorf("diagonal = %v", c.At(i, i))
+		}
+	}
+}
+
+// Property: correlation entries are within [-1, 1] and symmetric.
+func TestCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(6, 4)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		c := Correlation(m)
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				v := c.At(a, b)
+				if v < -1.0001 || v > 1.0001 {
+					return false
+				}
+				if math.Abs(v-c.At(b, a)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

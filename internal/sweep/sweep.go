@@ -1,0 +1,164 @@
+// Package sweep is the generic parameter-sweep harness behind the paper's
+// grid experiments: it runs the cartesian product of benchmarks × systems
+// × GPU counts (optionally × batch sizes or precision policies) through
+// the simulator and emits one flat record per cell, ready for CSV export
+// or downstream analysis. Table IV is Grid{benchmarks, DSS8440, 1/2/4/8};
+// Figure 5 is Grid{MLPerf, five systems, 4}.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/precision"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+// Grid declares the sweep space. Empty dimensions default to sensible
+// singletons (all MLPerf benchmarks, the DSS 8440, 1 GPU, the calibrated
+// batch/precision).
+type Grid struct {
+	// Benchmarks by abbreviation (short forms allowed).
+	Benchmarks []string
+	// Systems by name.
+	Systems []string
+	// GPUCounts to sweep.
+	GPUCounts []int
+	// BatchPerGPU values to sweep (0 entry = calibrated default).
+	BatchPerGPU []int
+	// Precisions to sweep: "" (calibrated), "fp32", "mixed".
+	Precisions []string
+}
+
+// Record is one sweep cell's outcome.
+type Record struct {
+	Benchmark string
+	System    string
+	GPUs      int
+	Batch     int
+	Precision string
+
+	TimeToTrainMin float64
+	StepMs         float64
+	Throughput     float64
+	CPUPct         float64
+	GPUPct         float64
+	HBMMB          float64
+	PCIeMbps       float64
+	NVLinkMbps     float64
+}
+
+// Run executes the full grid, returning one record per cell in
+// deterministic order.
+func Run(g Grid) ([]Record, error) {
+	if len(g.Benchmarks) == 0 {
+		for _, b := range workload.MLPerfSuite() {
+			g.Benchmarks = append(g.Benchmarks, b.Abbrev)
+		}
+	}
+	if len(g.Systems) == 0 {
+		g.Systems = []string{"dss8440"}
+	}
+	if len(g.GPUCounts) == 0 {
+		g.GPUCounts = []int{1}
+	}
+	if len(g.BatchPerGPU) == 0 {
+		g.BatchPerGPU = []int{0}
+	}
+	if len(g.Precisions) == 0 {
+		g.Precisions = []string{""}
+	}
+
+	var out []Record
+	for _, benchName := range g.Benchmarks {
+		bench, err := workload.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		for _, sysName := range g.Systems {
+			sys, err := hw.SystemByName(sysName)
+			if err != nil {
+				return nil, err
+			}
+			for _, gpus := range g.GPUCounts {
+				if gpus > sys.GPUCount {
+					continue // silently infeasible cells are skipped
+				}
+				for _, batch := range g.BatchPerGPU {
+					for _, prec := range g.Precisions {
+						job := bench.Job
+						if batch > 0 {
+							job.BatchPerGPU = batch
+						}
+						switch prec {
+						case "":
+						case "fp32":
+							job.Precision.Policy = precision.FP32
+						case "mixed":
+							job.Precision.Policy = precision.AMP
+						default:
+							return nil, fmt.Errorf("sweep: unknown precision %q", prec)
+						}
+						res, err := sim.Run(sim.Config{System: sys, GPUCount: gpus, Job: job})
+						if err != nil {
+							return nil, fmt.Errorf("sweep: %s on %s @%d: %w", benchName, sysName, gpus, err)
+						}
+						precLabel := prec
+						if precLabel == "" {
+							precLabel = job.Precision.Policy.String()
+						}
+						out = append(out, Record{
+							Benchmark:      bench.Abbrev,
+							System:         sys.Name,
+							GPUs:           gpus,
+							Batch:          res.LocalBatch,
+							Precision:      precLabel,
+							TimeToTrainMin: res.TimeToTrain.Minutes(),
+							StepMs:         res.StepTime * 1e3,
+							Throughput:     res.Throughput,
+							CPUPct:         float64(res.CPUUtil),
+							GPUPct:         float64(res.GPUUtilTotal),
+							HBMMB:          res.HBMBytes.MB(),
+							PCIeMbps:       res.PCIeRate.Mbps(),
+							NVLinkMbps:     res.NVLinkRate.Mbps(),
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid (no feasible cells)")
+	}
+	return out, nil
+}
+
+// WriteCSV emits the records with a header.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "system", "gpus", "batch", "precision",
+		"time_to_train_min", "step_ms", "samples_per_s",
+		"cpu_pct", "gpu_pct", "hbm_mb", "pcie_mbps", "nvlink_mbps",
+	}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		rec := []string{
+			r.Benchmark, r.System, strconv.Itoa(r.GPUs), strconv.Itoa(r.Batch), r.Precision,
+			f4(r.TimeToTrainMin), f4(r.StepMs), f4(r.Throughput),
+			f4(r.CPUPct), f4(r.GPUPct), f4(r.HBMMB), f4(r.PCIeMbps), f4(r.NVLinkMbps),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDefaultGridIsMLPerfOn1GPU(t *testing.T) {
+	recs, err := Run(Grid{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 {
+		t.Fatalf("%d records, want 7 (MLPerf suite on 1 GPU)", len(recs))
+	}
+	for _, r := range recs {
+		if r.System != "DSS 8440" || r.GPUs != 1 {
+			t.Errorf("unexpected cell %+v", r)
+		}
+		if r.TimeToTrainMin <= 0 || r.Throughput <= 0 {
+			t.Errorf("degenerate record %+v", r)
+		}
+	}
+}
+
+func TestGridCartesianProduct(t *testing.T) {
+	recs, err := Run(Grid{
+		Benchmarks: []string{"res50_tf", "ncf_py"},
+		Systems:    []string{"c4140k", "dss8440"},
+		GPUCounts:  []int{1, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("%d records, want 2x2x2=8", len(recs))
+	}
+}
+
+func TestInfeasibleCellsSkipped(t *testing.T) {
+	// 8 GPUs on the 4-GPU C4140 (K) is skipped, not an error.
+	recs, err := Run(Grid{
+		Benchmarks: []string{"res50_tf"},
+		Systems:    []string{"c4140k"},
+		GPUCounts:  []int{4, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].GPUs != 4 {
+		t.Errorf("records = %+v", recs)
+	}
+	// A grid with nothing feasible errors.
+	if _, err := Run(Grid{
+		Benchmarks: []string{"res50_tf"},
+		Systems:    []string{"c4140k"},
+		GPUCounts:  []int{8},
+	}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestPrecisionSweep(t *testing.T) {
+	recs, err := Run(Grid{
+		Benchmarks: []string{"res50_tf"},
+		GPUCounts:  []int{8},
+		Precisions: []string{"fp32", "mixed"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	var fp32, amp Record
+	for _, r := range recs {
+		if r.Precision == "fp32" {
+			fp32 = r
+		} else {
+			amp = r
+		}
+	}
+	if amp.TimeToTrainMin >= fp32.TimeToTrainMin {
+		t.Errorf("mixed %v not faster than fp32 %v", amp.TimeToTrainMin, fp32.TimeToTrainMin)
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Run(Grid{Benchmarks: []string{"bert"}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Run(Grid{Systems: []string{"dgx9"}}); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := Run(Grid{Precisions: []string{"int4"}}); err == nil {
+		t.Error("unknown precision accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	recs, err := Run(Grid{Benchmarks: []string{"ncf_py"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(recs)+1 {
+		t.Errorf("%d CSV lines for %d records", len(lines), len(recs))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,system,gpus") {
+		t.Errorf("header = %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "MLPf_NCF_Py") {
+		t.Errorf("row = %s", lines[1])
+	}
+}

@@ -1,0 +1,161 @@
+// Package tensor provides the small dense-tensor type the executable
+// kernels (package kernels) and the mini training engine (package train)
+// operate on. It is deliberately minimal — float32 storage, row-major
+// layout — because its job is to be a correct, allocation-predictable
+// substrate for the DeepBench-style kernels, not a full framework.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mlperf/internal/units"
+)
+
+// Shape is a tensor's dimensions, outermost first.
+type Shape []int
+
+// Elems returns the number of elements; an empty shape is a scalar (1).
+func (s Shape) Elems() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Equal reports dimensional equality.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the shape as [a b c].
+func (s Shape) String() string { return fmt.Sprint([]int(s)) }
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	shape Shape
+	data  []float32
+}
+
+// New allocates a zeroed tensor. Dimensions must be positive.
+func New(dims ...int) *Tensor {
+	s := Shape(dims)
+	for _, d := range s {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in %v", s))
+		}
+	}
+	return &Tensor{shape: append(Shape(nil), s...), data: make([]float32, s.Elems())}
+}
+
+// FromSlice wraps data with the given shape; len(data) must equal the
+// element count. The tensor takes ownership of the slice.
+func FromSlice(data []float32, dims ...int) *Tensor {
+	s := Shape(dims)
+	if len(data) != s.Elems() {
+		panic(fmt.Sprintf("tensor: %d elements for shape %v", len(data), s))
+	}
+	return &Tensor{shape: append(Shape(nil), s...), data: data}
+}
+
+// Randn fills a new tensor with pseudo-normal values from the given source.
+func Randn(rng *rand.Rand, dims ...int) *Tensor {
+	t := New(dims...)
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// Shape returns the dimensions (do not mutate).
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// Data returns the backing slice (row-major).
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Elems returns the element count.
+func (t *Tensor) Elems() int { return len(t.data) }
+
+// SizeBytes returns the storage footprint at 4 bytes/element.
+func (t *Tensor) SizeBytes() units.Bytes { return units.Bytes(4 * len(t.data)) }
+
+// At reads the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dim %d (size %d)", x, i, t.shape[i]))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: append(Shape(nil), t.shape...), data: make([]float32, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Reshape returns a view with new dimensions; the element count must match.
+func (t *Tensor) Reshape(dims ...int) *Tensor {
+	s := Shape(dims)
+	if s.Elems() != len(t.data) {
+		panic(fmt.Sprintf("tensor: reshape %v to %v", t.shape, s))
+	}
+	return &Tensor{shape: append(Shape(nil), s...), data: t.data}
+}
+
+// AllClose reports element-wise closeness within absolute tolerance tol.
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !a.shape.Equal(b.shape) {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(float64(a.data[i])-float64(b.data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest element-wise absolute difference; shapes
+// must match.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !a.shape.Equal(b.shape) {
+		panic("tensor: shape mismatch in MaxAbsDiff")
+	}
+	var m float64
+	for i := range a.data {
+		if d := math.Abs(float64(a.data[i]) - float64(b.data[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}

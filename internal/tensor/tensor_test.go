@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElems(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want int
+	}{
+		{Shape{2, 3, 4}, 24},
+		{Shape{7}, 7},
+		{Shape{}, 1},
+	}
+	for _, c := range cases {
+		if got := c.s.Elems(); got != c.want {
+			t.Errorf("%v.Elems() = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 3)
+	x.Set(-1, 0, 0)
+	if got := x.At(2, 3); got != 7.5 {
+		t.Errorf("At(2,3) = %v", got)
+	}
+	if got := x.At(0, 0); got != -1 {
+		t.Errorf("At(0,0) = %v", got)
+	}
+	// Row-major: element (2,3) is at offset 2*4+3=11.
+	if got := x.Data()[11]; got != 7.5 {
+		t.Errorf("data[11] = %v, want 7.5", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestWrongRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-rank At did not panic")
+		}
+	}()
+	New(2, 2).At(1)
+}
+
+func TestNonPositiveDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with zero dim did not panic")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(1)
+	b := a.Clone()
+	b.Set(9, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if !AllClose(a, a.Clone(), 0) {
+		t.Error("clone not equal to original")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := New(2, 6)
+	a.Set(5, 1, 2)
+	b := a.Reshape(3, 4)
+	// (1,2) in 2x6 is offset 8 = (2,0) in 3x4.
+	if got := b.At(2, 0); got != 5 {
+		t.Errorf("reshape view At(2,0) = %v, want 5", got)
+	}
+	b.Set(6, 0, 0)
+	if a.At(0, 0) != 6 {
+		t.Error("reshape must share storage")
+	}
+}
+
+func TestReshapeBadCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad reshape did not panic")
+		}
+	}()
+	New(2, 3).Reshape(4)
+}
+
+func TestFromSlice(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %v, want 6", got)
+	}
+}
+
+func TestAllCloseToleranceAndShape(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1.0005, 2}, 2)
+	if !AllClose(a, b, 1e-3) {
+		t.Error("AllClose should pass within tolerance")
+	}
+	if AllClose(a, b, 1e-6) {
+		t.Error("AllClose should fail outside tolerance")
+	}
+	c := FromSlice([]float32{1, 2}, 1, 2)
+	if AllClose(a, c, 1) {
+		t.Error("AllClose should fail on shape mismatch")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{1, 4, 2.5}, 3)
+	if got := MaxAbsDiff(a, b); got != 2 {
+		t.Errorf("MaxAbsDiff = %v, want 2", got)
+	}
+}
+
+// Property: for any index within bounds, Set then At returns the value, and
+// the row-major offset matches the manual computation.
+func TestIndexingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d0, d1, d2 := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		x := New(d0, d1, d2)
+		i, j, k := rng.Intn(d0), rng.Intn(d1), rng.Intn(d2)
+		v := float32(rng.NormFloat64())
+		x.Set(v, i, j, k)
+		return x.At(i, j, k) == v && x.Data()[(i*d1+j)*d2+k] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandnDeterministic(t *testing.T) {
+	a := Randn(rand.New(rand.NewSource(1)), 4, 4)
+	b := Randn(rand.New(rand.NewSource(1)), 4, 4)
+	if !AllClose(a, b, 0) {
+		t.Error("Randn with same seed differs")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(10, 10).SizeBytes(); got != 400 {
+		t.Errorf("SizeBytes = %v, want 400", got)
+	}
+}

@@ -1,0 +1,204 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Classifier is a small real MLP image classifier trained with softmax
+// cross-entropy — the executable stand-in for DAWNBench's
+// time-to-94%-accuracy protocol (Table II: Dawn_Res18_Py on CIFAR10), at
+// a scale the host CPU trains in well under a second.
+type Classifier struct {
+	layers []*Dense
+	out    *Dense
+	lr     float64
+	mom    float64
+
+	// scratch
+	acts    [][]float64
+	preacts [][]float64
+	dActs   [][]float64
+	logits  []float64
+	outPre  []float64
+	dLogits []float64
+}
+
+// NewClassifier builds an MLP with the given hidden widths over inputDim
+// features and `classes` outputs.
+func NewClassifier(rng *rand.Rand, inputDim int, hidden []int, classes int, lr, momentum float64) (*Classifier, error) {
+	if inputDim <= 0 || classes < 2 {
+		return nil, fmt.Errorf("train: classifier needs inputs and >=2 classes")
+	}
+	c := &Classifier{lr: lr, mom: momentum}
+	in := inputDim
+	for _, h := range hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("train: non-positive hidden width %d", h)
+		}
+		c.layers = append(c.layers, NewDense(rng, in, h, true))
+		c.acts = append(c.acts, make([]float64, h))
+		c.preacts = append(c.preacts, make([]float64, h))
+		c.dActs = append(c.dActs, make([]float64, h))
+		in = h
+	}
+	c.out = NewDense(rng, in, classes, false)
+	c.logits = make([]float64, classes)
+	c.outPre = make([]float64, classes)
+	c.dLogits = make([]float64, classes)
+	return c, nil
+}
+
+// forward leaves the hidden activations in scratch and returns the logits.
+func (c *Classifier) forward(x []float64) []float64 {
+	cur := x
+	for i, l := range c.layers {
+		l.Forward(cur, c.acts[i], c.preacts[i])
+		cur = c.acts[i]
+	}
+	c.out.Forward(cur, c.logits, c.outPre)
+	return c.logits
+}
+
+// ClassifierLogits runs a forward pass and returns a copy of the raw
+// logits — used by callers that need the full distribution (the minigo
+// policy agent) rather than the argmax.
+func ClassifierLogits(c *Classifier, x []float64) []float64 {
+	out := c.forward(x)
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Predict returns the argmax class for an input.
+func (c *Classifier) Predict(x []float64) int {
+	logits := c.forward(x)
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range logits {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// SoftmaxCE computes softmax cross-entropy loss and the logit gradient
+// (softmax(p) - onehot(label)) in place into dLogits.
+func SoftmaxCE(logits []float64, label int, dLogits []float64) float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxV)
+		dLogits[i] = e
+		sum += e
+	}
+	loss := 0.0
+	for i := range dLogits {
+		p := dLogits[i] / sum
+		dLogits[i] = p
+		if i == label {
+			loss = -math.Log(p + 1e-12)
+			dLogits[i] = p - 1
+		}
+	}
+	return loss
+}
+
+// Step trains on one example, returning the loss.
+func (c *Classifier) Step(x []float64, label int) float64 {
+	logits := c.forward(x)
+	if label < 0 || label >= len(logits) {
+		panic(fmt.Sprintf("train: label %d out of range", label))
+	}
+	loss := SoftmaxCE(logits, label, c.dLogits)
+
+	last := x
+	if n := len(c.layers); n > 0 {
+		last = c.acts[n-1]
+	}
+	var dLast []float64
+	if n := len(c.layers); n > 0 {
+		dLast = c.dActs[n-1]
+	}
+	c.out.Backward(last, c.outPre, c.dLogits, dLast, c.lr, c.mom)
+
+	dx := dLast
+	for i := len(c.layers) - 1; i >= 0; i-- {
+		in := x
+		if i > 0 {
+			in = c.acts[i-1]
+		}
+		var dIn []float64
+		if i > 0 {
+			dIn = c.dActs[i-1]
+		}
+		c.layers[i].Backward(in, c.preacts[i], dx, dIn, c.lr, c.mom)
+		dx = dIn
+	}
+	return loss
+}
+
+// Accuracy evaluates top-1 accuracy over a labeled set.
+func (c *Classifier) Accuracy(xs [][]float64, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if c.Predict(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// ClassifierResult reports a real time-to-accuracy run.
+type ClassifierResult struct {
+	Epochs          int
+	Accuracy        float64
+	Reached         bool
+	Elapsed         time.Duration
+	AccuracyByEpoch []float64
+}
+
+// TrainClassifierToAccuracy runs the DAWNBench protocol: epochs of
+// shuffled SGD until test accuracy clears the target.
+func TrainClassifierToAccuracy(c *Classifier, trainX [][]float64, trainY []int,
+	testX [][]float64, testY []int, target float64, maxEpochs int, seed int64) (*ClassifierResult, error) {
+	if len(trainX) == 0 || len(trainX) != len(trainY) {
+		return nil, fmt.Errorf("train: bad training set (%d x, %d y)", len(trainX), len(trainY))
+	}
+	if len(testX) == 0 || len(testX) != len(testY) {
+		return nil, fmt.Errorf("train: bad test set")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, len(trainX))
+	for i := range order {
+		order[i] = i
+	}
+	res := &ClassifierResult{}
+	start := time.Now()
+	for epoch := 1; epoch <= maxEpochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			c.Step(trainX[idx], trainY[idx])
+		}
+		acc := c.Accuracy(testX, testY)
+		res.AccuracyByEpoch = append(res.AccuracyByEpoch, acc)
+		res.Epochs = epoch
+		res.Accuracy = acc
+		if acc >= target {
+			res.Reached = true
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

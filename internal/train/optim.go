@@ -1,0 +1,120 @@
+package train
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates a parameter vector in place from a gradient vector.
+// The layer types fuse momentum-SGD into their backward passes for speed;
+// this interface exists for custom training loops and for modeling the
+// optimizer variety of the MLPerf submissions (SGD+momentum for the
+// vision models, Adam for the translation models and NCF).
+type Optimizer interface {
+	// Step applies one update; params and grads must have equal length.
+	Step(params, grads []float64) error
+	// Slots reports fp32 state words per parameter (the quantity the
+	// simulator charges as optimizer memory).
+	Slots() int
+	// Name identifies the rule.
+	Name() string
+}
+
+// SGD is plain gradient descent.
+type SGD struct {
+	LR float64
+}
+
+// Step applies params -= lr*grad.
+func (s *SGD) Step(params, grads []float64) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("train: sgd: %d params, %d grads", len(params), len(grads))
+	}
+	for i, g := range grads {
+		params[i] -= s.LR * g
+	}
+	return nil
+}
+
+// Slots is zero: SGD keeps no state.
+func (s *SGD) Slots() int { return 0 }
+
+// Name identifies the rule.
+func (s *SGD) Name() string { return "sgd" }
+
+// Momentum is SGD with heavy-ball momentum, the optimizer of the MLPerf
+// vision submissions.
+type Momentum struct {
+	LR, Beta float64
+	vel      []float64
+}
+
+// Step applies v = beta*v - lr*g; params += v.
+func (m *Momentum) Step(params, grads []float64) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("train: momentum: %d params, %d grads", len(params), len(grads))
+	}
+	if m.vel == nil {
+		m.vel = make([]float64, len(params))
+	}
+	if len(m.vel) != len(params) {
+		return fmt.Errorf("train: momentum: state size changed")
+	}
+	for i, g := range grads {
+		m.vel[i] = m.Beta*m.vel[i] - m.LR*g
+		params[i] += m.vel[i]
+	}
+	return nil
+}
+
+// Slots is one fp32 word (the velocity).
+func (m *Momentum) Slots() int { return 1 }
+
+// Name identifies the rule.
+func (m *Momentum) Name() string { return "momentum" }
+
+// Adam is the adaptive optimizer of the translation and recommendation
+// submissions (two state slots per parameter — the reason the simulator
+// charges XFMR/GNMT/NCF OptimizerSlots=2).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	m, v []float64
+	t    int
+}
+
+// NewAdam returns Adam with the canonical defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies the bias-corrected Adam update.
+func (a *Adam) Step(params, grads []float64) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("train: adam: %d params, %d grads", len(params), len(grads))
+	}
+	if a.m == nil {
+		a.m = make([]float64, len(params))
+		a.v = make([]float64, len(params))
+	}
+	if len(a.m) != len(params) {
+		return fmt.Errorf("train: adam: state size changed")
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, g := range grads {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+	}
+	return nil
+}
+
+// Slots is two fp32 words (first and second moments).
+func (a *Adam) Slots() int { return 2 }
+
+// Name identifies the rule.
+func (a *Adam) Name() string { return "adam" }

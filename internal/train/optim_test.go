@@ -1,0 +1,89 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic is an ill-conditioned bowl: f(x) = 0.5*(100*x0^2 + x1^2).
+func quadGrad(x []float64) []float64 {
+	return []float64{100 * x[0], x[1]}
+}
+
+func quadVal(x []float64) float64 {
+	return 0.5 * (100*x[0]*x[0] + x[1]*x[1])
+}
+
+func optimize(t *testing.T, opt Optimizer, steps int) []float64 {
+	t.Helper()
+	x := []float64{1, 1}
+	for i := 0; i < steps; i++ {
+		if err := opt.Step(x, quadGrad(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x
+}
+
+func TestSGDConverges(t *testing.T) {
+	x := optimize(t, &SGD{LR: 0.009}, 2000)
+	if quadVal(x) > 1e-6 {
+		t.Errorf("SGD final value %v", quadVal(x))
+	}
+}
+
+func TestMomentumFasterThanSGDIllConditioned(t *testing.T) {
+	// On an ill-conditioned bowl momentum makes markedly more progress in
+	// the same step budget.
+	const steps = 150
+	xs := optimize(t, &SGD{LR: 0.009}, steps)
+	xm := optimize(t, &Momentum{LR: 0.009, Beta: 0.9}, steps)
+	if quadVal(xm) >= quadVal(xs) {
+		t.Errorf("momentum %v not better than sgd %v", quadVal(xm), quadVal(xs))
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	x := optimize(t, NewAdam(0.1), 1500)
+	if quadVal(x) > 1e-4 {
+		t.Errorf("Adam final value %v at %v", quadVal(x), x)
+	}
+}
+
+func TestAdamBiasCorrection(t *testing.T) {
+	// First step with gradient g moves by ~lr*sign(g) thanks to bias
+	// correction, independent of gradient magnitude.
+	a := NewAdam(0.1)
+	x := []float64{5}
+	if err := a.Step(x, []float64{1e-3}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((5-x[0])-0.1) > 1e-3 {
+		t.Errorf("first Adam step moved %v, want ~lr", 5-x[0])
+	}
+}
+
+func TestOptimizerSlots(t *testing.T) {
+	if (&SGD{}).Slots() != 0 || (&Momentum{}).Slots() != 1 || NewAdam(0.1).Slots() != 2 {
+		t.Error("slot counts wrong (the simulator charges these as optimizer memory)")
+	}
+}
+
+func TestOptimizerErrors(t *testing.T) {
+	for _, opt := range []Optimizer{&SGD{LR: 0.1}, &Momentum{LR: 0.1, Beta: 0.9}, NewAdam(0.1)} {
+		if err := opt.Step([]float64{1, 2}, []float64{1}); err == nil {
+			t.Errorf("%s: mismatched lengths accepted", opt.Name())
+		}
+	}
+	// State-size change after first step must error, not corrupt.
+	m := &Momentum{LR: 0.1, Beta: 0.9}
+	_ = m.Step([]float64{1}, []float64{1})
+	if err := m.Step([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("momentum state-size change accepted")
+	}
+	a := NewAdam(0.1)
+	_ = a.Step([]float64{1}, []float64{1})
+	if err := a.Step([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("adam state-size change accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlperf/internal/dataset"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := &Dense{In: 2, Out: 1, W: []float64{2, -1}, B: []float64{0.5},
+		velW: make([]float64, 2), velB: make([]float64, 1)}
+	out := make([]float64, 1)
+	d.Forward([]float64{3, 4}, out, nil)
+	if out[0] != 2*3-4+0.5 {
+		t.Errorf("dense out = %v, want 2.5", out[0])
+	}
+	d.ReLU = true
+	d.Forward([]float64{-3, 4}, out, nil)
+	if out[0] != 0 {
+		t.Errorf("relu dense out = %v, want 0", out[0])
+	}
+}
+
+// TestDenseGradientCheck verifies the analytic backward pass against
+// finite differences — the canonical correctness test of a training
+// engine.
+func TestDenseGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(rng, 3, 2, false)
+	x := []float64{0.3, -0.7, 1.1}
+	// Loss: sum of squares of output.
+	loss := func() float64 {
+		out := make([]float64, 2)
+		d.Forward(x, out, nil)
+		return 0.5 * (out[0]*out[0] + out[1]*out[1])
+	}
+	// Analytic input gradient via Backward with lr=0 (no weight change).
+	out := make([]float64, 2)
+	pre := make([]float64, 2)
+	d.Forward(x, out, pre)
+	dIn := make([]float64, 3)
+	d.Backward(x, pre, out, dIn, 0, 0)
+	const h = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		lp := loss()
+		x[i] = orig - h
+		lm := loss()
+		x[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-dIn[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("dIn[%d] = %v, finite-diff %v", i, dIn[i], numeric)
+		}
+	}
+}
+
+func TestBCELoss(t *testing.T) {
+	// Perfect confident prediction: tiny loss; wrong confident: large.
+	l1, g1 := BCELoss(10, 1)
+	if l1 > 0.01 {
+		t.Errorf("confident correct loss = %v", l1)
+	}
+	if math.Abs(g1) > 0.01 {
+		t.Errorf("confident correct grad = %v", g1)
+	}
+	l2, g2 := BCELoss(10, 0)
+	if l2 < 5 {
+		t.Errorf("confident wrong loss = %v", l2)
+	}
+	if g2 < 0.9 {
+		t.Errorf("confident wrong grad = %v", g2)
+	}
+}
+
+// Property: sigmoid+BCE gradient is always (p - label), bounded in [-1,1].
+func TestBCEGradientBounds(t *testing.T) {
+	f := func(logit float64, lab bool) bool {
+		if math.IsNaN(logit) || math.IsInf(logit, 0) {
+			return true
+		}
+		label := 0.0
+		if lab {
+			label = 1
+		}
+		_, g := BCELoss(logit, label)
+		return g >= -1.0001 && g <= 1.0001 && !math.IsNaN(g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepReducesLoss(t *testing.T) {
+	m, err := NewNCF(DefaultConfig(10, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Step(3, 7, 1)
+	var last float64
+	for i := 0; i < 50; i++ {
+		last = m.Step(3, 7, 1)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestNCFBadConfig(t *testing.T) {
+	if _, err := NewNCF(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+// TestTrainToTargetConverges is the real end-to-end run: synthetic
+// structured ratings, leave-one-out eval, train until hit-rate@10 clears
+// the target. This is MLPerf's time-to-quality metric executing for real.
+func TestTrainToTargetConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ratings := dataset.SyntheticRatings(rng, 60, 120, 12, 6)
+	sp := dataset.LeaveOneOut(ratings)
+	m, err := NewNCF(DefaultConfig(60, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainToTarget(m, sp, 0.55, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("did not reach hit-rate 0.55 in %d epochs (final %.3f, trace %v)",
+			res.Epochs, res.HitRate, res.HitRateByEpoch)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+}
+
+func TestTrainedModelBeatsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ratings := dataset.SyntheticRatings(rng, 40, 100, 10, 6)
+	sp := dataset.LeaveOneOut(ratings)
+	m, err := NewNCF(DefaultConfig(40, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalRNG := rand.New(rand.NewSource(99))
+	before := HitRateAt10(m, sp, evalRNG, 60)
+	if _, err := TrainToTarget(m, sp, 0.99, 10); err != nil {
+		t.Fatal(err)
+	}
+	evalRNG = rand.New(rand.NewSource(99))
+	after := HitRateAt10(m, sp, evalRNG, 60)
+	if after <= before {
+		t.Errorf("training did not improve hit rate: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestTrainToTargetEmptySplit(t *testing.T) {
+	m, _ := NewNCF(DefaultConfig(5, 5))
+	if _, err := TrainToTarget(m, dataset.Split{}, 0.5, 1); err == nil {
+		t.Error("empty split accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	m, err := NewNCF(DefaultConfig(5, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TopK(m, 2, 5, map[int32]bool{0: true, 1: true})
+	if len(got) != 5 {
+		t.Fatalf("TopK returned %d items", len(got))
+	}
+	seen := map[int32]bool{}
+	for _, it := range got {
+		if it == 0 || it == 1 {
+			t.Error("excluded item recommended")
+		}
+		if seen[it] {
+			t.Error("duplicate recommendation")
+		}
+		seen[it] = true
+	}
+	// Scores must be in descending order.
+	for i := 1; i < len(got); i++ {
+		if m.Score(2, got[i-1]) < m.Score(2, got[i]) {
+			t.Error("recommendations not sorted by score")
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	run := func() float64 {
+		rng := rand.New(rand.NewSource(3))
+		ratings := dataset.SyntheticRatings(rng, 20, 50, 8, 4)
+		sp := dataset.LeaveOneOut(ratings)
+		m, _ := NewNCF(DefaultConfig(20, 50))
+		res, _ := TrainToTarget(m, sp, 0.99, 3)
+		return res.HitRate
+	}
+	if run() != run() {
+		t.Error("training is nondeterministic for a fixed seed")
+	}
+}

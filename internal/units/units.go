@@ -1,0 +1,238 @@
+// Package units provides the physical quantities the rest of the library
+// trades in: byte counts, floating-point operation counts, bandwidths and
+// rates. Every quantity is a distinct type so that a bandwidth can never be
+// accidentally added to a byte count, and each knows how to format itself
+// the way the paper's tables do (MB, Mbps, GFLOPS, minutes).
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bytes is a data size in bytes.
+type Bytes float64
+
+// Common byte sizes.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+	TiB Bytes = 1 << 40
+
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+)
+
+// MB returns the size in (decimal) megabytes, the unit Table V uses for
+// memory footprints.
+func (b Bytes) MB() float64 { return float64(b) / 1e6 }
+
+// MiB returns the size in binary mebibytes.
+func (b Bytes) MiB() float64 { return float64(b) / float64(MiB) }
+
+// GB returns the size in (decimal) gigabytes.
+func (b Bytes) GB() float64 { return float64(b) / 1e9 }
+
+// String renders the size with a human-readable decimal suffix.
+func (b Bytes) String() string {
+	abs := math.Abs(float64(b))
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.2fTB", float64(b)/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fGB", float64(b)/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.2fKB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%.0fB", float64(b))
+	}
+}
+
+// FLOPs is a count of floating-point operations.
+type FLOPs float64
+
+// Common FLOP counts.
+const (
+	KFLOP FLOPs = 1e3
+	MFLOP FLOPs = 1e6
+	GFLOP FLOPs = 1e9
+	TFLOP FLOPs = 1e12
+)
+
+// G returns the count in GFLOPs.
+func (f FLOPs) G() float64 { return float64(f) / 1e9 }
+
+// T returns the count in TFLOPs.
+func (f FLOPs) T() float64 { return float64(f) / 1e12 }
+
+// String renders the count with a human-readable suffix.
+func (f FLOPs) String() string {
+	abs := math.Abs(float64(f))
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.2fTFLOP", float64(f)/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fGFLOP", float64(f)/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2fMFLOP", float64(f)/1e6)
+	default:
+		return fmt.Sprintf("%.0fFLOP", float64(f))
+	}
+}
+
+// BytesPerSecond is a bandwidth.
+type BytesPerSecond float64
+
+// Common bandwidths.
+const (
+	KBps BytesPerSecond = 1e3
+	MBps BytesPerSecond = 1e6
+	GBps BytesPerSecond = 1e9
+)
+
+// Mbps returns the bandwidth in megabits per second, the unit Table V uses
+// for bus utilization.
+func (r BytesPerSecond) Mbps() float64 { return float64(r) * 8 / 1e6 }
+
+// GBs returns the bandwidth in gigabytes per second.
+func (r BytesPerSecond) GBs() float64 { return float64(r) / 1e9 }
+
+// String renders the bandwidth in GB/s or MB/s as appropriate.
+func (r BytesPerSecond) String() string {
+	if math.Abs(float64(r)) >= 1e9 {
+		return fmt.Sprintf("%.1fGB/s", float64(r)/1e9)
+	}
+	return fmt.Sprintf("%.1fMB/s", float64(r)/1e6)
+}
+
+// FLOPSRate is a compute throughput in FLOP/s.
+type FLOPSRate float64
+
+// Common compute throughputs.
+const (
+	GFLOPS FLOPSRate = 1e9
+	TFLOPS FLOPSRate = 1e12
+)
+
+// G returns the rate in GFLOP/s.
+func (r FLOPSRate) G() float64 { return float64(r) / 1e9 }
+
+// T returns the rate in TFLOP/s.
+func (r FLOPSRate) T() float64 { return float64(r) / 1e12 }
+
+// String renders the throughput.
+func (r FLOPSRate) String() string {
+	if math.Abs(float64(r)) >= 1e12 {
+		return fmt.Sprintf("%.2fTFLOPS", float64(r)/1e12)
+	}
+	return fmt.Sprintf("%.1fGFLOPS", float64(r)/1e9)
+}
+
+// Intensity is an arithmetic intensity in FLOPs per byte — the roofline
+// x-axis.
+type Intensity float64
+
+// String renders the intensity.
+func (i Intensity) String() string { return fmt.Sprintf("%.2fFLOP/B", float64(i)) }
+
+// IntensityOf computes arithmetic intensity, returning 0 for zero traffic
+// (DeepBench's all-reduce kernel performs no floating-point math, so both
+// axes can be degenerate).
+func IntensityOf(f FLOPs, b Bytes) Intensity {
+	if b <= 0 {
+		return 0
+	}
+	return Intensity(float64(f) / float64(b))
+}
+
+// Time computes how long moving b bytes takes at bandwidth r. A zero or
+// negative bandwidth yields +Inf, representing an unreachable resource.
+func (r BytesPerSecond) Time(b Bytes) time.Duration {
+	if r <= 0 {
+		return Forever
+	}
+	return Seconds(float64(b) / float64(r))
+}
+
+// Time computes how long f FLOPs take at rate r. A zero or negative rate
+// yields +Inf.
+func (r FLOPSRate) Time(f FLOPs) time.Duration {
+	if r <= 0 {
+		return Forever
+	}
+	return Seconds(float64(f) / float64(r))
+}
+
+// Forever is the sentinel duration for unreachable resources.
+const Forever = time.Duration(math.MaxInt64)
+
+// Seconds converts a float second count to a time.Duration, saturating at
+// Forever instead of overflowing.
+func Seconds(s float64) time.Duration {
+	if math.IsInf(s, 1) || s > float64(math.MaxInt64)/float64(time.Second) {
+		return Forever
+	}
+	if s < 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// Minutes renders a duration as fractional minutes, the unit of Table IV.
+func Minutes(d time.Duration) float64 { return d.Minutes() }
+
+// ParseBytes parses strings such as "16GB", "300MB", "1.5TiB". It accepts
+// both decimal (KB/MB/GB/TB) and binary (KiB/MiB/GiB/TiB) suffixes and a
+// bare number meaning bytes.
+func ParseBytes(s string) (Bytes, error) {
+	s = strings.TrimSpace(s)
+	suffixes := []struct {
+		suffix string
+		mult   Bytes
+	}{
+		{"TiB", TiB}, {"GiB", GiB}, {"MiB", MiB}, {"KiB", KiB},
+		{"TB", TB}, {"GB", GB}, {"MB", MB}, {"KB", KB},
+		{"B", 1},
+	}
+	for _, sf := range suffixes {
+		if strings.HasSuffix(s, sf.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(s, sf.suffix))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: parse %q: %w", s, err)
+			}
+			return Bytes(v) * sf.mult, nil
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse %q: %w", s, err)
+	}
+	return Bytes(v), nil
+}
+
+// Percent is a utilization percentage. Multi-GPU utilizations in Table V sum
+// per-device percentages, so values above 100 are meaningful.
+type Percent float64
+
+// String renders the percentage with two decimals, matching Table V.
+func (p Percent) String() string { return fmt.Sprintf("%.2f%%", float64(p)) }
+
+// Clamp limits the percentage to [0, max].
+func (p Percent) Clamp(max Percent) Percent {
+	if p < 0 {
+		return 0
+	}
+	if p > max {
+		return max
+	}
+	return p
+}

@@ -1,0 +1,198 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesConversions(t *testing.T) {
+	cases := []struct {
+		in     Bytes
+		wantMB float64
+		wantGB float64
+	}{
+		{1e6, 1, 1e-3},
+		{16 * GB, 16000, 16},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.in.MB(); got != c.wantMB {
+			t.Errorf("(%v).MB() = %v, want %v", c.in, got, c.wantMB)
+		}
+		if got := c.in.GB(); got != c.wantGB {
+			t.Errorf("(%v).GB() = %v, want %v", c.in, got, c.wantGB)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * KB, "2.00KB"},
+		{300 * MB, "300.00MB"},
+		{16 * GB, "16.00GB"},
+		{1.5 * TB, "1.50TB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFLOPsString(t *testing.T) {
+	cases := []struct {
+		in   FLOPs
+		want string
+	}{
+		{100, "100FLOP"},
+		{3.9 * GFLOP, "3.90GFLOP"},
+		{15.7 * TFLOP, "15.70TFLOP"},
+		{2 * MFLOP, "2.00MFLOP"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("FLOPs.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBandwidthMbps(t *testing.T) {
+	// 1 MB/s = 8 Mbps. Table V reports Mbps.
+	if got := (1 * MBps).Mbps(); got != 8 {
+		t.Errorf("1MBps = %v Mbps, want 8", got)
+	}
+	if got := (15.8 * GBps).Mbps(); math.Abs(got-126400) > 1e-6 {
+		t.Errorf("15.8GBps = %v Mbps, want 126400", got)
+	}
+}
+
+func TestTimeComputation(t *testing.T) {
+	// 1 GB at 1 GB/s is one second.
+	if got := (1 * GBps).Time(1 * GB); got != time.Second {
+		t.Errorf("transfer time = %v, want 1s", got)
+	}
+	// 15.7 TFLOP at 15.7 TFLOPS is one second.
+	if got := (15.7 * TFLOPS).Time(15.7 * TFLOP); got != time.Second {
+		t.Errorf("compute time = %v, want 1s", got)
+	}
+	if got := BytesPerSecond(0).Time(1 * GB); got != Forever {
+		t.Errorf("zero bandwidth = %v, want Forever", got)
+	}
+	if got := FLOPSRate(-1).Time(1 * GFLOP); got != Forever {
+		t.Errorf("negative rate = %v, want Forever", got)
+	}
+}
+
+func TestSecondsSaturation(t *testing.T) {
+	if got := Seconds(math.Inf(1)); got != Forever {
+		t.Errorf("Seconds(+Inf) = %v, want Forever", got)
+	}
+	if got := Seconds(-3); got != 0 {
+		t.Errorf("Seconds(-3) = %v, want 0", got)
+	}
+	if got := Seconds(1.5); got != 1500*time.Millisecond {
+		t.Errorf("Seconds(1.5) = %v, want 1.5s", got)
+	}
+}
+
+func TestIntensityOf(t *testing.T) {
+	if got := IntensityOf(100, 50); got != 2 {
+		t.Errorf("IntensityOf(100,50) = %v, want 2", got)
+	}
+	// DeepBench's all-reduce kernel: zero FLOPs is fine, zero bytes must not
+	// divide by zero.
+	if got := IntensityOf(0, 1000); got != 0 {
+		t.Errorf("IntensityOf(0,1000) = %v, want 0", got)
+	}
+	if got := IntensityOf(100, 0); got != 0 {
+		t.Errorf("IntensityOf(100,0) = %v, want 0", got)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"16GB", 16 * GB},
+		{"32GiB", 32 * GiB},
+		{"300 MB", 300 * MB},
+		{"1.5TB", 1.5 * TB},
+		{"1024", 1024},
+		{"7B", 7},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %v, want %v", c.in, float64(got), float64(c.want))
+		}
+	}
+	if _, err := ParseBytes("twelve"); err == nil {
+		t.Error("ParseBytes(twelve) succeeded, want error")
+	}
+	if _, err := ParseBytes("xGB"); err == nil {
+		t.Error("ParseBytes(xGB) succeeded, want error")
+	}
+}
+
+// Property: formatting a size and parsing it back stays within rounding
+// error of the 2-decimal rendering.
+func TestParseFormatRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		b := Bytes(raw)
+		parsed, err := ParseBytes(b.String())
+		if err != nil {
+			return false
+		}
+		if b == 0 {
+			return parsed == 0
+		}
+		rel := math.Abs(float64(parsed-b)) / float64(b)
+		return rel < 0.01 // two-decimal rendering loses <1%
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer time scales linearly with size.
+func TestTransferTimeLinear(t *testing.T) {
+	f := func(rawSize uint16, rawBW uint16) bool {
+		size := Bytes(rawSize) + 1
+		bw := BytesPerSecond(rawBW) + 1
+		t1 := bw.Time(size)
+		t2 := bw.Time(2 * size)
+		diff := math.Abs(float64(t2) - 2*float64(t1))
+		return diff <= 2 // nanosecond rounding
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentClamp(t *testing.T) {
+	if got := Percent(150).Clamp(100); got != 100 {
+		t.Errorf("clamp(150,100) = %v", got)
+	}
+	if got := Percent(-5).Clamp(100); got != 0 {
+		t.Errorf("clamp(-5,100) = %v", got)
+	}
+	if got := Percent(350).Clamp(400); got != 350 {
+		t.Errorf("clamp(350,400) = %v", got)
+	}
+}
+
+func TestPercentString(t *testing.T) {
+	if got := Percent(85.84).String(); got != "85.84%" {
+		t.Errorf("Percent.String() = %q", got)
+	}
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"mlperf/internal/dataset"
+	"mlperf/internal/model"
+	"mlperf/internal/precision"
+	"mlperf/internal/sim"
+	"mlperf/internal/units"
+)
+
+// calib holds the per-benchmark calibration constants. These stand in for
+// everything the paper measured that a layer graph cannot derive — how
+// close each submission's kernels come to datasheet peaks, how well its
+// backward pass overlaps NCCL, how expensive its host input pipeline is,
+// its allocator's appetite, and its large-batch convergence penalty.
+// Values were fitted so the simulator reproduces the paper's single-GPU
+// V100 training times and the *shape* of the scaling, utilization,
+// mixed-precision and interconnect results; EXPERIMENTS.md records the
+// residuals. The paper itself stresses (§VI) that "MLPerf benchmark
+// characteristics may be heavily influenced by the specific
+// implementations" — these constants are exactly that implementation
+// fingerprint.
+type calib struct {
+	// batch is the per-GPU minibatch of the optimized submission.
+	batch int
+	// maxGlobal caps the global batch (0 = uncapped).
+	maxGlobal int
+	// epochs to the Table II quality target (fractional epochs allowed;
+	// NCF's value folds in its 4x negative sampling).
+	epochs float64
+	// epochGrowth is the per-doubling epoch inflation at global batches
+	// beyond the single-GPU reference.
+	epochGrowth float64
+	// policy + efficiency of the optimized submission.
+	policy    precision.Policy
+	eligFrac  float64
+	tensorEff float64
+	mathEff   float64
+	memEff    float64
+	// overlap is the fraction of all-reduce hidden under backward.
+	overlap float64
+	// cpuSec is host preprocessing core-seconds per sample; workers is
+	// the loader worker count per GPU (fixedWorkers pins the pool size
+	// for single-process samplers).
+	cpuSec       float64
+	workers      int
+	fixedWorkers int
+	// serialPerEpoch is non-parallelizable host seconds per epoch.
+	serialPerEpoch float64
+	// gpuFixedPerStep is batch-independent per-step GPU overhead.
+	gpuFixedPerStep float64
+	// imbalance is the straggler inflation at multi-GPU sync points.
+	imbalance float64
+	// hostBase / hostPerGPU shape the DRAM footprint.
+	hostBase   units.Bytes
+	hostPerGPU units.Bytes
+	// greedy marks allocator-greedy frameworks (preallocate ~97% HBM).
+	greedy bool
+	// idle is the kernel-gap inflation of compute time.
+	idle float64
+	// optSlots is optimizer state words per parameter.
+	optSlots int
+	// h2dBytes overrides the per-sample host-to-device payload.
+	h2dBytes units.Bytes
+	// actLive is the live fraction of activation memory (0 = all).
+	actLive float64
+	// commViaHost stages collectives through host memory (TF replicated
+	// variables) instead of NCCL P2P.
+	commViaHost bool
+	// ref describes the unoptimized reference implementation measured on
+	// the P100 reference machine (Table IV column 1).
+	ref refCalib
+}
+
+// refCalib is the reference-implementation fingerprint: FP32, poorer
+// kernels, poorer input pipeline.
+type refCalib struct {
+	epochs  float64
+	batch   int
+	mathEff float64
+	memEff  float64
+	cpuSec  float64
+	workers int
+	overlap float64
+	idle    float64
+	fixed   float64 // per-step GPU overhead
+}
+
+// job builds the optimized-submission simulator job.
+func (c calib) job(name string, net *model.Network, data dataset.Dataset) sim.Job {
+	cfg := precision.Config{
+		Policy:       c.policy,
+		EligibleFrac: c.eligFrac,
+		TensorEff:    c.tensorEff,
+		MathEff:      c.mathEff,
+		MemEff:       c.memEff,
+	}
+	return sim.Job{
+		Name:                 name,
+		Net:                  net,
+		Data:                 data,
+		EpochsToTarget:       c.epochs,
+		EpochGrowthPerDouble: c.epochGrowth,
+		BatchPerGPU:          c.batch,
+		MaxGlobalBatch:       c.maxGlobal,
+		Precision:            cfg,
+		OptimizerSlots:       c.optSlots,
+		OverlapComm:          c.overlap,
+		CPUSecondsPerSample:  c.cpuSec,
+		InputWorkersPerGPU:   c.workers,
+		FixedInputWorkers:    c.fixedWorkers,
+		HostSerialPerEpoch:   c.serialPerEpoch,
+		GPUFixedPerStep:      c.gpuFixedPerStep,
+		Imbalance:            c.imbalance,
+		HostBaseBytes:        c.hostBase,
+		HostBytesPerGPU:      c.hostPerGPU,
+		GreedyHBM:            c.greedy,
+		GPUIdleFrac:          c.idle,
+		H2DBytesPerSample:    c.h2dBytes,
+		ActLiveFrac:          c.actLive,
+		CommViaHost:          c.commViaHost,
+	}
+}
+
+// refJob builds the reference-implementation job (FP32 only).
+func (c calib) refJob(name string, net *model.Network, data dataset.Dataset) sim.Job {
+	r := c.ref
+	return sim.Job{
+		Name:                name + " (reference)",
+		Net:                 net,
+		Data:                data,
+		EpochsToTarget:      r.epochs,
+		BatchPerGPU:         r.batch,
+		MaxGlobalBatch:      c.maxGlobal,
+		Precision:           precision.Config{Policy: precision.FP32, MathEff: r.mathEff, TensorEff: 0.5, MemEff: r.memEff},
+		OptimizerSlots:      c.optSlots,
+		OverlapComm:         r.overlap,
+		CPUSecondsPerSample: r.cpuSec,
+		InputWorkersPerGPU:  r.workers,
+		HostSerialPerEpoch:  c.serialPerEpoch,
+		GPUFixedPerStep:     r.fixed,
+		HostBaseBytes:       c.hostBase,
+		HostBytesPerGPU:     c.hostPerGPU,
+		GPUIdleFrac:         r.idle,
+	}
+}
+
+// ---- MLPerf ----
+
+var calibRes50TF = calib{
+	batch: 256, epochs: 61, epochGrowth: 0.02,
+	policy: precision.AMP, eligFrac: 0.97, tensorEff: 0.72, mathEff: 0.84, memEff: 0.98,
+	overlap: 0.60,
+	cpuSec:  0.0034, workers: 6, serialPerEpoch: 2,
+	hostBase: 17.2 * units.GB, hostPerGPU: 0.7 * units.GB,
+	greedy: true, idle: 0.16, optSlots: 1,
+	ref: refCalib{epochs: 61, batch: 64, mathEff: 0.47, memEff: 0.70,
+		cpuSec: 0.006, workers: 8, overlap: 0.3, idle: 0.08},
+}
+
+var calibRes50MX = calib{
+	batch: 256, epochs: 61, epochGrowth: 0.05,
+	policy: precision.AMP, eligFrac: 0.97, tensorEff: 0.81, mathEff: 0.92, memEff: 0.98,
+	overlap: 0.30, // coarser gradient bucketing than the TF submission
+	cpuSec:  0.0015, workers: 5, serialPerEpoch: 2,
+	hostBase: 0.1 * units.GB, hostPerGPU: 7.0 * units.GB,
+	greedy: false, idle: 0.16, optSlots: 1, actLive: 0.46,
+	ref: refCalib{epochs: 61, batch: 64, mathEff: 0.45, memEff: 0.70,
+		cpuSec: 0.006, workers: 8, overlap: 0.3, idle: 0.08},
+}
+
+var calibSSD = calib{
+	batch: 128, epochs: 22, epochGrowth: 0.01,
+	policy: precision.AMP, eligFrac: 0.95, tensorEff: 0.21, mathEff: 0.70, memEff: 0.95,
+	overlap: 0.85,
+	cpuSec:  0.0062, workers: 5, serialPerEpoch: 2,
+	hostBase: 0.5 * units.GB, hostPerGPU: 4.8 * units.GB,
+	greedy: true, idle: 0.04, optSlots: 1,
+	ref: refCalib{epochs: 22, batch: 32, mathEff: 0.55, memEff: 0.70,
+		cpuSec: 0.006, workers: 8, overlap: 0.3, idle: 0.05},
+}
+
+var calibMRCNN = calib{
+	batch: 2, epochs: 8,
+	policy: precision.AMP, eligFrac: 0.60, tensorEff: 0.32, mathEff: 0.70, memEff: 0.80,
+	overlap: 0.0, imbalance: 0.30,
+	cpuSec: 0.14, workers: 4, serialPerEpoch: 30,
+	hostBase: 1.0 * units.GB, hostPerGPU: 6.0 * units.GB,
+	greedy: false, idle: 0.15, optSlots: 1, actLive: 0.60,
+	ref: refCalib{epochs: 8, batch: 2, mathEff: 0.70, memEff: 0.70,
+		cpuSec: 0.20, workers: 4, overlap: 0.3, idle: 0.15},
+}
+
+var calibXFMR = calib{
+	batch: 192, epochs: 3.3, epochGrowth: 0.12,
+	policy: precision.AMP, eligFrac: 0.90, tensorEff: 0.165, mathEff: 0.40, memEff: 0.85,
+	overlap: 0.62,
+	cpuSec:  0.0015, workers: 4, serialPerEpoch: 20,
+	hostBase: 0.6 * units.GB, hostPerGPU: 3.4 * units.GB,
+	greedy: true, idle: 0.10, optSlots: 2, // Adam
+	ref: refCalib{epochs: 3.3, batch: 64, mathEff: 0.56, memEff: 0.70,
+		cpuSec: 0.003, workers: 4, overlap: 0.3, idle: 0.10},
+}
+
+var calibGNMT = calib{
+	batch: 128, epochs: 4, epochGrowth: 0.08,
+	policy: precision.AMP, eligFrac: 0.85, tensorEff: 0.125, mathEff: 0.35, memEff: 0.80,
+	overlap: 0.10,
+	cpuSec:  0.0017, workers: 4, serialPerEpoch: 20,
+	hostBase: 1.0 * units.GB, hostPerGPU: 6.0 * units.GB,
+	greedy: true, idle: 0.11, optSlots: 2, h2dBytes: 860 * units.KB, // Adam
+	ref: refCalib{epochs: 4, batch: 64, mathEff: 0.45, memEff: 0.65,
+		cpuSec: 0.008, workers: 4, overlap: 0.3, idle: 0.15},
+}
+
+var calibNCF = calib{
+	batch: 1 << 20, maxGlobal: 1 << 21, epochs: 1.05, // quality hit within ~1 pass
+	policy: precision.AMP, eligFrac: 0.80, tensorEff: 0.0034, mathEff: 0.0114, memEff: 0.60,
+	overlap: 0.30,
+	cpuSec:  2.1e-6, fixedWorkers: 4, workers: 2,
+	serialPerEpoch: 8.3, gpuFixedPerStep: 4.85,
+	hostBase: 0.2 * units.GB, hostPerGPU: 1.4 * units.GB,
+	greedy: true, idle: 0.0, optSlots: 2, // Adam
+	ref: refCalib{epochs: 1.05, batch: 1 << 18, mathEff: 0.00065, memEff: 0.25,
+		cpuSec: 4e-6, workers: 2, overlap: 0.2, idle: 0.2, fixed: 1.5},
+}
+
+// ---- DAWNBench ----
+
+var calibRes18 = calib{
+	batch: 512, epochs: 35,
+	policy: precision.AMP, eligFrac: 0.90, tensorEff: 0.25, mathEff: 0.60, memEff: 0.70,
+	overlap: 0.7,
+	cpuSec:  0.00035, workers: 4, serialPerEpoch: 0.5,
+	hostBase: 2.2 * units.GB, hostPerGPU: 0.5 * units.GB,
+	greedy: false, idle: 0.25, optSlots: 1,
+}
+
+var calibDrQA = calib{
+	batch: 32, epochs: 30,
+	policy: precision.FP32, eligFrac: 0, tensorEff: 0.5, mathEff: 0.14, memEff: 0.60,
+	overlap: 0.5,
+	// The paper's standout observation (§V-A): DrQA keeps ~20 host cores
+	// busy and the GPU only ~20% utilized — preprocessing dominates.
+	cpuSec: 0.22, workers: 20, serialPerEpoch: 10,
+	hostBase: 6.2 * units.GB, hostPerGPU: 0.5 * units.GB,
+	greedy: false, idle: 0.05, optSlots: 2,
+}
+
+// ---- DeepBench (single-kernel benchmarks) ----
+
+var calibDeepGEMM = calib{
+	batch: 1, epochs: 1,
+	policy: precision.FP32, tensorEff: 0.5, mathEff: 0.85, memEff: 0.85,
+	overlap: 0, cpuSec: 0.003, workers: 1,
+	hostBase: 0.3 * units.GB, hostPerGPU: 0.05 * units.GB,
+	greedy: false, idle: 0.0, optSlots: 0,
+}
+
+var calibDeepConv = calib{
+	batch: 1, epochs: 1,
+	policy: precision.FP32, tensorEff: 0.5, mathEff: 0.80, memEff: 0.85,
+	overlap: 0, cpuSec: 0.0008, workers: 1,
+	hostBase: 0.9 * units.GB, hostPerGPU: 0.05 * units.GB,
+	greedy: false, idle: 0.0, optSlots: 0,
+}
+
+var calibDeepRNN = calib{
+	batch: 16, epochs: 1,
+	policy: precision.FP32, tensorEff: 0.5, mathEff: 0.55, memEff: 0.80,
+	overlap: 0, cpuSec: 0.004, workers: 1, h2dBytes: 3.5 * units.MB,
+	hostBase: 0.9 * units.GB, hostPerGPU: 0.1 * units.GB,
+	greedy: false, idle: 0.05, optSlots: 0,
+}
+
+var calibDeepRed = calib{
+	batch: 1, epochs: 1,
+	policy: precision.FP32, tensorEff: 0.5, mathEff: 0.5, memEff: 0.85,
+	overlap: 0, // pure collective: fully exposed by construction
+	cpuSec:  1e-6, workers: 1,
+	hostBase: 0.3 * units.GB, hostPerGPU: 0.2 * units.GB,
+	greedy: false, idle: 0.0, optSlots: 0,
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mlperf/internal/precision"
+	"mlperf/internal/sim"
+)
+
+// JobSpec is a JSON-serializable override set on top of a registered
+// benchmark — how downstream users run custom configurations ("ResNet-50
+// but batch 512 and no AMP") without writing Go:
+//
+//	{
+//	  "base": "MLPf_Res50_TF",
+//	  "batch_per_gpu": 512,
+//	  "precision": "fp32",
+//	  "overlap_comm": 0.9
+//	}
+//
+// Zero-valued fields keep the base benchmark's calibrated value.
+type JobSpec struct {
+	// Base names the registered benchmark to start from (required).
+	Base string `json:"base"`
+	// BatchPerGPU overrides the per-GPU minibatch.
+	BatchPerGPU int `json:"batch_per_gpu,omitempty"`
+	// MaxGlobalBatch overrides the global batch cap (-1 removes it).
+	MaxGlobalBatch int `json:"max_global_batch,omitempty"`
+	// Epochs overrides epochs-to-target.
+	Epochs float64 `json:"epochs,omitempty"`
+	// Precision selects "fp32" or "mixed".
+	Precision string `json:"precision,omitempty"`
+	// OverlapComm overrides the all-reduce overlap (-1 forces 0).
+	OverlapComm float64 `json:"overlap_comm,omitempty"`
+	// InputWorkersPerGPU overrides the loader worker count.
+	InputWorkersPerGPU int `json:"input_workers_per_gpu,omitempty"`
+	// GreedyHBM overrides the allocator policy ("greedy"/"need").
+	Allocator string `json:"allocator,omitempty"`
+}
+
+// ParseJobSpec decodes a JobSpec from JSON.
+func ParseJobSpec(r io.Reader) (*JobSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("workload: parse job spec: %w", err)
+	}
+	return &spec, nil
+}
+
+// Build resolves the base benchmark and applies the overrides.
+func (s *JobSpec) Build() (sim.Job, error) {
+	if s.Base == "" {
+		return sim.Job{}, fmt.Errorf("workload: job spec needs a base benchmark")
+	}
+	b, err := ByName(s.Base)
+	if err != nil {
+		return sim.Job{}, err
+	}
+	job := b.Job
+	if s.BatchPerGPU > 0 {
+		job.BatchPerGPU = s.BatchPerGPU
+	}
+	if s.MaxGlobalBatch > 0 {
+		job.MaxGlobalBatch = s.MaxGlobalBatch
+	} else if s.MaxGlobalBatch < 0 {
+		job.MaxGlobalBatch = 0
+	}
+	if s.Epochs > 0 {
+		job.EpochsToTarget = s.Epochs
+	}
+	switch s.Precision {
+	case "":
+	case "fp32":
+		job.Precision.Policy = precision.FP32
+	case "mixed", "amp", "fp16":
+		job.Precision.Policy = precision.AMP
+	default:
+		return sim.Job{}, fmt.Errorf("workload: unknown precision %q", s.Precision)
+	}
+	if s.OverlapComm > 0 {
+		if s.OverlapComm > 1 {
+			return sim.Job{}, fmt.Errorf("workload: overlap %v outside [0,1]", s.OverlapComm)
+		}
+		job.OverlapComm = s.OverlapComm
+	} else if s.OverlapComm < 0 {
+		job.OverlapComm = 0
+	}
+	if s.InputWorkersPerGPU > 0 {
+		job.InputWorkersPerGPU = s.InputWorkersPerGPU
+	}
+	switch s.Allocator {
+	case "":
+	case "greedy":
+		job.GreedyHBM = true
+	case "need":
+		job.GreedyHBM = false
+	default:
+		return sim.Job{}, fmt.Errorf("workload: unknown allocator %q", s.Allocator)
+	}
+	if err := job.Validate(); err != nil {
+		return sim.Job{}, err
+	}
+	return job, nil
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mlperf/internal/precision"
+)
+
+func TestJobSpecOverrides(t *testing.T) {
+	spec, err := ParseJobSpec(strings.NewReader(`{
+		"base": "MLPf_Res50_TF",
+		"batch_per_gpu": 512,
+		"precision": "fp32",
+		"overlap_comm": 0.9,
+		"allocator": "need"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.BatchPerGPU != 512 {
+		t.Errorf("batch = %d", job.BatchPerGPU)
+	}
+	if job.Precision.Policy != precision.FP32 {
+		t.Error("precision override lost")
+	}
+	if job.OverlapComm != 0.9 {
+		t.Errorf("overlap = %v", job.OverlapComm)
+	}
+	if job.GreedyHBM {
+		t.Error("allocator override lost")
+	}
+	// Unspecified fields keep calibrated values.
+	base, _ := ByName("MLPf_Res50_TF")
+	if job.EpochsToTarget != base.Job.EpochsToTarget {
+		t.Error("epochs changed without an override")
+	}
+}
+
+func TestJobSpecDefaultsUntouched(t *testing.T) {
+	spec := &JobSpec{Base: "ncf_py"}
+	job, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := ByName("ncf_py")
+	if job.BatchPerGPU != base.Job.BatchPerGPU || job.MaxGlobalBatch != base.Job.MaxGlobalBatch {
+		t.Error("empty spec modified the job")
+	}
+}
+
+func TestJobSpecRemoveBatchCap(t *testing.T) {
+	spec := &JobSpec{Base: "ncf_py", MaxGlobalBatch: -1}
+	job, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.MaxGlobalBatch != 0 {
+		t.Error("-1 should remove the cap")
+	}
+}
+
+func TestJobSpecErrors(t *testing.T) {
+	cases := []string{
+		`{}`, // no base
+		`{"base":"nope"}`,
+		`{"base":"res50_tf","precision":"int8"}`,
+		`{"base":"res50_tf","overlap_comm":1.5}`,
+		`{"base":"res50_tf","allocator":"mmap"}`,
+		`{"base":"res50_tf","unknown_field":1}`,
+	}
+	for _, c := range cases {
+		spec, err := ParseJobSpec(strings.NewReader(c))
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("spec %s accepted", c)
+		}
+	}
+}
+
+func TestJobSpecBadJSON(t *testing.T) {
+	if _, err := ParseJobSpec(strings.NewReader(`{`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}

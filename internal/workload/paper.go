@@ -1,0 +1,113 @@
+package workload
+
+// This file records the paper's reported measurements verbatim. They are
+// the comparison targets for EXPERIMENTS.md and the shape-tests — never
+// inputs to the simulator itself (the simulator derives its numbers from
+// the hardware and layer-graph models plus the calibration constants in
+// calibrate.go).
+
+// PaperScaling is one Table IV row.
+type PaperScaling struct {
+	Bench string
+	// P100Min and V100Min are single-GPU training minutes.
+	P100Min, V100Min float64
+	// PtoV is the P100-to-V100 speedup.
+	PtoV float64
+	// S2, S4, S8 are the 1-to-2/4/8 GPU speedups on the DSS 8440.
+	S2, S4, S8 float64
+}
+
+// TableIV reproduces the paper's Table IV.
+var TableIV = []PaperScaling{
+	{"MLPf_Res50_TF", 8831.3, 1016.9, 8.68, 1.92, 3.84, 7.04},
+	{"MLPf_Res50_MX", 8831.1, 957.0, 9.23, 1.92, 3.76, 5.92},
+	{"MLPf_SSD_Py", 827.7, 206.1, 4.02, 1.94, 3.72, 7.28},
+	{"MLPf_MRCNN_Py", 4999.5, 1840.4, 2.72, 1.76, 2.64, 5.60},
+	{"MLPf_XFMR_Py", 1869.8, 636.0, 2.94, 1.42, 2.92, 5.60},
+	{"MLPf_NCF_Py", 46.7, 2.2, 21.23, 1.88, 2.16, 2.32},
+}
+
+// PaperUsage is one Table V row group (C4140 (K), per GPU count).
+type PaperUsage struct {
+	Bench string
+	GPUs  int
+	// CPUPct and GPUPct are utilization percentages (GPU summed over
+	// devices).
+	CPUPct, GPUPct float64
+	// DRAMMB and HBMMB are footprints in MB.
+	DRAMMB, HBMMB float64
+	// PCIeMbps and NVLinkMbps are bus rates in Mbps.
+	PCIeMbps, NVLinkMbps float64
+}
+
+// TableV reproduces the paper's Table V (rows mapped to benchmarks in
+// narrative order: §V-A names Res50_TF the highest CPU user, NCF the
+// lowest; §V-D names NCF and Deep_Red the heaviest NVLink users and SSD
+// the lightest).
+var TableV = []PaperUsage{
+	{"MLPf_Res50_TF", 1, 10.76, 85.84, 17922, 15927, 1251, 0},
+	{"MLPf_Res50_TF", 2, 16.25, 188.08, 18521, 31896, 2609, 967},
+	{"MLPf_Res50_TF", 4, 29.06, 372.43, 19970, 62214, 4269, 2867},
+	{"MLPf_Res50_MX", 1, 4.56, 85.84, 7091, 10343, 1251, 0},
+	{"MLPf_Res50_MX", 2, 9.16, 190.90, 14924, 20605, 6913, 1871},
+	{"MLPf_Res50_MX", 4, 18.12, 378.94, 28781, 40959, 11480, 21755},
+	{"MLPf_SSD_Py", 1, 3.89, 96.13, 4100, 15406, 4720, 0},
+	{"MLPf_SSD_Py", 2, 7.21, 180.58, 10305, 30772, 6998, 509},
+	{"MLPf_SSD_Py", 4, 13.69, 334.84, 20273, 60539, 9791, 1500},
+	{"MLPf_MRCNN_Py", 1, 2.45, 62.46, 7208, 4762, 258, 0},
+	{"MLPf_MRCNN_Py", 2, 4.83, 144.40, 13561, 15933, 2219, 2472},
+	{"MLPf_MRCNN_Py", 4, 10.39, 283.88, 24923, 33935, 3444, 6547},
+	{"MLPf_XFMR_Py", 1, 1.80, 91.14, 3992, 14926, 47, 0},
+	{"MLPf_XFMR_Py", 2, 3.35, 189.30, 7167, 29493, 123, 11247},
+	{"MLPf_XFMR_Py", 4, 6.39, 376.91, 14244, 58229, 249, 35862},
+	{"MLPf_GNMT_Py", 1, 1.91, 89.94, 7210, 12098, 2743, 0},
+	{"MLPf_GNMT_Py", 2, 3.32, 185.71, 13561, 24479, 4609, 1508},
+	{"MLPf_GNMT_Py", 4, 6.41, 360.89, 24923, 46016, 7692, 33262},
+	{"MLPf_NCF_Py", 1, 0.76, 96.39, 1550, 13870, 42, 0},
+	{"MLPf_NCF_Py", 2, 2.41, 194.44, 3077, 24847, 110, 17887},
+	{"MLPf_NCF_Py", 4, 5.69, 333.11, 5978, 39634, 200, 75051},
+	{"Dawn_Res18_Py", 1, 4.67, 76.90, 2670, 2056, 176, 0},
+	{"Dawn_DrQA_Py", 1, 48.84, 20.30, 6721, 2657, 52, 0},
+	{"Deep_GEMM_Cu", 1, 1.80, 99.60, 333, 1067, 13, 0},
+	{"Deep_Conv_Cu", 1, 1.73, 99.10, 948, 783, 13, 0},
+	{"Deep_RNN_Cu", 1, 1.80, 94.80, 994, 2536, 3747, 0},
+	{"Deep_Red_Cu", 1, 0.75, 91.30, 313, 631, 27, 0},
+	{"Deep_Red_Cu", 2, 0.96, 193.20, 430, 994, 86, 77992},
+	{"Deep_Red_Cu", 4, 1.68, 366.24, 1123, 2320, 134, 404376},
+}
+
+// PaperMixedPrecision holds Figure 3's speedups. The paper reports the
+// endpoints explicitly (1.5x for MRCNN_Py, 3.3x for Res50_TF); the other
+// bars are read off the figure and are approximate.
+var PaperMixedPrecision = map[string]float64{
+	"MLPf_Res50_TF": 3.3, // reported endpoint
+	"MLPf_Res50_MX": 3.2,
+	"MLPf_SSD_Py":   2.2,
+	"MLPf_MRCNN_Py": 1.5, // reported endpoint
+	"MLPf_XFMR_Py":  2.6,
+	"MLPf_GNMT_Py":  2.2,
+	"MLPf_NCF_Py":   1.3,
+}
+
+// PaperTopologyGain holds Figure 5's NVLink-over-worst-PCIe training-time
+// improvements as fractions (§V-E: "42% and 17% for the Translation
+// benchmarks, 30% for MLPf_MRCNN_Py to 11% for the Image Classification
+// benchmarks"). The text does not say which translation model gets which
+// number; we assign 42% to GNMT (recurrent backward overlaps NCCL poorly
+// and its 800MB gradient volume is all exposed) and 17% to the
+// Transformer, whose bucketed backward hides most of the collective.
+var PaperTopologyGain = map[string]float64{
+	"MLPf_XFMR_Py":  0.17,
+	"MLPf_GNMT_Py":  0.42,
+	"MLPf_MRCNN_Py": 0.30,
+	"MLPf_Res50_TF": 0.11,
+	"MLPf_Res50_MX": 0.11,
+}
+
+// PaperSchedulingSavingsHours holds Figure 4's optimal-vs-naive savings
+// for the 7-benchmark mix: ~4.1h on 2 GPUs, ~3.0h on 4, ~0.4h on 8.
+var PaperSchedulingSavingsHours = map[int]float64{
+	2: 4.1,
+	4: 3.0,
+	8: 0.4,
+}

@@ -1,0 +1,263 @@
+// Package mlperf is a Go reproduction of "Demystifying the MLPerf Training
+// Benchmark Suite" (ISPASS 2020): a characterization laboratory for the
+// MLPerf v0.5 training suite, DAWNBench and DeepBench, built on a
+// discrete-event simulator of multi-GPU training systems.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Systems() and SystemByName() give the six Dell PowerEdge platforms of
+//     the paper's Table III as interconnect topology graphs.
+//   - Benchmarks() and BenchmarkByName() give the thirteen calibrated
+//     benchmarks of Table II.
+//   - Simulate() runs one training job on one system and reports the
+//     time-to-train, step breakdown, and the Table V utilization metrics.
+//   - Table4/Table5/Fig1..Fig5 regenerate every table and figure of the
+//     paper's evaluation (see EXPERIMENTS.md for paper-vs-simulated).
+//   - V100Roofline/MeasureHostRoofline build roofline models (Figure 2);
+//     the host variant really micro-benchmarks the machine you run on.
+//   - ScheduleNaive/ScheduleOptimal search training-mix schedules
+//     (Figure 4).
+//   - NewNCF/TrainNCFToTarget really train a recommender to a hit-rate@10
+//     target — MLPerf's time-to-quality metric executing for real.
+//
+// See the examples/ directory for runnable walkthroughs.
+package mlperf
+
+import (
+	"math/rand"
+
+	"mlperf/internal/dataset"
+	"mlperf/internal/experiments"
+	"mlperf/internal/hw"
+	"mlperf/internal/minigo"
+	"mlperf/internal/roofline"
+	"mlperf/internal/sched"
+	"mlperf/internal/sim"
+	"mlperf/internal/train"
+	"mlperf/internal/workload"
+)
+
+// System is a hardware platform: CPUs, memory, GPUs and the interconnect
+// topology between them.
+type System = hw.System
+
+// Topology is an interconnect graph with path/bandwidth queries.
+type Topology = hw.Topology
+
+// Benchmark is one Table II entry bound to a calibrated simulator job.
+type Benchmark = workload.Benchmark
+
+// Suite identifies MLPerf, DAWNBench or DeepBench.
+type Suite = workload.Suite
+
+// Suites.
+const (
+	MLPerf    = workload.MLPerf
+	DAWNBench = workload.DAWNBench
+	DeepBench = workload.DeepBench
+)
+
+// SimConfig configures one simulated training run.
+type SimConfig = sim.Config
+
+// SimResult is a simulated training run's outcome.
+type SimResult = sim.Result
+
+// Job is a simulator workload description.
+type Job = sim.Job
+
+// Systems returns the six Table III systems.
+func Systems() []*System { return hw.AllSystems() }
+
+// SystemByName resolves "t640", "c4140k", "dss8440", "p100", ...
+func SystemByName(name string) (*System, error) { return hw.SystemByName(name) }
+
+// Benchmarks returns all thirteen benchmarks across the three suites.
+func Benchmarks() []Benchmark { return workload.All() }
+
+// MLPerfBenchmarks returns the seven MLPerf GPU submissions.
+func MLPerfBenchmarks() []Benchmark { return workload.MLPerfSuite() }
+
+// BenchmarkByName resolves an abbreviation such as "MLPf_Res50_TF" (or the
+// short form "res50_tf").
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// Simulate runs one benchmark on a system with the given GPU count.
+func Simulate(system *System, gpus int, b Benchmark) (*SimResult, error) {
+	return sim.Run(sim.Config{System: system, GPUCount: gpus, Job: b.Job})
+}
+
+// SimulateJob runs a custom job (advanced use: modified batch, precision,
+// or calibration).
+func SimulateJob(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// ---- Experiments (one per paper table/figure) ----
+
+// Table2 renders the benchmark inventory.
+func Table2() string { return experiments.Table2() }
+
+// Table3 renders the system inventory.
+func Table3() string { return experiments.Table3() }
+
+// ScalingRow is one simulated Table IV row.
+type ScalingRow = experiments.ScalingRow
+
+// Table4 runs the scaling study (Table IV).
+func Table4() ([]ScalingRow, error) { return experiments.Table4() }
+
+// UsageRow is one simulated Table V row.
+type UsageRow = experiments.UsageRow
+
+// Table5 runs the resource-usage study (Table V).
+func Table5() ([]UsageRow, error) { return experiments.Table5() }
+
+// PCAResult is the Figure 1 workload-space analysis.
+type PCAResult = experiments.PCAResult
+
+// Fig1 runs the PCA similarity analysis (Figure 1).
+func Fig1() (*PCAResult, error) { return experiments.Fig1() }
+
+// RooflineResult is the Figure 2 analysis.
+type RooflineResult = experiments.RooflineResult
+
+// Fig2 places every benchmark on the V100 roofline (Figure 2).
+func Fig2() (*RooflineResult, error) { return experiments.Fig2() }
+
+// MixedPrecisionRow is one Figure 3 bar.
+type MixedPrecisionRow = experiments.MixedPrecisionRow
+
+// Fig3 runs the mixed-precision study (Figure 3).
+func Fig3() ([]MixedPrecisionRow, error) { return experiments.Fig3() }
+
+// SchedulingResult compares naive and optimal plans (Figure 4).
+type SchedulingResult = experiments.SchedulingResult
+
+// Fig4 runs the scheduling study on n GPUs (Figure 4).
+func Fig4(gpus int) (*SchedulingResult, error) { return experiments.Fig4(gpus) }
+
+// TopologyRow is one Figure 5 comparison row.
+type TopologyRow = experiments.TopologyRow
+
+// Fig5 runs the interconnect-topology study (Figure 5).
+func Fig5() ([]TopologyRow, error) { return experiments.Fig5() }
+
+// ---- Roofline ----
+
+// Roofline is a bandwidth/compute envelope model.
+type Roofline = roofline.Model
+
+// V100Roofline returns the empirical V100 roofline of Figure 2.
+func V100Roofline() *Roofline {
+	g := hw.TeslaV100SXM2
+	return roofline.ForGPU(&g)
+}
+
+// MeasureHostRoofline micro-benchmarks the current machine (a real GEMM
+// and a real streaming triad) and returns its empirical roofline.
+func MeasureHostRoofline() *Roofline { return roofline.MeasureHost() }
+
+// ---- Scheduling ----
+
+// SchedJob is a moldable training job for the scheduler.
+type SchedJob = sched.Job
+
+// Schedule is a placement plan with its makespan.
+type Schedule = sched.Schedule
+
+// ScheduleNaive runs every job on all GPUs sequentially (Figure 4a).
+func ScheduleNaive(jobs []SchedJob, gpus int) (Schedule, error) { return sched.Naive(jobs, gpus) }
+
+// ScheduleOptimal searches allocations and placements for the minimal
+// makespan (Figure 4b).
+func ScheduleOptimal(jobs []SchedJob, gpus int) (Schedule, error) { return sched.Optimal(jobs, gpus) }
+
+// RenderGantt draws a schedule as text.
+func RenderGantt(s Schedule, gpus, width int) string { return sched.Gantt(s, gpus, width) }
+
+// ---- Real training (time-to-quality for real) ----
+
+// NCFConfig configures the runnable NCF recommender.
+type NCFConfig = train.Config
+
+// NCFModel is the runnable NeuMF recommender.
+type NCFModel = train.NCF
+
+// NCFRunResult reports a real training run.
+type NCFRunResult = train.RunResult
+
+// Rating is one implicit-feedback interaction.
+type Rating = dataset.Rating
+
+// RatingSplit is a leave-one-out train/test split.
+type RatingSplit = dataset.Split
+
+// DefaultNCFConfig returns a fast-converging small configuration.
+func DefaultNCFConfig(users, items int) NCFConfig { return train.DefaultConfig(users, items) }
+
+// NewNCF builds a runnable NCF model.
+func NewNCF(cfg NCFConfig) (*NCFModel, error) { return train.NewNCF(cfg) }
+
+// TrainNCFToTarget trains until hit-rate@10 reaches target, for real.
+func TrainNCFToTarget(m *NCFModel, sp RatingSplit, target float64, maxEpochs int) (*NCFRunResult, error) {
+	return train.TrainToTarget(m, sp, target, maxEpochs)
+}
+
+// TopKRecommendations returns the model's k best unseen items for a user.
+func TopKRecommendations(m *NCFModel, user int32, k int, exclude map[int32]bool) []int32 {
+	return train.TopK(m, user, k, exclude)
+}
+
+// Classifier is the runnable MLP image classifier (DAWNBench's
+// time-to-accuracy protocol, executed for real).
+type Classifier = train.Classifier
+
+// ClassifierResult reports a real time-to-accuracy run.
+type ClassifierResult = train.ClassifierResult
+
+// NewClassifier builds an MLP classifier.
+func NewClassifier(rng *rand.Rand, inputDim int, hidden []int, classes int, lr, momentum float64) (*Classifier, error) {
+	return train.NewClassifier(rng, inputDim, hidden, classes, lr, momentum)
+}
+
+// TrainClassifierToAccuracy trains until test accuracy clears the target.
+func TrainClassifierToAccuracy(c *Classifier, trainX [][]float64, trainY []int,
+	testX [][]float64, testY []int, target float64, maxEpochs int, seed int64) (*ClassifierResult, error) {
+	return train.TrainClassifierToAccuracy(c, trainX, trainY, testX, testY, target, maxEpochs, seed)
+}
+
+// SyntheticImages generates the learnable CIFAR-like task the classifier
+// trains on.
+func SyntheticImages(rng *rand.Rand, classes, perClass, dim int, noise float64) ([][]float64, []int) {
+	return dataset.SyntheticImages(rng, classes, perClass, dim, noise)
+}
+
+// ---- MiniGo (the RL benchmark the paper excludes, executed for real) ----
+
+// GoBoard is a real Go board with capture, suicide and superko rules.
+type GoBoard = minigo.Board
+
+// GoMCTS is a Monte-Carlo tree searcher over Go positions.
+type GoMCTS = minigo.MCTS
+
+// MiniGoResult reports a real self-play training run.
+type MiniGoResult = minigo.RunResult
+
+// NewGoBoard creates an empty board (sizes 2-19).
+func NewGoBoard(size int) *GoBoard { return minigo.NewBoard(size) }
+
+// NewGoMCTS builds a searcher with the given playout budget.
+func NewGoMCTS(playouts int, komi float64, seed int64) *GoMCTS {
+	return minigo.NewMCTS(playouts, komi, seed)
+}
+
+// TrainMiniGoToWinRate runs the reinforcement-learning loop for real at
+// reduced scale: MCTS self-play generates games, a policy net clones the
+// searched moves, and training stops when the policy beats a random
+// player at the target rate.
+func TrainMiniGoToWinRate(size, games, playouts int, target float64, maxGenerations int, seed int64) (*MiniGoResult, error) {
+	return minigo.TrainToWinRate(size, games, playouts, target, maxGenerations, seed)
+}
+
+// ExtensionBenchmarks returns benchmarks beyond the paper's study set
+// (currently the simulated MiniGo RL entry; see workload.Extensions).
+func ExtensionBenchmarks() []Benchmark { return workload.Extensions() }
