@@ -273,6 +273,37 @@ func BenchmarkNCFTrainingEpoch(b *testing.B) {
 	b.ReportMetric(float64(len(sp.Train)*5), "examples/epoch")
 }
 
+// BenchmarkSweepSequential is the single-goroutine baseline for the
+// Table IV-sized grid (6 benchmarks x DSS 8440 x 1/2/4/8 GPUs).
+func BenchmarkSweepSequential(b *testing.B) {
+	g := tableIVSweepGrid()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepSequential(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same grid on the worker pool. A fresh
+// engine each iteration keeps the cache cold so the ratio to
+// BenchmarkSweepSequential is the pool's speedup (CI records both).
+func BenchmarkSweepParallel(b *testing.B) {
+	g := tableIVSweepGrid()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSweepEngine(0).Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func tableIVSweepGrid() SweepGrid {
+	return SweepGrid{
+		Benchmarks: []string{"res50_tf", "res50_mx", "ssd_py", "mrcnn_py", "xfmr_py", "ncf_py"},
+		Systems:    []string{"dss8440"},
+		GPUCounts:  []int{1, 2, 4, 8},
+	}
+}
+
 // BenchmarkSimulateStep measures the simulator itself.
 func BenchmarkSimulateStep(b *testing.B) {
 	sys, err := SystemByName("dss8440")

@@ -3,19 +3,28 @@
 //
 //	mlperf-ablate            all ablations
 //	mlperf-ablate collective | overlap | batch | eligibility | ring | lanes
+//	mlperf-ablate -workers 4 overlap
+//
+// The sweeps inside each ablation fan out on the sweep engine's worker
+// pool; -workers bounds it (0 = GOMAXPROCS).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"mlperf/internal/experiments"
+	"mlperf/internal/sweep"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+	sweep.Default.SetWorkers(*workers)
 	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
 	}
 	if err := run(which); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-ablate:", err)

@@ -4,7 +4,13 @@
 //	mlperf-sim table2|table3|table4|table5|fig1|fig2|fig3|fig5
 //	mlperf-sim fig4 [-gpus N]
 //	mlperf-sim run -bench MLPf_Res50_TF -system dss8440 -gpus 4
-//	mlperf-sim all
+//	mlperf-sim [-workers N] all
+//
+// Grid-shaped experiments (table4, table5, fig3, fig4, fig5, whatif,
+// export, all) run their simulation cells concurrently on the shared
+// sweep engine; -workers bounds that pool (0 = GOMAXPROCS). Repeated
+// cells across experiments are simulated once and recalled from the
+// engine's cache.
 package main
 
 import (
@@ -15,11 +21,16 @@ import (
 	"mlperf/internal/experiments"
 	"mlperf/internal/hw"
 	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
 	"mlperf/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	workers := flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
+	flag.Usage = func() { usage() }
+	flag.Parse()
+	sweep.Default.SetWorkers(*workers)
+	if err := run(flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sim:", err)
 		os.Exit(1)
 	}
@@ -171,7 +182,7 @@ func runOne(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mlperf-sim <subcommand>
+	fmt.Fprintln(os.Stderr, `usage: mlperf-sim [-workers N] <subcommand>
   table2             benchmark inventory (Table II)
   table3             system inventory (Table III)
   table4             scaling study (Table IV)

@@ -4,6 +4,11 @@
 //
 //	mlperf-sweep -bench res50_tf,ncf_py -system dss8440,dgx1 -gpus 1,2,4,8
 //	mlperf-sweep -bench res50_tf -gpus 8 -precision fp32,mixed -out amp.csv
+//	mlperf-sweep -workers 4 -bench res50_tf -gpus 1,2,4,8
+//
+// Cells run concurrently on the sweep engine's worker pool (-workers,
+// default GOMAXPROCS); -seq forces the sequential reference path. Output
+// order and values are identical either way.
 package main
 
 import (
@@ -23,15 +28,18 @@ func main() {
 	batch := flag.String("batch", "", "comma-separated per-GPU batches (default: calibrated)")
 	prec := flag.String("precision", "", "comma-separated precisions: fp32,mixed")
 	out := flag.String("out", "", "CSV output path (default: stdout)")
+	workers := flag.Int("workers", 0, "max concurrent cells (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run cells sequentially without the cache (reference path)")
 	flag.Parse()
 
-	if err := run(*bench, *system, *gpus, *batch, *prec, *out); err != nil {
+	sweep.Default.SetWorkers(*workers)
+	if err := run(*bench, *system, *gpus, *batch, *prec, *out, *seq); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, system, gpus, batch, prec, out string) error {
+func run(bench, system, gpus, batch, prec, out string, seq bool) error {
 	g := sweep.Grid{
 		Benchmarks: splitList(bench),
 		Systems:    splitList(system),
@@ -45,7 +53,11 @@ func run(bench, system, gpus, batch, prec, out string) error {
 		return err
 	}
 
-	recs, err := sweep.Run(g)
+	runGrid := sweep.Run
+	if seq {
+		runGrid = sweep.RunSequential
+	}
+	recs, err := runGrid(g)
 	if err != nil {
 		return err
 	}

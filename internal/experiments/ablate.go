@@ -5,9 +5,9 @@ import (
 
 	"mlperf/internal/comm"
 	"mlperf/internal/hw"
-	"mlperf/internal/precision"
 	"mlperf/internal/report"
 	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
 	"mlperf/internal/units"
 	"mlperf/internal/workload"
 )
@@ -15,6 +15,14 @@ import (
 // This file holds the ablation studies DESIGN.md calls out: each isolates
 // one modeling or system-design choice and quantifies its effect, the way
 // the paper's observations would be stress-tested before being trusted.
+//
+// The sweeps here mutate Job fields the cell key cannot express
+// (OverlapComm, EligibleFrac, GreedyHBM, rebuilt topologies), so they
+// call sim.Run directly — but fan the points out on sweep.Map, the same
+// ordered worker pool the engine uses.
+
+// ablateWorkers is the concurrency the ablation sweeps fan out with.
+func ablateWorkers() int { return sweep.Default.WorkerCount() }
 
 // CollectiveAblation compares all-reduce algorithms across payload sizes.
 type CollectiveAblation struct {
@@ -30,10 +38,10 @@ type CollectiveAblation struct {
 func AblateCollectives() ([]CollectiveAblation, error) {
 	s := hw.DSS8440()
 	gpus := s.Topo.GPUs()
-	var out []CollectiveAblation
-	for _, mb := range []float64{1, 10, 100, 1000} {
-		payload := units.Bytes(mb * 1e6)
-		row := CollectiveAblation{PayloadMB: mb}
+	payloads := []float64{1, 10, 100, 1000}
+	return sweep.Map(ablateWorkers(), len(payloads), func(i int) (CollectiveAblation, error) {
+		payload := units.Bytes(payloads[i] * 1e6)
+		row := CollectiveAblation{PayloadMB: payloads[i]}
 		for _, alg := range []struct {
 			dst *float64
 			fn  func(*hw.Topology, []string, units.Bytes) (comm.Result, error)
@@ -45,13 +53,12 @@ func AblateCollectives() ([]CollectiveAblation, error) {
 		} {
 			res, err := alg.fn(s.Topo, gpus, payload)
 			if err != nil {
-				return nil, err
+				return CollectiveAblation{}, err
 			}
 			*alg.dst = res.Time
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // RenderCollectiveAblation renders the algorithm comparison.
@@ -82,22 +89,21 @@ func AblateOverlap() ([]OverlapAblation, error) {
 		return nil, err
 	}
 	sys := hw.DSS8440()
-	var out []OverlapAblation
-	for _, ov := range []float64{0, 0.25, 0.5, 0.75, 1} {
+	ovs := []float64{0, 0.25, 0.5, 0.75, 1}
+	return sweep.Map(ablateWorkers(), len(ovs), func(i int) (OverlapAblation, error) {
 		job := b.Job
-		job.OverlapComm = ov
+		job.OverlapComm = ovs[i]
 		res, err := sim.Run(sim.Config{System: sys, GPUCount: 4, Job: job})
 		if err != nil {
-			return nil, err
+			return OverlapAblation{}, err
 		}
-		out = append(out, OverlapAblation{
-			Overlap:    ov,
+		return OverlapAblation{
+			Overlap:    ovs[i],
 			TimeToMin:  res.TimeToTrain.Minutes(),
 			ExposedMS:  res.ExposedComm * 1e3,
 			GPUUtilPct: float64(res.GPUUtilTotal),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderOverlapAblation renders the sweep.
@@ -129,24 +135,23 @@ func AblateBatch() ([]BatchAblation, error) {
 		return nil, err
 	}
 	sys := hw.DSS8440()
-	var out []BatchAblation
-	for _, batch := range []int{16, 32, 64, 128, 256, 512} {
+	batches := []int{16, 32, 64, 128, 256, 512}
+	return sweep.Map(ablateWorkers(), len(batches), func(i int) (BatchAblation, error) {
 		job := b.Job
-		job.BatchPerGPU = batch
+		job.BatchPerGPU = batches[i]
 		job.GreedyHBM = false // show the true memory-vs-batch scaling
 		res, err := sim.Run(sim.Config{System: sys, GPUCount: 1, Job: job})
 		if err != nil {
-			return nil, err
+			return BatchAblation{}, err
 		}
-		out = append(out, BatchAblation{
-			Batch:       batch,
+		return BatchAblation{
+			Batch:       batches[i],
 			Throughput:  res.Throughput,
 			HBMGB:       res.HBMBytes.GB(),
 			StepMS:      res.StepTime * 1e3,
 			InputBoundP: res.Input > res.Compute,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderBatchAblation renders the sweep.
@@ -175,26 +180,26 @@ func AblateEligibility() ([]EligibilityAblation, error) {
 		return nil, err
 	}
 	sys := hw.DSS8440()
-	fp32 := b.Job
-	fp32.Precision.Policy = precision.FP32
-	base, err := sim.Run(sim.Config{System: sys, GPUCount: 8, Job: fp32})
+	// The FP32 baseline is a plain grid cell (the same one Figure 3 runs),
+	// so it comes from the shared engine cache.
+	base, err := sweep.Default.Cell(sweep.CellKey{
+		Benchmark: b.Abbrev, System: sys.Name, GPUs: 8, Precision: "fp32"})
 	if err != nil {
 		return nil, err
 	}
-	var out []EligibilityAblation
-	for _, elig := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+	eligs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	return sweep.Map(ablateWorkers(), len(eligs), func(i int) (EligibilityAblation, error) {
 		job := b.Job
-		job.Precision.EligibleFrac = elig
+		job.Precision.EligibleFrac = eligs[i]
 		res, err := sim.Run(sim.Config{System: sys, GPUCount: 8, Job: job})
 		if err != nil {
-			return nil, err
+			return EligibilityAblation{}, err
 		}
-		out = append(out, EligibilityAblation{
-			EligibleFrac: elig,
-			Speedup:      base.TimeToTrain.Seconds() / res.TimeToTrain.Seconds(),
-		})
-	}
-	return out, nil
+		return EligibilityAblation{
+			EligibleFrac: eligs[i],
+			Speedup:      base.TimeToTrainMin / res.TimeToTrain.Minutes(),
+		}, nil
+	})
 }
 
 // RenderEligibilityAblation renders the sweep.
@@ -262,21 +267,20 @@ func AblateLanes() ([]LaneAblation, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []LaneAblation
-	for _, lanes := range []int{16, 8, 4} {
-		sys := t640WithLanes(lanes)
+	laneOpts := []int{16, 8, 4}
+	return sweep.Map(ablateWorkers(), len(laneOpts), func(i int) (LaneAblation, error) {
+		sys := t640WithLanes(laneOpts[i])
 		res, err := sim.Run(sim.Config{System: sys, GPUCount: 4, Job: b.Job})
 		if err != nil {
-			return nil, err
+			return LaneAblation{}, err
 		}
-		out = append(out, LaneAblation{
-			Lanes:     lanes,
+		return LaneAblation{
+			Lanes:     laneOpts[i],
 			H2DMs:     res.H2D * 1e3,
 			StepMs:    res.StepTime * 1e3,
 			TimeToMin: res.TimeToTrain.Minutes(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // t640WithLanes builds a T640 variant whose GPUs attach with the given

@@ -4,12 +4,78 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 
 	"mlperf/internal/workload"
 )
+
+// WriteTable4CSV emits the Table IV rows (simulated and paper columns) as
+// CSV — the format of testdata/golden/table4_scaling.csv.
+func WriteTable4CSV(out io.Writer, rows []ScalingRow) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"benchmark", "p100_min", "v100_min", "p_to_v",
+		"speedup_2", "speedup_4", "speedup_8",
+		"paper_p100_min", "paper_v100_min", "paper_p_to_v",
+		"paper_speedup_2", "paper_speedup_4", "paper_speedup_8"}); err != nil {
+		return err
+	}
+	paper := map[string]workload.PaperScaling{}
+	for _, p := range workload.TableIV {
+		paper[p.Bench] = p
+	}
+	for _, r := range rows {
+		p := paper[r.Bench]
+		if err := w.Write([]string{r.Bench,
+			ff(r.P100Min), ff(r.V100Min), ff(r.PtoV), ff(r.S2), ff(r.S4), ff(r.S8),
+			ff(p.P100Min), ff(p.V100Min), ff(p.PtoV), ff(p.S2), ff(p.S4), ff(p.S8),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteTable5CSV emits the Table V rows as CSV — the format of
+// testdata/golden/table5_usage.csv.
+func WriteTable5CSV(out io.Writer, rows []UsageRow) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"benchmark", "gpus", "cpu_pct", "gpu_pct",
+		"dram_mb", "hbm_mb", "pcie_mbps", "nvlink_mbps"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{r.Bench, strconv.Itoa(r.GPUs),
+			ff(r.CPUPct), ff(r.GPUPct), ff(r.DRAMMB), ff(r.HBMMB),
+			ff(r.PCIeMbps), ff(r.NVLinkMbps)}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteFig5CSV emits the Figure 5 rows as CSV — the format of
+// testdata/golden/fig5_topology.csv.
+func WriteFig5CSV(out io.Writer, rows []TopologyRow) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"benchmark", "system", "minutes", "nvlink_gain"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, sys := range TopologySystems() {
+			if err := w.Write([]string{r.Bench, sys.Name,
+				ff(r.Minutes[sys.Name]), ff(r.NVLinkGain)}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
 
 // ExportAll runs every experiment and writes machine-readable results
 // (CSV per table/figure plus a summary JSON) into dir — the artifact a
@@ -23,27 +89,9 @@ func ExportAll(dir string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeCSV(filepath.Join(dir, "table4_scaling.csv"),
-		[]string{"benchmark", "p100_min", "v100_min", "p_to_v",
-			"speedup_2", "speedup_4", "speedup_8",
-			"paper_p100_min", "paper_v100_min", "paper_p_to_v",
-			"paper_speedup_2", "paper_speedup_4", "paper_speedup_8"},
-		func(w *csv.Writer) error {
-			paper := map[string]workload.PaperScaling{}
-			for _, p := range workload.TableIV {
-				paper[p.Bench] = p
-			}
-			for _, r := range t4 {
-				p := paper[r.Bench]
-				if err := w.Write([]string{r.Bench,
-					ff(r.P100Min), ff(r.V100Min), ff(r.PtoV), ff(r.S2), ff(r.S4), ff(r.S8),
-					ff(p.P100Min), ff(p.V100Min), ff(p.PtoV), ff(p.S2), ff(p.S4), ff(p.S8),
-				}); err != nil {
-					return err
-				}
-			}
-			return nil
-		}); err != nil {
+	if err := writeFile(filepath.Join(dir, "table4_scaling.csv"), func(w io.Writer) error {
+		return WriteTable4CSV(w, t4)
+	}); err != nil {
 		return err
 	}
 
@@ -51,18 +99,9 @@ func ExportAll(dir string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeCSV(filepath.Join(dir, "table5_usage.csv"),
-		[]string{"benchmark", "gpus", "cpu_pct", "gpu_pct", "dram_mb", "hbm_mb", "pcie_mbps", "nvlink_mbps"},
-		func(w *csv.Writer) error {
-			for _, r := range t5 {
-				if err := w.Write([]string{r.Bench, strconv.Itoa(r.GPUs),
-					ff(r.CPUPct), ff(r.GPUPct), ff(r.DRAMMB), ff(r.HBMMB),
-					ff(r.PCIeMbps), ff(r.NVLinkMbps)}); err != nil {
-					return err
-				}
-			}
-			return nil
-		}); err != nil {
+	if err := writeFile(filepath.Join(dir, "table5_usage.csv"), func(w io.Writer) error {
+		return WriteTable5CSV(w, t5)
+	}); err != nil {
 		return err
 	}
 
@@ -129,19 +168,9 @@ func ExportAll(dir string) error {
 	if err != nil {
 		return err
 	}
-	if err := writeCSV(filepath.Join(dir, "fig5_topology.csv"),
-		[]string{"benchmark", "system", "minutes", "nvlink_gain"},
-		func(w *csv.Writer) error {
-			for _, r := range f5 {
-				for _, sys := range TopologySystems() {
-					if err := w.Write([]string{r.Bench, sys.Name,
-						ff(r.Minutes[sys.Name]), ff(r.NVLinkGain)}); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
-		}); err != nil {
+	if err := writeFile(filepath.Join(dir, "fig5_topology.csv"), func(w io.Writer) error {
+		return WriteFig5CSV(w, f5)
+	}); err != nil {
 		return err
 	}
 
@@ -182,20 +211,26 @@ func ExportAll(dir string) error {
 }
 
 func writeCSV(path string, header []string, body func(*csv.Writer) error) error {
+	return writeFile(path, func(out io.Writer) error {
+		w := csv.NewWriter(out)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := body(w); err != nil {
+			return err
+		}
+		w.Flush()
+		return w.Error()
+	})
+}
+
+func writeFile(path string, body func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	w := csv.NewWriter(f)
-	if err := w.Write(header); err != nil {
-		return err
-	}
-	if err := body(w); err != nil {
-		return err
-	}
-	w.Flush()
-	if err := w.Error(); err != nil {
+	if err := body(f); err != nil {
 		return err
 	}
 	return f.Close()

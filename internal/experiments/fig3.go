@@ -3,10 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"mlperf/internal/hw"
-	"mlperf/internal/precision"
 	"mlperf/internal/report"
-	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
 	"mlperf/internal/workload"
 )
 
@@ -21,28 +19,28 @@ type MixedPrecisionRow struct {
 }
 
 // Fig3 runs the mixed-precision study: every MLPerf benchmark on the
-// DSS 8440 with all 8 GPUs, once in pure FP32 and once with AMP.
+// DSS 8440 with all 8 GPUs, once in pure FP32 and once with the
+// calibrated AMP policy. The AMP cells are the same keys Table IV's 8-GPU
+// column uses, so a combined run simulates them once.
 func Fig3() ([]MixedPrecisionRow, error) {
-	sys := hw.DSS8440()
-	var rows []MixedPrecisionRow
+	var keys []sweep.CellKey
 	for _, b := range workload.MLPerfSuite() {
-		amp := b.Job
-		fp32 := b.Job
-		fp32.Precision.Policy = precision.FP32
-
-		ra, err := sim.Run(sim.Config{System: sys, GPUCount: 8, Job: amp})
-		if err != nil {
-			return nil, fmt.Errorf("fig3: %s amp: %w", b.Abbrev, err)
-		}
-		rf, err := sim.Run(sim.Config{System: sys, GPUCount: 8, Job: fp32})
-		if err != nil {
-			return nil, fmt.Errorf("fig3: %s fp32: %w", b.Abbrev, err)
-		}
+		keys = append(keys,
+			sweep.CellKey{Benchmark: b.Abbrev, System: "DSS 8440", GPUs: 8},
+			sweep.CellKey{Benchmark: b.Abbrev, System: "DSS 8440", GPUs: 8, Precision: "fp32"})
+	}
+	recs, err := runCells(keys)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	var rows []MixedPrecisionRow
+	for i := 0; i < len(recs); i += 2 {
+		amp, fp32 := recs[i], recs[i+1]
 		rows = append(rows, MixedPrecisionRow{
-			Bench:   b.Abbrev,
-			FP32Min: rf.TimeToTrain.Minutes(),
-			AMPMin:  ra.TimeToTrain.Minutes(),
-			Speedup: rf.TimeToTrain.Seconds() / ra.TimeToTrain.Seconds(),
+			Bench:   amp.Benchmark,
+			FP32Min: fp32.TimeToTrainMin,
+			AMPMin:  amp.TimeToTrainMin,
+			Speedup: fp32.TimeToTrainMin / amp.TimeToTrainMin,
 		})
 	}
 	return rows, nil

@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"mlperf/internal/hw"
 	"mlperf/internal/sched"
-	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
 	"mlperf/internal/workload"
 )
 
@@ -22,23 +21,33 @@ type SchedulingResult struct {
 
 // schedulingJobs simulates every MLPerf benchmark at widths 1/2/4/8 on the
 // DSS 8440 to build the moldable-job durations the scheduler searches
-// over.
+// over. These are Table IV's DSS 8440 cells, recalled from the engine's
+// cache when both run in one process.
 func schedulingJobs(maxWidth int) ([]sched.Job, error) {
-	sys := hw.DSS8440()
-	var jobs []sched.Job
-	for _, b := range workload.MLPerfSuite() {
-		j := sched.Job{Name: b.Abbrev, Duration: map[int]float64{}}
-		for _, w := range []int{1, 2, 4, 8} {
-			if w > maxWidth {
-				break
-			}
-			res, err := sim.Run(sim.Config{System: sys, GPUCount: w, Job: b.Job})
-			if err != nil {
-				return nil, fmt.Errorf("fig4: %s @%d: %w", b.Abbrev, w, err)
-			}
-			j.Duration[w] = res.TimeToTrain.Seconds()
+	var keys []sweep.CellKey
+	var widths []int
+	for _, w := range []int{1, 2, 4, 8} {
+		if w <= maxWidth {
+			widths = append(widths, w)
 		}
-		jobs = append(jobs, j)
+	}
+	benches := workload.MLPerfSuite()
+	for _, b := range benches {
+		for _, w := range widths {
+			keys = append(keys, sweep.CellKey{Benchmark: b.Abbrev, System: "DSS 8440", GPUs: w})
+		}
+	}
+	recs, err := runCells(keys)
+	if err != nil {
+		return nil, fmt.Errorf("fig4: %w", err)
+	}
+	jobs := make([]sched.Job, len(benches))
+	for i := range benches {
+		j := sched.Job{Name: recs[i*len(widths)].Benchmark, Duration: map[int]float64{}}
+		for k, w := range widths {
+			j.Duration[w] = recs[i*len(widths)+k].TimeToTrainMin * 60
+		}
+		jobs[i] = j
 	}
 	return jobs, nil
 }

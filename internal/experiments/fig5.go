@@ -5,7 +5,7 @@ import (
 
 	"mlperf/internal/hw"
 	"mlperf/internal/report"
-	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
 	"mlperf/internal/workload"
 )
 
@@ -29,15 +29,22 @@ type TopologyRow struct {
 // Fig5 runs every MLPerf benchmark on all five 4-GPU topologies.
 func Fig5() ([]TopologyRow, error) {
 	systems := TopologySystems()
-	var rows []TopologyRow
-	for _, b := range workload.MLPerfSuite() {
-		row := TopologyRow{Bench: b.Abbrev, Minutes: map[string]float64{}}
+	benches := workload.MLPerfSuite()
+	var keys []sweep.CellKey
+	for _, b := range benches {
 		for _, sys := range systems {
-			res, err := sim.Run(sim.Config{System: sys, GPUCount: 4, Job: b.Job})
-			if err != nil {
-				return nil, fmt.Errorf("fig5: %s on %s: %w", b.Abbrev, sys.Name, err)
-			}
-			row.Minutes[sys.Name] = res.TimeToTrain.Minutes()
+			keys = append(keys, sweep.CellKey{Benchmark: b.Abbrev, System: sys.Name, GPUs: 4})
+		}
+	}
+	recs, err := runCells(keys)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	var rows []TopologyRow
+	for i := range benches {
+		row := TopologyRow{Bench: recs[i*len(systems)].Benchmark, Minutes: map[string]float64{}}
+		for j, sys := range systems {
+			row.Minutes[sys.Name] = recs[i*len(systems)+j].TimeToTrainMin
 		}
 		best, worst := "", ""
 		for name, m := range row.Minutes {

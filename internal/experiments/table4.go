@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"mlperf/internal/hw"
 	"mlperf/internal/report"
-	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
 	"mlperf/internal/workload"
 )
 
@@ -28,37 +27,33 @@ var Table4Benches = []string{
 }
 
 // Table4 runs the scalability study: reference code on the P100 machine,
-// optimized submissions on the DSS 8440 at 1/2/4/8 GPUs.
+// optimized submissions on the DSS 8440 at 1/2/4/8 GPUs. All 30 cells go
+// through the sweep engine in one batch — five cells per benchmark, in a
+// fixed order the row assembly below indexes into.
 func Table4() ([]ScalingRow, error) {
-	dss := hw.DSS8440()
-	p100 := hw.ReferenceP100()
-	rows := make([]ScalingRow, 0, len(Table4Benches))
+	var keys []sweep.CellKey
 	for _, name := range Table4Benches {
-		b, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
+		keys = append(keys, sweep.CellKey{Benchmark: name, Ref: true, System: "Reference (P100)", GPUs: 1})
+		for _, g := range []int{1, 2, 4, 8} {
+			keys = append(keys, sweep.CellKey{Benchmark: name, System: "DSS 8440", GPUs: g})
 		}
-		row := ScalingRow{Bench: b.Abbrev}
-
-		ref, err := sim.Run(sim.Config{System: p100, GPUCount: 1, Job: b.RefJob})
-		if err != nil {
-			return nil, fmt.Errorf("table4: %s reference: %w", name, err)
+	}
+	recs, err := runCells(keys)
+	if err != nil {
+		return nil, fmt.Errorf("table4: %w", err)
+	}
+	rows := make([]ScalingRow, 0, len(Table4Benches))
+	for i := range Table4Benches {
+		cells := recs[i*5 : i*5+5] // [refP100, dss@1, dss@2, dss@4, dss@8]
+		row := ScalingRow{
+			Bench:   cells[0].Benchmark,
+			P100Min: cells[0].TimeToTrainMin,
+			V100Min: cells[1].TimeToTrainMin,
 		}
-		row.P100Min = ref.TimeToTrain.Minutes()
-
-		var v100 [4]float64
-		for i, g := range []int{1, 2, 4, 8} {
-			res, err := sim.Run(sim.Config{System: dss, GPUCount: g, Job: b.Job})
-			if err != nil {
-				return nil, fmt.Errorf("table4: %s @%d GPUs: %w", name, g, err)
-			}
-			v100[i] = res.TimeToTrain.Minutes()
-		}
-		row.V100Min = v100[0]
 		row.PtoV = row.P100Min / row.V100Min
-		row.S2 = v100[0] / v100[1]
-		row.S4 = v100[0] / v100[2]
-		row.S8 = v100[0] / v100[3]
+		row.S2 = cells[1].TimeToTrainMin / cells[2].TimeToTrainMin
+		row.S4 = cells[1].TimeToTrainMin / cells[3].TimeToTrainMin
+		row.S8 = cells[1].TimeToTrainMin / cells[4].TimeToTrainMin
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"mlperf/internal/hw"
 	"mlperf/internal/report"
-	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
 	"mlperf/internal/workload"
 )
 
@@ -25,28 +24,31 @@ type UsageRow struct {
 // counts exactly like the paper: 1/2/4 for the MLPerf benchmarks and
 // Deep_Red, single-GPU for the rest.
 func Table5() ([]UsageRow, error) {
-	sys := hw.C4140K()
-	var rows []UsageRow
+	var keys []sweep.CellKey
 	for _, b := range workload.All() {
 		counts := []int{1}
 		if b.Suite == workload.MLPerf || b.Abbrev == "Deep_Red_Cu" {
 			counts = []int{1, 2, 4}
 		}
 		for _, g := range counts {
-			res, err := sim.Run(sim.Config{System: sys, GPUCount: g, Job: b.Job})
-			if err != nil {
-				return nil, fmt.Errorf("table5: %s @%d: %w", b.Abbrev, g, err)
-			}
-			rows = append(rows, UsageRow{
-				Bench:      b.Abbrev,
-				GPUs:       g,
-				CPUPct:     float64(res.CPUUtil),
-				GPUPct:     float64(res.GPUUtilTotal),
-				DRAMMB:     res.DRAMBytes.MB(),
-				HBMMB:      res.HBMBytes.MB(),
-				PCIeMbps:   res.PCIeRate.Mbps(),
-				NVLinkMbps: res.NVLinkRate.Mbps(),
-			})
+			keys = append(keys, sweep.CellKey{Benchmark: b.Abbrev, System: "C4140 (K)", GPUs: g})
+		}
+	}
+	recs, err := runCells(keys)
+	if err != nil {
+		return nil, fmt.Errorf("table5: %w", err)
+	}
+	rows := make([]UsageRow, len(recs))
+	for i, r := range recs {
+		rows[i] = UsageRow{
+			Bench:      r.Benchmark,
+			GPUs:       r.GPUs,
+			CPUPct:     r.CPUPct,
+			GPUPct:     r.GPUPct,
+			DRAMMB:     r.DRAMMB,
+			HBMMB:      r.HBMMB,
+			PCIeMbps:   r.PCIeMbps,
+			NVLinkMbps: r.NVLinkMbps,
 		}
 	}
 	return rows, nil

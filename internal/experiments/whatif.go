@@ -3,10 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"mlperf/internal/hw"
 	"mlperf/internal/report"
-	"mlperf/internal/sim"
-	"mlperf/internal/workload"
+	"mlperf/internal/sweep"
 )
 
 // WhatIfRow compares 8-GPU training across interconnect generations for
@@ -25,37 +23,31 @@ type WhatIfRow struct {
 }
 
 // WhatIfNVLinkAt8 runs every Table IV benchmark at 1 and 8 GPUs on both
-// machines.
+// machines. The DSS 8440 cells alias Table IV's, so a combined run only
+// adds the DGX-1 column.
 func WhatIfNVLinkAt8() ([]WhatIfRow, error) {
-	dss := hw.DSS8440()
-	dgx := hw.DGX1()
-	var rows []WhatIfRow
+	var keys []sweep.CellKey
 	for _, name := range Table4Benches {
-		b, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		row := WhatIfRow{Bench: b.Abbrev}
-		times := map[string][2]float64{}
-		for _, sys := range []*hw.System{dss, dgx} {
-			var t1, t8 float64
+		for _, system := range []string{"DSS 8440", "DGX-1"} {
 			for _, g := range []int{1, 8} {
-				res, err := sim.Run(sim.Config{System: sys, GPUCount: g, Job: b.Job})
-				if err != nil {
-					return nil, fmt.Errorf("whatif: %s on %s: %w", name, sys.Name, err)
-				}
-				if g == 1 {
-					t1 = res.TimeToTrain.Minutes()
-				} else {
-					t8 = res.TimeToTrain.Minutes()
-				}
+				keys = append(keys, sweep.CellKey{Benchmark: name, System: system, GPUs: g})
 			}
-			times[sys.Name] = [2]float64{t1, t8}
 		}
-		row.DSSMin = times[dss.Name][1]
-		row.DGXMin = times[dgx.Name][1]
-		row.Speedup8DSS = times[dss.Name][0] / times[dss.Name][1]
-		row.Speedup8DGX = times[dgx.Name][0] / times[dgx.Name][1]
+	}
+	recs, err := runCells(keys)
+	if err != nil {
+		return nil, fmt.Errorf("whatif: %w", err)
+	}
+	var rows []WhatIfRow
+	for i := range Table4Benches {
+		cells := recs[i*4 : i*4+4] // [dss@1, dss@8, dgx@1, dgx@8]
+		row := WhatIfRow{
+			Bench:       cells[0].Benchmark,
+			DSSMin:      cells[1].TimeToTrainMin,
+			DGXMin:      cells[3].TimeToTrainMin,
+			Speedup8DSS: cells[0].TimeToTrainMin / cells[1].TimeToTrainMin,
+			Speedup8DGX: cells[2].TimeToTrainMin / cells[3].TimeToTrainMin,
+		}
 		if row.DSSMin > 0 {
 			row.Gain = (row.DSSMin - row.DGXMin) / row.DSSMin
 		}

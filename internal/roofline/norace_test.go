@@ -1,0 +1,5 @@
+//go:build !race
+
+package roofline
+
+const raceEnabled = false

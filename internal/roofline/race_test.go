@@ -1,0 +1,8 @@
+//go:build race
+
+package roofline
+
+// raceEnabled reports whether the race detector instruments this build.
+// Host micro-benchmarks measure the instrumented binary and report
+// numbers far below any real machine, so plausibility checks skip.
+const raceEnabled = true

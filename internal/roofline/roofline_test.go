@@ -91,6 +91,9 @@ func TestMeasureHostSane(t *testing.T) {
 	if testing.Short() {
 		t.Skip("host measurement in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation invalidates host micro-benchmarks")
+	}
 	m := MeasureHost()
 	if m.MemBandwidth < 100*units.MBps {
 		t.Errorf("measured host bandwidth %v implausibly low", m.MemBandwidth)

@@ -1,0 +1,52 @@
+package sweep
+
+import "testing"
+
+// tableIVGrid is the Table IV-sized workload the acceptance criterion
+// measures: the six scaling benchmarks across the DSS 8440's 1/2/4/8 GPU
+// configurations.
+func tableIVGrid() Grid {
+	return Grid{
+		Benchmarks: []string{"res50_tf", "res50_mx", "ssd_py", "mrcnn_py", "xfmr_py", "ncf_py"},
+		Systems:    []string{"dss8440"},
+		GPUCounts:  []int{1, 2, 4, 8},
+	}
+}
+
+// BenchmarkSweepSequential is the single-goroutine, uncached baseline.
+func BenchmarkSweepSequential(b *testing.B) {
+	g := tableIVGrid()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSequential(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same grid on the worker pool. A fresh
+// engine per iteration keeps the memo cache cold, so the measured
+// speedup is the pool's, not the cache's.
+func BenchmarkSweepParallel(b *testing.B) {
+	g := tableIVGrid()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEngine(0).Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallelCached measures the steady-state path the
+// experiments actually hit: every cell already memoized.
+func BenchmarkSweepParallelCached(b *testing.B) {
+	g := tableIVGrid()
+	e := NewEngine(0)
+	if _, err := e.Run(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

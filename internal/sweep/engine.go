@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine executes sweep cells on a bounded worker pool and memoizes every
+// result by its full cell configuration. Output order is the grid's
+// deterministic expansion order regardless of worker count, so parallel
+// and sequential runs are byte-identical. An Engine is safe for
+// concurrent use; Default is the process-wide instance the experiments
+// share, which is what deduplicates the cells Table IV, Table V, Figure 4
+// and Figure 5 have in common.
+type Engine struct {
+	workers atomic.Int64
+
+	mu    sync.Mutex
+	cache map[CellKey]*cellEntry
+	hits  int64
+}
+
+// cellEntry memoizes one cell, singleflight-style: the first goroutine to
+// request a key simulates it inside once; everyone else blocks on the
+// same once and reads the settled result.
+type cellEntry struct {
+	once sync.Once
+	rec  Record
+	err  error
+}
+
+// NewEngine returns an engine running at most workers cells concurrently
+// (<= 0 means GOMAXPROCS).
+func NewEngine(workers int) *Engine {
+	e := &Engine{cache: make(map[CellKey]*cellEntry)}
+	e.workers.Store(int64(workers))
+	return e
+}
+
+// Default is the shared process-wide engine behind Run and the
+// experiments package.
+var Default = NewEngine(0)
+
+// SetWorkers changes the concurrency bound (<= 0 restores the GOMAXPROCS
+// default). It applies to subsequent Run calls.
+func (e *Engine) SetWorkers(n int) { e.workers.Store(int64(n)) }
+
+// WorkerCount reports the effective concurrency bound.
+func (e *Engine) WorkerCount() int {
+	if w := int(e.workers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the grid's cells across the worker pool, returning records
+// in the same deterministic order as RunSequential.
+func (e *Engine) Run(g Grid) ([]Record, error) {
+	keys, err := expand(g)
+	if err != nil {
+		return nil, err
+	}
+	return Map(e.WorkerCount(), len(keys), func(i int) (Record, error) {
+		return e.cell(keys[i])
+	})
+}
+
+// Cell simulates (or recalls) a single cell. The key may use any accepted
+// spelling; it is normalized before the cache lookup.
+func (e *Engine) Cell(k CellKey) (Record, error) {
+	nk, err := k.normalize()
+	if err != nil {
+		return Record{}, err
+	}
+	return e.cell(nk)
+}
+
+// Cells runs the given cells across the worker pool, preserving order.
+func (e *Engine) Cells(keys []CellKey) ([]Record, error) {
+	return Map(e.WorkerCount(), len(keys), func(i int) (Record, error) {
+		return e.Cell(keys[i])
+	})
+}
+
+// cell is the memoized core; k must already be normalized.
+func (e *Engine) cell(k CellKey) (Record, error) {
+	e.mu.Lock()
+	en, ok := e.cache[k]
+	if !ok {
+		en = &cellEntry{}
+		e.cache[k] = en
+	} else {
+		e.hits++
+	}
+	e.mu.Unlock()
+	en.once.Do(func() { en.rec, en.err = runCell(k) })
+	return en.rec, en.err
+}
+
+// CacheStats reports the memo cache's activity.
+type CacheStats struct {
+	// Hits counts cell requests answered from the cache (including waits
+	// on a simulation already in flight).
+	Hits int64
+	// Misses counts cells that had to be simulated.
+	Misses int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{Hits: e.hits, Misses: int64(len(e.cache))}
+}
+
+// ResetCache drops all memoized results and zeroes the counters.
+func (e *Engine) ResetCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[CellKey]*cellEntry)
+	e.hits = 0
+}
+
+// Map runs fn(0..n-1) on up to workers goroutines and returns the results
+// in index order. Every index is attempted; on failure the error returned
+// is the lowest-index one — exactly what a sequential loop that stops at
+// the first failing cell would report, which keeps parallel and
+// sequential error behaviour interchangeable.
+func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

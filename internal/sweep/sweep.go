@@ -4,6 +4,14 @@
 // the simulator and emits one flat record per cell, ready for CSV export
 // or downstream analysis. Table IV is Grid{benchmarks, DSS8440, 1/2/4/8};
 // Figure 5 is Grid{MLPerf, five systems, 4}.
+//
+// Grids execute on an Engine: a bounded worker pool that fans independent
+// cells out across goroutines while preserving the deterministic
+// sequential output order, backed by a memoizing cache keyed by the full
+// cell configuration so repeated cells (across Table IV, Table V, the
+// figures and the ablations) are simulated exactly once per process.
+// RunSequential is the retained single-goroutine, uncached reference path
+// the equivalence tests hold the engine to.
 package sweep
 
 import (
@@ -47,14 +55,121 @@ type Record struct {
 	Throughput     float64
 	CPUPct         float64
 	GPUPct         float64
+	DRAMMB         float64
 	HBMMB          float64
 	PCIeMbps       float64
 	NVLinkMbps     float64
 }
 
-// Run executes the full grid, returning one record per cell in
-// deterministic order.
-func Run(g Grid) ([]Record, error) {
+// CellKey is the full configuration of one sweep cell — the memo-cache
+// key. Keys are normalized before use (canonical benchmark abbreviation,
+// canonical system name, "" precision resolved to the calibrated policy
+// label), so different spellings of the same cell share one cache slot.
+type CellKey struct {
+	// Benchmark is the abbreviation (short forms accepted).
+	Benchmark string
+	// Ref selects the benchmark's reference-implementation job (the
+	// Table IV 1xP100 column) instead of the optimized submission.
+	Ref bool
+	// System is the platform name or alias.
+	System string
+	// GPUs is the device count.
+	GPUs int
+	// Batch overrides the calibrated per-GPU batch (0 = calibrated).
+	Batch int
+	// Precision is "" (calibrated), "fp32" or "mixed".
+	Precision string
+}
+
+// normalize canonicalizes the key so equal cells hash equally, returning
+// the resolved benchmark alongside.
+func (k CellKey) normalize() (CellKey, error) {
+	b, err := workload.ByName(k.Benchmark)
+	if err != nil {
+		return CellKey{}, err
+	}
+	k.Benchmark = b.Abbrev
+	sys, err := hw.SystemByName(k.System)
+	if err != nil {
+		return CellKey{}, err
+	}
+	k.System = sys.Name
+	job := b.Job
+	if k.Ref {
+		job = b.RefJob
+	}
+	switch k.Precision {
+	case "":
+		// The calibrated policy: folding "" into its explicit label lets a
+		// defaulted cell and an explicit "fp32"/"mixed" cell share a slot.
+		k.Precision = job.Precision.Policy.String()
+	case "fp32", "mixed":
+	default:
+		return CellKey{}, fmt.Errorf("sweep: unknown precision %q", k.Precision)
+	}
+	return k, nil
+}
+
+// runCell simulates one normalized cell. It is a pure function of the
+// key: everything it touches (benchmark registry, system constructors,
+// the simulator) is either freshly built or read-only, which is what
+// makes concurrent cells race-free.
+func runCell(k CellKey) (Record, error) {
+	b, err := workload.ByName(k.Benchmark)
+	if err != nil {
+		return Record{}, err
+	}
+	sys, err := hw.SystemByName(k.System)
+	if err != nil {
+		return Record{}, err
+	}
+	job := b.Job
+	if k.Ref {
+		job = b.RefJob
+	}
+	if k.Batch > 0 {
+		job.BatchPerGPU = k.Batch
+	}
+	switch k.Precision {
+	case "":
+	case "fp32":
+		job.Precision.Policy = precision.FP32
+	case "mixed":
+		job.Precision.Policy = precision.AMP
+	default:
+		return Record{}, fmt.Errorf("sweep: unknown precision %q", k.Precision)
+	}
+	res, err := sim.Run(sim.Config{System: sys, GPUCount: k.GPUs, Job: job})
+	if err != nil {
+		return Record{}, fmt.Errorf("sweep: %s on %s @%d: %w", b.Abbrev, sys.Name, k.GPUs, err)
+	}
+	precLabel := k.Precision
+	if precLabel == "" {
+		precLabel = job.Precision.Policy.String()
+	}
+	return Record{
+		Benchmark:      b.Abbrev,
+		System:         sys.Name,
+		GPUs:           k.GPUs,
+		Batch:          res.LocalBatch,
+		Precision:      precLabel,
+		TimeToTrainMin: res.TimeToTrain.Minutes(),
+		StepMs:         res.StepTime * 1e3,
+		Throughput:     res.Throughput,
+		CPUPct:         float64(res.CPUUtil),
+		GPUPct:         float64(res.GPUUtilTotal),
+		DRAMMB:         res.DRAMBytes.MB(),
+		HBMMB:          res.HBMBytes.MB(),
+		PCIeMbps:       res.PCIeRate.Mbps(),
+		NVLinkMbps:     res.NVLinkRate.Mbps(),
+	}, nil
+}
+
+// expand enumerates the grid's feasible cells in deterministic order,
+// validating every dimension up front. Both the engine and the
+// sequential reference path run exactly this list, which is what makes
+// their outputs comparable cell for cell.
+func expand(g Grid) ([]CellKey, error) {
 	if len(g.Benchmarks) == 0 {
 		for _, b := range workload.MLPerfSuite() {
 			g.Benchmarks = append(g.Benchmarks, b.Abbrev)
@@ -73,66 +188,80 @@ func Run(g Grid) ([]Record, error) {
 		g.Precisions = []string{""}
 	}
 
-	var out []Record
-	for _, benchName := range g.Benchmarks {
-		bench, err := workload.ByName(benchName)
+	benches := make([]workload.Benchmark, len(g.Benchmarks))
+	for i, name := range g.Benchmarks {
+		b, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, sysName := range g.Systems {
-			sys, err := hw.SystemByName(sysName)
-			if err != nil {
-				return nil, err
-			}
+		benches[i] = b
+	}
+	systems := make([]*hw.System, len(g.Systems))
+	for i, name := range g.Systems {
+		sys, err := hw.SystemByName(name)
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = sys
+	}
+	for _, prec := range g.Precisions {
+		switch prec {
+		case "", "fp32", "mixed":
+		default:
+			return nil, fmt.Errorf("sweep: unknown precision %q", prec)
+		}
+	}
+
+	var keys []CellKey
+	for _, b := range benches {
+		for _, sys := range systems {
 			for _, gpus := range g.GPUCounts {
 				if gpus > sys.GPUCount {
 					continue // silently infeasible cells are skipped
 				}
 				for _, batch := range g.BatchPerGPU {
 					for _, prec := range g.Precisions {
-						job := bench.Job
-						if batch > 0 {
-							job.BatchPerGPU = batch
-						}
-						switch prec {
-						case "":
-						case "fp32":
-							job.Precision.Policy = precision.FP32
-						case "mixed":
-							job.Precision.Policy = precision.AMP
-						default:
-							return nil, fmt.Errorf("sweep: unknown precision %q", prec)
-						}
-						res, err := sim.Run(sim.Config{System: sys, GPUCount: gpus, Job: job})
+						k, err := (CellKey{
+							Benchmark: b.Abbrev,
+							System:    sys.Name,
+							GPUs:      gpus,
+							Batch:     batch,
+							Precision: prec,
+						}).normalize()
 						if err != nil {
-							return nil, fmt.Errorf("sweep: %s on %s @%d: %w", benchName, sysName, gpus, err)
+							return nil, err
 						}
-						precLabel := prec
-						if precLabel == "" {
-							precLabel = job.Precision.Policy.String()
-						}
-						out = append(out, Record{
-							Benchmark:      bench.Abbrev,
-							System:         sys.Name,
-							GPUs:           gpus,
-							Batch:          res.LocalBatch,
-							Precision:      precLabel,
-							TimeToTrainMin: res.TimeToTrain.Minutes(),
-							StepMs:         res.StepTime * 1e3,
-							Throughput:     res.Throughput,
-							CPUPct:         float64(res.CPUUtil),
-							GPUPct:         float64(res.GPUUtilTotal),
-							HBMMB:          res.HBMBytes.MB(),
-							PCIeMbps:       res.PCIeRate.Mbps(),
-							NVLinkMbps:     res.NVLinkRate.Mbps(),
-						})
+						keys = append(keys, k)
 					}
 				}
 			}
 		}
 	}
-	if len(out) == 0 {
+	if len(keys) == 0 {
 		return nil, fmt.Errorf("sweep: empty grid (no feasible cells)")
+	}
+	return keys, nil
+}
+
+// Run executes the full grid on the Default engine, returning one record
+// per cell in deterministic order.
+func Run(g Grid) ([]Record, error) { return Default.Run(g) }
+
+// RunSequential executes the grid one cell at a time on the calling
+// goroutine, with no caching — the reference path parallel execution is
+// proven byte-identical to.
+func RunSequential(g Grid) ([]Record, error) {
+	keys, err := expand(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(keys))
+	for i, k := range keys {
+		rec, err := runCell(k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec
 	}
 	return out, nil
 }
@@ -143,7 +272,7 @@ func WriteCSV(w io.Writer, recs []Record) error {
 	if err := cw.Write([]string{
 		"benchmark", "system", "gpus", "batch", "precision",
 		"time_to_train_min", "step_ms", "samples_per_s",
-		"cpu_pct", "gpu_pct", "hbm_mb", "pcie_mbps", "nvlink_mbps",
+		"cpu_pct", "gpu_pct", "dram_mb", "hbm_mb", "pcie_mbps", "nvlink_mbps",
 	}); err != nil {
 		return err
 	}
@@ -151,7 +280,7 @@ func WriteCSV(w io.Writer, recs []Record) error {
 		rec := []string{
 			r.Benchmark, r.System, strconv.Itoa(r.GPUs), strconv.Itoa(r.Batch), r.Precision,
 			f4(r.TimeToTrainMin), f4(r.StepMs), f4(r.Throughput),
-			f4(r.CPUPct), f4(r.GPUPct), f4(r.HBMMB), f4(r.PCIeMbps), f4(r.NVLinkMbps),
+			f4(r.CPUPct), f4(r.GPUPct), f4(r.DRAMMB), f4(r.HBMMB), f4(r.PCIeMbps), f4(r.NVLinkMbps),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -13,6 +13,8 @@
 //     time-to-train, step breakdown, and the Table V utilization metrics.
 //   - Table4/Table5/Fig1..Fig5 regenerate every table and figure of the
 //     paper's evaluation (see EXPERIMENTS.md for paper-vs-simulated).
+//   - Sweep()/SweepSequential() run benchmark x system x GPU grids on a
+//     parallel, memoizing execution engine (DESIGN.md §2 "sweep").
 //   - V100Roofline/MeasureHostRoofline build roofline models (Figure 2);
 //     the host variant really micro-benchmarks the machine you run on.
 //   - ScheduleNaive/ScheduleOptimal search training-mix schedules
@@ -24,6 +26,7 @@
 package mlperf
 
 import (
+	"io"
 	"math/rand"
 
 	"mlperf/internal/dataset"
@@ -33,6 +36,7 @@ import (
 	"mlperf/internal/roofline"
 	"mlperf/internal/sched"
 	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
 	"mlperf/internal/train"
 	"mlperf/internal/workload"
 )
@@ -140,6 +144,44 @@ type TopologyRow = experiments.TopologyRow
 
 // Fig5 runs the interconnect-topology study (Figure 5).
 func Fig5() ([]TopologyRow, error) { return experiments.Fig5() }
+
+// ---- Sweep engine (parallel grid execution with memoization) ----
+
+// SweepGrid declares a benchmarks x systems x GPU counts (x batch x
+// precision) sweep space.
+type SweepGrid = sweep.Grid
+
+// SweepRecord is one sweep cell's outcome.
+type SweepRecord = sweep.Record
+
+// SweepCellKey identifies one simulation cell — the memo-cache key.
+type SweepCellKey = sweep.CellKey
+
+// SweepEngine executes cells on a bounded worker pool and memoizes every
+// result, so repeated cells across experiments simulate exactly once.
+type SweepEngine = sweep.Engine
+
+// SweepCacheStats reports a sweep engine's cache activity.
+type SweepCacheStats = sweep.CacheStats
+
+// Sweep runs the grid on the shared engine: cells fan out across the
+// worker pool, in deterministic output order.
+func Sweep(g SweepGrid) ([]SweepRecord, error) { return sweep.Run(g) }
+
+// SweepSequential runs the grid one cell at a time with no caching — the
+// reference path parallel execution is tested byte-identical to.
+func SweepSequential(g SweepGrid) ([]SweepRecord, error) { return sweep.RunSequential(g) }
+
+// NewSweepEngine builds an isolated engine with its own cache and worker
+// bound (<= 0 means GOMAXPROCS).
+func NewSweepEngine(workers int) *SweepEngine { return sweep.NewEngine(workers) }
+
+// SetSweepWorkers bounds the shared engine's concurrency (the CLIs'
+// -workers flag lands here; <= 0 restores the GOMAXPROCS default).
+func SetSweepWorkers(n int) { sweep.Default.SetWorkers(n) }
+
+// WriteSweepCSV emits sweep records as CSV with a header.
+func WriteSweepCSV(w io.Writer, recs []SweepRecord) error { return sweep.WriteCSV(w, recs) }
 
 // ---- Roofline ----
 

@@ -1,0 +1,123 @@
+// Concurrency stress coverage: the sweep engine makes Simulate,
+// BenchmarkByName and SystemByName run on many goroutines at once, so
+// this file hammers exactly those entry points. Run under -race (CI
+// does) to flush out lazy-init or shared-topology races.
+package mlperf
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSimulateStress runs many Simulate calls at once, mixing
+// per-goroutine systems with one *System shared by all goroutines — the
+// sharing pattern the experiments use (one hw.System per study, many
+// concurrent cells on it).
+func TestConcurrentSimulateStress(t *testing.T) {
+	shared, err := SystemByName("dss8440")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"res50_tf", "ssd_py", "ncf_py", "gnmt_py", "xfmr_py"}
+	var wg sync.WaitGroup
+	for w := 0; w < 24; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				bench, err := BenchmarkByName(names[(seed+i)%len(names)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sys := shared
+				if i%2 == 0 {
+					if sys, err = SystemByName("c4140k"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				gpus := 1 << (uint(seed+i) % 3)
+				res, err := Simulate(sys, gpus, bench)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.TimeToTrain <= 0 {
+					t.Errorf("%s @%d: non-positive time to train", bench.Abbrev, gpus)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentRegistryStress hits the workload registry and system
+// catalog lookups from many goroutines — these were audited to be
+// init-built and read-only, and this test keeps them that way.
+func TestConcurrentRegistryStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if len(Benchmarks()) != 13 {
+					t.Error("registry size changed under concurrency")
+					return
+				}
+				if _, err := BenchmarkByName("MLPf_MRCNN_Py"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := SystemByName("t640"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentSweepStress drives whole grids through the shared
+// facade-level entry points concurrently.
+func TestConcurrentSweepStress(t *testing.T) {
+	g := SweepGrid{
+		Benchmarks: []string{"res50_tf", "ncf_py"},
+		Systems:    []string{"c4140m", "dgx1"},
+		GPUCounts:  []int{1, 4},
+	}
+	want, err := SweepSequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewSweepEngine(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := e.Run(g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(got) != len(want) {
+				t.Errorf("%d records, want %d", len(got), len(want))
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("record %d: %+v != %+v", i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Misses != int64(len(want)) {
+		t.Errorf("stats %+v, want %d unique simulations", st, len(want))
+	}
+}
