@@ -1,7 +1,9 @@
 // Command mlperf-profile runs the measurement toolchain — the nvprof,
-// dstat and nvidia-smi-dmon analogs — against a simulated training run
+// dstat and nvidia-smi-dmon analogs — against ONE simulated training run
 // and writes their outputs, plus a Chrome-trace timeline of the training
-// pipeline.
+// pipeline. Like the paper's protocol, every tool observes the same run:
+// the simulator executes once with the profiler subscribed to its event
+// stream, and each artifact below is a different view of that stream.
 //
 //	mlperf-profile -bench MLPf_Res50_TF -system c4140k -gpus 4 -out /tmp/prof
 //
@@ -23,7 +25,6 @@ import (
 
 	"mlperf/internal/hw"
 	"mlperf/internal/profile"
-	"mlperf/internal/sim"
 	"mlperf/internal/workload"
 )
 
@@ -54,56 +55,46 @@ func run(benchName, systemName string, gpus int, duration float64, outDir string
 		return err
 	}
 
+	// One simulation; every tool below reads the resulting profile.
+	p, err := profile.Collect(b, sys, gpus)
+	if err != nil {
+		return err
+	}
 	sampler := profile.NewSampler()
 
-	ds, err := sampler.Dstat(b, sys, gpus, duration)
-	if err != nil {
-		return err
-	}
 	if err := writeFile(filepath.Join(outDir, "dstat.csv"), func(f *os.File) error {
-		return profile.WriteDstatCSV(f, ds)
+		return profile.WriteDstatCSV(f, sampler.Dstat(p, duration))
 	}); err != nil {
 		return err
 	}
 
-	dm, err := sampler.Dmon(b, sys, gpus, duration)
-	if err != nil {
-		return err
-	}
 	if err := writeFile(filepath.Join(outDir, "dmon.csv"), func(f *os.File) error {
-		return profile.WriteDmonCSV(f, dm)
+		return profile.WriteDmonCSV(f, sampler.Dmon(p, duration))
 	}); err != nil {
 		return err
 	}
 
-	recs := profile.Nvprof(b, &sys.GPU, 16)
+	recs := p.Kernels(16)
 	if err := writeFile(filepath.Join(outDir, "kernels.csv"), func(f *os.File) error {
 		return profile.WriteKernelCSV(f, recs)
 	}); err != nil {
 		return err
 	}
 
-	res, err := sim.Run(sim.Config{System: sys, GPUCount: gpus, Job: b.Job})
-	if err != nil {
-		return err
-	}
 	if err := writeFile(filepath.Join(outDir, "trace.json"), func(f *os.File) error {
-		return res.Timeline.WriteChromeTrace(f)
+		return p.Timeline().WriteChromeTrace(f)
 	}); err != nil {
 		return err
 	}
 
-	chars, err := profile.Characterize(b, sys, gpus)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s on %s with %d GPU(s)\n\n", b.Abbrev, sys.Name, gpus)
+	chars := p.Characteristics()
+	fmt.Printf("%s on %s with %d GPU(s)\n\n", b.Abbrev, sys.Name, p.GPUs)
 	fmt.Println("workload characteristics (the Figure 1 feature vector):")
 	for i, name := range profile.CharacteristicNames {
 		fmt.Printf("  %-24s %12.2f\n", name, chars.Values[i])
 	}
 	fmt.Println()
-	fmt.Print(res.Timeline.RenderText(72))
+	fmt.Print(p.Timeline().RenderText(72))
 	ai, rate := profile.RooflinePoint(recs)
 	fmt.Printf("\nroofline point: AI %.2f FLOP/B at %.1f GFLOPS\n", float64(ai), rate.G())
 	fmt.Printf("\nwrote dstat.csv, dmon.csv, kernels.csv, trace.json to %s\n", outDir)

@@ -7,6 +7,13 @@
 // (§IV-A): PCIe utilization, GPU utilization, CPU utilization, DDR
 // footprint, HBM2 footprint, FLOP throughput, memory throughput, and
 // number of epochs.
+//
+// Like the paper's toolchain — where nvprof, dstat and nvidia-smi dmon
+// all watch the same real training run — every analog here reads from
+// one Profile, collected by subscribing to a single simulation's event
+// stream (sim.RunObserved). Collect simulates once; the samplers, the
+// characteristics vector and the Chrome-trace export then derive their
+// views without re-running the simulator.
 package profile
 
 import (
@@ -37,13 +44,50 @@ type Characteristics struct {
 	Values [8]float64
 }
 
-// Characterize runs one benchmark on a system/GPU-count and extracts the
-// paper's eight characteristics from the simulated run.
-func Characterize(b workload.Benchmark, system *hw.System, gpus int) (Characteristics, error) {
-	res, err := sim.Run(sim.Config{System: system, GPUCount: gpus, Job: b.Job})
+// Profile is everything the measurement toolchain derives from ONE
+// simulated run: the aggregate Result (itself assembled by the
+// simulator's built-in observers) plus the raw event stream. The dstat
+// and dmon samplers, the characteristics vector, the nvprof analog and
+// the Chrome-trace export all read from here, so their outputs provably
+// describe the same run.
+type Profile struct {
+	Bench  workload.Benchmark
+	System *hw.System
+	// GPUs is the realized device count (requests are clamped to the
+	// system, mirroring the simulator).
+	GPUs   int
+	Result *sim.Result
+	// Events is the full stage-event stream in publication order.
+	Events []sim.Event
+}
+
+// Collect simulates the benchmark once with the profiler's observers
+// subscribed and returns the shared profile every tool reads from.
+func Collect(b workload.Benchmark, system *hw.System, gpus int) (*Profile, error) {
+	log := &sim.EventLog{}
+	res, err := sim.RunObserved(sim.Config{System: system, GPUCount: gpus, Job: b.Job}, log)
 	if err != nil {
-		return Characteristics{}, err
+		return nil, err
 	}
+	if gpus <= 0 || gpus > system.GPUCount {
+		gpus = system.GPUCount
+	}
+	return &Profile{Bench: b, System: system, GPUs: gpus, Result: res, Events: log.Events}, nil
+}
+
+// Timeline returns the run's station timeline (Chrome-trace exportable),
+// rebuilt from the same event stream the samplers consume.
+func (p *Profile) Timeline() *sim.Timeline { return p.Result.Timeline }
+
+// Kernels returns the nvprof-analog per-kernel records for `steps`
+// profiled steps of the run's benchmark on its GPU model.
+func (p *Profile) Kernels(steps int) []KernelRecord {
+	return Nvprof(p.Bench, &p.System.GPU, steps)
+}
+
+// Characteristics extracts the paper's eight features from the run.
+func (p *Profile) Characteristics() Characteristics {
+	res, b := p.Result, p.Bench
 	// Achieved FLOP throughput: training FLOPs per wall second.
 	flops := float64(b.Job.Net.TrainFLOPs()) * res.Throughput / 1e9
 	// HBM traffic throughput.
@@ -60,7 +104,17 @@ func Characterize(b workload.Benchmark, system *hw.System, gpus int) (Characteri
 			memBW,
 			b.Job.EpochsToTarget,
 		},
-	}, nil
+	}
+}
+
+// Characterize profiles one benchmark on a system/GPU-count and extracts
+// the paper's eight characteristics from the simulated run.
+func Characterize(b workload.Benchmark, system *hw.System, gpus int) (Characteristics, error) {
+	p, err := Collect(b, system, gpus)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	return p.Characteristics(), nil
 }
 
 // CharacterizeAll profiles every benchmark of the given suites at the

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mlperf/internal/hw"
+	"mlperf/internal/sim"
 	"mlperf/internal/workload"
 )
 
@@ -97,16 +98,92 @@ func TestRooflinePointConsistency(t *testing.T) {
 	}
 }
 
-func TestDstatSamples(t *testing.T) {
-	b, err := workload.ByName("MLPf_NCF_Py")
+func collect(t *testing.T, name string, gpus int) *Profile {
+	t.Helper()
+	b, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Collect(b, hw.C4140K(), gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCollectOneRun(t *testing.T) {
+	p := collect(t, "MLPf_Res50_TF", 2)
+	if p.Result == nil || len(p.Events) == 0 {
+		t.Fatal("profile missing result or event stream")
+	}
+	if p.GPUs != 2 {
+		t.Errorf("realized GPU count %d, want 2", p.GPUs)
+	}
+	if p.Timeline() != p.Result.Timeline {
+		t.Error("Timeline() should hand back the run's timeline, not a copy")
+	}
+	if recs := p.Kernels(5); len(recs) == 0 {
+		t.Error("profile produced no kernel records")
+	}
+	// Requests beyond the chassis clamp, mirroring the simulator.
+	over := collect(t, "MLPf_Res50_TF", 99)
+	if over.GPUs != hw.C4140K().GPUCount {
+		t.Errorf("over-request realized %d GPUs, want chassis max %d", over.GPUs, hw.C4140K().GPUCount)
+	}
+}
+
+// TestSamplersMatchOneRun is the one-run equivalence contract: dstat and
+// dmon samples derived from a Collect'd profile must match values computed
+// from an independent sim.Run of the same configuration — proving the
+// sampler adds no second simulation of its own.
+func TestSamplersMatchOneRun(t *testing.T) {
+	b, err := workload.ByName("MLPf_Res50_TF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := hw.C4140K()
+	p, err := Collect(b, sys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.Run(sim.Config{System: sys, GPUCount: 4, Job: b.Job})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := NewSampler()
-	samples, err := s.Dstat(b, hw.C4140K(), 2, 30)
-	if err != nil {
-		t.Fatal(err)
+	ds := s.Dstat(p, 30)
+	steady := ds[len(ds)-1]
+	if steady.CPUPct != float64(ref.CPUUtil) {
+		t.Errorf("dstat steady CPU %v != reference run %v", steady.CPUPct, ref.CPUUtil)
 	}
+	if steady.GPUPct != float64(ref.GPUUtilTotal) {
+		t.Errorf("dstat steady GPU %v != reference run %v", steady.GPUPct, ref.GPUUtilTotal)
+	}
+	dm := s.Dmon(p, 30)
+	last := dm[len(dm)-1]
+	if want := float64(ref.GPUUtilTotal) / 4; last.SMPct != want {
+		t.Errorf("dmon steady SM%% %v != reference %v", last.SMPct, want)
+	}
+	if want := ref.PCIeRate.Mbps() / 4; last.PCIeMbps != want {
+		t.Errorf("dmon steady PCIe %v != reference %v", last.PCIeMbps, want)
+	}
+	// And the event stream the samplers ride on really is from one run:
+	// its step-done count matches the simulated step count.
+	steps := 0
+	for _, ev := range p.Events {
+		if ev.Kind == sim.EvStepDone {
+			steps++
+		}
+	}
+	if steps == 0 {
+		t.Error("profile event stream has no step-done markers")
+	}
+}
+
+func TestDstatSamples(t *testing.T) {
+	p := collect(t, "MLPf_NCF_Py", 2)
+	s := NewSampler()
+	samples := s.Dstat(p, 30)
 	if len(samples) != 31 {
 		t.Fatalf("%d samples for 30s at 1Hz, want 31", len(samples))
 	}
@@ -121,15 +198,9 @@ func TestDstatSamples(t *testing.T) {
 }
 
 func TestDmonPerGPU(t *testing.T) {
-	b, err := workload.ByName("MLPf_Res50_TF")
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := collect(t, "MLPf_Res50_TF", 4)
 	s := NewSampler()
-	samples, err := s.Dmon(b, hw.C4140K(), 4, 10)
-	if err != nil {
-		t.Fatal(err)
-	}
+	samples := s.Dmon(p, 10)
 	gpusSeen := map[int]bool{}
 	for _, smp := range samples {
 		gpusSeen[smp.GPU] = true
@@ -143,15 +214,9 @@ func TestDmonPerGPU(t *testing.T) {
 }
 
 func TestCSVExports(t *testing.T) {
-	b, err := workload.ByName("MLPf_SSD_Py")
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := collect(t, "MLPf_SSD_Py", 1)
 	s := NewSampler()
-	ds, err := s.Dstat(b, hw.C4140K(), 1, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
+	ds := s.Dstat(p, 5)
 	var buf bytes.Buffer
 	if err := WriteDstatCSV(&buf, ds); err != nil {
 		t.Fatal(err)
@@ -164,10 +229,7 @@ func TestCSVExports(t *testing.T) {
 		t.Errorf("bad header: %s", lines[0])
 	}
 
-	dm, err := s.Dmon(b, hw.C4140K(), 2, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dm := s.Dmon(collect(t, "MLPf_SSD_Py", 2), 3)
 	buf.Reset()
 	if err := WriteDmonCSV(&buf, dm); err != nil {
 		t.Fatal(err)
@@ -178,7 +240,7 @@ func TestCSVExports(t *testing.T) {
 
 	g := hw.TeslaV100SXM2
 	buf.Reset()
-	if err := WriteKernelCSV(&buf, Nvprof(b, &g, 1)); err != nil {
+	if err := WriteKernelCSV(&buf, Nvprof(p.Bench, &g, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "kernel,invocations") {

@@ -5,10 +5,6 @@ import (
 	"fmt"
 	"io"
 	"strconv"
-
-	"mlperf/internal/hw"
-	"mlperf/internal/sim"
-	"mlperf/internal/workload"
 )
 
 // DstatSample is one dstat row: host-side statistics at a point in time.
@@ -37,9 +33,12 @@ type DmonSample struct {
 	PCIeMbps, NVLinkMbps float64
 }
 
-// Sampler turns a simulated run into tool-shaped time series. Real tools
-// sample a noisy process; the simulator's steady state plus a short warmup
-// ramp reproduces the shape the paper's figures average over.
+// Sampler turns one profiled run into tool-shaped time series. Real
+// tools sample a noisy process; the simulator's steady state plus a
+// short warmup ramp reproduces the shape the paper's figures average
+// over. The sampler never simulates: both analogs read the Profile a
+// single sim.RunObserved call collected, so dstat and dmon rows describe
+// the same run (the paper's "one run, many tools" protocol).
 type Sampler struct {
 	// Interval between samples in seconds (dstat's default is 1s).
 	Interval float64
@@ -50,19 +49,16 @@ type Sampler struct {
 // NewSampler returns a sampler with tool-default cadence.
 func NewSampler() *Sampler { return &Sampler{Interval: 1, Warmup: 5} }
 
-// Dstat samples `duration` seconds of the run.
-func (s *Sampler) Dstat(b workload.Benchmark, system *hw.System, gpus int, duration float64) ([]DstatSample, error) {
-	res, err := sim.Run(sim.Config{System: system, GPUCount: gpus, Job: b.Job})
-	if err != nil {
-		return nil, err
-	}
+// Dstat derives `duration` seconds of host-side samples from the run.
+func (s *Sampler) Dstat(p *Profile, duration float64) []DstatSample {
+	res := p.Result
 	interval := s.Interval
 	if interval <= 0 {
 		interval = 1
 	}
 	var out []DstatSample
 	epochSeconds := float64(res.StepsPerEpoch) * res.StepTime
-	diskRate := float64(b.Job.Data.DiskBytes) / 1e6 / maxf(epochSeconds, 1)
+	diskRate := float64(p.Bench.Job.Data.DiskBytes) / 1e6 / max(epochSeconds, 1)
 	for t := 0.0; t <= duration; t += interval {
 		ramp := 1.0
 		if s.Warmup > 0 && t < s.Warmup {
@@ -76,18 +72,13 @@ func (s *Sampler) Dstat(b workload.Benchmark, system *hw.System, gpus int, durat
 			GPUPct:      float64(res.GPUUtilTotal) * ramp,
 		})
 	}
-	return out, nil
+	return out
 }
 
-// Dmon samples `duration` seconds of per-GPU counters.
-func (s *Sampler) Dmon(b workload.Benchmark, system *hw.System, gpus int, duration float64) ([]DmonSample, error) {
-	res, err := sim.Run(sim.Config{System: system, GPUCount: gpus, Job: b.Job})
-	if err != nil {
-		return nil, err
-	}
-	if gpus <= 0 || gpus > system.GPUCount {
-		gpus = system.GPUCount
-	}
+// Dmon derives `duration` seconds of per-GPU samples from the run.
+func (s *Sampler) Dmon(p *Profile, duration float64) []DmonSample {
+	res := p.Result
+	gpus := p.GPUs
 	interval := s.Interval
 	if interval <= 0 {
 		interval = 1
@@ -113,14 +104,7 @@ func (s *Sampler) Dmon(b workload.Benchmark, system *hw.System, gpus int, durati
 			})
 		}
 	}
-	return out, nil
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	return out
 }
 
 // WriteDstatCSV exports samples the way dstat's --output does.

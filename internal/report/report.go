@@ -143,10 +143,10 @@ func Scatter(title string, pts []ScatterPoint, w, h int, logX, logY bool) string
 	for _, p := range pts {
 		x, y := tx(p.X), ty(p.Y)
 		if !math.IsInf(x, 0) {
-			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minX, maxX = min(minX, x), max(maxX, x)
 		}
 		if !math.IsInf(y, 0) {
-			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			minY, maxY = min(minY, y), max(maxY, y)
 		}
 	}
 	if minX > maxX {

@@ -9,7 +9,6 @@ package sched
 
 import (
 	"fmt"
-	"math"
 	"sort"
 )
 
@@ -143,7 +142,7 @@ func Optimal(jobs []Job, n int) (Schedule, error) {
 					longest = d
 				}
 			}
-			lb := math.Max(work/float64(n), longest)
+			lb := max(work/float64(n), longest)
 			if lb >= best.Makespan-1e-9 {
 				return
 			}

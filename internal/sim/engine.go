@@ -111,6 +111,18 @@ func (r *Resource) AcquireLabeled(at, dur float64, label string) float64 {
 	return end
 }
 
+// AcquireSpan reserves the resource like Acquire but returns both
+// endpoints of the busy span — the stage pipeline uses it to publish
+// events whose boundaries partition the exact occupancy.
+func (r *Resource) AcquireSpan(at, dur float64) (start, end float64) {
+	start = at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = r.AcquireLabeled(at, dur, "")
+	return start, end
+}
+
 // UtilizationOver returns the busy fraction during [from, to].
 func (r *Resource) UtilizationOver(from, to float64) float64 {
 	if to <= from {

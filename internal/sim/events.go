@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"strconv"
+
+	"mlperf/internal/units"
+)
+
+// EventKind identifies which pipeline stage produced an event.
+type EventKind uint8
+
+const (
+	// EvInput is a host preprocessing span on the cpu-input lane.
+	EvInput EventKind = iota
+	// EvH2D is a host-to-device copy span on the pcie-h2d lane.
+	EvH2D
+	// EvCompute is a forward+backward kernel span on the gpu lane.
+	EvCompute
+	// EvAllReduce is the exposed (non-overlapped) part of the gradient
+	// collective on the gpu lane.
+	EvAllReduce
+	// EvOptimizer is the weight-update span on the gpu lane.
+	EvOptimizer
+	// EvStepDone marks a step's completion: Start == End == the time the
+	// step left the pipeline. It carries no lane occupancy.
+	EvStepDone
+)
+
+// String returns the kind's timeline label prefix.
+func (k EventKind) String() string {
+	switch k {
+	case EvInput:
+		return "input"
+	case EvH2D:
+		return "h2d"
+	case EvCompute:
+		return "compute"
+	case EvAllReduce:
+		return "allreduce"
+	case EvOptimizer:
+		return "optimizer"
+	case EvStepDone:
+		return "step-done"
+	}
+	return "unknown"
+}
+
+// Lane names of the built-in pipeline stations.
+const (
+	LaneCPU  = "cpu-input"
+	LanePCIe = "pcie-h2d"
+	LaneGPU  = "gpu"
+)
+
+// Event is one typed span of a simulated training run. The simulator
+// publishes an event for every stage execution (and one EvStepDone marker
+// per step); the timeline, the Table V counters and the profiler analogs
+// are all observers of this one stream.
+type Event struct {
+	// Kind is the producing stage.
+	Kind EventKind
+	// Lane is the station the span occupies (LaneCPU/LanePCIe/LaneGPU;
+	// empty for EvStepDone).
+	Lane string
+	// Step is the pipeline step index the span belongs to.
+	Step int
+	// Start and End bound the span in simulated seconds.
+	Start, End float64
+	// Bytes is the payload the span moves (aggregate across devices
+	// where the stage models all of them; 0 when no bus payload applies).
+	Bytes units.Bytes
+	// FLOPs counts the floating-point work of the span (0 for pure data
+	// movement).
+	FLOPs units.FLOPs
+}
+
+// Duration returns the span length in seconds.
+func (ev Event) Duration() float64 { return ev.End - ev.Start }
+
+// Label renders the conventional timeline label ("compute 3").
+func (ev Event) Label() string {
+	return ev.Kind.String() + " " + strconv.Itoa(ev.Step)
+}
+
+// Observer receives every event of a simulated run. Events are published
+// at the simulated moment their span completes; implementations must not
+// retain the Event beyond the call unless they copy it (it is passed by
+// value, so plain assignment copies).
+type Observer interface {
+	OnEvent(Event)
+}
+
+// Discard is the zero-allocation no-op Observer: publishing to it costs a
+// method call and nothing else.
+var Discard Observer = nopObserver{}
+
+type nopObserver struct{}
+
+func (nopObserver) OnEvent(Event) {}
+
+// publisher fans one event out to a fixed observer set without
+// allocating.
+type publisher []Observer
+
+func (p publisher) publish(ev Event) {
+	for _, o := range p {
+		o.OnEvent(ev)
+	}
+}

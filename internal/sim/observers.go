@@ -1,0 +1,142 @@
+package sim
+
+import "mlperf/internal/units"
+
+// TimelineObserver rebuilds the station timeline from the event stream:
+// every span event becomes a labeled interval on its lane. It is one of
+// the two built-in observers every run carries (Result.Timeline is its
+// product).
+type TimelineObserver struct {
+	tl *Timeline
+}
+
+// NewTimelineObserver returns an observer with the given lanes
+// pre-registered, so stations that never publish (e.g. a zero-cost input
+// pipeline) still appear as empty tracks.
+func NewTimelineObserver(lanes ...string) *TimelineObserver {
+	m := make(map[string][]Interval, len(lanes))
+	for _, l := range lanes {
+		m[l] = nil
+	}
+	return &TimelineObserver{tl: &Timeline{Lanes: m}}
+}
+
+// OnEvent appends the span to its lane.
+func (o *TimelineObserver) OnEvent(ev Event) {
+	if ev.Kind == EvStepDone {
+		return
+	}
+	o.tl.Lanes[ev.Lane] = append(o.tl.Lanes[ev.Lane], Interval{
+		Start: ev.Start, End: ev.End, Label: ev.Label(),
+	})
+}
+
+// Timeline returns the accumulated timeline.
+func (o *TimelineObserver) Timeline() *Timeline { return o.tl }
+
+// EventLog records the full event stream in publication order — the
+// profiler analogs' raw input.
+type EventLog struct {
+	Events []Event
+}
+
+// OnEvent appends the event.
+func (l *EventLog) OnEvent(ev Event) { l.Events = append(l.Events, ev) }
+
+// PhaseTotals accumulates busy seconds, payload bytes and FLOPs per event
+// kind across the whole run — the Table V counter substrate, exposed for
+// external subscribers and equivalence tests.
+type PhaseTotals struct {
+	Seconds map[EventKind]float64
+	Bytes   map[EventKind]units.Bytes
+	FLOPs   map[EventKind]units.FLOPs
+	// Steps counts EvStepDone markers.
+	Steps int
+}
+
+// NewPhaseTotals returns an empty accumulator.
+func NewPhaseTotals() *PhaseTotals {
+	return &PhaseTotals{
+		Seconds: map[EventKind]float64{},
+		Bytes:   map[EventKind]units.Bytes{},
+		FLOPs:   map[EventKind]units.FLOPs{},
+	}
+}
+
+// OnEvent accumulates the span into its kind's totals.
+func (p *PhaseTotals) OnEvent(ev Event) {
+	if ev.Kind == EvStepDone {
+		p.Steps++
+		return
+	}
+	p.Seconds[ev.Kind] += ev.Duration()
+	p.Bytes[ev.Kind] += ev.Bytes
+	p.FLOPs[ev.Kind] += ev.FLOPs
+}
+
+// laneUsage is one lane's merged occupancy: consecutive events of the
+// same step fuse into a single interval, so the occupancy is exactly the
+// resource's busy span per step (the final stage event's End is pinned to
+// the acquisition end by the pipeline).
+type laneUsage struct {
+	intervals []Interval
+	lastStep  int
+}
+
+// usageObserver is the built-in counters observer: it tracks per-lane
+// occupancy for utilization accounting and collects step completion
+// times for the steady-state step-time estimate.
+type usageObserver struct {
+	lanes   map[string]*laneUsage
+	stepEnd []float64
+}
+
+func newUsageObserver() *usageObserver {
+	return &usageObserver{lanes: map[string]*laneUsage{}}
+}
+
+func (u *usageObserver) OnEvent(ev Event) {
+	if ev.Kind == EvStepDone {
+		for len(u.stepEnd) <= ev.Step {
+			u.stepEnd = append(u.stepEnd, 0)
+		}
+		u.stepEnd[ev.Step] = ev.End
+		return
+	}
+	lu := u.lanes[ev.Lane]
+	if lu == nil {
+		lu = &laneUsage{lastStep: -1}
+		u.lanes[ev.Lane] = lu
+	}
+	if n := len(lu.intervals); n > 0 && lu.lastStep == ev.Step {
+		lu.intervals[n-1].End = ev.End
+		return
+	}
+	lu.intervals = append(lu.intervals, Interval{Start: ev.Start, End: ev.End})
+	lu.lastStep = ev.Step
+}
+
+// utilizationOver returns the lane's busy fraction during [from, to].
+func (u *usageObserver) utilizationOver(lane string, from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	lu := u.lanes[lane]
+	if lu == nil {
+		return 0
+	}
+	var busy float64
+	for _, iv := range lu.intervals {
+		lo, hi := iv.Start, iv.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			busy += hi - lo
+		}
+	}
+	return busy / (to - from)
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -52,14 +53,51 @@ func TestTimelinePipelining(t *testing.T) {
 	// Steady-state pipelining: input for step N+1 must start before the
 	// GPU finishes step N (that is the whole point of prefetching).
 	tl := timelineFromRun(t, 1)
-	gpu := tl.Lanes["gpu"]
 	cpu := tl.Lanes["cpu-input"]
-	if len(gpu) < 4 || len(cpu) < 4 {
+	if len(cpu) < 4 {
 		t.Fatal("too few intervals")
 	}
-	if cpu[2].Start >= gpu[1].End {
+	// The gpu lane carries one optimizer slice per step; its end is the
+	// step's completion.
+	var step1End float64
+	for _, iv := range tl.Lanes["gpu"] {
+		if iv.Label == "optimizer 1" {
+			step1End = iv.End
+		}
+	}
+	if step1End == 0 {
+		t.Fatal("gpu lane has no optimizer slice for step 1")
+	}
+	if cpu[2].Start >= step1End {
 		t.Errorf("input 2 starts at %v, after gpu step 1 ends at %v — no prefetch",
-			cpu[2].Start, gpu[1].End)
+			cpu[2].Start, step1End)
+	}
+}
+
+func TestTimelineGPUPhaseSlices(t *testing.T) {
+	// A multi-GPU run's gpu lane decomposes into compute, allreduce and
+	// optimizer slices that tile each step contiguously.
+	tl := timelineFromRun(t, 2)
+	gpu := tl.Lanes["gpu"]
+	if len(gpu)%3 != 0 || len(gpu) == 0 {
+		t.Fatalf("gpu lane has %d slices, want a multiple of 3 (compute/allreduce/optimizer)", len(gpu))
+	}
+	for i := 0; i+2 < len(gpu); i += 3 {
+		labels := []string{gpu[i].Label, gpu[i+1].Label, gpu[i+2].Label}
+		step := i / 3
+		want := []string{
+			"compute " + strconv.Itoa(step),
+			"allreduce " + strconv.Itoa(step),
+			"optimizer " + strconv.Itoa(step),
+		}
+		for k := range want {
+			if labels[k] != want[k] {
+				t.Fatalf("step %d slice %d label %q, want %q", step, k, labels[k], want[k])
+			}
+		}
+		if gpu[i].End != gpu[i+1].Start || gpu[i+1].End != gpu[i+2].Start {
+			t.Errorf("step %d: gpu phases do not tile: %+v", step, gpu[i:i+3])
+		}
 	}
 }
 
@@ -92,6 +130,75 @@ func TestChromeTraceExport(t *testing.T) {
 	}
 	if !haveMeta || !haveSlice {
 		t.Error("trace missing metadata or slices")
+	}
+}
+
+// TestChromeTraceWellFormed unmarshals the emitted JSON into typed trace
+// events and asserts the structural invariants a trace viewer relies on:
+// per-track monotonic timestamps, non-negative durations, and thread
+// metadata naming exactly the known lanes.
+func TestChromeTraceWellFormed(t *testing.T) {
+	tl := timelineFromRun(t, 4)
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	known := map[string]bool{"cpu-input": true, "pcie-h2d": true, "gpu": true}
+	trackName := map[int]string{}
+	lastTs := map[int]float64{}
+	slices := 0
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				t.Errorf("unexpected metadata record %q", e.Name)
+			}
+			if !known[e.Args.Name] {
+				t.Errorf("metadata names unknown lane %q", e.Args.Name)
+			}
+			trackName[e.TID] = e.Args.Name
+		case "X":
+			slices++
+			if _, ok := trackName[e.TID]; !ok {
+				t.Fatalf("slice %q on tid %d before its thread_name metadata", e.Name, e.TID)
+			}
+			if e.Dur < 0 {
+				t.Errorf("slice %q has negative duration %v", e.Name, e.Dur)
+			}
+			if e.Ts < 0 {
+				t.Errorf("slice %q has negative timestamp %v", e.Name, e.Ts)
+			}
+			if prev, ok := lastTs[e.TID]; ok && e.Ts < prev {
+				t.Errorf("track %s: ts %v before previous %v — not monotonic",
+					trackName[e.TID], e.Ts, prev)
+			}
+			lastTs[e.TID] = e.Ts
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if len(trackName) != len(known) {
+		t.Errorf("trace has %d tracks, want %d", len(trackName), len(known))
+	}
+	if slices == 0 {
+		t.Error("trace has no slices")
 	}
 }
 

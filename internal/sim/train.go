@@ -85,7 +85,8 @@ type Job struct {
 	CommViaHost bool
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors, including calibration knobs
+// outside their [0,1] domain.
 func (j *Job) Validate() error {
 	if j.Net == nil {
 		return fmt.Errorf("sim: job %q has no network", j.Name)
@@ -98,6 +99,19 @@ func (j *Job) Validate() error {
 	}
 	if j.Data.TrainSamples <= 0 {
 		return fmt.Errorf("sim: job %q has empty dataset", j.Name)
+	}
+	for _, k := range []struct {
+		name string
+		v    float64
+	}{
+		{"OverlapComm", j.OverlapComm},
+		{"ActLiveFrac", j.ActLiveFrac},
+		{"GPUIdleFrac", j.GPUIdleFrac},
+		{"Imbalance", j.Imbalance},
+	} {
+		if k.v < 0 || k.v > 1 || math.IsNaN(k.v) {
+			return fmt.Errorf("sim: job %q %s %v outside [0,1]", j.Name, k.name, k.v)
+		}
 	}
 	return nil
 }
@@ -154,6 +168,7 @@ type Result struct {
 	// Comm is the all-reduce cost detail.
 	Comm comm.Result
 	// Timeline is the labeled station occupancy of the simulated steps,
+	// rebuilt from the event stream by the built-in TimelineObserver and
 	// exportable as a Chrome trace (WriteChromeTrace).
 	Timeline *Timeline
 }
@@ -171,7 +186,16 @@ func (j *Job) LocalBatchFor(gpus int) int {
 }
 
 // Run simulates the job and returns the full result.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunObserved(cfg) }
+
+// RunObserved simulates the job once while streaming every stage event to
+// obs, alongside the built-in timeline and counter observers that
+// assemble the Result. One simulation therefore feeds every consumer —
+// the paper's "one real run, many tools watching" structure: the Chrome
+// trace, the Table V counters and the dstat/dmon/nvprof analogs
+// (internal/profile) all subscribe to this stream rather than re-running
+// the simulator.
+func RunObserved(cfg Config, obs ...Observer) (*Result, error) {
 	if cfg.System == nil {
 		return nil, fmt.Errorf("sim: nil system")
 	}
@@ -193,78 +217,52 @@ func Run(cfg Config) (*Result, error) {
 	localB := j.LocalBatchFor(g)
 	globalB := localB * g
 
-	var ph Phases
+	// Build the stage components; each constructor owns its slice of the
+	// performance model.
+	input := newInputStage(cfg.System, j, g, globalB)
+	h2d := newCopyStage(cfg.System, j, gpus, localB, globalB)
+	compute := newComputeStage(gpu, j, localB, globalB, g)
+	allreduce, err := newAllReduceStage(cfg.System, j, gpus, compute.Time)
+	if err != nil {
+		return nil, err
+	}
+	optimizer := newOptimizerStage(gpu, j, g)
 
-	// Compute: per-sample roofline time across the layer graph, inflated
-	// by kernel-gap stalls, synchronization imbalance across GPUs, and
-	// any fixed per-step GPU overhead.
-	perSample := precision.StepTime(gpu, j.Net, localB, j.Precision)
-	imbalance := 1 + j.Imbalance*(1-1/float64(g))
-	ph.Compute = perSample*float64(localB)*(1+j.GPUIdleFrac)*imbalance + j.GPUFixedPerStep
+	ph := Phases{
+		Input:       input.Time,
+		H2D:         h2d.Time,
+		Compute:     compute.Time,
+		AllReduce:   allreduce.Full,
+		ExposedComm: allreduce.Exposed,
+		Optimizer:   optimizer.Time,
+	}
+	gpuWork := ph.Compute + ph.ExposedComm + ph.Optimizer
 
-	// Optimizer: streams params + state + gradients through HBM.
-	optBytes := float64(j.Net.ParamBytes(4))*(2+float64(j.OptimizerSlots)) +
-		float64(j.Net.GradientBytes())
-	ph.Optimizer = optBytes / (float64(gpu.MemBandwidth) * 0.7)
+	// Execute the stage pipeline, publishing every span to the built-in
+	// observers plus any external subscribers.
+	lanes := groupLanes([]Stage{input, h2d, compute, allreduce, optimizer})
+	use := newUsageObserver()
+	tl := NewTimelineObserver(LaneCPU, LanePCIe, LaneGPU)
+	pub := make(publisher, 0, 2+len(obs))
+	pub = append(pub, use, tl)
+	pub = append(pub, obs...)
+	stepEnd := runPipeline(lanes, steps, pub)
 
-	// Input pipeline: dedicated worker cores (per GPU, or a fixed pool
-	// for single-process samplers).
-	totalCores := cfg.System.CPU.Cores * cfg.System.CPUSockets
-	var cores int
-	if j.FixedInputWorkers > 0 {
-		cores = j.FixedInputWorkers
+	// Steady-state step time over the back half of the run.
+	half := steps / 2
+	if half < 1 {
+		half = 1
+	}
+	var stepTime float64
+	if steps > half {
+		stepTime = (stepEnd[steps-1] - stepEnd[half-1]) / float64(steps-half)
 	} else {
-		workers := j.InputWorkersPerGPU
-		if workers < 1 {
-			workers = 1
-		}
-		cores = workers * g
+		stepTime = stepEnd[steps-1]
 	}
-	if cores > totalCores {
-		cores = totalCores
+	if stepTime <= 0 {
+		stepTime = gpuWork + ph.Input + ph.H2D
 	}
-	ph.Input = float64(globalB) * j.CPUSecondsPerSample / float64(cores)
-
-	// H2D: per-GPU payload over its host path, derated when several GPUs
-	// share the same CPU egress link.
-	sampleBytes := j.Net.InputBytes
-	if j.H2DBytesPerSample > 0 {
-		sampleBytes = j.H2DBytesPerSample
-	}
-	ph.H2D = h2dTime(cfg.System, gpus, units.Bytes(localB)*sampleBytes)
-
-	// All-reduce (multi-GPU only).
-	var cr comm.Result
-	if g > 1 {
-		var err error
-		if j.CommViaHost {
-			cr, err = comm.HostStagedAllReduce(cfg.System.Topo, gpus, j.Net.GradientBytes())
-		} else {
-			cr, err = comm.AllReduce(cfg.System.Topo, gpus, j.Net.GradientBytes())
-		}
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s on %s: %w", j.Name, cfg.System.Name, err)
-		}
-		ph.AllReduce = cr.Time
-		overlap := j.OverlapComm
-		if overlap < 0 {
-			overlap = 0
-		}
-		if overlap > 1 {
-			overlap = 1
-		}
-		// Comm hides under the backward pass: at most an `overlap`
-		// fraction of the collective, and never more than the overlap
-		// window the backward pass provides. Exposed time is therefore
-		// monotone in the collective's latency.
-		hidden := overlap * ph.Compute
-		if cap := ph.AllReduce * overlap; cap < hidden {
-			hidden = cap
-		}
-		ph.ExposedComm = ph.AllReduce - hidden
-	}
-
-	stepTime, cpuRes, pcieRes, gpuRes, span := runPipeline(ph, steps)
+	span := [2]float64{stepEnd[half-1], stepEnd[steps-1]}
 
 	stepsPerEpoch := j.Data.TrainSamples / globalB
 	if stepsPerEpoch < 1 {
@@ -286,20 +284,16 @@ func Run(cfg Config) (*Result, error) {
 		StepsPerEpoch: stepsPerEpoch,
 		TimeToTrain:   ttt,
 		Throughput:    float64(globalB) / stepTime,
-		Comm:          cr,
-		Timeline: &Timeline{Lanes: map[string][]Interval{
-			"cpu-input": cpuRes.Intervals,
-			"pcie-h2d":  pcieRes.Intervals,
-			"gpu":       gpuRes.Intervals,
-		}},
+		Comm:          allreduce.Comm,
+		Timeline:      tl.Timeline(),
 	}
 
 	// Utilizations over the steady-state span. Kernel-gap stalls
 	// (GPUIdleFrac) stretch the step but leave the SMs idle, so the
 	// dmon-style utilization counts only the un-inflated kernel time plus
 	// collective kernels.
-	gpuBusy := gpuRes.UtilizationOver(span[0], span[1])
-	busyWork := perSample*float64(localB)*imbalance + j.GPUFixedPerStep + ph.Optimizer + ph.ExposedComm
+	gpuBusy := use.utilizationOver(LaneGPU, span[0], span[1])
+	busyWork := compute.PerSample*float64(localB)*compute.Imbalance + j.GPUFixedPerStep + ph.Optimizer + ph.ExposedComm
 	if gpuWorkTotal := ph.Compute + ph.ExposedComm + ph.Optimizer; gpuWorkTotal > 0 {
 		gpuBusy *= busyWork / gpuWorkTotal
 	}
@@ -309,8 +303,9 @@ func Run(cfg Config) (*Result, error) {
 	res.GPUUtilTotal = units.Percent(gpuBusy * 100 * float64(g))
 	// CPU: input workers + serialized per-epoch work amortized per step +
 	// a small OS floor.
+	totalCores := cfg.System.CPU.Cores * cfg.System.CPUSockets
 	serialPerStep := j.HostSerialPerEpoch / float64(stepsPerEpoch)
-	coreSeconds := cpuRes.UtilizationOver(span[0], span[1])*float64(cores)*stepTime +
+	coreSeconds := use.utilizationOver(LaneCPU, span[0], span[1])*float64(input.Cores)*stepTime +
 		serialPerStep + 0.004*float64(totalCores)*stepTime
 	res.CPUUtil = units.Percent(coreSeconds / (stepTime * float64(totalCores)) * 100).Clamp(100)
 
@@ -322,66 +317,16 @@ func Run(cfg Config) (*Result, error) {
 	// kind. PCIe follows the paper's "sum over GPUs" semantics; NVLink is
 	// reported as the mean per-GPU rate, the closest consistent reading
 	// of the nvidia-smi lane counters (see EXPERIMENTS.md).
-	h2dBytesPerStep := float64(globalB) * float64(sampleBytes)
+	h2dBytesPerStep := float64(globalB) * float64(h2d.SampleBytes)
 	pcieBytes := h2dBytesPerStep
 	var nvlinkBytes float64
 	if g > 1 {
-		pcieBytes += float64(cr.TrafficByKind[hw.PCIe3])
-		nvlinkBytes = float64(cr.TrafficByKind[hw.NVLink]) / float64(g)
+		pcieBytes += float64(allreduce.Comm.TrafficByKind[hw.PCIe3])
+		nvlinkBytes = float64(allreduce.Comm.TrafficByKind[hw.NVLink]) / float64(g)
 	}
 	res.PCIeRate = units.BytesPerSecond(pcieBytes / stepTime)
 	res.NVLinkRate = units.BytesPerSecond(nvlinkBytes / stepTime)
 	return res, nil
-}
-
-// h2dTime computes the host-to-device copy time for one local batch,
-// accounting for GPUs that share a CPU egress link (e.g. four GPUs behind
-// one PLX switch divide a single x16 uplink).
-func h2dTime(s *hw.System, gpus []string, perGPUBytes units.Bytes) float64 {
-	if perGPUBytes <= 0 {
-		return 0
-	}
-	type egress struct{ a, b string }
-	shares := map[egress]int{}
-	paths := map[string]hw.Path{}
-	for _, gid := range gpus {
-		p := bestHostPath(s, gid)
-		paths[gid] = p
-		if len(p.Hops) >= 2 {
-			shares[egress{p.Hops[0], p.Hops[1]}]++
-		}
-	}
-	var worst float64
-	for _, gid := range gpus {
-		p := paths[gid]
-		bw := float64(p.Bottleneck)
-		if len(p.Hops) >= 2 {
-			if n := shares[egress{p.Hops[0], p.Hops[1]}]; n > 1 {
-				// The shared first hop caps each GPU to 1/n of it.
-				if shared := float64(p.Bottleneck) / float64(n); shared < bw {
-					bw = shared
-				}
-			}
-		}
-		if bw <= 0 {
-			continue
-		}
-		if t := float64(perGPUBytes) / bw; t > worst {
-			worst = t
-		}
-	}
-	return worst
-}
-
-// bestHostPath returns the widest path from any CPU to the GPU.
-func bestHostPath(s *hw.System, gpu string) hw.Path {
-	var best hw.Path
-	for _, c := range s.Topo.CPUs() {
-		if p, ok := s.Topo.WidestPath(c, gpu); ok && p.Bottleneck > best.Bottleneck {
-			best = p
-		}
-	}
-	return best
 }
 
 // hbmPerGPU estimates per-device memory: weights, gradients, optimizer
@@ -405,67 +350,4 @@ func hbmPerGPU(j *Job, gpu *hw.GPU, localB int) units.Bytes {
 		need = capFrac
 	}
 	return units.Bytes(need)
-}
-
-// prefetchDepth bounds how many batches the input pipeline may run ahead
-// of the GPU, like a framework's bounded prefetch queue; without the bound
-// a fast CPU would "complete" all input up front and its utilization would
-// read as zero in steady state.
-const prefetchDepth = 3
-
-// runPipeline simulates `steps` pipelined training iterations through the
-// three stations (CPU input, PCIe copy, GPU step) with the discrete-event
-// engine and returns the steady-state step time plus the station resources
-// and the measurement span.
-func runPipeline(ph Phases, steps int) (float64, *Resource, *Resource, *Resource, [2]float64) {
-	e := NewEngine()
-	cpu := &Resource{Name: "cpu"}
-	pcie := &Resource{Name: "pcie"}
-	gpu := &Resource{Name: "gpu"}
-
-	gpuWork := ph.Compute + ph.ExposedComm + ph.Optimizer
-	stepEnd := make([]float64, steps)
-
-	inflight := 0
-	next := 0
-	var tryLaunch func()
-	tryLaunch = func() {
-		for next < steps && inflight < prefetchDepth {
-			i := next
-			next++
-			inflight++
-			inDone := cpu.AcquireLabeled(e.Now(), ph.Input, fmt.Sprintf("input %d", i))
-			e.Schedule(inDone, func() {
-				cpDone := pcie.AcquireLabeled(e.Now(), ph.H2D, fmt.Sprintf("h2d %d", i))
-				e.Schedule(cpDone, func() {
-					gDone := gpu.AcquireLabeled(e.Now(), gpuWork, fmt.Sprintf("step %d", i))
-					e.Schedule(gDone, func() {
-						stepEnd[i] = e.Now()
-						inflight--
-						tryLaunch()
-					})
-				})
-			})
-			// Later inputs queue on the CPU resource behind this one, so
-			// launching them immediately is safe and keeps the pool busy.
-		}
-	}
-	tryLaunch()
-	e.Run()
-
-	half := steps / 2
-	if half < 1 {
-		half = 1
-	}
-	var stepTime float64
-	if steps > half {
-		stepTime = (stepEnd[steps-1] - stepEnd[half-1]) / float64(steps-half)
-	} else {
-		stepTime = stepEnd[steps-1]
-	}
-	if stepTime <= 0 {
-		stepTime = gpuWork + ph.Input + ph.H2D
-	}
-	span := [2]float64{stepEnd[half-1], stepEnd[steps-1]}
-	return stepTime, cpu, pcie, gpu, span
 }

@@ -199,25 +199,47 @@ func TestValidation(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Error("nil system accepted")
 	}
-	bad := testJob()
-	bad.Net = nil
-	if _, err := Run(Config{System: hw.T640(), Job: bad}); err == nil {
-		t.Error("nil network accepted")
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+		ok     bool
+	}{
+		{"valid", func(*Job) {}, true},
+		{"nil network", func(j *Job) { j.Net = nil }, false},
+		{"zero batch", func(j *Job) { j.BatchPerGPU = 0 }, false},
+		{"zero epochs", func(j *Job) { j.EpochsToTarget = 0 }, false},
+		{"empty dataset", func(j *Job) { j.Data.TrainSamples = 0 }, false},
+		{"overlap below range", func(j *Job) { j.OverlapComm = -0.1 }, false},
+		{"overlap above range", func(j *Job) { j.OverlapComm = 1.5 }, false},
+		{"overlap at bounds", func(j *Job) { j.OverlapComm = 1 }, true},
+		{"act-live below range", func(j *Job) { j.ActLiveFrac = -0.01 }, false},
+		{"act-live above range", func(j *Job) { j.ActLiveFrac = 2 }, false},
+		{"act-live zero means full", func(j *Job) { j.ActLiveFrac = 0 }, true},
+		{"idle below range", func(j *Job) { j.GPUIdleFrac = -1 }, false},
+		{"idle above range", func(j *Job) { j.GPUIdleFrac = 1.01 }, false},
+		{"imbalance below range", func(j *Job) { j.Imbalance = -0.5 }, false},
+		{"imbalance above range", func(j *Job) { j.Imbalance = 3 }, false},
+		{"imbalance NaN", func(j *Job) { j.Imbalance = math.NaN() }, false},
+		{"knobs at one", func(j *Job) {
+			j.OverlapComm, j.ActLiveFrac, j.GPUIdleFrac, j.Imbalance = 1, 1, 1, 1
+		}, true},
 	}
-	bad = testJob()
-	bad.BatchPerGPU = 0
-	if _, err := Run(Config{System: hw.T640(), Job: bad}); err == nil {
-		t.Error("zero batch accepted")
-	}
-	bad = testJob()
-	bad.EpochsToTarget = 0
-	if _, err := Run(Config{System: hw.T640(), Job: bad}); err == nil {
-		t.Error("zero epochs accepted")
-	}
-	bad = testJob()
-	bad.Data.TrainSamples = 0
-	if _, err := Run(Config{System: hw.T640(), Job: bad}); err == nil {
-		t.Error("empty dataset accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := testJob()
+			tc.mutate(&j)
+			err := j.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("invalid job accepted")
+			}
+			// Run enforces the same validation.
+			if _, runErr := Run(Config{System: hw.T640(), Job: j}); (runErr == nil) != tc.ok {
+				t.Errorf("Run validation disagrees: %v", runErr)
+			}
+		})
 	}
 }
 

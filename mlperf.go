@@ -95,6 +95,28 @@ func Simulate(system *System, gpus int, b Benchmark) (*SimResult, error) {
 // or calibration).
 func SimulateJob(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
+// SimEvent is one typed stage event from the simulator's event bus: an
+// input-prepare, H2D copy, compute, all-reduce, optimizer or step-done
+// span with its lane, step, time bounds, bytes moved and FLOPs executed.
+type SimEvent = sim.Event
+
+// SimObserver receives every SimEvent of a run as it is published.
+// Implementations must not block; they watch the simulation, they do not
+// steer it.
+type SimObserver = sim.Observer
+
+// SimEventLog is a ready-made observer that records the full event
+// stream in publication order.
+type SimEventLog = sim.EventLog
+
+// SimulateObserved runs one benchmark like Simulate but additionally
+// publishes the run's typed event stream to the given observers — the
+// hook the profiling toolchain uses to derive dstat/dmon/nvprof views
+// and Chrome traces from a single simulation instead of re-running it.
+func SimulateObserved(system *System, gpus int, b Benchmark, obs ...SimObserver) (*SimResult, error) {
+	return sim.RunObserved(sim.Config{System: system, GPUCount: gpus, Job: b.Job}, obs...)
+}
+
 // ---- Experiments (one per paper table/figure) ----
 
 // Table2 renders the benchmark inventory.
