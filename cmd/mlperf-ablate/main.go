@@ -21,7 +21,12 @@ import (
 func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
-	sweep.Default.SetWorkers(*workers)
+	w, err := sweep.ValidateWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-ablate:", err)
+		os.Exit(2)
+	}
+	sweep.Default.SetWorkers(w)
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)

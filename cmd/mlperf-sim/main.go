@@ -29,7 +29,12 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
 	flag.Usage = func() { usage() }
 	flag.Parse()
-	sweep.Default.SetWorkers(*workers)
+	w, err := sweep.ValidateWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-sim:", err)
+		os.Exit(2)
+	}
+	sweep.Default.SetWorkers(w)
 	if err := run(flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sim:", err)
 		os.Exit(1)

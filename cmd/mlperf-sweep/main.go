@@ -5,19 +5,30 @@
 //	mlperf-sweep -bench res50_tf,ncf_py -system dss8440,dgx1 -gpus 1,2,4,8
 //	mlperf-sweep -bench res50_tf -gpus 8 -precision fp32,mixed -out amp.csv
 //	mlperf-sweep -workers 4 -bench res50_tf -gpus 1,2,4,8
+//	mlperf-sweep -bench gnmt_py -gpus 4 -faults plan.json -cell-timeout 30s -retries 2 -partial
 //
 // Cells run concurrently on the sweep engine's worker pool (-workers,
 // default GOMAXPROCS); -seq forces the sequential reference path. Output
 // order and values are identical either way.
+//
+// The hardened path engages when any of -faults, -cell-timeout, -retries
+// or -partial is set: each cell runs with panic containment, the given
+// per-attempt timeout and bounded exponential-backoff retry. With
+// -partial the sweep degrades gracefully — completed cells are written,
+// failed cells are reported to stderr as typed errors, and the exit
+// status reflects whether everything completed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"mlperf/internal/fault"
 	"mlperf/internal/sweep"
 )
 
@@ -30,53 +41,134 @@ func main() {
 	out := flag.String("out", "", "CSV output path (default: stdout)")
 	workers := flag.Int("workers", 0, "max concurrent cells (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run cells sequentially without the cache (reference path)")
+	faults := flag.String("faults", "", "JSON fault-plan file applied to every cell")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell attempt deadline (0 = unbounded)")
+	retries := flag.Int("retries", 0, "retry budget per cell for panics and timeouts")
+	partial := flag.Bool("partial", false, "keep going past failed cells; write completed cells and report the rest")
 	flag.Parse()
 
-	sweep.Default.SetWorkers(*workers)
-	if err := run(*bench, *system, *gpus, *batch, *prec, *out, *seq); err != nil {
+	w, err := sweep.ValidateWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-sweep:", err)
+		os.Exit(2)
+	}
+	sweep.Default.SetWorkers(w)
+	cfg := runConfig{
+		bench: *bench, system: *system, gpus: *gpus, batch: *batch, prec: *prec,
+		out: *out, seq: *seq, faults: *faults,
+		cellTimeout: *cellTimeout, retries: *retries, partial: *partial,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, system, gpus, batch, prec, out string, seq bool) error {
+type runConfig struct {
+	bench, system, gpus, batch, prec, out, faults string
+	seq, partial                                  bool
+	cellTimeout                                   time.Duration
+	retries                                       int
+}
+
+func run(cfg runConfig) error {
 	g := sweep.Grid{
-		Benchmarks: splitList(bench),
-		Systems:    splitList(system),
-		Precisions: splitList(prec),
+		Benchmarks: splitList(cfg.bench),
+		Systems:    splitList(cfg.system),
+		Precisions: splitList(cfg.prec),
 	}
 	var err error
-	if g.GPUCounts, err = splitInts(gpus); err != nil {
+	if g.GPUCounts, err = splitInts(cfg.gpus); err != nil {
 		return err
 	}
-	if g.BatchPerGPU, err = splitInts(batch); err != nil {
+	if g.BatchPerGPU, err = splitInts(cfg.batch); err != nil {
 		return err
+	}
+	if cfg.faults != "" {
+		raw, err := os.ReadFile(cfg.faults)
+		if err != nil {
+			return err
+		}
+		plan, err := fault.Parse(string(raw))
+		if err != nil {
+			return fmt.Errorf("-faults %s: %w", cfg.faults, err)
+		}
+		if g.Faults, err = plan.Canon(); err != nil {
+			return fmt.Errorf("-faults %s: %w", cfg.faults, err)
+		}
 	}
 
-	runGrid := sweep.Run
-	if seq {
-		runGrid = sweep.RunSequential
+	hardened := cfg.cellTimeout > 0 || cfg.retries > 0 || cfg.partial
+	var recs []sweep.Record
+	var report *sweep.Report
+	switch {
+	case cfg.seq:
+		if hardened {
+			return fmt.Errorf("-seq is the plain reference path; it cannot combine with -cell-timeout/-retries/-partial")
+		}
+		recs, err = sweep.RunSequential(g)
+	case hardened:
+		recs, report, err = sweep.Default.RunWithOptions(context.Background(), g, sweep.Options{
+			CellTimeout: cfg.cellTimeout,
+			Retries:     cfg.retries,
+			Partial:     cfg.partial,
+		})
+	default:
+		recs, err = sweep.Run(g)
 	}
-	recs, err := runGrid(g)
 	if err != nil {
 		return err
 	}
+
 	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
+	if report != nil && report.Failed() {
+		// Graceful degradation: drop the failed cells' zero records so the
+		// CSV holds exactly the completed cells, then surface the failures.
+		kept := recs[:0]
+		failed := make(map[int]bool, len(report.Failures))
+		for _, ce := range report.Failures {
+			failed[ce.Index] = true
+		}
+		for i, r := range recs {
+			if !failed[i] {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
 	if err := sweep.WriteCSV(w, recs); err != nil {
 		return err
 	}
-	if out != "" {
-		fmt.Printf("wrote %d sweep cells to %s\n", len(recs), out)
+	if cfg.out != "" {
+		fmt.Printf("wrote %d sweep cells to %s\n", len(recs), cfg.out)
+	}
+	if report != nil {
+		if report.RetriesUsed > 0 {
+			fmt.Fprintf(os.Stderr, "mlperf-sweep: %d retr%s used\n", report.RetriesUsed, plural(report.RetriesUsed, "y", "ies"))
+		}
+		for _, ce := range report.Failures {
+			fmt.Fprintln(os.Stderr, "mlperf-sweep:", ce)
+		}
+		if report.Failed() {
+			return fmt.Errorf("%d of %d cells failed", len(report.Failures), report.Cells)
+		}
 	}
 	return nil
+}
+
+func plural(n int64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mlperf/internal/fault"
+	"mlperf/internal/report"
+	"mlperf/internal/sweep"
+)
+
+// FaultSeverities are the straggler slowdown factors of the
+// fault-sensitivity study (1.0 = fault-free baseline).
+var FaultSeverities = []float64{1.0, 1.25, 1.5, 2.0, 3.0}
+
+// FaultSensitivityBench is the benchmark the study stresses. GNMT is
+// the paper's most interconnect-sensitive workload (Figure 5 reports
+// the largest NVLink gain for translation), so straggler × topology
+// interactions show clearly.
+const FaultSensitivityBench = "gnmt_py"
+
+// FaultRow is one straggler severity level across the five Figure 5
+// topologies: how much a slow GPU lane inflates 4-GPU time-to-train on
+// each interconnect.
+type FaultRow struct {
+	// Severity is the gpu-lane slowdown factor.
+	Severity float64
+	// Minutes maps system name to time-to-train minutes.
+	Minutes map[string]float64
+	// InflationPct maps system name to the percent increase over that
+	// system's fault-free baseline.
+	InflationPct map[string]float64
+}
+
+// FaultSensitivity sweeps straggler severity against interconnect
+// topology — the fault-model echo of Figure 5: every severity runs the
+// study benchmark on all five 4-GPU platforms with the gpu lane slowed
+// by the severity factor. Cells run on the shared sweep engine, so the
+// severity-1.0 baseline is shared with any Figure 5 run in the same
+// process.
+func FaultSensitivity() ([]FaultRow, error) {
+	systems := TopologySystems()
+	var keys []sweep.CellKey
+	for _, sev := range FaultSeverities {
+		plan := &fault.Plan{}
+		if sev > 1 {
+			plan.Stragglers = []fault.Straggler{{Lane: "gpu", Factor: sev}}
+		}
+		canon, err := plan.Canon()
+		if err != nil {
+			return nil, fmt.Errorf("faults: severity %v: %w", sev, err)
+		}
+		for _, sys := range systems {
+			keys = append(keys, sweep.CellKey{
+				Benchmark: FaultSensitivityBench,
+				System:    sys.Name,
+				GPUs:      4,
+				Faults:    canon,
+			})
+		}
+	}
+	recs, err := runCells(keys)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	rows := make([]FaultRow, len(FaultSeverities))
+	for i, sev := range FaultSeverities {
+		row := FaultRow{Severity: sev, Minutes: map[string]float64{}, InflationPct: map[string]float64{}}
+		for j, sys := range systems {
+			row.Minutes[sys.Name] = recs[i*len(systems)+j].TimeToTrainMin
+		}
+		rows[i] = row
+	}
+	for i := range rows {
+		for name, base := range rows[0].Minutes {
+			if base > 0 {
+				rows[i].InflationPct[name] = (rows[i].Minutes[name]/base - 1) * 100
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFaultSensitivity renders the severity × topology matrix.
+func RenderFaultSensitivity(rows []FaultRow) string {
+	systems := TopologySystems()
+	headers := []string{"Straggler"}
+	for _, s := range systems {
+		headers = append(headers, s.Name+" (min)")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fault sensitivity — %s 4-GPU time-to-train vs gpu straggler severity by interconnect", FaultSensitivityBench),
+		headers...)
+	for _, r := range rows {
+		row := []string{fmt.Sprintf("x%.2f", r.Severity)}
+		for _, s := range systems {
+			row = append(row, fmt.Sprintf("%.0f (+%.0f%%)", r.Minutes[s.Name], r.InflationPct[s.Name]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// WriteFaultSensitivityCSV emits the study as flat CSV.
+func WriteFaultSensitivityCSV(out io.Writer, rows []FaultRow) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"benchmark", "severity", "system", "minutes", "inflation_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, sys := range TopologySystems() {
+			if err := w.Write([]string{
+				FaultSensitivityBench,
+				strconv.FormatFloat(r.Severity, 'f', 2, 64),
+				sys.Name,
+				ff(r.Minutes[sys.Name]),
+				ff(r.InflationPct[sys.Name]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFaultSensitivityMonotone(t *testing.T) {
+	rows, err := FaultSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FaultSeverities) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(FaultSeverities))
+	}
+	systems := TopologySystems()
+	if len(systems) == 0 {
+		t.Fatal("no topology systems")
+	}
+	// Per interconnect, TTT must rise strictly with straggler severity,
+	// from a zero-inflation baseline.
+	for _, sys := range systems {
+		if got := rows[0].InflationPct[sys.Name]; got != 0 {
+			t.Errorf("%s: baseline inflation %v%%, want 0", sys.Name, got)
+		}
+		prev := 0.0
+		for _, r := range rows {
+			m := r.Minutes[sys.Name]
+			if m <= prev {
+				t.Errorf("%s severity %v: %v min not above %v", sys.Name, r.Severity, m, prev)
+			}
+			prev = m
+		}
+	}
+	// A straggler stretching the whole gpu lane must inflate TTT by at
+	// least roughly the severity itself.
+	last := rows[len(rows)-1]
+	for _, sys := range systems {
+		if last.InflationPct[sys.Name] < (last.Severity-1)*50 {
+			t.Errorf("%s: x%v straggler inflated only %v%%", sys.Name, last.Severity, last.InflationPct[sys.Name])
+		}
+	}
+}
+
+func TestFaultSensitivityOutputs(t *testing.T) {
+	rows, err := FaultSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RenderFaultSensitivity(rows)
+	if !strings.Contains(text, "Fault sensitivity") || !strings.Contains(text, "x3.00") {
+		t.Errorf("render missing content:\n%s", text)
+	}
+	var buf bytes.Buffer
+	if err := WriteFaultSensitivityCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.HasPrefix(csv, "benchmark,severity,system,minutes,inflation_pct\n") {
+		t.Errorf("bad CSV header:\n%s", csv)
+	}
+	wantLines := 1 + len(rows)*len(TopologySystems())
+	if got := strings.Count(csv, "\n"); got != wantLines {
+		t.Errorf("CSV has %d lines, want %d", got, wantLines)
+	}
+}

@@ -1,0 +1,452 @@
+// Package fault is the deterministic fault model for the training
+// simulator: a Plan declares straggler lanes, degraded or flapping
+// interconnect links, transient kernel failures with retry cost, node
+// preemptions at given simulated times, and a checkpoint/restart cost
+// model. Plans are pure data — seed-driven and free of wall-clock or
+// global randomness — so the same plan compiled against the same
+// pipeline always yields the same schedule, which is what makes fault
+// runs replayable byte for byte across processes and worker counts.
+//
+// The simulator compiles a Plan against its stage pipeline (one Target
+// per stage) into a Schedule of per-stage, per-step service-time
+// multipliers and retry draws; checkpoint and preemption economics stay
+// on the Plan and are charged by the simulator's time-to-train
+// accounting (see internal/sim).
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"mlperf/internal/units"
+)
+
+// Straggler slows one pipeline station down by a constant factor over a
+// step range — the "one slow worker" failure mode synchronized data
+// parallelism is maximally exposed to.
+type Straggler struct {
+	// Lane names the station (lane name such as "gpu", or a stage kind
+	// such as "compute") the slowdown applies to.
+	Lane string
+	// Factor multiplies the station's service time (>= 1).
+	Factor float64
+	// FromStep/ToStep bound the affected steps as [From, To); ToStep 0
+	// means "until the end of the run".
+	FromStep, ToStep int
+}
+
+// LinkFault derates an interconnect-bound station to a fraction of its
+// bandwidth, optionally flapping on a fixed step period.
+type LinkFault struct {
+	// Lane names the degraded station ("pcie-h2d", or a stage kind such
+	// as "allreduce" to hit only the collective).
+	Lane string
+	// BandwidthFrac is the remaining bandwidth fraction in (0, 1]; the
+	// affected service time is divided by it.
+	BandwidthFrac float64
+	// Period and Up describe flapping: the link is degraded for Up steps
+	// out of every Period. Period 0 means permanently degraded.
+	Period, Up int
+}
+
+// Transient injects retryable kernel failures: each step the targeted
+// stage fails with probability Prob, and every failure costs one fixed
+// RetryCost plus a re-execution of the stage.
+type Transient struct {
+	// Lane names the affected station or stage kind.
+	Lane string
+	// Prob is the per-step failure probability in [0, 1).
+	Prob float64
+	// RetryCost is the fixed seconds lost per retry attempt (error
+	// detection, re-launch) on top of re-executing the stage.
+	RetryCost float64
+	// MaxRetries caps retries per step (0 = default 3).
+	MaxRetries int
+}
+
+// Preemption takes the node away at a simulated time; the run resumes
+// after RestartDelay plus replay of the work lost since the last
+// checkpoint (per the Plan's Checkpoint policy).
+type Preemption struct {
+	// At is the preemption's simulated time in seconds.
+	At float64
+	// RestartDelay is the re-provision + restore time in seconds.
+	RestartDelay float64
+}
+
+// Checkpoint is the checkpoint/restart cost model: periodic snapshots
+// buy a bounded replay window at the price of a per-interval write.
+type Checkpoint struct {
+	// Interval is seconds of training between snapshots (0 = no
+	// checkpointing: a preemption replays the run from scratch).
+	Interval float64
+	// SnapshotBytes is the snapshot size; 0 derives it from the model's
+	// parameter + optimizer-state footprint.
+	SnapshotBytes units.Bytes
+	// WriteBW is the snapshot write bandwidth (0 = 2 GB/s).
+	WriteBW units.BytesPerSecond
+	// ReplayFrac is the fraction of lost wall time replayed on restart
+	// in [0, 1] (1 = full recompute of the lost window).
+	ReplayFrac float64
+}
+
+// defaultWriteBW is the snapshot write bandwidth assumed when the plan
+// leaves Checkpoint.WriteBW zero — a local NVMe-class 2 GB/s.
+const defaultWriteBW = units.BytesPerSecond(2 * units.GB)
+
+// defaultMaxRetries caps a Transient's retries per step when the plan
+// leaves MaxRetries zero.
+const defaultMaxRetries = 3
+
+// Plan is a full fault scenario. The zero Plan is valid and empty:
+// simulating with it is exactly the fault-free path.
+type Plan struct {
+	// Seed drives every random draw (transient failures). Equal plans
+	// with equal seeds replay identically.
+	Seed int64
+	Stragglers  []Straggler
+	Links       []LinkFault
+	Transients  []Transient
+	Preemptions []Preemption
+	Checkpoint  Checkpoint
+}
+
+// Empty reports whether the plan injects nothing — the simulator routes
+// empty plans through the unmodified fault-free pipeline.
+func (p *Plan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	return len(p.Stragglers) == 0 && len(p.Links) == 0 &&
+		len(p.Transients) == 0 && len(p.Preemptions) == 0 &&
+		p.Checkpoint.Interval == 0
+}
+
+// bad reports a non-finite or out-of-domain float.
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// Validate reports the first configuration error. A valid plan can
+// never produce NaN or negative service times.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, s := range p.Stragglers {
+		if bad(s.Factor) || s.Factor < 1 {
+			return fmt.Errorf("fault: straggler %d factor %v (want >= 1)", i, s.Factor)
+		}
+		if s.FromStep < 0 || s.ToStep < 0 {
+			return fmt.Errorf("fault: straggler %d negative step bound", i)
+		}
+		if s.ToStep > 0 && s.ToStep <= s.FromStep {
+			return fmt.Errorf("fault: straggler %d empty step range [%d, %d)", i, s.FromStep, s.ToStep)
+		}
+		if strings.TrimSpace(s.Lane) == "" {
+			return fmt.Errorf("fault: straggler %d has no lane", i)
+		}
+	}
+	for i, l := range p.Links {
+		if bad(l.BandwidthFrac) || l.BandwidthFrac <= 0 || l.BandwidthFrac > 1 {
+			return fmt.Errorf("fault: link %d bandwidth fraction %v outside (0,1]", i, l.BandwidthFrac)
+		}
+		if l.Period < 0 || l.Up < 0 || (l.Period > 0 && l.Up > l.Period) {
+			return fmt.Errorf("fault: link %d flap %d/%d invalid", i, l.Up, l.Period)
+		}
+		if strings.TrimSpace(l.Lane) == "" {
+			return fmt.Errorf("fault: link %d has no lane", i)
+		}
+	}
+	for i, tr := range p.Transients {
+		if bad(tr.Prob) || tr.Prob < 0 || tr.Prob >= 1 {
+			return fmt.Errorf("fault: transient %d probability %v outside [0,1)", i, tr.Prob)
+		}
+		if bad(tr.RetryCost) || tr.RetryCost < 0 {
+			return fmt.Errorf("fault: transient %d retry cost %v", i, tr.RetryCost)
+		}
+		if tr.MaxRetries < 0 {
+			return fmt.Errorf("fault: transient %d negative retry cap", i)
+		}
+		if strings.TrimSpace(tr.Lane) == "" {
+			return fmt.Errorf("fault: transient %d has no lane", i)
+		}
+	}
+	for i, pr := range p.Preemptions {
+		if bad(pr.At) || pr.At < 0 {
+			return fmt.Errorf("fault: preemption %d at %v", i, pr.At)
+		}
+		if bad(pr.RestartDelay) || pr.RestartDelay < 0 {
+			return fmt.Errorf("fault: preemption %d restart delay %v", i, pr.RestartDelay)
+		}
+	}
+	c := p.Checkpoint
+	if bad(c.Interval) || c.Interval < 0 {
+		return fmt.Errorf("fault: checkpoint interval %v", c.Interval)
+	}
+	if c.SnapshotBytes < 0 {
+		return fmt.Errorf("fault: checkpoint snapshot %v bytes", int64(c.SnapshotBytes))
+	}
+	if c.WriteBW < 0 {
+		return fmt.Errorf("fault: checkpoint write bandwidth %v", float64(c.WriteBW))
+	}
+	if bad(c.ReplayFrac) || c.ReplayFrac < 0 || c.ReplayFrac > 1 {
+		return fmt.Errorf("fault: checkpoint replay fraction %v outside [0,1]", c.ReplayFrac)
+	}
+	return nil
+}
+
+// Canon validates the plan and returns its canonical JSON encoding —
+// the string form sweep cell keys embed, so equal plans hash equally in
+// the memo cache. An empty plan canonicalizes to "".
+func (p *Plan) Canon() (string, error) {
+	if p.Empty() {
+		return "", nil
+	}
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Parse decodes a plan from its JSON form ("" yields an empty plan) and
+// validates it.
+func Parse(s string) (*Plan, error) {
+	p := &Plan{}
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	if err := json.Unmarshal([]byte(s), p); err != nil {
+		return nil, fmt.Errorf("fault: bad plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CheckpointCost returns the seconds one snapshot write costs, deriving
+// the snapshot size from modelBytes when the plan does not fix it.
+func (p *Plan) CheckpointCost(modelBytes units.Bytes) float64 {
+	if p == nil || p.Checkpoint.Interval <= 0 {
+		return 0
+	}
+	bytes := p.Checkpoint.SnapshotBytes
+	if bytes <= 0 {
+		bytes = modelBytes
+	}
+	bw := p.Checkpoint.WriteBW
+	if bw <= 0 {
+		bw = defaultWriteBW
+	}
+	return float64(bytes) / float64(bw)
+}
+
+// RestartCost returns the seconds one preemption at time `at` costs on
+// top of the lost progress: the restart delay plus replay of the wall
+// time since the last checkpoint (the whole run when checkpointing is
+// off).
+func (p *Plan) RestartCost(pr Preemption) float64 {
+	lost := pr.At
+	if iv := p.Checkpoint.Interval; iv > 0 {
+		lost = math.Mod(pr.At, iv)
+	}
+	return pr.RestartDelay + p.Checkpoint.ReplayFrac*lost
+}
+
+// Target identifies one pipeline stage at compile time: the lane it
+// occupies and its kind label. Plan entries match a target when their
+// Lane equals either field.
+type Target struct {
+	Lane, Kind string
+}
+
+// matches reports whether a fault naming `where` hits the target.
+func (t Target) matches(where string) bool {
+	return where == t.Lane || where == t.Kind
+}
+
+// Activation is a fault turning on at a step — the simulator publishes
+// one FaultInjected marker per activation so traces show onset edges,
+// not one marker per affected step.
+type Activation struct {
+	// Step is the first affected step of this activation edge.
+	Step int
+	// Note is the human-readable description ("straggler gpu x2.00").
+	Note string
+}
+
+// Schedule is a Plan compiled against a concrete pipeline: per-target,
+// per-step service multipliers and retry draws, plus activation edges.
+// A Schedule is immutable after Compile and safe to share.
+type Schedule struct {
+	plan    *Plan
+	targets []Target
+	steps   int
+	// mult[t][s] scales target t's service at step s (1 = untouched).
+	mult [][]float64
+	// retries[t][s] is the retry count drawn for target t at step s.
+	retries [][]int
+	// retryCost[t] is the fixed per-retry cost for target t.
+	retryCost []float64
+	// activations[t] are target t's fault onset edges in step order.
+	activations [][]Activation
+}
+
+// Compile resolves the plan against a pipeline of targets over the
+// given step count. The plan must be valid; compilation is pure and
+// deterministic in (plan, targets, steps).
+func (p *Plan) Compile(targets []Target, steps int) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("fault: negative step count %d", steps)
+	}
+	s := &Schedule{
+		plan:        p,
+		targets:     targets,
+		steps:       steps,
+		mult:        make([][]float64, len(targets)),
+		retries:     make([][]int, len(targets)),
+		retryCost:   make([]float64, len(targets)),
+		activations: make([][]Activation, len(targets)),
+	}
+	for t := range targets {
+		s.mult[t] = make([]float64, steps)
+		for i := range s.mult[t] {
+			s.mult[t][i] = 1
+		}
+		s.retries[t] = make([]int, steps)
+	}
+
+	for _, str := range p.Stragglers {
+		to := str.ToStep
+		if to <= 0 || to > steps {
+			to = steps
+		}
+		for t, tgt := range targets {
+			if !tgt.matches(str.Lane) {
+				continue
+			}
+			if str.FromStep < to {
+				s.activations[t] = append(s.activations[t], Activation{
+					Step: str.FromStep,
+					Note: fmt.Sprintf("straggler %s x%.2f", str.Lane, str.Factor),
+				})
+			}
+			for step := str.FromStep; step < to; step++ {
+				s.mult[t][step] *= str.Factor
+			}
+		}
+	}
+
+	for _, l := range p.Links {
+		slow := 1 / l.BandwidthFrac
+		for t, tgt := range targets {
+			if !tgt.matches(l.Lane) {
+				continue
+			}
+			note := fmt.Sprintf("degraded link %s bw x%.2f", l.Lane, l.BandwidthFrac)
+			prev := false
+			for step := 0; step < steps; step++ {
+				on := true
+				if l.Period > 0 {
+					on = step%l.Period < l.Up
+				}
+				if on && !prev {
+					s.activations[t] = append(s.activations[t], Activation{Step: step, Note: note})
+				}
+				if on {
+					s.mult[t][step] *= slow
+				}
+				prev = on
+			}
+		}
+	}
+
+	// Transient draws consume the seeded stream in (transient, target,
+	// step) order — a fixed traversal, so the same plan always draws the
+	// same failures regardless of who runs the simulation.
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, tr := range p.Transients {
+		limit := tr.MaxRetries
+		if limit <= 0 {
+			limit = defaultMaxRetries
+		}
+		for t, tgt := range targets {
+			if !tgt.matches(tr.Lane) {
+				continue
+			}
+			s.retryCost[t] = tr.RetryCost
+			for step := 0; step < steps; step++ {
+				n := 0
+				for n < limit && rng.Float64() < tr.Prob {
+					n++
+				}
+				if n > 0 {
+					s.retries[t][step] += n
+					s.activations[t] = append(s.activations[t], Activation{
+						Step: step,
+						Note: fmt.Sprintf("transient %s x%d", tr.Lane, n),
+					})
+				}
+			}
+		}
+	}
+
+	// Stacked faults multiply; reject a schedule whose product escaped
+	// the finite domain rather than hand the simulator an Inf service
+	// time.
+	for t := range targets {
+		for step := 0; step < steps; step++ {
+			if bad(s.mult[t][step]) {
+				return nil, fmt.Errorf("fault: stacked multipliers overflow on %s at step %d", targets[t].Lane, step)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Plan returns the compiled plan.
+func (s *Schedule) Plan() *Plan { return s.plan }
+
+// Steps returns the compiled step count.
+func (s *Schedule) Steps() int { return s.steps }
+
+// Mult returns target t's service multiplier at step (1 outside the
+// compiled range).
+func (s *Schedule) Mult(t, step int) float64 {
+	if t < 0 || t >= len(s.mult) || step < 0 || step >= s.steps {
+		return 1
+	}
+	return s.mult[t][step]
+}
+
+// Retries returns target t's retry count and fixed per-retry cost at
+// step.
+func (s *Schedule) Retries(t, step int) (n int, cost float64) {
+	if t < 0 || t >= len(s.retries) || step < 0 || step >= s.steps {
+		return 0, 0
+	}
+	return s.retries[t][step], s.retryCost[t]
+}
+
+// ActivationsAt returns target t's fault onsets at exactly this step.
+func (s *Schedule) ActivationsAt(t, step int) []Activation {
+	if t < 0 || t >= len(s.activations) {
+		return nil
+	}
+	var out []Activation
+	for _, a := range s.activations[t] {
+		if a.Step == step {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mlperf/internal/units"
+)
+
+// pipe is the target layout tests compile against: the simulator's
+// three lanes with their stage kinds.
+func pipe() []Target {
+	return []Target{
+		{Lane: "cpu-input", Kind: "input"},
+		{Lane: "pcie-h2d", Kind: "h2d"},
+		{Lane: "gpu", Kind: "compute"},
+		{Lane: "gpu", Kind: "allreduce"},
+		{Lane: "gpu", Kind: "optimizer"},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty", Plan{}, true},
+		{"straggler", Plan{Stragglers: []Straggler{{Lane: "gpu", Factor: 2}}}, true},
+		{"straggler factor<1", Plan{Stragglers: []Straggler{{Lane: "gpu", Factor: 0.5}}}, false},
+		{"straggler NaN", Plan{Stragglers: []Straggler{{Lane: "gpu", Factor: nan}}}, false},
+		{"straggler no lane", Plan{Stragglers: []Straggler{{Factor: 2}}}, false},
+		{"straggler empty range", Plan{Stragglers: []Straggler{{Lane: "gpu", Factor: 2, FromStep: 5, ToStep: 5}}}, false},
+		{"straggler negative step", Plan{Stragglers: []Straggler{{Lane: "gpu", Factor: 2, FromStep: -1}}}, false},
+		{"link", Plan{Links: []LinkFault{{Lane: "pcie-h2d", BandwidthFrac: 0.5}}}, true},
+		{"link frac 0", Plan{Links: []LinkFault{{Lane: "pcie-h2d", BandwidthFrac: 0}}}, false},
+		{"link frac >1", Plan{Links: []LinkFault{{Lane: "pcie-h2d", BandwidthFrac: 1.5}}}, false},
+		{"link flap up>period", Plan{Links: []LinkFault{{Lane: "pcie-h2d", BandwidthFrac: 0.5, Period: 4, Up: 5}}}, false},
+		{"transient", Plan{Transients: []Transient{{Lane: "compute", Prob: 0.1, RetryCost: 0.01}}}, true},
+		{"transient prob 1", Plan{Transients: []Transient{{Lane: "compute", Prob: 1}}}, false},
+		{"transient negative cost", Plan{Transients: []Transient{{Lane: "compute", Prob: 0.1, RetryCost: -1}}}, false},
+		{"preemption", Plan{Preemptions: []Preemption{{At: 10, RestartDelay: 30}}}, true},
+		{"preemption negative", Plan{Preemptions: []Preemption{{At: -1}}}, false},
+		{"preemption inf delay", Plan{Preemptions: []Preemption{{At: 1, RestartDelay: math.Inf(1)}}}, false},
+		{"checkpoint", Plan{Checkpoint: Checkpoint{Interval: 60, ReplayFrac: 1}}, true},
+		{"checkpoint replay >1", Plan{Checkpoint: Checkpoint{Interval: 60, ReplayFrac: 1.5}}, false},
+		{"checkpoint NaN interval", Plan{Checkpoint: Checkpoint{Interval: nan}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestEmptyAndCanon(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan must be empty")
+	}
+	if !(&Plan{Seed: 42}).Empty() {
+		t.Error("a plan with only a seed injects nothing and must be empty")
+	}
+	c, err := (&Plan{}).Canon()
+	if err != nil || c != "" {
+		t.Errorf("empty plan Canon() = %q, %v; want \"\", nil", c, err)
+	}
+
+	p := &Plan{Seed: 7, Stragglers: []Straggler{{Lane: "gpu", Factor: 2}}}
+	c1, err := p.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canon → Parse → Canon must be a fixed point.
+	p2, err := Parse(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p2.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Errorf("canonical form not stable:\n%s\n%s", c1, c2)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Errorf("round trip changed the plan: %+v vs %+v", p, p2)
+	}
+
+	if _, err := (&Plan{Stragglers: []Straggler{{Lane: "gpu", Factor: 0.1}}}).Canon(); err == nil {
+		t.Error("Canon must reject invalid plans")
+	}
+	if _, err := Parse(`{"Stragglers":[{"Lane":"gpu","Factor":0.1}]}`); err == nil {
+		t.Error("Parse must reject invalid plans")
+	}
+	if _, err := Parse("{not json"); err == nil {
+		t.Error("Parse must reject malformed JSON")
+	}
+}
+
+func TestCompileStraggler(t *testing.T) {
+	p := &Plan{Stragglers: []Straggler{{Lane: "gpu", Factor: 2, FromStep: 4, ToStep: 8}}}
+	s, err := p.Compile(pipe(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Targets 2,3,4 share the gpu lane; only steps [4,8) are scaled.
+	for tgt := 0; tgt < 5; tgt++ {
+		for step := 0; step < 16; step++ {
+			want := 1.0
+			if tgt >= 2 && step >= 4 && step < 8 {
+				want = 2.0
+			}
+			if got := s.Mult(tgt, step); got != want {
+				t.Fatalf("Mult(%d, %d) = %v, want %v", tgt, step, got, want)
+			}
+		}
+	}
+	// One activation edge per affected target, at the onset step.
+	for tgt := 2; tgt <= 4; tgt++ {
+		if acts := s.ActivationsAt(tgt, 4); len(acts) != 1 {
+			t.Errorf("target %d activations at step 4 = %d, want 1", tgt, len(acts))
+		}
+		if acts := s.ActivationsAt(tgt, 5); len(acts) != 0 {
+			t.Errorf("target %d re-announced at step 5", tgt)
+		}
+	}
+	// Out-of-range queries are identity.
+	if s.Mult(99, 0) != 1 || s.Mult(0, 99) != 1 || s.Mult(-1, -1) != 1 {
+		t.Error("out-of-range Mult must be 1")
+	}
+}
+
+func TestCompileKindMatch(t *testing.T) {
+	// Targeting the stage kind "allreduce" must hit only that stage, not
+	// its lane mates.
+	p := &Plan{Links: []LinkFault{{Lane: "allreduce", BandwidthFrac: 0.5}}}
+	s, err := p.Compile(pipe(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mult(3, 0); got != 2 {
+		t.Errorf("allreduce mult = %v, want 2 (1/0.5)", got)
+	}
+	if got := s.Mult(2, 0); got != 1 {
+		t.Errorf("compute mult = %v, want 1 (kind-targeted fault leaked)", got)
+	}
+}
+
+func TestCompileFlapping(t *testing.T) {
+	p := &Plan{Links: []LinkFault{{Lane: "pcie-h2d", BandwidthFrac: 0.5, Period: 4, Up: 2}}}
+	s, err := p.Compile(pipe(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 8; step++ {
+		want := 1.0
+		if step%4 < 2 {
+			want = 2.0
+		}
+		if got := s.Mult(1, step); got != want {
+			t.Errorf("step %d mult = %v, want %v", step, got, want)
+		}
+	}
+	// Each up-flap is one activation edge: steps 0 and 4.
+	if len(s.ActivationsAt(1, 0)) != 1 || len(s.ActivationsAt(1, 4)) != 1 {
+		t.Error("flap onsets missing")
+	}
+	if len(s.ActivationsAt(1, 1)) != 0 {
+		t.Error("continuing flap must not re-announce")
+	}
+}
+
+func TestCompileTransientDeterminism(t *testing.T) {
+	p := &Plan{Seed: 99, Transients: []Transient{{Lane: "compute", Prob: 0.5, RetryCost: 0.01}}}
+	a, err := p.Compile(pipe(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Compile(pipe(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for step := 0; step < 64; step++ {
+		na, ca := a.Retries(2, step)
+		nb, cb := b.Retries(2, step)
+		if na != nb || ca != cb {
+			t.Fatalf("step %d: draws differ across compiles: %d/%v vs %d/%v", step, na, ca, nb, cb)
+		}
+		if na > defaultMaxRetries {
+			t.Fatalf("step %d: %d retries above default cap", step, na)
+		}
+		total += na
+	}
+	if total == 0 {
+		t.Error("prob 0.5 over 64 steps drew no retries — the stream is dead")
+	}
+
+	// A different seed must draw a different failure pattern.
+	p2 := &Plan{Seed: 100, Transients: p.Transients}
+	c, err := p2.Compile(pipe(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for step := 0; step < 64; step++ {
+		na, _ := a.Retries(2, step)
+		nc, _ := c.Retries(2, step)
+		if na != nc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 99 and 100 drew identical failure patterns")
+	}
+}
+
+func TestCheckpointCost(t *testing.T) {
+	p := &Plan{Checkpoint: Checkpoint{Interval: 60, SnapshotBytes: 4 * units.GB, WriteBW: units.BytesPerSecond(2 * units.GB)}}
+	if got := p.CheckpointCost(0); got != 2 {
+		t.Errorf("CheckpointCost = %v, want 2s (4GB @ 2GB/s)", got)
+	}
+	// Snapshot size defaults to the model footprint.
+	p2 := &Plan{Checkpoint: Checkpoint{Interval: 60}}
+	if got := p2.CheckpointCost(2 * units.GB); got != 1 {
+		t.Errorf("derived CheckpointCost = %v, want 1s (2GB @ default 2GB/s)", got)
+	}
+	// No checkpointing → no cost.
+	if got := (&Plan{}).CheckpointCost(units.GB); got != 0 {
+		t.Errorf("no-checkpoint cost = %v, want 0", got)
+	}
+}
+
+func TestRestartCost(t *testing.T) {
+	p := &Plan{Checkpoint: Checkpoint{Interval: 60, ReplayFrac: 1}}
+	// Preempted at t=130 with 60s checkpoints: 10s since the last
+	// snapshot is replayed, plus the restart delay.
+	if got := p.RestartCost(Preemption{At: 130, RestartDelay: 30}); got != 40 {
+		t.Errorf("RestartCost = %v, want 40", got)
+	}
+	// Without checkpointing the whole run to that point is lost.
+	p2 := &Plan{Checkpoint: Checkpoint{ReplayFrac: 1}}
+	if got := p2.RestartCost(Preemption{At: 130, RestartDelay: 30}); got != 160 {
+		t.Errorf("no-checkpoint RestartCost = %v, want 160", got)
+	}
+}

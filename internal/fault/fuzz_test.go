@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse drives arbitrary bytes through the plan decoder and, when a
+// plan comes out, through Compile: decoding must never panic, and every
+// plan that passes validation must compile to finite, non-negative
+// schedule entries.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"Seed":3,"Stragglers":[{"Lane":"gpu","Factor":2}]}`)
+	f.Add(`{"Links":[{"Lane":"pcie-h2d","BandwidthFrac":0.25,"Period":8,"Up":3}]}`)
+	f.Add(`{"Transients":[{"Lane":"compute","Prob":0.3,"RetryCost":0.01,"MaxRetries":5}]}`)
+	f.Add(`{"Preemptions":[{"At":12.5,"RestartDelay":30}],"Checkpoint":{"Interval":60,"ReplayFrac":1}}`)
+	f.Add(`{"Stragglers":[{"Lane":"gpu","Factor":1e308}]}`)
+	f.Add(`{"Stragglers":[{"Lane":"gpu","Factor":-1}]}`)
+	f.Add(`{"Checkpoint":{"Interval":1e-300}}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return // rejected input is a correct outcome
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a plan Validate rejects: %v\ninput: %q", verr, s)
+		}
+		sched, err := p.Compile(pipe(), 16)
+		if err != nil {
+			return // stacked-multiplier overflow is a legitimate rejection
+		}
+		for tgt := 0; tgt < len(pipe()); tgt++ {
+			for step := 0; step < 16; step++ {
+				m := sched.Mult(tgt, step)
+				if math.IsNaN(m) || math.IsInf(m, 0) || m < 1 {
+					t.Fatalf("Mult(%d,%d) = %v from valid plan %q", tgt, step, m, s)
+				}
+				n, cost := sched.Retries(tgt, step)
+				if n < 0 || math.IsNaN(cost) || cost < 0 {
+					t.Fatalf("Retries(%d,%d) = %d, %v from valid plan %q", tgt, step, n, cost, s)
+				}
+			}
+		}
+	})
+}

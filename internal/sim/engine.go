@@ -123,6 +123,20 @@ func (r *Resource) AcquireSpan(at, dur float64) (start, end float64) {
 	return start, end
 }
 
+// Stall pushes the resource's next-free time dur seconds past at (or
+// past its current backlog) without recording a busy span — downtime,
+// not work. Fault injection uses it for preemption restarts: every
+// queued acquisition lands after the stall, but utilization accounting
+// does not see the gap as busy.
+func (r *Resource) Stall(at, dur float64) {
+	if r.freeAt < at {
+		r.freeAt = at
+	}
+	if dur > 0 {
+		r.freeAt += dur
+	}
+}
+
 // UtilizationOver returns the busy fraction during [from, to].
 func (r *Resource) UtilizationOver(from, to float64) float64 {
 	if to <= from {

@@ -24,6 +24,19 @@ const (
 	// EvStepDone marks a step's completion: Start == End == the time the
 	// step left the pipeline. It carries no lane occupancy.
 	EvStepDone
+	// EvFaultInjected marks a fault turning on (straggler onset, link
+	// degradation edge, transient failure): an instant marker on the
+	// "faults" lane with the detail in Note.
+	EvFaultInjected
+	// EvStageRetried is the extra time a stage spends re-executing after
+	// transient failures, on the stage's own lane.
+	EvStageRetried
+	// EvCheckpointSaved is a checkpoint snapshot write on the gpu lane.
+	EvCheckpointSaved
+	// EvRestarted is the downtime after a preemption (restart delay plus
+	// replay), on the "faults" lane — it stalls every station but is not
+	// busy time.
+	EvRestarted
 )
 
 // String returns the kind's timeline label prefix.
@@ -41,6 +54,14 @@ func (k EventKind) String() string {
 		return "optimizer"
 	case EvStepDone:
 		return "step-done"
+	case EvFaultInjected:
+		return "fault"
+	case EvStageRetried:
+		return "retry"
+	case EvCheckpointSaved:
+		return "checkpoint"
+	case EvRestarted:
+		return "restart"
 	}
 	return "unknown"
 }
@@ -50,6 +71,9 @@ const (
 	LaneCPU  = "cpu-input"
 	LanePCIe = "pcie-h2d"
 	LaneGPU  = "gpu"
+	// LaneFaults is the synthetic track fault markers and restart
+	// downtime render on; it only exists in fault-injected runs.
+	LaneFaults = "faults"
 )
 
 // Event is one typed span of a simulated training run. The simulator
@@ -72,14 +96,22 @@ type Event struct {
 	// FLOPs counts the floating-point work of the span (0 for pure data
 	// movement).
 	FLOPs units.FLOPs
+	// Note carries fault detail ("straggler gpu x2.00") on the fault
+	// event kinds; empty for ordinary pipeline events.
+	Note string
 }
 
 // Duration returns the span length in seconds.
 func (ev Event) Duration() float64 { return ev.End - ev.Start }
 
-// Label renders the conventional timeline label ("compute 3").
+// Label renders the conventional timeline label ("compute 3"), with the
+// fault note appended when one is present ("fault 3: straggler gpu x2.00").
 func (ev Event) Label() string {
-	return ev.Kind.String() + " " + strconv.Itoa(ev.Step)
+	l := ev.Kind.String() + " " + strconv.Itoa(ev.Step)
+	if ev.Note != "" {
+		l += ": " + ev.Note
+	}
+	return l
 }
 
 // Observer receives every event of a simulated run. Events are published

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+
+	"mlperf/internal/fault"
+	"mlperf/internal/units"
+)
+
+// FaultReport quantifies what a fault plan did to a run: the in-window
+// fault events and the time-to-train surcharges of the checkpoint and
+// preemption model. It is attached to Result.Faults by RunWithFaults;
+// fault-free runs leave it nil.
+type FaultReport struct {
+	// Activations counts fault onsets observed in the simulated window
+	// (straggler onsets, link degradation edges, transient failures).
+	Activations int
+	// Retries is the total transient retry attempts in the window.
+	Retries int
+	// Checkpoints counts snapshot writes inside the simulated window.
+	Checkpoints int
+	// Preemptions counts node preemptions charged to the run.
+	Preemptions int
+	// CheckpointCost is the seconds one snapshot write costs.
+	CheckpointCost float64
+	// CheckpointOverheadFrac is the steady-state time-to-train inflation
+	// from checkpointing: cost/interval (0 when checkpointing is off).
+	CheckpointOverheadFrac float64
+	// RestartSeconds is the total restart + replay time the preemptions
+	// added to TimeToTrain.
+	RestartSeconds float64
+}
+
+// faultRun carries the compiled schedule plus the mutable time-based
+// fault state of one pipeline execution (checkpoint clock, pending
+// preemptions) and the accounting the result assembly reads back.
+type faultRun struct {
+	sched   *fault.Schedule
+	offsets []int // target-index base per lane, aligned with lanes order
+
+	ckptInterval float64
+	ckptCost     float64
+	nextCkpt     float64
+	lastCkpt     float64
+
+	preempts []fault.Preemption // ascending At; only in-window ones fire
+	nextPre  int
+
+	report FaultReport
+	// excluded are in-window checkpoint writes and restart stalls; the
+	// steady-state step-time estimate subtracts their overlap so their
+	// cost is charged exactly once (via the analytic TTT surcharges).
+	excluded []Interval
+}
+
+// newFaultRun compiles the plan against the pipeline's stations.
+// modelBytes sizes the default checkpoint snapshot (parameters +
+// optimizer state).
+func newFaultRun(plan *fault.Plan, lanes []laneExec, steps int, modelBytes units.Bytes) (*faultRun, error) {
+	var targets []fault.Target
+	offsets := make([]int, len(lanes))
+	for i, lane := range lanes {
+		offsets[i] = len(targets)
+		for _, st := range lane.stages {
+			targets = append(targets, fault.Target{Lane: lane.name, Kind: st.Kind().String()})
+		}
+	}
+	sched, err := plan.Compile(targets, steps)
+	if err != nil {
+		return nil, err
+	}
+	fr := &faultRun{
+		sched:        sched,
+		offsets:      offsets,
+		ckptInterval: plan.Checkpoint.Interval,
+		ckptCost:     plan.CheckpointCost(modelBytes),
+		nextCkpt:     plan.Checkpoint.Interval,
+		preempts:     append([]fault.Preemption(nil), plan.Preemptions...),
+	}
+	// Preemptions fire in time order regardless of plan order.
+	for i := 1; i < len(fr.preempts); i++ {
+		for j := i; j > 0 && fr.preempts[j].At < fr.preempts[j-1].At; j-- {
+			fr.preempts[j], fr.preempts[j-1] = fr.preempts[j-1], fr.preempts[j]
+		}
+	}
+	fr.report.CheckpointCost = fr.ckptCost
+	if fr.ckptInterval > 0 {
+		fr.report.CheckpointOverheadFrac = fr.ckptCost / fr.ckptInterval
+	}
+	return fr, nil
+}
+
+// runPipeline is the fault-injecting twin of runPipeline: the same
+// stations, prefetch bound and event partitioning, with the schedule's
+// per-stage multipliers and retries applied, checkpoint writes on the
+// gpu lane, and preemption stalls across every station. The fault-free
+// path never comes through here, so the original pipeline stays
+// byte-identical.
+func (fr *faultRun) runPipeline(lanes []laneExec, steps int, pub publisher) []float64 {
+	e := NewEngine()
+	stepEnd := make([]float64, steps)
+	last := len(lanes) - 1
+
+	inflight := 0
+	next := 0
+	var tryLaunch func()
+	var process func(step, l int)
+	process = func(step, l int) {
+		lane := lanes[l]
+		base := fr.offsets[l]
+
+		// Per-stage scaled service plus retry re-execution time.
+		type slot struct {
+			st      Stage
+			svc     float64
+			retry   float64
+			retries int
+		}
+		slots := make([]slot, 0, len(lane.stages))
+		var total float64
+		for si, st := range lane.stages {
+			t := base + si
+			svc := st.Service() * fr.sched.Mult(t, step)
+			n, cost := fr.sched.Retries(t, step)
+			retry := float64(n) * (cost + svc)
+			slots = append(slots, slot{st: st, svc: svc, retry: retry, retries: n})
+			total += svc + retry
+		}
+
+		// Checkpoint snapshot: taken on the gpu lane once the checkpoint
+		// clock expires, occupying the lane like the write it models.
+		ckpt := 0.0
+		if lane.name == LaneGPU && fr.ckptInterval > 0 && fr.ckptCost > 0 && e.Now() >= fr.nextCkpt {
+			ckpt = fr.ckptCost
+			total += ckpt
+		}
+
+		start, end := lane.res.AcquireSpan(e.Now(), total)
+		e.Schedule(end, func() {
+			// Fault onset markers land at the span start on the synthetic
+			// faults track.
+			for si := range lane.stages {
+				for _, a := range fr.sched.ActivationsAt(base+si, step) {
+					fr.report.Activations++
+					pub.publish(Event{
+						Kind: EvFaultInjected, Lane: LaneFaults, Step: step,
+						Start: start, End: start, Note: a.Note,
+					})
+				}
+			}
+			// Partition [start, end] in stage order, each stage followed
+			// by its retry span, the checkpoint write last; the final
+			// boundary is pinned to the span end.
+			evs := make([]Event, 0, 2*len(slots)+1)
+			b := start
+			for _, s := range slots {
+				if s.svc > 0 {
+					evs = append(evs, Event{
+						Kind:  s.st.Kind(),
+						Lane:  lane.name,
+						Step:  step,
+						Start: b,
+						End:   b + s.svc,
+						Bytes: s.st.Bytes(),
+						FLOPs: s.st.FLOPs(),
+					})
+					b += s.svc
+				}
+				if s.retry > 0 {
+					fr.report.Retries += s.retries
+					evs = append(evs, Event{
+						Kind: EvStageRetried, Lane: lane.name, Step: step,
+						Start: b, End: b + s.retry,
+						Note: fmt.Sprintf("%s retried x%d", s.st.Kind(), s.retries),
+					})
+					b += s.retry
+				}
+			}
+			if ckpt > 0 {
+				fr.report.Checkpoints++
+				fr.excluded = append(fr.excluded, Interval{Start: b, End: b + ckpt})
+				evs = append(evs, Event{
+					Kind: EvCheckpointSaved, Lane: lane.name, Step: step,
+					Start: b, End: b + ckpt,
+					Note: fmt.Sprintf("snapshot %.3fs", fr.ckptCost),
+				})
+				for fr.nextCkpt <= end {
+					fr.nextCkpt += fr.ckptInterval
+				}
+				fr.lastCkpt = end
+			}
+			if n := len(evs); n > 0 {
+				evs[n-1].End = end
+			}
+			for i := range evs {
+				pub.publish(evs[i])
+			}
+			if l < last {
+				process(step, l+1)
+				return
+			}
+			stepEnd[step] = e.Now()
+			pub.publish(Event{Kind: EvStepDone, Step: step, Start: e.Now(), End: e.Now()})
+			fr.preemptAt(e, lanes, step, pub)
+			inflight--
+			tryLaunch()
+		})
+	}
+	tryLaunch = func() {
+		for next < steps && inflight < prefetchDepth {
+			i := next
+			next++
+			inflight++
+			process(i, 0)
+		}
+	}
+	tryLaunch()
+	e.Run()
+	return stepEnd
+}
+
+// preemptAt fires every preemption whose time has passed: the node goes
+// away, every station stalls for the restart delay plus replay of the
+// work lost since the last checkpoint, and the downtime is published on
+// the faults track.
+func (fr *faultRun) preemptAt(e *Engine, lanes []laneExec, step int, pub publisher) {
+	for fr.nextPre < len(fr.preempts) && fr.preempts[fr.nextPre].At <= e.Now() {
+		pr := fr.preempts[fr.nextPre]
+		fr.nextPre++
+		restart := pr.RestartDelay + fr.sched.Plan().Checkpoint.ReplayFrac*(e.Now()-fr.lastCkpt)
+		fr.report.Preemptions++
+		fr.report.RestartSeconds += restart
+		fr.excluded = append(fr.excluded, Interval{Start: e.Now(), End: e.Now() + restart})
+		for i := range lanes {
+			lanes[i].res.Stall(e.Now(), restart)
+		}
+		pub.publish(Event{
+			Kind: EvFaultInjected, Lane: LaneFaults, Step: step,
+			Start: e.Now(), End: e.Now(),
+			Note: fmt.Sprintf("preempted at %.3fs", pr.At),
+		})
+		pub.publish(Event{
+			Kind: EvRestarted, Lane: LaneFaults, Step: step,
+			Start: e.Now(), End: e.Now() + restart,
+			Note: fmt.Sprintf("restart %.3fs (delay %.3fs)", restart, pr.RestartDelay),
+		})
+	}
+}
+
+// chargeRemaining accounts for plan preemptions that never fired inside
+// the simulated window: each still happens once in the modeled training
+// run, costing the restart delay plus replay since the last scheduled
+// checkpoint.
+func (fr *faultRun) chargeRemaining() {
+	plan := fr.sched.Plan()
+	for ; fr.nextPre < len(fr.preempts); fr.nextPre++ {
+		pr := fr.preempts[fr.nextPre]
+		fr.report.Preemptions++
+		fr.report.RestartSeconds += plan.RestartCost(pr)
+	}
+}
+
+// excludedOverlap returns the seconds of checkpoint/restart downtime
+// inside [from, to] — subtracted from the steady-state window so those
+// costs are charged exactly once by the analytic surcharges.
+func (fr *faultRun) excludedOverlap(from, to float64) float64 {
+	var total float64
+	for _, iv := range fr.excluded {
+		lo, hi := iv.Start, iv.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// RunWithFaults simulates the job under a fault plan, streaming events
+// (including the fault kinds) to obs. A nil or empty plan is exactly
+// RunObserved — the fault layer costs nothing unless faults are asked
+// for. The returned Result carries a FaultReport, and its TimeToTrain
+// includes the straggler/link/retry-inflated step time, the steady-state
+// checkpoint overhead, and each preemption's restart + replay cost.
+func RunWithFaults(cfg Config, plan *fault.Plan, obs ...Observer) (*Result, error) {
+	if plan.Empty() {
+		return RunObserved(cfg, obs...)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return runObserved(cfg, plan, obs)
+}

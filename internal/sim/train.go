@@ -7,6 +7,7 @@ import (
 
 	"mlperf/internal/comm"
 	"mlperf/internal/dataset"
+	"mlperf/internal/fault"
 	"mlperf/internal/hw"
 	"mlperf/internal/model"
 	"mlperf/internal/precision"
@@ -171,6 +172,9 @@ type Result struct {
 	// rebuilt from the event stream by the built-in TimelineObserver and
 	// exportable as a Chrome trace (WriteChromeTrace).
 	Timeline *Timeline
+	// Faults reports what a fault plan injected and what it cost; nil
+	// for fault-free runs (see RunWithFaults).
+	Faults *FaultReport
 }
 
 // LocalBatchFor returns the per-GPU batch after the global-batch cap.
@@ -196,6 +200,15 @@ func Run(cfg Config) (*Result, error) { return RunObserved(cfg) }
 // (internal/profile) all subscribe to this stream rather than re-running
 // the simulator.
 func RunObserved(cfg Config, obs ...Observer) (*Result, error) {
+	return runObserved(cfg, nil, obs)
+}
+
+// runObserved is the shared core behind RunObserved (plan == nil, the
+// unmodified fault-free pipeline) and RunWithFaults (a compiled fault
+// schedule rides along). The fault-free path executes exactly the same
+// instructions as before the fault layer existed — every fault hook is
+// behind a nil check.
+func runObserved(cfg Config, plan *fault.Plan, obs []Observer) (*Result, error) {
 	if cfg.System == nil {
 		return nil, fmt.Errorf("sim: nil system")
 	}
@@ -241,21 +254,42 @@ func RunObserved(cfg Config, obs ...Observer) (*Result, error) {
 	// Execute the stage pipeline, publishing every span to the built-in
 	// observers plus any external subscribers.
 	lanes := groupLanes([]Stage{input, h2d, compute, allreduce, optimizer})
+	var fr *faultRun
+	tlLanes := []string{LaneCPU, LanePCIe, LaneGPU}
+	if plan != nil {
+		snapshot := units.Bytes(float64(j.Net.ParamBytes(4)) +
+			float64(j.Net.OptimizerStateBytes(j.OptimizerSlots)))
+		if fr, err = newFaultRun(plan, lanes, steps, snapshot); err != nil {
+			return nil, err
+		}
+		tlLanes = append(tlLanes, LaneFaults)
+	}
 	use := newUsageObserver()
-	tl := NewTimelineObserver(LaneCPU, LanePCIe, LaneGPU)
+	tl := NewTimelineObserver(tlLanes...)
 	pub := make(publisher, 0, 2+len(obs))
 	pub = append(pub, use, tl)
 	pub = append(pub, obs...)
-	stepEnd := runPipeline(lanes, steps, pub)
+	var stepEnd []float64
+	if fr == nil {
+		stepEnd = runPipeline(lanes, steps, pub)
+	} else {
+		stepEnd = fr.runPipeline(lanes, steps, pub)
+	}
 
-	// Steady-state step time over the back half of the run.
+	// Steady-state step time over the back half of the run. Checkpoint
+	// writes and preemption stalls are subtracted from a faulted window:
+	// their cost is charged once, analytically, further down.
 	half := steps / 2
 	if half < 1 {
 		half = 1
 	}
 	var stepTime float64
 	if steps > half {
-		stepTime = (stepEnd[steps-1] - stepEnd[half-1]) / float64(steps-half)
+		window := stepEnd[steps-1] - stepEnd[half-1]
+		if fr != nil {
+			window -= fr.excludedOverlap(stepEnd[half-1], stepEnd[steps-1])
+		}
+		stepTime = window / float64(steps-half)
 	} else {
 		stepTime = stepEnd[steps-1]
 	}
@@ -274,7 +308,18 @@ func RunObserved(cfg Config, obs ...Observer) (*Result, error) {
 		epochs *= math.Pow(1+j.EpochGrowthPerDouble, doublings)
 	}
 	epochTime := float64(stepsPerEpoch)*stepTime + j.HostSerialPerEpoch
-	ttt := units.Seconds(epochs * epochTime)
+	tttSec := epochs * epochTime
+	if fr != nil {
+		// Checkpoint overhead applies at steady state across the whole
+		// run; every plan preemption (fired in-window or not) charges
+		// its restart + replay once.
+		fr.chargeRemaining()
+		if f := fr.report.CheckpointOverheadFrac; f > 0 {
+			tttSec *= 1 + f
+		}
+		tttSec += fr.report.RestartSeconds
+	}
+	ttt := units.Seconds(tttSec)
 
 	res := &Result{
 		Phases:        ph,
@@ -286,6 +331,9 @@ func RunObserved(cfg Config, obs ...Observer) (*Result, error) {
 		Throughput:    float64(globalB) / stepTime,
 		Comm:          allreduce.Comm,
 		Timeline:      tl.Timeline(),
+	}
+	if fr != nil {
+		res.Faults = &fr.report
 	}
 
 	// Utilizations over the steady-state span. Kernel-gap stalls

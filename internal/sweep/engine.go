@@ -16,6 +16,10 @@ import (
 type Engine struct {
 	workers atomic.Int64
 
+	// simulate is the cell evaluator — runCell in production, swappable
+	// in tests to exercise the panic/timeout/retry machinery.
+	simulate func(CellKey) (Record, error)
+
 	mu    sync.Mutex
 	cache map[CellKey]*cellEntry
 	hits  int64
@@ -33,7 +37,7 @@ type cellEntry struct {
 // NewEngine returns an engine running at most workers cells concurrently
 // (<= 0 means GOMAXPROCS).
 func NewEngine(workers int) *Engine {
-	e := &Engine{cache: make(map[CellKey]*cellEntry)}
+	e := &Engine{simulate: runCell, cache: make(map[CellKey]*cellEntry)}
 	e.workers.Store(int64(workers))
 	return e
 }
@@ -83,7 +87,9 @@ func (e *Engine) Cells(keys []CellKey) ([]Record, error) {
 	})
 }
 
-// cell is the memoized core; k must already be normalized.
+// cell is the memoized core; k must already be normalized. The
+// simulation runs panic-guarded: a panicking cell settles its entry
+// with a *PanicError instead of unwinding through the worker pool.
 func (e *Engine) cell(k CellKey) (Record, error) {
 	e.mu.Lock()
 	en, ok := e.cache[k]
@@ -94,8 +100,16 @@ func (e *Engine) cell(k CellKey) (Record, error) {
 		e.hits++
 	}
 	e.mu.Unlock()
-	en.once.Do(func() { en.rec, en.err = runCell(k) })
+	en.once.Do(func() { en.rec, en.err = safeCell(e.simulate, k) })
 	return en.rec, en.err
+}
+
+// forget drops one memoized cell so a retry can re-simulate it; the
+// hit/miss counters keep their history.
+func (e *Engine) forget(k CellKey) {
+	e.mu.Lock()
+	delete(e.cache, k)
+	e.mu.Unlock()
 }
 
 // CacheStats reports the memo cache's activity.

@@ -1,0 +1,352 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FailKind classifies why a cell failed.
+type FailKind string
+
+const (
+	// FailError is an ordinary simulation/validation error.
+	FailError FailKind = "error"
+	// FailPanic is a panic recovered inside the cell's worker.
+	FailPanic FailKind = "panic"
+	// FailTimeout is a cell that exceeded Options.CellTimeout.
+	FailTimeout FailKind = "timeout"
+	// FailCanceled is a cell abandoned because the grid's context was
+	// canceled before or while it ran.
+	FailCanceled FailKind = "canceled"
+)
+
+// CellError is one failed cell of a hardened run: which cell, where in
+// the grid, how it failed, and after how many attempts. It wraps the
+// underlying error for errors.Is/As.
+type CellError struct {
+	// Key is the normalized cell configuration.
+	Key CellKey
+	// Index is the cell's position in the grid's deterministic order.
+	Index int
+	// Kind classifies the failure.
+	Kind FailKind
+	// Attempts is how many times the cell was tried (1 + retries).
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+}
+
+func (c *CellError) Error() string {
+	return fmt.Sprintf("sweep: cell %d (%s on %s @%d) %s after %d attempt(s): %v",
+		c.Index, c.Key.Benchmark, c.Key.System, c.Key.GPUs, c.Kind, c.Attempts, c.Err)
+}
+
+func (c *CellError) Unwrap() error { return c.Err }
+
+// PanicError is a panic recovered in a sweep worker, preserved with its
+// stack so a misbehaving cell is diagnosable instead of fatal.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("sweep: cell panicked: %v", p.Value) }
+
+// ErrCellTimeout marks a cell that exceeded its per-cell deadline; test
+// with errors.Is.
+var ErrCellTimeout = errors.New("sweep: cell timed out")
+
+// safeCell runs one cell evaluation with panic recovery: a panic
+// becomes a *PanicError result instead of crashing the process.
+func safeCell(fn func(CellKey) (Record, error), k CellKey) (rec Record, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			rec, err = Record{}, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(k)
+}
+
+// Options harden a grid run. The zero value means: engine worker count,
+// no per-cell timeout, no retries, fail the run on the first
+// (lowest-index) error — Engine.Run's exact semantics.
+type Options struct {
+	// Workers bounds the pool for this run (0 = the engine's bound).
+	Workers int
+	// CellTimeout bounds one attempt of one cell (0 = unbounded). A cell
+	// that exceeds it fails with ErrCellTimeout; its simulation
+	// goroutine is left to finish in the background and its result, if
+	// any, stays in the memo cache for later requests.
+	CellTimeout time.Duration
+	// Retries is how many times a retryable failure is re-attempted
+	// (with the cell's cache slot invalidated in between).
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt
+	// (default 10ms when Retries > 0).
+	Backoff time.Duration
+	// RetryIf decides whether a failure is worth retrying. Default:
+	// panics and timeouts are retryable, validation/simulation errors
+	// are not (a deterministic simulator fails the same way twice).
+	RetryIf func(error) bool
+	// Partial selects graceful degradation: every cell is attempted,
+	// failures land in the Report, and the record slice holds the
+	// successes (zero Records at failed indices). When false the run
+	// returns the lowest-index failure as its error, like Engine.Run.
+	Partial bool
+}
+
+// Report is the structured outcome of a hardened run.
+type Report struct {
+	// Cells is the grid's cell count.
+	Cells int
+	// Completed counts cells that produced a record.
+	Completed int
+	// RetriesUsed counts retry attempts across all cells.
+	RetriesUsed int64
+	// Canceled reports whether the run's context was canceled before
+	// every cell completed.
+	Canceled bool
+	// Failures holds one CellError per failed cell, in grid order.
+	Failures []*CellError
+}
+
+// Failed reports whether any cell failed.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// Err summarizes the failures as one error (nil when all cells
+// completed).
+func (r *Report) Err() error {
+	if !r.Failed() {
+		return nil
+	}
+	return fmt.Errorf("sweep: %d of %d cells failed (first: %w)", len(r.Failures), r.Cells, r.Failures[0])
+}
+
+// defaultRetryIf treats panics and timeouts as transient; deterministic
+// simulation errors are permanent.
+func defaultRetryIf(err error) bool {
+	var p *PanicError
+	return errors.As(err, &p) || errors.Is(err, ErrCellTimeout)
+}
+
+// classify maps an error to its FailKind.
+func classify(err error) FailKind {
+	var p *PanicError
+	switch {
+	case errors.As(err, &p):
+		return FailPanic
+	case errors.Is(err, ErrCellTimeout):
+		return FailTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return FailCanceled
+	default:
+		return FailError
+	}
+}
+
+// RunWithOptions executes the grid on the worker pool with per-cell
+// timeout, bounded exponential-backoff retry, panic containment and
+// cooperative cancellation. Records come back in the grid's
+// deterministic order. With opts.Partial the run always returns every
+// cell it could complete plus a Report of the rest; without it the
+// first (lowest-index) failure aborts the result like Engine.Run.
+func (e *Engine) RunWithOptions(ctx context.Context, g Grid, opts Options) ([]Record, *Report, error) {
+	keys, err := expand(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, report := e.runHardened(ctx, keys, opts)
+	if !opts.Partial {
+		if err := firstFailure(report); err != nil {
+			return nil, report, err
+		}
+	}
+	return recs, report, nil
+}
+
+// RunCellsWithOptions is RunWithOptions over an explicit cell list
+// (keys may use any accepted spelling).
+func (e *Engine) RunCellsWithOptions(ctx context.Context, keys []CellKey, opts Options) ([]Record, *Report, error) {
+	norm := make([]CellKey, len(keys))
+	for i, k := range keys {
+		nk, err := k.normalize()
+		if err != nil {
+			return nil, nil, err
+		}
+		norm[i] = nk
+	}
+	recs, report := e.runHardened(ctx, norm, opts)
+	if !opts.Partial {
+		if err := firstFailure(report); err != nil {
+			return nil, report, err
+		}
+	}
+	return recs, report, nil
+}
+
+// firstFailure returns the lowest-index cell error, matching the
+// deterministic error a sequential loop would stop at.
+func firstFailure(r *Report) error {
+	if !r.Failed() {
+		return nil
+	}
+	return r.Failures[0]
+}
+
+// runHardened is the hardened pool: bounded workers pull cell indices
+// from an atomic counter, each cell runs attempt loops with timeout and
+// backoff, and cancellation drains the pool, marking unreached cells
+// canceled.
+func (e *Engine) runHardened(ctx context.Context, keys []CellKey, opts Options) ([]Record, *Report) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(keys)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = e.WorkerCount()
+	}
+	if workers > n {
+		workers = n
+	}
+	recs := make([]Record, n)
+	cellErrs := make([]*CellError, n)
+	attempted := make([]bool, n)
+	var retries atomic.Int64
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				attempted[i] = true
+				recs[i], cellErrs[i] = e.runHardenedCell(ctx, keys[i], i, opts, &retries)
+			}
+		}()
+	}
+	wg.Wait()
+
+	report := &Report{Cells: n, RetriesUsed: retries.Load(), Canceled: ctx.Err() != nil}
+	for i := range keys {
+		if !attempted[i] {
+			cellErrs[i] = &CellError{
+				Key: keys[i], Index: i, Kind: FailCanceled, Attempts: 0,
+				Err: context.Cause(ctx),
+			}
+		}
+		if cellErrs[i] != nil {
+			report.Failures = append(report.Failures, cellErrs[i])
+		} else {
+			report.Completed++
+		}
+	}
+	return recs, report
+}
+
+// runHardenedCell drives one cell through its attempt loop.
+func (e *Engine) runHardenedCell(ctx context.Context, k CellKey, i int, opts Options, retries *atomic.Int64) (Record, *CellError) {
+	retryIf := opts.RetryIf
+	if retryIf == nil {
+		retryIf = defaultRetryIf
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	var lastErr error
+	attempt := 0
+	for ; ; attempt++ {
+		rec, err := e.attemptCell(ctx, k, opts.CellTimeout)
+		if err == nil {
+			return rec, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || attempt >= opts.Retries || !retryIf(err) {
+			break
+		}
+		retries.Add(1)
+		// Drop the poisoned cache entry so the retry actually
+		// re-simulates instead of replaying the failure.
+		e.forget(k)
+		if !sleepCtx(ctx, expBackoff(backoff, attempt)) {
+			break
+		}
+	}
+	return Record{}, &CellError{Key: k, Index: i, Kind: classify(lastErr), Attempts: attempt + 1, Err: lastErr}
+}
+
+// expBackoff doubles the base per attempt, capped at 30s.
+func expBackoff(base time.Duration, attempt int) time.Duration {
+	const maxBackoff = 30 * time.Second
+	if attempt > 20 {
+		return maxBackoff
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > maxBackoff {
+		return maxBackoff
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx is done; it reports whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// attemptCell runs one attempt of one cell, racing the (memoized,
+// panic-guarded) simulation against the per-cell deadline and the
+// run's context. On timeout the simulation goroutine keeps running in
+// the background — a CPU-bound cell cannot be interrupted — and its
+// eventual result stays available in the cache.
+func (e *Engine) attemptCell(ctx context.Context, k CellKey, timeout time.Duration) (Record, error) {
+	if timeout <= 0 && ctx.Done() == nil {
+		return e.cell(k)
+	}
+	type outcome struct {
+		rec Record
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rec, err := e.cell(k)
+		ch <- outcome{rec, err}
+	}()
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case out := <-ch:
+		return out.rec, out.err
+	case <-ctx.Done():
+		return Record{}, context.Cause(ctx)
+	case <-deadline:
+		return Record{}, fmt.Errorf("%w after %v", ErrCellTimeout, timeout)
+	}
+}

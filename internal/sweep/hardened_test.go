@@ -1,0 +1,336 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlperf/internal/fault"
+)
+
+// fakeEngine builds an engine whose cell evaluator is replaced, so the
+// hardened machinery can be exercised without the simulator.
+func fakeEngine(workers int, fn func(CellKey) (Record, error)) *Engine {
+	e := NewEngine(workers)
+	e.simulate = fn
+	return e
+}
+
+// key builds a valid, normalizable cell key with a distinguishing GPU
+// count.
+func key(gpus int) CellKey {
+	return CellKey{Benchmark: "res50_tf", System: "dss8440", GPUs: gpus}
+}
+
+func normKeys(t *testing.T, n int) []CellKey {
+	t.Helper()
+	keys := make([]CellKey, n)
+	for i := range keys {
+		nk, err := key(i + 1).normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = nk
+	}
+	return keys
+}
+
+func TestValidateWorkers(t *testing.T) {
+	cases := []struct {
+		in      int
+		want    int
+		wantErr bool
+	}{
+		{in: -1, wantErr: true},
+		{in: -100, wantErr: true},
+		{in: 0, want: runtime.GOMAXPROCS(0)},
+		{in: 1, want: 1},
+		{in: 4, want: 4},
+		{in: 1024, want: 1024},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("workers=%d", tc.in), func(t *testing.T) {
+			got, err := ValidateWorkers(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ValidateWorkers(%d) = %d, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("ValidateWorkers(%d) = %d, want %d", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// The acceptance scenario: a grid with one panicking cell and one
+// timing-out cell completes, returns every other cell's record, and
+// reports both failures as typed CellErrors.
+func TestPartialGridWithPanicAndTimeout(t *testing.T) {
+	keys := normKeys(t, 6)
+	panicKey, slowKey := keys[1], keys[4]
+	e := fakeEngine(4, func(k CellKey) (Record, error) {
+		switch k {
+		case panicKey:
+			panic("injected cell panic")
+		case slowKey:
+			time.Sleep(5 * time.Second)
+		}
+		return Record{Benchmark: k.Benchmark, System: k.System, GPUs: k.GPUs, TimeToTrainMin: 1}, nil
+	})
+	recs, report, err := e.RunCellsWithOptions(context.Background(), keys, Options{
+		CellTimeout: 100 * time.Millisecond,
+		Partial:     true,
+	})
+	if err != nil {
+		t.Fatalf("partial run must not fail wholesale: %v", err)
+	}
+	if len(recs) != 6 || report.Cells != 6 {
+		t.Fatalf("got %d records over %d cells, want 6/6", len(recs), report.Cells)
+	}
+	if report.Completed != 4 || len(report.Failures) != 2 {
+		t.Fatalf("completed %d failures %d, want 4 and 2\nreport: %+v", report.Completed, len(report.Failures), report)
+	}
+	for i, rec := range recs {
+		failed := i == 1 || i == 4
+		if !failed && rec.TimeToTrainMin != 1 {
+			t.Errorf("cell %d record missing: %+v", i, rec)
+		}
+		if failed && rec.TimeToTrainMin != 0 {
+			t.Errorf("failed cell %d has a record: %+v", i, rec)
+		}
+	}
+	byIndex := map[int]*CellError{}
+	for _, ce := range report.Failures {
+		byIndex[ce.Index] = ce
+	}
+	if ce := byIndex[1]; ce == nil || ce.Kind != FailPanic {
+		t.Errorf("cell 1 = %+v, want a FailPanic CellError", ce)
+	} else {
+		var p *PanicError
+		if !errors.As(ce.Err, &p) || len(p.Stack) == 0 {
+			t.Errorf("panic error lost its stack: %v", ce.Err)
+		}
+	}
+	if ce := byIndex[4]; ce == nil || ce.Kind != FailTimeout {
+		t.Errorf("cell 4 = %+v, want a FailTimeout CellError", ce)
+	} else if !errors.Is(ce.Err, ErrCellTimeout) {
+		t.Errorf("timeout error not errors.Is(ErrCellTimeout): %v", ce.Err)
+	}
+	if report.Err() == nil {
+		t.Error("Report.Err() must summarize the failures")
+	}
+}
+
+// Without Partial, the run fails with the lowest-index cell error —
+// the same deterministic error a sequential loop would stop at.
+func TestNonPartialReturnsFirstFailure(t *testing.T) {
+	keys := normKeys(t, 5)
+	e := fakeEngine(4, func(k CellKey) (Record, error) {
+		if k == keys[3] {
+			return Record{}, fmt.Errorf("boom-3")
+		}
+		if k == keys[1] {
+			return Record{}, fmt.Errorf("boom-1")
+		}
+		return Record{TimeToTrainMin: 1}, nil
+	})
+	_, _, err := e.RunCellsWithOptions(context.Background(), keys, Options{})
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CellError", err)
+	}
+	if ce.Index != 1 || ce.Kind != FailError {
+		t.Errorf("got cell %d kind %s, want the lowest-index failure (1, error)", ce.Index, ce.Kind)
+	}
+}
+
+// Retries re-attempt retryable failures with the cache slot dropped in
+// between; a cell that recovers counts as completed.
+func TestRetryRecovers(t *testing.T) {
+	keys := normKeys(t, 3)
+	var attempts atomic.Int64
+	e := fakeEngine(2, func(k CellKey) (Record, error) {
+		if k == keys[1] && attempts.Add(1) <= 2 {
+			panic("flaky")
+		}
+		return Record{TimeToTrainMin: 1}, nil
+	})
+	recs, report, err := e.RunCellsWithOptions(context.Background(), keys, Options{
+		Retries: 3,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 3 || report.Failed() {
+		t.Fatalf("report: %+v", report)
+	}
+	if report.RetriesUsed != 2 {
+		t.Errorf("retries used = %d, want 2", report.RetriesUsed)
+	}
+	if recs[1].TimeToTrainMin != 1 {
+		t.Errorf("recovered cell has no record: %+v", recs[1])
+	}
+}
+
+// Permanent simulation errors are not retried by default — a
+// deterministic simulator fails the same way twice.
+func TestPermanentErrorsNotRetried(t *testing.T) {
+	keys := normKeys(t, 1)
+	var attempts atomic.Int64
+	e := fakeEngine(1, func(CellKey) (Record, error) {
+		attempts.Add(1)
+		return Record{}, fmt.Errorf("deterministic failure")
+	})
+	_, report, _ := e.RunCellsWithOptions(context.Background(), keys, Options{
+		Retries: 5, Backoff: time.Millisecond, Partial: true,
+	})
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("permanent error attempted %d times, want 1", got)
+	}
+	if report.RetriesUsed != 0 {
+		t.Errorf("retries used = %d, want 0", report.RetriesUsed)
+	}
+	if len(report.Failures) != 1 || report.Failures[0].Kind != FailError {
+		t.Errorf("report: %+v", report)
+	}
+}
+
+// Cancellation mid-grid stops scheduling: unattempted cells come back
+// as FailCanceled carrying the context's cause.
+func TestCancellationMarksRemainingCells(t *testing.T) {
+	keys := normKeys(t, 8)
+	cause := fmt.Errorf("operator abort")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	e := fakeEngine(1, func(k CellKey) (Record, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return Record{TimeToTrainMin: 1}, nil
+	})
+	done := make(chan struct{})
+	var report *Report
+	go func() {
+		defer close(done)
+		_, report, _ = e.RunCellsWithOptions(ctx, keys, Options{Partial: true})
+	}()
+	<-started
+	cancel(cause)
+	close(release)
+	<-done
+
+	if !report.Canceled {
+		t.Fatal("report must mark the run canceled")
+	}
+	canceled := 0
+	for _, ce := range report.Failures {
+		if ce.Kind == FailCanceled {
+			canceled++
+			if ce.Attempts == 0 && !errors.Is(ce.Err, cause) {
+				t.Errorf("unattempted cell lost the cancellation cause: %v", ce.Err)
+			}
+		}
+	}
+	if canceled == 0 {
+		t.Error("no cells marked canceled after mid-grid cancellation")
+	}
+	if report.Completed+len(report.Failures) != len(keys) {
+		t.Errorf("cells unaccounted for: %d + %d != %d", report.Completed, len(report.Failures), len(keys))
+	}
+}
+
+// A cell that times out keeps simulating in the background; its result
+// settles into the memo cache and a later request gets it instantly.
+func TestTimeoutLeavesResultInCache(t *testing.T) {
+	keys := normKeys(t, 1)
+	release := make(chan struct{})
+	e := fakeEngine(1, func(k CellKey) (Record, error) {
+		<-release
+		return Record{TimeToTrainMin: 7}, nil
+	})
+	_, report, _ := e.RunCellsWithOptions(context.Background(), keys, Options{
+		CellTimeout: 20 * time.Millisecond, Partial: true,
+	})
+	if len(report.Failures) != 1 || report.Failures[0].Kind != FailTimeout {
+		t.Fatalf("report: %+v", report)
+	}
+	close(release)
+	rec, err := e.cell(keys[0]) // waits on the same in-flight entry
+	if err != nil || rec.TimeToTrainMin != 7 {
+		t.Errorf("background result lost: %+v, %v", rec, err)
+	}
+}
+
+// Satellite 2 (sweep half): the same fault plan must produce identical
+// records regardless of worker count — 1, 4 and 16 workers, hardened
+// or plain, all byte-identical to the sequential reference.
+func TestFaultedSweepDeterministicAcrossWorkers(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:       11,
+		Stragglers: []fault.Straggler{{Lane: "gpu", Factor: 1.5}},
+		Transients: []fault.Transient{{Lane: "compute", Prob: 0.2, RetryCost: 0.005}},
+	}
+	canon, err := plan.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{
+		Benchmarks: []string{"res50_tf", "ncf_py"},
+		Systems:    []string{"dss8440"},
+		GPUCounts:  []int{1, 2, 4},
+		Faults:     canon,
+	}
+	want, err := RunSequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		e := NewEngine(workers)
+		got, err := e.Run(g)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d workers: %d records, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%d workers, cell %d differs:\n%+v\n%+v", workers, i, got[i], want[i])
+			}
+		}
+		// The hardened path must agree too.
+		hard, report, err := e.RunWithOptions(context.Background(), g, Options{Workers: workers, Retries: 1})
+		if err != nil || report.Failed() {
+			t.Fatalf("%d workers hardened: %v %+v", workers, err, report)
+		}
+		for i := range want {
+			if hard[i] != want[i] {
+				t.Errorf("%d workers hardened, cell %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// Grid.Faults with an invalid plan fails expansion up front.
+func TestGridFaultsValidated(t *testing.T) {
+	_, err := RunSequential(Grid{
+		Benchmarks: []string{"res50_tf"},
+		Faults:     `{"Stragglers":[{"Lane":"gpu","Factor":-2}]}`,
+	})
+	if err == nil {
+		t.Fatal("invalid grid fault plan accepted")
+	}
+}

@@ -18,13 +18,28 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 
+	"mlperf/internal/fault"
 	"mlperf/internal/hw"
 	"mlperf/internal/precision"
 	"mlperf/internal/sim"
 	"mlperf/internal/workload"
 )
+
+// ValidateWorkers vets a worker-pool bound the way every CLI should:
+// negative counts are rejected with a clear error, 0 resolves to
+// GOMAXPROCS, and positive counts pass through.
+func ValidateWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("sweep: workers must be >= 0 (0 = GOMAXPROCS), got %d", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
+}
 
 // Grid declares the sweep space. Empty dimensions default to sensible
 // singletons (all MLPerf benchmarks, the DSS 8440, 1 GPU, the calibrated
@@ -40,6 +55,9 @@ type Grid struct {
 	BatchPerGPU []int
 	// Precisions to sweep: "" (calibrated), "fp32", "mixed".
 	Precisions []string
+	// Faults, when non-empty, applies one fault plan (canonical or plain
+	// JSON; see fault.Parse) to every cell of the grid.
+	Faults string
 }
 
 // Record is one sweep cell's outcome.
@@ -79,6 +97,10 @@ type CellKey struct {
 	Batch int
 	// Precision is "" (calibrated), "fp32" or "mixed".
 	Precision string
+	// Faults is a fault plan in its canonical JSON form ("" = fault-free;
+	// see fault.Plan.Canon). Keeping the plan as a canonical string keeps
+	// CellKey comparable, so faulted cells memoize like any other.
+	Faults string
 }
 
 // normalize canonicalizes the key so equal cells hash equally, returning
@@ -106,6 +128,15 @@ func (k CellKey) normalize() (CellKey, error) {
 	case "fp32", "mixed":
 	default:
 		return CellKey{}, fmt.Errorf("sweep: unknown precision %q", k.Precision)
+	}
+	if k.Faults != "" {
+		plan, err := fault.Parse(k.Faults)
+		if err != nil {
+			return CellKey{}, err
+		}
+		if k.Faults, err = plan.Canon(); err != nil {
+			return CellKey{}, err
+		}
 	}
 	return k, nil
 }
@@ -139,7 +170,16 @@ func runCell(k CellKey) (Record, error) {
 	default:
 		return Record{}, fmt.Errorf("sweep: unknown precision %q", k.Precision)
 	}
-	res, err := sim.Run(sim.Config{System: sys, GPUCount: k.GPUs, Job: job})
+	var res *sim.Result
+	if k.Faults != "" {
+		plan, perr := fault.Parse(k.Faults)
+		if perr != nil {
+			return Record{}, perr
+		}
+		res, err = sim.RunWithFaults(sim.Config{System: sys, GPUCount: k.GPUs, Job: job}, plan)
+	} else {
+		res, err = sim.Run(sim.Config{System: sys, GPUCount: k.GPUs, Job: job})
+	}
 	if err != nil {
 		return Record{}, fmt.Errorf("sweep: %s on %s @%d: %w", b.Abbrev, sys.Name, k.GPUs, err)
 	}
@@ -227,6 +267,7 @@ func expand(g Grid) ([]CellKey, error) {
 							GPUs:      gpus,
 							Batch:     batch,
 							Precision: prec,
+							Faults:    g.Faults,
 						}).normalize()
 						if err != nil {
 							return nil, err

@@ -26,11 +26,13 @@
 package mlperf
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
 	"mlperf/internal/dataset"
 	"mlperf/internal/experiments"
+	"mlperf/internal/fault"
 	"mlperf/internal/hw"
 	"mlperf/internal/minigo"
 	"mlperf/internal/roofline"
@@ -116,6 +118,57 @@ type SimEventLog = sim.EventLog
 func SimulateObserved(system *System, gpus int, b Benchmark, obs ...SimObserver) (*SimResult, error) {
 	return sim.RunObserved(sim.Config{System: system, GPUCount: gpus, Job: b.Job}, obs...)
 }
+
+// ---- Fault injection (DESIGN.md §"Fault model") ----
+
+// FaultPlan is a deterministic, seed-driven fault scenario: straggler
+// lanes, degraded or flapping interconnect links, transient kernel
+// failures with retry cost, node preemptions, and a checkpoint/restart
+// cost model. The zero plan is fault-free and simulates bit-identically
+// to Simulate.
+type FaultPlan = fault.Plan
+
+// FaultStraggler slows one lane by a constant factor.
+type FaultStraggler = fault.Straggler
+
+// FaultLink degrades one link's bandwidth, optionally flapping.
+type FaultLink = fault.LinkFault
+
+// FaultTransient injects seeded random per-stage failures with a retry
+// cost.
+type FaultTransient = fault.Transient
+
+// FaultPreemption kills the node at a simulated time; recovery pays a
+// restart delay plus replay back to the last checkpoint.
+type FaultPreemption = fault.Preemption
+
+// FaultCheckpoint is the periodic snapshot cost model.
+type FaultCheckpoint = fault.Checkpoint
+
+// FaultReport quantifies what a fault plan did to one run: activations,
+// retries, checkpoints, preemptions and the resulting time-to-train
+// surcharges.
+type FaultReport = sim.FaultReport
+
+// ParseFaultPlan decodes a JSON fault plan (see fault.Parse for the
+// schema).
+func ParseFaultPlan(s string) (*FaultPlan, error) { return fault.Parse(s) }
+
+// SimulateWithFaults runs one benchmark under a fault plan. Observers
+// see the faulted event stream, including the FaultInjected /
+// StageRetried / CheckpointSaved / Restarted event kinds; the result's
+// Faults field holds the quantified damage. A nil or empty plan routes
+// through the unmodified pipeline.
+func SimulateWithFaults(system *System, gpus int, b Benchmark, plan *FaultPlan, obs ...SimObserver) (*SimResult, error) {
+	return sim.RunWithFaults(sim.Config{System: system, GPUCount: gpus, Job: b.Job}, plan, obs...)
+}
+
+// FaultRow is one severity level of the fault-sensitivity study.
+type FaultRow = experiments.FaultRow
+
+// FaultSensitivity sweeps straggler severity against the five Figure 5
+// interconnect topologies at 4 GPUs.
+func FaultSensitivity() ([]FaultRow, error) { return experiments.FaultSensitivity() }
 
 // ---- Experiments (one per paper table/figure) ----
 
@@ -204,6 +257,25 @@ func SetSweepWorkers(n int) { sweep.Default.SetWorkers(n) }
 
 // WriteSweepCSV emits sweep records as CSV with a header.
 func WriteSweepCSV(w io.Writer, recs []SweepRecord) error { return sweep.WriteCSV(w, recs) }
+
+// SweepOptions harden a grid run: per-cell timeout, bounded
+// exponential-backoff retry, panic containment and graceful (partial)
+// degradation.
+type SweepOptions = sweep.Options
+
+// SweepReport is a hardened run's structured outcome: completed count,
+// retries used, and one typed SweepCellError per failed cell.
+type SweepReport = sweep.Report
+
+// SweepCellError is one failed cell: which cell, how it failed (error,
+// panic, timeout, canceled) and after how many attempts.
+type SweepCellError = sweep.CellError
+
+// SweepWithOptions runs the grid on the shared engine with the hardened
+// execution path; ctx cancels the run cooperatively.
+func SweepWithOptions(ctx context.Context, g SweepGrid, opts SweepOptions) ([]SweepRecord, *SweepReport, error) {
+	return sweep.Default.RunWithOptions(ctx, g, opts)
+}
 
 // ---- Roofline ----
 

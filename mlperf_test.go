@@ -4,9 +4,11 @@
 package mlperf
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"mlperf/internal/dataset"
 	"mlperf/internal/workload"
@@ -268,5 +270,51 @@ func TestRooflineFacade(t *testing.T) {
 	r := V100Roofline()
 	if r.Ridge("") <= 0 {
 		t.Error("V100 roofline has no ridge")
+	}
+}
+
+// TestFaultFacade exercises fault injection and the hardened sweep
+// through the public API.
+func TestFaultFacade(t *testing.T) {
+	sys, err := SystemByName("c4140k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BenchmarkByName("gnmt_py")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Simulate(sys, 4, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParseFaultPlan(`{"Seed":5,"Stragglers":[{"Lane":"gpu","Factor":2}],"Checkpoint":{"Interval":120,"ReplayFrac":1}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log SimEventLog
+	res, err := SimulateWithFaults(sys, 4, b, plan, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil || res.Faults.Activations == 0 {
+		t.Fatalf("fault report empty: %+v", res.Faults)
+	}
+	if res.TimeToTrain <= base.TimeToTrain {
+		t.Errorf("faulted TTT %v not above fault-free %v", res.TimeToTrain, base.TimeToTrain)
+	}
+	if len(log.Events) == 0 {
+		t.Error("no events observed through the facade")
+	}
+
+	recs, report, err := SweepWithOptions(context.Background(), SweepGrid{
+		Benchmarks: []string{"res50_tf"},
+		GPUCounts:  []int{1, 2},
+	}, SweepOptions{Retries: 1, CellTimeout: time.Minute, Partial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed() || len(recs) != 2 {
+		t.Fatalf("hardened sweep: %d records, report %+v", len(recs), report)
 	}
 }
