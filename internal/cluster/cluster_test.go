@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlperf/internal/fault"
+	"mlperf/internal/sim"
+	"mlperf/internal/units"
+)
+
+// synthDurations prices jobs from a table of base (width-1) durations
+// with a per-job scaling exponent: d(w) = base / w^alpha.
+func synthDurations(base map[string]float64, alpha map[string]float64) DurationFn {
+	return func(j Job, m Machine, w int) (float64, error) {
+		b := base[j.Benchmark]
+		a, ok := alpha[j.Benchmark]
+		if !ok {
+			a = 0.8
+		}
+		return b / math.Pow(float64(w), a), nil
+	}
+}
+
+func testFleet(gpus ...int) []Machine {
+	out := make([]Machine, len(gpus))
+	for i, g := range gpus {
+		out[i] = Machine{Name: string(rune('a' + i)), System: "synth", GPUs: g}
+	}
+	return out
+}
+
+func TestFleetFromCatalog(t *testing.T) {
+	fleet, err := Fleet("dss8440", "dgx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 2 || fleet[0].GPUs != 8 {
+		t.Fatalf("fleet = %+v", fleet)
+	}
+	if fleet[0].Name == fleet[1].Name {
+		t.Fatalf("duplicate machine names: %+v", fleet)
+	}
+	if _, err := Fleet("no-such-box"); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestFIFOSingleMachine(t *testing.T) {
+	dur := synthDurations(map[string]float64{"x": 400, "y": 100}, nil)
+	res, err := Run(Config{
+		Fleet: testFleet(4),
+		Jobs: []Job{
+			{Name: "first", Benchmark: "x", Submit: 0, Widths: []int{4}},
+			{Name: "second", Benchmark: "y", Submit: 1, Widths: []int{4}},
+		},
+		Policy:    FIFO(),
+		Durations: dur,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Strict FIFO: first runs 0..d, second queues behind it.
+	if res.Jobs[0].Start != 0 {
+		t.Errorf("first start = %v", res.Jobs[0].Start)
+	}
+	if res.Jobs[1].Start != res.Jobs[0].Completed {
+		t.Errorf("second start %v != first completion %v", res.Jobs[1].Start, res.Jobs[0].Completed)
+	}
+	if res.Metrics.Preemptions != 0 {
+		t.Errorf("FIFO preempted %d jobs", res.Metrics.Preemptions)
+	}
+}
+
+// TestSRTFPreemptionChargedOnce pins the preemption economics: one
+// eviction charges the checkpoint save plus the fault model's restart
+// cost exactly once, and the whole run replays byte-identically.
+func TestSRTFPreemptionChargedOnce(t *testing.T) {
+	dur := synthDurations(map[string]float64{"long": 10000, "short": 100}, map[string]float64{"long": 0, "short": 0})
+	plan := &fault.Plan{Checkpoint: fault.Checkpoint{
+		Interval:      30,
+		SnapshotBytes: 20 * units.GB, // 10 s at the default 2 GB/s
+		ReplayFrac:    1,
+	}}
+	cfg := Config{
+		Fleet: testFleet(4),
+		Jobs: []Job{
+			{Name: "long", Benchmark: "long", Submit: 0, Widths: []int{4}},
+			{Name: "short", Benchmark: "short", Submit: 50, Widths: []int{4}},
+		},
+		Policy:       SRTF(),
+		Durations:    dur,
+		Fault:        plan,
+		RestartDelay: 5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	long := res.Jobs[0]
+	if long.Preemptions != 1 {
+		t.Fatalf("long preempted %d times, want 1", long.Preemptions)
+	}
+	// Charge: 10 s checkpoint write + 5 s restart delay + replay of the
+	// 20 s since the last 30 s checkpoint boundary (50 s executed).
+	const wantCharge = 10 + 5 + 20
+	if math.Abs(long.Overhead-wantCharge) > 1e-9 {
+		t.Errorf("preemption overhead = %v, want %v", long.Overhead, wantCharge)
+	}
+	counts := map[sim.EventKind]int{}
+	for _, ev := range res.Events {
+		counts[ev.Kind]++
+	}
+	for _, k := range []sim.EventKind{sim.EvJobPreempted, sim.EvJobCheckpointed, sim.EvJobResumed} {
+		if counts[k] != 1 {
+			t.Errorf("%s published %d times, want 1", k, counts[k])
+		}
+	}
+	if counts[sim.EvJobSubmitted] != 2 || counts[sim.EvJobCompleted] != 2 {
+		t.Errorf("submit/complete counts = %d/%d", counts[sim.EvJobSubmitted], counts[sim.EvJobCompleted])
+	}
+	// short runs 50..150; long resumes at 150, pays the charge, then
+	// finishes its remaining 9950 s of work.
+	if got, want := res.Jobs[1].Completed, 150.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("short completed at %v, want %v", got, want)
+	}
+	if got, want := long.Completed, 150+wantCharge+9950.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("long completed at %v, want %v", got, want)
+	}
+
+	// Replay determinism: the same config yields the same run, event for
+	// event.
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("re-running the same config changed the result")
+	}
+}
+
+// TestPoliciesValidateOnRandomTraces is the online analog of the sched
+// property test: every policy must produce a Validate-clean run on
+// randomized moldable arrival traces, deterministically.
+func TestPoliciesValidateOnRandomTraces(t *testing.T) {
+	widthSets := [][]int{{1, 2, 4}, {2, 4}, {1}, {1, 2, 4, 8}, {4, 8}}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := map[string]float64{}
+		alpha := map[string]float64{}
+		n := 3 + rng.Intn(6)
+		jobs := make([]Job, n)
+		at := 0.0
+		for i := range jobs {
+			bench := string(rune('p' + i))
+			base[bench] = 100 + rng.Float64()*4900
+			alpha[bench] = 0.1 + rng.Float64()*0.9
+			jobs[i] = Job{
+				Name:      bench + "-job",
+				Benchmark: bench,
+				Submit:    at,
+				Widths:    widthSets[rng.Intn(len(widthSets))],
+			}
+			at += rng.ExpFloat64() * 300
+		}
+		fleet := testFleet(8, 4)
+		plan := &fault.Plan{Checkpoint: fault.Checkpoint{Interval: 120, SnapshotBytes: units.GB, ReplayFrac: 0.5}}
+		for _, pol := range Policies() {
+			cfg := Config{
+				Fleet: fleet, Jobs: jobs, Policy: pol,
+				Durations:    synthDurations(base, alpha),
+				Fault:        plan,
+				RestartDelay: 15,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d policy %s: %v", seed, pol.Name(), err)
+			}
+			if err := res.Validate(); err != nil {
+				t.Errorf("seed %d policy %s: %v", seed, pol.Name(), err)
+			}
+			if res.Metrics.Makespan <= 0 || res.Metrics.GPUUtil <= 0 || res.Metrics.GPUUtil > 1+1e-9 {
+				t.Errorf("seed %d policy %s: metrics %+v", seed, pol.Name(), res.Metrics)
+			}
+			again, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d policy %s replay: %v", seed, pol.Name(), err)
+			}
+			if !reflect.DeepEqual(res, again) {
+				t.Errorf("seed %d policy %s: replay diverged", seed, pol.Name())
+			}
+		}
+	}
+}
+
+// TestSRTFAndBackfillBeatFIFO pins the paper-motivated ordering: on a
+// trace with a long head-of-line job, both SRTF and LPT-with-backfill
+// finish the short jobs earlier than strict FIFO.
+func TestSRTFAndBackfillBeatFIFO(t *testing.T) {
+	dur := synthDurations(
+		map[string]float64{"big": 2000, "wide": 100, "small": 100},
+		map[string]float64{"big": 0, "wide": 0, "small": 0},
+	)
+	jobs := []Job{
+		{Name: "big", Benchmark: "big", Submit: 0, Widths: []int{2}},
+		{Name: "wide", Benchmark: "wide", Submit: 1, Widths: []int{4}},
+		{Name: "small", Benchmark: "small", Submit: 2, Widths: []int{2}},
+	}
+	mean := map[string]float64{}
+	for _, pol := range Policies() {
+		res, err := Run(Config{
+			Fleet: testFleet(4), Jobs: jobs, Policy: pol,
+			Durations: dur, RestartDelay: 5,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		mean[pol.Name()] = res.Metrics.MeanJCT
+	}
+	if mean["srtf"] >= mean["fifo"] {
+		t.Errorf("srtf mean JCT %v not better than fifo %v", mean["srtf"], mean["fifo"])
+	}
+	if mean["lpt-backfill"] >= mean["fifo"] {
+		t.Errorf("lpt-backfill mean JCT %v not better than fifo %v", mean["lpt-backfill"], mean["fifo"])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dur := synthDurations(map[string]float64{"x": 100}, nil)
+	base := Config{
+		Fleet:     testFleet(4),
+		Jobs:      []Job{{Name: "j", Benchmark: "x", Submit: 0}},
+		Policy:    FIFO(),
+		Durations: dur,
+	}
+	for name, mut := range map[string]func(*Config){
+		"nil policy":     func(c *Config) { c.Policy = nil },
+		"empty fleet":    func(c *Config) { c.Fleet = nil },
+		"no jobs":        func(c *Config) { c.Jobs = nil },
+		"dup job":        func(c *Config) { c.Jobs = append(c.Jobs, c.Jobs[0]) },
+		"neg submit":     func(c *Config) { c.Jobs[0].Submit = -1 },
+		"no fit":         func(c *Config) { c.Jobs[0].Widths = []int{16} },
+		"neg restart":    func(c *Config) { c.RestartDelay = -1 },
+		"bad fault plan": func(c *Config) { c.Fault = &fault.Plan{Checkpoint: fault.Checkpoint{Interval: -1}} },
+	} {
+		cfg := base
+		cfg.Jobs = append([]Job(nil), base.Jobs...)
+		mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// stuckPolicy never places anything; the run must report the deadlock
+// instead of returning a partial result.
+type stuckPolicy struct{}
+
+func (stuckPolicy) Name() string            { return "stuck" }
+func (stuckPolicy) Decide(*View) []Decision { return nil }
+
+// greedyBadPolicy emits an infeasible decision; the core must reject it.
+type greedyBadPolicy struct{}
+
+func (greedyBadPolicy) Name() string { return "bad" }
+func (greedyBadPolicy) Decide(v *View) []Decision {
+	if len(v.Pending) == 0 {
+		return nil
+	}
+	return []Decision{place(v.Pending[0].Name, v.Machines[0].Name, 999)}
+}
+
+func TestPolicyMisbehavior(t *testing.T) {
+	dur := synthDurations(map[string]float64{"x": 100}, nil)
+	cfg := Config{
+		Fleet:     testFleet(4),
+		Jobs:      []Job{{Name: "j", Benchmark: "x", Submit: 0, Widths: []int{2}}},
+		Durations: dur,
+	}
+	cfg.Policy = stuckPolicy{}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "never completed") {
+		t.Errorf("stuck policy: %v", err)
+	}
+	cfg.Policy = greedyBadPolicy{}
+	if _, err := Run(cfg); err == nil {
+		t.Error("infeasible decision accepted")
+	}
+}
+
+func TestTimelineAndChromeTrace(t *testing.T) {
+	dur := synthDurations(map[string]float64{"x": 300, "y": 200}, nil)
+	log := &sim.EventLog{}
+	res, err := Run(Config{
+		Fleet: testFleet(2),
+		Jobs: []Job{
+			{Name: "jx", Benchmark: "x", Submit: 0, Widths: []int{1, 2}},
+			{Name: "jy", Benchmark: "y", Submit: 0, Widths: []int{1, 2}},
+		},
+		Policy:    Moldable(),
+		Durations: dur,
+		Observers: []sim.Observer{log},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log.Events, res.Events) {
+		t.Error("observer saw a different event stream than the result records")
+	}
+	tl := res.Timeline()
+	if _, ok := tl.Lanes["a/gpu0"]; !ok {
+		t.Fatalf("timeline lanes = %v", mapsKeys(tl.Lanes))
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) == 0 {
+		t.Error("empty chrome trace")
+	}
+}
+
+func mapsKeys[K comparable, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSyntheticTraceDeterministic(t *testing.T) {
+	a := SyntheticTrace(7, 10, 300)
+	b := SyntheticTrace(7, 10, 300)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different traces")
+	}
+	if a[0].Submit != 0 {
+		t.Errorf("first arrival at %v, want 0", a[0].Submit)
+	}
+	seen := map[string]bool{}
+	for i, j := range a {
+		if seen[j.Name] {
+			t.Errorf("duplicate job name %s", j.Name)
+		}
+		seen[j.Name] = true
+		if i > 0 && j.Submit < a[i-1].Submit {
+			t.Errorf("arrivals not monotone at %d", i)
+		}
+	}
+	if c := SyntheticTrace(8, 10, 300); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical traces")
+	}
+}

@@ -1,0 +1,534 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlperf/internal/sched"
+)
+
+// View is the cluster state a policy decides from at one scheduling
+// point. All duration lookups are precomputed and memoized, so policies
+// may query freely.
+type View struct {
+	Now float64
+	// Pending holds arrived, unplaced jobs sorted by (submit, trace
+	// order).
+	Pending []JobView
+	// Running holds placed jobs.
+	Running []RunView
+	// Machines mirrors the fleet with live free-GPU counts.
+	Machines []MachineView
+
+	r *run
+}
+
+// JobView is one queued job.
+type JobView struct {
+	Job
+	// RemainingFrac is the fraction of work still to run (1 for a fresh
+	// job, less after preserved progress from preempted segments).
+	RemainingFrac float64
+	// Overhead is the pending checkpoint+restart charge the job's next
+	// segment will pay.
+	Overhead float64
+	// Preemptions counts prior evictions.
+	Preemptions int
+}
+
+// RunView is one placed job.
+type RunView struct {
+	Job
+	// Machine indexes View.Machines.
+	Machine int
+	Width   int
+	// SegStart and Overhead describe the current segment; EndAt is its
+	// scheduled completion, Remaining the time to it.
+	SegStart, Overhead float64
+	EndAt, Remaining   float64
+}
+
+// MachineView is one fleet member with its free capacity.
+type MachineView struct {
+	Machine
+	Free int
+}
+
+// Duration returns the job's full runtime at width on machine mi, or
+// ok=false when the cell is infeasible (width beyond the machine or not
+// offered by the job).
+func (v *View) Duration(job string, mi, width int) (float64, bool) {
+	st, ok := v.r.byName[job]
+	if !ok || mi < 0 || mi >= len(v.r.fleet) {
+		return 0, false
+	}
+	d, ok := v.r.dur[st.idx][mi][width]
+	return d, ok
+}
+
+// Remaining returns the seconds the job would occupy machine mi at the
+// given width if placed now: pending overhead plus its unfinished work.
+func (v *View) Remaining(job string, mi, width int) (float64, bool) {
+	st, ok := v.r.byName[job]
+	if !ok {
+		return 0, false
+	}
+	d, ok := v.Duration(job, mi, width)
+	if !ok {
+		return 0, false
+	}
+	return st.overhead + (1-st.frac)*d, true
+}
+
+// PreemptCharge prices evicting the running job right now: the forced
+// checkpoint save plus the restart delay and replay window its next
+// segment would pay.
+func (v *View) PreemptCharge(rn RunView) float64 {
+	st, ok := v.r.byName[rn.Job.Name]
+	if !ok || !st.running {
+		return 0
+	}
+	exec := v.Now - st.segStart - st.segOverhead
+	if exec < 0 {
+		exec = 0
+	}
+	if exec > st.segRemaining {
+		exec = st.segRemaining
+	}
+	return v.r.ckpt[st.idx] + v.r.restartCost(exec)
+}
+
+// view snapshots the run state for one Decide call.
+func (r *run) view() *View {
+	v := &View{Now: r.eng.Now(), r: r}
+	v.Pending = make([]JobView, len(r.pending))
+	for i, st := range r.pending {
+		v.Pending[i] = JobView{
+			Job:           st.spec,
+			RemainingFrac: 1 - st.frac,
+			Overhead:      st.overhead,
+			Preemptions:   st.preempts,
+		}
+	}
+	for _, st := range r.jobs {
+		if !st.running {
+			continue
+		}
+		end := st.segStart + st.segOverhead + st.segRemaining
+		v.Running = append(v.Running, RunView{
+			Job: st.spec, Machine: st.machine, Width: st.width,
+			SegStart: st.segStart, Overhead: st.segOverhead,
+			EndAt: end, Remaining: end - v.Now,
+		})
+	}
+	v.Machines = make([]MachineView, len(r.fleet))
+	for i, m := range r.fleet {
+		v.Machines[i] = MachineView{Machine: m, Free: r.nfree[i]}
+	}
+	return v
+}
+
+// Decision is one scheduler action: exactly one of Place or Preempt.
+type Decision struct {
+	Place   *Placement
+	Preempt string
+}
+
+// Placement starts a pending job now.
+type Placement struct {
+	Job     string
+	Machine string
+	Width   int
+}
+
+func place(job, machine string, width int) Decision {
+	return Decision{Place: &Placement{Job: job, Machine: machine, Width: width}}
+}
+
+// Policy decides placements and preemptions. Decide is called at every
+// scheduling point (arrival, completion, and after each applied batch)
+// until it returns no decisions; it must be a pure function of the View
+// so runs replay deterministically.
+type Policy interface {
+	Name() string
+	Decide(v *View) []Decision
+}
+
+// Policies returns the built-in policy set in comparison order.
+func Policies() []Policy {
+	return []Policy{FIFO(), SRTF(), LPTBackfill(), Moldable()}
+}
+
+// PolicyByName resolves a built-in policy.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "fifo":
+		return FIFO(), nil
+	case "srtf":
+		return SRTF(), nil
+	case "lpt", "backfill", "lpt-backfill":
+		return LPTBackfill(), nil
+	case "moldable", "gang":
+		return Moldable(), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (have fifo, srtf, lpt, moldable)", name)
+}
+
+// preferredWidth returns the knee of the job's scaling curve on machine
+// mi: the smallest width within 10% of its best achievable duration —
+// the paper's §IV-D observation that poor scalers should not take the
+// whole machine. ok=false when the job fits nowhere on the machine.
+func preferredWidth(v *View, j JobView, mi int) (int, bool) {
+	best := math.Inf(1)
+	found := false
+	for _, w := range j.Widths {
+		if d, ok := v.Duration(j.Name, mi, w); ok && d < best {
+			best = d
+			found = true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	for _, w := range j.Widths {
+		if d, ok := v.Duration(j.Name, mi, w); ok && d <= 1.1*best {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// preferredSlot picks the machine where the job's preferred width is
+// free right now and its remaining time is smallest.
+func preferredSlot(v *View, j JobView) (mi, w int, ok bool) {
+	best := math.Inf(1)
+	for m := range v.Machines {
+		pw, pok := preferredWidth(v, j, m)
+		if !pok || pw > v.Machines[m].Free {
+			continue
+		}
+		if rem, rok := v.Remaining(j.Name, m, pw); rok && rem < best-1e-12 {
+			best, mi, w, ok = rem, m, pw, true
+		}
+	}
+	return mi, w, ok
+}
+
+// bestFit picks the (machine, width) minimizing the job's remaining
+// time among widths that fit the free GPUs right now.
+func bestFit(v *View, j JobView) (mi, w int, rem float64, ok bool) {
+	best := math.Inf(1)
+	for m := range v.Machines {
+		for _, wd := range j.Widths {
+			if wd > v.Machines[m].Free {
+				continue
+			}
+			if r, rok := v.Remaining(j.Name, m, wd); rok && r < best-1e-12 {
+				best, mi, w, ok = r, m, wd, true
+			}
+		}
+	}
+	return mi, w, best, ok
+}
+
+// ---- FIFO ----
+
+// fifo is strict first-come-first-served: the head of the queue demands
+// its preferred width and blocks the queue until some machine frees it.
+type fifo struct{}
+
+// FIFO returns the strict arrival-order policy — the online analog of
+// the paper's naive baseline, and the baseline the comparison table
+// measures the other policies against.
+func FIFO() Policy { return fifo{} }
+
+func (fifo) Name() string { return "fifo" }
+
+func (fifo) Decide(v *View) []Decision {
+	if len(v.Pending) == 0 {
+		return nil
+	}
+	j := v.Pending[0]
+	if mi, w, ok := preferredSlot(v, j); ok {
+		return []Decision{place(j.Name, v.Machines[mi].Name, w)}
+	}
+	return nil
+}
+
+// ---- SRTF ----
+
+// srtf is preemptive shortest-remaining-time-first: pending jobs are
+// served shortest first at whatever width fits now, and when nothing
+// fits, the longest-remaining running job is evicted — but only when
+// the eviction pays for itself against the checkpoint+restart charge.
+type srtf struct{}
+
+// SRTF returns the preemptive shortest-remaining-time-first policy.
+func SRTF() Policy { return srtf{} }
+
+func (srtf) Name() string { return "srtf" }
+
+// shortestFirst orders pending jobs by their best possible remaining
+// time anywhere in the fleet (ignoring current occupancy), breaking
+// ties by queue order.
+func shortestFirst(v *View) []JobView {
+	type ranked struct {
+		j    JobView
+		best float64
+		pos  int
+	}
+	rs := make([]ranked, len(v.Pending))
+	for i, j := range v.Pending {
+		best := math.Inf(1)
+		for m := range v.Machines {
+			for _, w := range j.Widths {
+				if rem, ok := v.Remaining(j.Name, m, w); ok && rem < best {
+					best = rem
+				}
+			}
+		}
+		rs[i] = ranked{j: j, best: best, pos: i}
+	}
+	sort.SliceStable(rs, func(a, b int) bool {
+		if rs[a].best != rs[b].best {
+			return rs[a].best < rs[b].best
+		}
+		return rs[a].pos < rs[b].pos
+	})
+	out := make([]JobView, len(rs))
+	for i, rk := range rs {
+		out[i] = rk.j
+	}
+	return out
+}
+
+func (srtf) Decide(v *View) []Decision {
+	if len(v.Pending) == 0 {
+		return nil
+	}
+	order := shortestFirst(v)
+	for _, j := range order {
+		if mi, w, _, ok := bestFit(v, j); ok {
+			return []Decision{place(j.Name, v.Machines[mi].Name, w)}
+		}
+	}
+	// Nothing fits: consider evicting for the globally shortest job.
+	p := order[0]
+	bestRem := math.Inf(1)
+	victim := ""
+	for _, rn := range v.Running {
+		if rn.SegStart >= v.Now-1e-12 {
+			// Placed this very instant; preempting it back would
+			// ping-pong inside one scheduling point.
+			continue
+		}
+		avail := v.Machines[rn.Machine].Free + rn.Width
+		pBest := math.Inf(1)
+		for _, w := range p.Widths {
+			if w > avail {
+				continue
+			}
+			if rem, ok := v.Remaining(p.Name, rn.Machine, w); ok && rem < pBest {
+				pBest = rem
+			}
+		}
+		if math.IsInf(pBest, 1) {
+			continue
+		}
+		// Evict only when the short job plus the victim's restart charge
+		// still undercuts the victim's own remaining time.
+		if rn.Remaining > pBest+v.PreemptCharge(rn)+1e-9 {
+			if victim == "" || rn.Remaining > bestRem {
+				victim = rn.Job.Name
+				bestRem = rn.Remaining
+			}
+		}
+	}
+	if victim != "" {
+		return []Decision{{Preempt: victim}}
+	}
+	return nil
+}
+
+// ---- LPT with backfill ----
+
+// lptBackfill drains the queue longest-job-first (the classic
+// makespan-friendly LPT order) with EASY-style backfilling: when the
+// longest job's preferred width is not free, it takes a reservation at
+// the earliest instant running jobs release enough GPUs, and shorter
+// jobs start in the gap — but only where they cannot delay that
+// reservation. The backfill pass runs shortest-first, which is what
+// lets short jobs slip past a wide head instead of queueing behind it.
+type lptBackfill struct{}
+
+// LPTBackfill returns the longest-processing-time-first policy with
+// reservation-based backfilling.
+func LPTBackfill() Policy { return lptBackfill{} }
+
+func (lptBackfill) Name() string { return "lpt-backfill" }
+
+// reservation returns the machine and earliest time the job's preferred
+// width frees up, assuming running jobs release their GPUs at their
+// scheduled completions and nothing else starts.
+func reservation(v *View, j JobView) (mi int, at float64, ok bool) {
+	best := math.Inf(1)
+	for m := range v.Machines {
+		pw, pok := preferredWidth(v, j, m)
+		if !pok {
+			continue
+		}
+		free := v.Machines[m].Free
+		if free >= pw {
+			if v.Now < best {
+				best, mi, ok = v.Now, m, true
+			}
+			continue
+		}
+		var ends []RunView
+		for _, rn := range v.Running {
+			if rn.Machine == m {
+				ends = append(ends, rn)
+			}
+		}
+		sort.SliceStable(ends, func(a, b int) bool { return ends[a].EndAt < ends[b].EndAt })
+		for _, rn := range ends {
+			free += rn.Width
+			if free >= pw {
+				if rn.EndAt < best {
+					best, mi, ok = rn.EndAt, m, true
+				}
+				break
+			}
+		}
+	}
+	return mi, best, ok
+}
+
+func (lptBackfill) Decide(v *View) []Decision {
+	if len(v.Pending) == 0 {
+		return nil
+	}
+	longest := make([]JobView, len(v.Pending))
+	copy(longest, v.Pending)
+	best := func(j JobView) float64 {
+		b := math.Inf(1)
+		for m := range v.Machines {
+			for _, w := range j.Widths {
+				if rem, ok := v.Remaining(j.Name, m, w); ok && rem < b {
+					b = rem
+				}
+			}
+		}
+		return b
+	}
+	sort.SliceStable(longest, func(a, b int) bool { return best(longest[a]) > best(longest[b]) })
+
+	head := longest[0]
+	if mi, w, ok := preferredSlot(v, head); ok {
+		return []Decision{place(head.Name, v.Machines[mi].Name, w)}
+	}
+	resM, resAt, resOK := reservation(v, head)
+	// Backfill shortest-first: a gap job may start now only where it
+	// cannot push the head's reservation back.
+	for _, j := range shortestFirst(v) {
+		if j.Name == head.Name {
+			continue
+		}
+		bi, bw, rem, ok := bestFit(v, j)
+		if !ok {
+			continue
+		}
+		if resOK && bi == resM && v.Now+rem > resAt+1e-9 {
+			// Would still hold the reservation machine's GPUs at resAt;
+			// try the cheapest width that clears the gap instead.
+			ok = false
+			bestRem := math.Inf(1)
+			for _, w := range j.Widths {
+				if w > v.Machines[bi].Free {
+					continue
+				}
+				if r, rok := v.Remaining(j.Name, bi, w); rok && v.Now+r <= resAt+1e-9 && r < bestRem {
+					bestRem, bw, ok = r, w, true
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		return []Decision{place(j.Name, v.Machines[bi].Name, bw)}
+	}
+	return nil
+}
+
+// ---- Moldable width search ----
+
+// moldable reuses the Figure 4 branch-and-bound (sched.Optimal over
+// packBnB) as an online lookahead: at each scheduling point it plans the
+// queue onto each machine's free GPUs, searching width vectors and
+// placements, and commits only the placements the plan starts
+// immediately.
+type moldable struct {
+	// maxJobs caps the queue prefix handed to the exponential search.
+	maxJobs int
+}
+
+// Moldable returns the gang/moldable width-search policy.
+func Moldable() Policy { return moldable{maxJobs: 8} }
+
+func (moldable) Name() string { return "moldable" }
+
+func (p moldable) Decide(v *View) []Decision {
+	if len(v.Pending) == 0 {
+		return nil
+	}
+	// Most free capacity first; ties by fleet order.
+	order := make([]int, len(v.Machines))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return v.Machines[order[a]].Free > v.Machines[order[b]].Free
+	})
+	for _, mi := range order {
+		free := v.Machines[mi].Free
+		if free < 1 {
+			continue
+		}
+		var sj []sched.Job
+		for _, j := range v.Pending {
+			durs := map[int]float64{}
+			for _, w := range j.Widths {
+				if w > free {
+					continue
+				}
+				if rem, ok := v.Remaining(j.Name, mi, w); ok {
+					durs[w] = rem
+				}
+			}
+			if len(durs) > 0 {
+				sj = append(sj, sched.Job{Name: j.Name, Duration: durs})
+			}
+			if len(sj) == p.maxJobs {
+				break
+			}
+		}
+		if len(sj) == 0 {
+			continue
+		}
+		plan, err := sched.Optimal(sj, free)
+		if err != nil {
+			continue
+		}
+		var ds []Decision
+		for _, pl := range plan.Placements {
+			if pl.Start < 1e-9 {
+				ds = append(ds, place(pl.Job, v.Machines[mi].Name, len(pl.GPUs)))
+			}
+		}
+		if len(ds) > 0 {
+			return ds
+		}
+	}
+	return nil
+}

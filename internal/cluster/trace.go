@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mlperf/internal/workload"
+)
+
+// SyntheticTrace draws a deterministic arrival trace of n jobs from the
+// MLPerf suite: benchmarks are sampled uniformly, interarrival gaps are
+// exponential with the given mean (seconds), and each job carries its
+// own width menu — a power-of-two GPU demand cap drawn from a
+// cluster-trace-like mix (most tenants ask for a slice of a machine,
+// some for all of it). The mixed demands are what give the policies
+// real packing decisions: a full-machine head can block while narrow
+// jobs could run. The first job arrives at t=0; equal seeds replay the
+// exact same trace.
+func SyntheticTrace(seed int64, n int, meanGap float64) []Job {
+	if n < 1 {
+		n = 1
+	}
+	if meanGap < 0 {
+		meanGap = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	suite := workload.MLPerfSuite()
+	jobs := make([]Job, n)
+	t := 0.0
+	for i := range jobs {
+		b := suite[rng.Intn(len(suite))]
+		short := strings.ToLower(strings.TrimPrefix(b.Abbrev, "MLPf_"))
+		var widths []int
+		switch p := rng.Float64(); {
+		case p < 0.20:
+			widths = []int{1}
+		case p < 0.45:
+			widths = []int{1, 2}
+		case p < 0.75:
+			widths = []int{1, 2, 4}
+		default:
+			widths = []int{1, 2, 4, 8}
+		}
+		jobs[i] = Job{
+			Name:      fmt.Sprintf("j%02d-%s", i, short),
+			Benchmark: b.Abbrev,
+			Submit:    t,
+			Widths:    widths,
+		}
+		t += rng.ExpFloat64() * meanGap
+	}
+	return jobs
+}

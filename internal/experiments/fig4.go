@@ -22,7 +22,9 @@ type SchedulingResult struct {
 // schedulingJobs simulates every MLPerf benchmark at widths 1/2/4/8 on the
 // DSS 8440 to build the moldable-job durations the scheduler searches
 // over. These are Table IV's DSS 8440 cells, recalled from the engine's
-// cache when both run in one process.
+// cache when both run in one process. A non-power-of-two machine also
+// gets its exact width, so Naive (which needs width-maxWidth durations)
+// stays feasible on, say, 3 GPUs.
 func schedulingJobs(maxWidth int) ([]sched.Job, error) {
 	var keys []sweep.CellKey
 	var widths []int
@@ -30,6 +32,9 @@ func schedulingJobs(maxWidth int) ([]sched.Job, error) {
 		if w <= maxWidth {
 			widths = append(widths, w)
 		}
+	}
+	if len(widths) == 0 || widths[len(widths)-1] != maxWidth {
+		widths = append(widths, maxWidth)
 	}
 	benches := workload.MLPerfSuite()
 	for _, b := range benches {

@@ -16,12 +16,14 @@ func Gantt(s Schedule, n int, cols int) string {
 	if s.Makespan <= 0 || len(s.Placements) == 0 {
 		return "(empty schedule)\n"
 	}
-	// Assign letters in placement order, deterministically.
+	// Assign letters in placement order, deterministically. The alphabet
+	// wraps past 62 distinct jobs rather than walking into punctuation.
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
 	letters := map[string]byte{}
 	names := make([]string, 0, len(s.Placements))
 	for _, p := range s.Placements {
 		if _, ok := letters[p.Job]; !ok {
-			letters[p.Job] = byte('A' + len(letters))
+			letters[p.Job] = alphabet[len(letters)%len(alphabet)]
 			names = append(names, p.Job)
 		}
 	}

@@ -9,6 +9,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -115,17 +116,33 @@ func Optimal(jobs []Job, n int) (Schedule, error) {
 	if n < 1 {
 		return Schedule{}, fmt.Errorf("sched: %d GPUs", n)
 	}
-	// Incumbent: the naive plan (always feasible if widths include n).
-	best, err := Naive(jobs, n)
-	if err != nil {
-		return Schedule{}, err
-	}
-
 	widthChoices := make([][]int, len(jobs))
 	for i, j := range jobs {
 		widthChoices[i] = j.widths(n)
 		if len(widthChoices[i]) == 0 {
 			return Schedule{}, fmt.Errorf("sched: job %s has no feasible width on %d GPUs", j.Name, n)
+		}
+	}
+
+	// Incumbent: the naive plan when every job has a width-n duration;
+	// otherwise a mix like widths {1,2} on 4 GPUs is still feasible, so
+	// fall back to packing each job at its fastest feasible width — any
+	// feasible plan works as the branch-and-bound seed.
+	best, err := Naive(jobs, n)
+	if err != nil {
+		widths := make([]int, len(jobs))
+		for i, j := range jobs {
+			w := widthChoices[i][0]
+			for _, c := range widthChoices[i][1:] {
+				if j.Duration[c] < j.Duration[w] {
+					w = c
+				}
+			}
+			widths[i] = w
+		}
+		var ok bool
+		if best, ok = packBnB(jobs, widths, n, math.Inf(1)); !ok {
+			return Schedule{}, fmt.Errorf("sched: no feasible plan on %d GPUs", n)
 		}
 	}
 
@@ -158,6 +175,29 @@ func Optimal(jobs []Job, n int) (Schedule, error) {
 	}
 	enumerate(0)
 	return best, nil
+}
+
+// Pack packs rigid jobs — jobs[i] fixed at widths[i] GPUs — onto n GPUs,
+// branch-and-bound over orderings with greedy earliest-start placement,
+// returning ok=false when nothing beats bound (pass +Inf for "any plan").
+// The online cluster scheduler's moldable policy reuses it to plan the
+// queue onto a machine's free GPUs. Note the search is exact only over
+// greedy earliest-start placements: each job takes the least-loaded
+// GPUs at its turn, so packings that deliberately idle a GPU are outside
+// the search space (see TestPackGreedyPlacementOnly).
+func Pack(jobs []Job, widths []int, n int, bound float64) (Schedule, bool) {
+	if len(jobs) != len(widths) {
+		return Schedule{}, false
+	}
+	for i, w := range widths {
+		if w < 1 || w > n {
+			return Schedule{}, false
+		}
+		if _, ok := jobs[i].Duration[w]; !ok {
+			return Schedule{}, false
+		}
+	}
+	return packBnB(jobs, widths, n, bound)
 }
 
 // packBnB finds the best packing of rigid (width, duration) jobs on n

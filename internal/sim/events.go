@@ -37,6 +37,26 @@ const (
 	// replay), on the "faults" lane — it stalls every station but is not
 	// busy time.
 	EvRestarted
+	// EvJobSubmitted marks a job entering the cluster scheduler's queue:
+	// an instant marker on the "cluster" lane (internal/cluster).
+	EvJobSubmitted
+	// EvJobPlaced marks a scheduler placement decision — the job starts
+	// on a machine's GPUs; the Note names machine, width and GPU ids.
+	EvJobPlaced
+	// EvJobPreempted marks a running job being evicted by the scheduler.
+	EvJobPreempted
+	// EvJobCheckpointed marks the snapshot save a preemption forces (the
+	// charge-once checkpoint of the preemption price).
+	EvJobCheckpointed
+	// EvJobResumed marks a preempted job restarting after its restart
+	// delay + replay window.
+	EvJobResumed
+	// EvJobCompleted marks a job finishing all of its work.
+	EvJobCompleted
+	// EvJobRan is one executed segment of a cluster job: a span on a
+	// machine GPU lane ("dss8440/gpu2"), so cluster schedules render
+	// through the same Timeline/Chrome-trace machinery as pipeline runs.
+	EvJobRan
 )
 
 // String returns the kind's timeline label prefix.
@@ -62,6 +82,20 @@ func (k EventKind) String() string {
 		return "checkpoint"
 	case EvRestarted:
 		return "restart"
+	case EvJobSubmitted:
+		return "job-submitted"
+	case EvJobPlaced:
+		return "job-placed"
+	case EvJobPreempted:
+		return "job-preempted"
+	case EvJobCheckpointed:
+		return "job-checkpointed"
+	case EvJobResumed:
+		return "job-resumed"
+	case EvJobCompleted:
+		return "job-completed"
+	case EvJobRan:
+		return "job-ran"
 	}
 	return "unknown"
 }
@@ -74,6 +108,10 @@ const (
 	// LaneFaults is the synthetic track fault markers and restart
 	// downtime render on; it only exists in fault-injected runs.
 	LaneFaults = "faults"
+	// LaneCluster is the track cluster-scheduler decision markers render
+	// on (submit/place/preempt/resume/complete); it only exists in
+	// online-scheduler runs (internal/cluster).
+	LaneCluster = "cluster"
 )
 
 // Event is one typed span of a simulated training run. The simulator

@@ -30,6 +30,7 @@ import (
 	"io"
 	"math/rand"
 
+	"mlperf/internal/cluster"
 	"mlperf/internal/dataset"
 	"mlperf/internal/experiments"
 	"mlperf/internal/fault"
@@ -309,6 +310,66 @@ func ScheduleOptimal(jobs []SchedJob, gpus int) (Schedule, error) { return sched
 
 // RenderGantt draws a schedule as text.
 func RenderGantt(s Schedule, gpus, width int) string { return sched.Gantt(s, gpus, width) }
+
+// ---- Online cluster scheduling (the Figure 4 study made multi-tenant) ----
+
+// ClusterMachine is one fleet member: a named hw-catalog system with its
+// schedulable GPU count.
+type ClusterMachine = cluster.Machine
+
+// ClusterJob is one moldable job of an arrival trace.
+type ClusterJob = cluster.Job
+
+// ClusterPolicy decides placements, widths and preemptions at every
+// scheduling point (fifo, srtf, lpt-backfill, moldable, or your own).
+type ClusterPolicy = cluster.Policy
+
+// ClusterConfig is one online scheduling run: fleet, trace, policy, and
+// the fault plan that prices preemptions.
+type ClusterConfig = cluster.Config
+
+// ClusterResult is a completed online run: per-job outcomes, executed
+// segments, summary metrics and the full decision event stream.
+type ClusterResult = cluster.Result
+
+// ClusterMetrics summarizes one policy's run (makespan, mean/p95 JCT,
+// GPU utilization, preemption charges).
+type ClusterMetrics = cluster.Metrics
+
+// ClusterFleet builds machines from hw catalog names; duplicates make a
+// multi-machine fleet ("dss8440,dss8440").
+func ClusterFleet(systems ...string) ([]ClusterMachine, error) { return cluster.Fleet(systems...) }
+
+// ClusterTrace draws a deterministic synthetic arrival trace of n MLPerf
+// jobs with exponential interarrival gaps and mixed GPU demands.
+func ClusterTrace(seed int64, n int, meanGapSec float64) []ClusterJob {
+	return cluster.SyntheticTrace(seed, n, meanGapSec)
+}
+
+// ClusterPolicies returns the built-in policy set in comparison order.
+func ClusterPolicies() []ClusterPolicy { return cluster.Policies() }
+
+// ClusterPolicyByName resolves "fifo", "srtf", "lpt", "moldable".
+func ClusterPolicyByName(name string) (ClusterPolicy, error) { return cluster.PolicyByName(name) }
+
+// RunCluster executes one online scheduling run; the result validates
+// and exports to a Chrome trace via its Timeline.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// PolicyRow is one scheduling policy's line in the comparison table.
+type PolicyRow = experiments.PolicyRow
+
+// PolicyComparison runs every built-in policy over one synthetic trace
+// on a DSS 8440 and tabulates makespan, mean/p95 JCT, utilization and
+// preemption cost per policy.
+func PolicyComparison(seed int64, n int) ([]PolicyRow, error) {
+	return experiments.PolicyComparison(seed, n)
+}
+
+// RenderPolicyComparison renders the comparison table as text.
+func RenderPolicyComparison(rows []PolicyRow) string {
+	return experiments.RenderPolicyComparison(rows)
+}
 
 // ---- Real training (time-to-quality for real) ----
 
