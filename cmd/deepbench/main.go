@@ -9,21 +9,38 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"mlperf/internal/kernels"
+	"mlperf/internal/telecli"
+	"mlperf/internal/telemetry"
 	"mlperf/internal/tensor"
 )
 
+// reg holds the active telemetry registry (nil when -metrics/-manifest
+// are unset; every record call is then a no-op).
+var reg *telemetry.Registry
+
+// record publishes one configuration's achieved rate.
+func record(bench, config string, rate float64) {
+	reg.Gauge("deepbench_rate", telemetry.L("bench", bench), telemetry.L("config", config)).Set(rate)
+	reg.Counter("deepbench_configs_total", telemetry.L("bench", bench)).Inc()
+}
+
 func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration")
+	sink := telecli.Register("deepbench", nil)
 	flag.Parse()
+	reg = sink.Activate()
+	sink.Config("reps", strconv.Itoa(*reps))
 
 	fmt.Println("deepbench (host-CPU substrate) — see DESIGN.md for the substitution rationale")
 	gemmBench(*reps)
 	convBench(*reps)
 	rnnBench(*reps)
 	allReduceBench(*reps)
+	sink.MustFlush()
 }
 
 func gemmBench(reps int) {
@@ -42,7 +59,9 @@ func gemmBench(reps int) {
 		}
 		per := time.Since(start) / time.Duration(reps)
 		gflops := float64(kernels.GEMMFLOPs(s.m, s.n, s.k)) / per.Seconds() / 1e9
-		fmt.Printf("  %-22s %12v %10.2f\n", fmt.Sprintf("%dx%dx%d", s.m, s.n, s.k), per.Round(time.Microsecond), gflops)
+		cfg := fmt.Sprintf("%dx%dx%d", s.m, s.n, s.k)
+		record("gemm", cfg, gflops)
+		fmt.Printf("  %-22s %12v %10.2f\n", cfg, per.Round(time.Microsecond), gflops)
 	}
 }
 
@@ -69,6 +88,7 @@ func convBench(reps int) {
 		}
 		per := time.Since(start) / time.Duration(reps)
 		gflops := float64(c.spec.FLOPs()) / per.Seconds() / 1e9
+		record("conv", c.name, gflops)
 		fmt.Printf("  %-22s %12v %10.2f\n", c.name, per.Round(time.Microsecond), gflops)
 	}
 }
@@ -89,6 +109,7 @@ func rnnBench(reps int) {
 		}
 		per := time.Since(start) / time.Duration(reps)
 		gflops := float64(cell.StepFLOPs(16)) * 16 / per.Seconds() / 1e9
+		record("rnn", fmt.Sprint(kind), gflops)
 		fmt.Printf("  %-22s %12v %10.2f\n", kind, per.Round(time.Microsecond), gflops)
 	}
 }
@@ -113,6 +134,8 @@ func allReduceBench(reps int) {
 		}
 		per := time.Since(start) / time.Duration(reps)
 		moved := float64(4*elems) * 2 * float64(ranks-1) / float64(ranks) * float64(ranks)
-		fmt.Printf("  %-22d %12v %10.2f\n", ranks, per.Round(time.Microsecond), moved/per.Seconds()/1e9)
+		gbs := moved / per.Seconds() / 1e9
+		record("allreduce", strconv.Itoa(ranks)+"ranks", gbs)
+		fmt.Printf("  %-22d %12v %10.2f\n", ranks, per.Round(time.Microsecond), gbs)
 	}
 }

@@ -13,13 +13,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"mlperf/internal/experiments"
 	"mlperf/internal/sweep"
+	"mlperf/internal/telecli"
 )
 
 func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	sink := telecli.Register("mlperf-ablate", nil)
 	flag.Parse()
 	w, err := sweep.ValidateWorkers(*workers)
 	if err != nil {
@@ -31,10 +34,18 @@ func main() {
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
 	}
+	if reg := sink.Activate(); reg != nil {
+		sweep.Default.SetTelemetry(reg)
+		defer sweep.Default.SetTelemetry(nil)
+		sink.Config("ablation", which)
+		sink.Config("workers", strconv.Itoa(w))
+	}
 	if err := run(which); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-ablate:", err)
+		sink.MustFlush()
 		os.Exit(1)
 	}
+	sink.MustFlush()
 }
 
 func run(which string) error {

@@ -27,6 +27,8 @@ import (
 	"mlperf/internal/hw"
 	"mlperf/internal/sim"
 	"mlperf/internal/sweep"
+	"mlperf/internal/telecli"
+	"mlperf/internal/telemetry"
 	"mlperf/internal/units"
 	"mlperf/internal/workload"
 )
@@ -66,9 +68,11 @@ func runOne(args []string) error {
 	planPath := fs.String("plan", "", "JSON fault-plan file (overrides the individual flags)")
 	trace := fs.String("trace", "", "write a Chrome trace of the faulted run to this path")
 	events := fs.String("events", "", "write the typed event log to this path (- = stdout)")
+	sink := telecli.Register("mlperf-faults", fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sink.Activate()
 
 	var plan *fault.Plan
 	if *planPath != "" {
@@ -98,16 +102,31 @@ func runOne(args []string) error {
 		return err
 	}
 	cfg := sim.Config{System: sys, GPUCount: *gpus, Job: b.Job}
+	if sink.Enabled() {
+		sink.Config("bench", b.Abbrev)
+		sink.Config("system", sys.Name)
+		sink.Config("gpus", strconv.Itoa(*gpus))
+		sink.Manifest.Seed = plan.Seed
+		if canon, err := plan.Canon(); err == nil {
+			sink.Manifest.FaultPlanHash = telemetry.HashPlan(canon)
+		}
+	}
 
 	base, err := sim.Run(cfg)
 	if err != nil {
 		return err
 	}
 	var log sim.EventLog
-	res, err := sim.RunWithFaults(cfg, plan, &log)
+	// Only the faulted run is instrumented, so the metrics describe the
+	// run the report is about — not the fault-free baseline.
+	res, err := sim.RunWithFaults(cfg, plan, &log, sim.NewTelemetryObserver(sink.Reg))
 	if err != nil {
 		return err
 	}
+	if sink.Enabled() {
+		sink.Manifest.SimulatedSeconds = res.TimeToTrain.Seconds()
+	}
+	defer sink.MustFlush()
 
 	fmt.Printf("%s on %s with %d GPU(s), fault plan seed %d\n", b.Abbrev, sys.Name, *gpus, plan.Seed)
 	fmt.Printf("  step time          : %.4fs (fault-free %.4fs, x%.2f)\n",
@@ -160,6 +179,7 @@ func sensitivity(args []string) error {
 	fs := flag.NewFlagSet("sensitivity", flag.ContinueOnError)
 	out := fs.String("out", "", "CSV output path (default: render a table to stdout)")
 	workers := fs.Int("workers", 0, "max concurrent cells (0 = GOMAXPROCS)")
+	sink := telecli.Register("mlperf-faults", fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,6 +188,13 @@ func sensitivity(args []string) error {
 		return err
 	}
 	sweep.Default.SetWorkers(w)
+	if reg := sink.Activate(); reg != nil {
+		sweep.Default.SetTelemetry(reg)
+		defer sweep.Default.SetTelemetry(nil)
+		sink.Config("subcommand", "sensitivity")
+		sink.Config("workers", strconv.Itoa(w))
+		defer sink.MustFlush()
+	}
 	rows, err := experiments.FaultSensitivity()
 	if err != nil {
 		return err

@@ -22,9 +22,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 
+	"mlperf/internal/fault"
 	"mlperf/internal/hw"
 	"mlperf/internal/profile"
+	"mlperf/internal/sim"
+	"mlperf/internal/telecli"
+	"mlperf/internal/telemetry"
 	"mlperf/internal/workload"
 )
 
@@ -34,15 +39,20 @@ func main() {
 	gpus := flag.Int("gpus", 1, "GPU count")
 	duration := flag.Float64("duration", 60, "seconds of dstat/dmon samples")
 	out := flag.String("out", "profile-out", "output directory")
+	faults := flag.String("faults", "", "JSON fault-plan file applied to the profiled run")
+	sink := telecli.Register("mlperf-profile", nil)
 	flag.Parse()
 
-	if err := run(*bench, *system, *gpus, *duration, *out); err != nil {
+	sink.Activate()
+	if err := run(*bench, *system, *gpus, *duration, *out, *faults, sink); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-profile:", err)
+		sink.MustFlush()
 		os.Exit(1)
 	}
+	sink.MustFlush()
 }
 
-func run(benchName, systemName string, gpus int, duration float64, outDir string) error {
+func run(benchName, systemName string, gpus int, duration float64, outDir, faultsPath string, sink *telecli.Sink) error {
 	b, err := workload.ByName(benchName)
 	if err != nil {
 		return err
@@ -51,14 +61,38 @@ func run(benchName, systemName string, gpus int, duration float64, outDir string
 	if err != nil {
 		return err
 	}
+	var plan *fault.Plan
+	if faultsPath != "" {
+		raw, err := os.ReadFile(faultsPath)
+		if err != nil {
+			return err
+		}
+		if plan, err = fault.Parse(string(raw)); err != nil {
+			return fmt.Errorf("-faults %s: %w", faultsPath, err)
+		}
+	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 
-	// One simulation; every tool below reads the resulting profile.
-	p, err := profile.Collect(b, sys, gpus)
+	// One simulation; every tool below reads the resulting profile. The
+	// telemetry observer (a no-op when -metrics/-manifest are unset)
+	// rides the same run as the samplers.
+	p, err := profile.CollectWithFaults(b, sys, gpus, plan, sim.NewTelemetryObserver(sink.Reg))
 	if err != nil {
 		return err
+	}
+	if sink.Enabled() {
+		sink.Config("bench", b.Abbrev)
+		sink.Config("system", sys.Name)
+		sink.Config("gpus", strconv.Itoa(p.GPUs))
+		sink.Manifest.SimulatedSeconds = p.Result.TimeToTrain.Seconds()
+		if plan != nil {
+			sink.Manifest.Seed = plan.Seed
+			if canon, err := plan.Canon(); err == nil {
+				sink.Manifest.FaultPlanHash = telemetry.HashPlan(canon)
+			}
+		}
 	}
 	sampler := profile.NewSampler()
 

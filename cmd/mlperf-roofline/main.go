@@ -14,12 +14,24 @@ import (
 	"mlperf/internal/experiments"
 	"mlperf/internal/hw"
 	"mlperf/internal/roofline"
+	"mlperf/internal/sweep"
+	"mlperf/internal/telecli"
+	"mlperf/internal/telemetry"
 )
 
 func main() {
 	gpu := flag.String("gpu", "v100", "device model: v100, v100-pcie, p100")
 	host := flag.Bool("host", false, "micro-benchmark the host CPU instead")
+	sink := telecli.Register("mlperf-roofline", nil)
 	flag.Parse()
+
+	if reg := sink.Activate(); reg != nil {
+		// Figure 2 placements simulate through the shared sweep engine.
+		sweep.Default.SetTelemetry(reg)
+		defer sweep.Default.SetTelemetry(nil)
+		sink.Config("gpu", *gpu)
+	}
+	defer sink.MustFlush()
 
 	if *host {
 		m := roofline.MeasureHost()
@@ -47,9 +59,12 @@ func main() {
 	m := roofline.ForGPU(&g)
 	fmt.Printf("roofline of %s:\n", g.Name)
 	fmt.Printf("  memory slope: %.0f GB/s\n", m.MemBandwidth.GBs())
+	sink.Reg.Gauge("roofline_mem_bandwidth_gbs", telemetry.L("gpu", g.Name)).Set(m.MemBandwidth.GBs())
 	for _, c := range m.Ceilings {
 		fmt.Printf("  ceiling %-12s %9.1f GFLOPS (ridge %.1f FLOP/B)\n",
 			c.Name, c.Peak.G(), float64(m.Ridge(c.Name)))
+		sink.Reg.Gauge("roofline_ceiling_gflops",
+			telemetry.L("gpu", g.Name), telemetry.L("ceiling", c.Name)).Set(c.Peak.G())
 	}
 	fmt.Println()
 

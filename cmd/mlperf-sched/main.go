@@ -22,12 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"mlperf/internal/experiments"
 	"mlperf/internal/hw"
 	"mlperf/internal/sched"
 	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
+	"mlperf/internal/telecli"
 	"mlperf/internal/workload"
 )
 
@@ -41,21 +44,43 @@ func main() {
 	gap := flag.Float64("gap", 1800, "online: mean interarrival gap in seconds")
 	machines := flag.String("machines", "dss8440", "online: comma-separated fleet systems from the hw catalog")
 	traceOut := flag.String("trace", "", "online: write the policy's schedule as a Chrome trace to this file (requires -policy)")
+	sink := telecli.Register("mlperf-sched", nil)
 	flag.Parse()
 
+	if reg := sink.Activate(); reg != nil {
+		// Durations for Figure 4 and the online policies come from the
+		// shared memoized sweep engine; watch it for the run.
+		sweep.Default.SetTelemetry(reg)
+		defer sweep.Default.SetTelemetry(nil)
+	}
+	if sink.Enabled() {
+		if *online {
+			sink.Config("mode", "online")
+			sink.Config("policy", *policy)
+			sink.Config("machines", *machines)
+			sink.Config("jobs", strconv.Itoa(*n))
+			sink.Manifest.Seed = *seed
+		} else {
+			sink.Config("mode", "offline")
+			sink.Config("gpus", strconv.Itoa(*gpus))
+			sink.Config("jobs", *jobsFlag)
+		}
+	}
 	var err error
 	if *online {
-		err = runOnline(*policy, *machines, *seed, *n, *gap, *traceOut)
+		err = runOnline(*policy, *machines, *seed, *n, *gap, *traceOut, sink)
 	} else {
-		err = run(*gpus, *jobsFlag)
+		err = run(*gpus, *jobsFlag, sink)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sched:", err)
+		sink.MustFlush()
 		os.Exit(1)
 	}
+	sink.MustFlush()
 }
 
-func run(gpus int, jobsFlag string) error {
+func run(gpus int, jobsFlag string, sink *telecli.Sink) error {
 	if gpus < 1 {
 		return fmt.Errorf("need at least one GPU, got %d", gpus)
 	}
@@ -90,7 +115,8 @@ func run(gpus int, jobsFlag string) error {
 		}
 		j := sched.Job{Name: b.Abbrev, Duration: map[int]float64{}}
 		for _, w := range widths {
-			res, err := sim.Run(sim.Config{System: sys, GPUCount: w, Job: b.Job})
+			res, err := sim.RunObserved(sim.Config{System: sys, GPUCount: w, Job: b.Job},
+				sim.NewTelemetryObserver(sink.Reg))
 			if err != nil {
 				return err
 			}
@@ -115,14 +141,17 @@ func run(gpus int, jobsFlag string) error {
 	return nil
 }
 
-func runOnline(policy, machines string, seed int64, n int, gap float64, traceOut string) error {
+func runOnline(policy, machines string, seed int64, n int, gap float64, traceOut string, sink *telecli.Sink) error {
 	var systems []string
 	for _, s := range strings.Split(machines, ",") {
 		if s = strings.TrimSpace(s); s != "" {
 			systems = append(systems, s)
 		}
 	}
-	cfg := experiments.PolicySweepConfig{Systems: systems, Seed: seed, Jobs: n, MeanGapSec: gap}
+	cfg := experiments.PolicySweepConfig{
+		Systems: systems, Seed: seed, Jobs: n, MeanGapSec: gap,
+		Telemetry: sink.Reg,
+	}
 
 	if policy == "" {
 		if traceOut != "" {

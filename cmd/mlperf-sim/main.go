@@ -17,16 +17,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"mlperf/internal/experiments"
 	"mlperf/internal/hw"
 	"mlperf/internal/sim"
 	"mlperf/internal/sweep"
+	"mlperf/internal/telecli"
 	"mlperf/internal/workload"
 )
 
 func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
+	sink := telecli.Register("mlperf-sim", nil)
 	flag.Usage = func() { usage() }
 	flag.Parse()
 	w, err := sweep.ValidateWorkers(*workers)
@@ -35,10 +38,24 @@ func main() {
 		os.Exit(2)
 	}
 	sweep.Default.SetWorkers(w)
+	if reg := sink.Activate(); reg != nil {
+		sweep.Default.SetTelemetry(reg)
+		defer sweep.Default.SetTelemetry(nil)
+		if len(flag.Args()) > 0 {
+			sink.Config("subcommand", flag.Arg(0))
+		}
+		sink.Config("workers", strconv.Itoa(w))
+	}
 	if err := run(flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sim:", err)
+		sink.MustFlush()
 		os.Exit(1)
 	}
+	if sink.Enabled() {
+		stats := sweep.Default.Stats()
+		sink.Manifest.CacheHits, sink.Manifest.CacheMisses = stats.Hits, stats.Misses
+	}
+	sink.MustFlush()
 }
 
 func run(args []string) error {

@@ -30,6 +30,8 @@ import (
 
 	"mlperf/internal/fault"
 	"mlperf/internal/sweep"
+	"mlperf/internal/telecli"
+	"mlperf/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell attempt deadline (0 = unbounded)")
 	retries := flag.Int("retries", 0, "retry budget per cell for panics and timeouts")
 	partial := flag.Bool("partial", false, "keep going past failed cells; write completed cells and report the rest")
+	sink := telecli.Register("mlperf-sweep", nil)
 	flag.Parse()
 
 	w, err := sweep.ValidateWorkers(*workers)
@@ -53,15 +56,28 @@ func main() {
 		os.Exit(2)
 	}
 	sweep.Default.SetWorkers(w)
+	if reg := sink.Activate(); reg != nil {
+		sweep.Default.SetTelemetry(reg)
+		defer sweep.Default.SetTelemetry(nil)
+		for k, v := range map[string]string{
+			"bench": *bench, "system": *system, "gpus": *gpus, "batch": *batch,
+			"precision": *prec, "workers": strconv.Itoa(w),
+		} {
+			sink.Config(k, v)
+		}
+	}
 	cfg := runConfig{
 		bench: *bench, system: *system, gpus: *gpus, batch: *batch, prec: *prec,
 		out: *out, seq: *seq, faults: *faults,
 		cellTimeout: *cellTimeout, retries: *retries, partial: *partial,
+		sink: sink,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sweep:", err)
+		sink.MustFlush()
 		os.Exit(1)
 	}
+	sink.MustFlush()
 }
 
 type runConfig struct {
@@ -69,6 +85,7 @@ type runConfig struct {
 	seq, partial                                  bool
 	cellTimeout                                   time.Duration
 	retries                                       int
+	sink                                          *telecli.Sink
 }
 
 func run(cfg runConfig) error {
@@ -95,6 +112,10 @@ func run(cfg runConfig) error {
 		}
 		if g.Faults, err = plan.Canon(); err != nil {
 			return fmt.Errorf("-faults %s: %w", cfg.faults, err)
+		}
+		if cfg.sink != nil && cfg.sink.Enabled() {
+			cfg.sink.Manifest.FaultPlanHash = telemetry.HashPlan(g.Faults)
+			cfg.sink.Manifest.Seed = plan.Seed
 		}
 	}
 
@@ -143,6 +164,15 @@ func run(cfg runConfig) error {
 			}
 		}
 		recs = kept
+	}
+	if cfg.sink != nil && cfg.sink.Enabled() {
+		m := cfg.sink.Manifest
+		m.Cells = len(recs)
+		stats := sweep.Default.Stats()
+		m.CacheHits, m.CacheMisses = stats.Hits, stats.Misses
+		for _, r := range recs {
+			m.SimulatedSeconds += r.TimeToTrainMin * 60
+		}
 	}
 	if err := sweep.WriteCSV(w, recs); err != nil {
 		return err

@@ -1,0 +1,245 @@
+// Command mlperf-telemetry inspects the artifacts the other tools write
+// with -metrics and -manifest: it renders run manifests as tables,
+// validates manifests and Prometheus metric files against their schemas,
+// and merges Chrome traces into one multi-process document.
+//
+//	mlperf-telemetry summarize [-top N] run.json
+//	mlperf-telemetry validate run.json out.prom ...
+//	mlperf-telemetry merge -out merged.json a.json b.json ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mlperf/internal/report"
+	"mlperf/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summarize":
+		err = summarize(os.Args[2:])
+	case "validate":
+		err = validate(os.Args[2:])
+	case "merge":
+		err = merge(os.Args[2:])
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-telemetry:", err)
+		os.Exit(1)
+	}
+}
+
+// summarize renders one manifest: provenance, configuration, and the
+// largest metrics by absolute value.
+func summarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ContinueOnError)
+	top := fs.Int("top", 15, "metrics to show (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("summarize wants exactly one manifest file")
+	}
+	m, err := readManifest(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	run := report.NewTable("run manifest — "+m.Tool, "field", "value")
+	run.AddRow("schema version", m.Version)
+	if m.StartedAt != "" {
+		run.AddRow("started at", m.StartedAt)
+	}
+	if m.Hostname != "" {
+		run.AddRow("hostname", m.Hostname)
+	}
+	if m.WallSeconds > 0 {
+		run.AddRow("wall time", fmt.Sprintf("%.2f s", m.WallSeconds))
+	}
+	if m.SimulatedSeconds > 0 {
+		run.AddRow("simulated time", fmt.Sprintf("%.1f s", m.SimulatedSeconds))
+	}
+	if m.Seed != 0 {
+		run.AddRow("seed", strconv.FormatInt(m.Seed, 10))
+	}
+	if m.FaultPlanHash != "" {
+		run.AddRow("fault plan", m.FaultPlanHash[:12]+"…")
+	}
+	if m.Cells > 0 {
+		run.AddRow("cells", strconv.Itoa(m.Cells))
+	}
+	if m.CacheHits+m.CacheMisses > 0 {
+		run.AddRow("cache", fmt.Sprintf("%d hits / %d misses", m.CacheHits, m.CacheMisses))
+	}
+	run.AddRow("spans", strconv.Itoa(m.Spans))
+	run.AddRow("metrics", strconv.Itoa(len(m.Metrics)))
+	fmt.Print(run.String())
+
+	if len(m.Config) > 0 {
+		keys := make([]string, 0, len(m.Config))
+		for k := range m.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		cfg := report.NewTable("configuration", "flag", "value")
+		for _, k := range keys {
+			cfg.AddRow(k, m.Config[k])
+		}
+		fmt.Println()
+		fmt.Print(cfg.String())
+	}
+
+	if len(m.Metrics) > 0 {
+		mv := make([]telemetry.MetricValue, len(m.Metrics))
+		copy(mv, m.Metrics)
+		sort.SliceStable(mv, func(i, j int) bool {
+			return math.Abs(mv[i].Value) > math.Abs(mv[j].Value)
+		})
+		if *top > 0 && len(mv) > *top {
+			mv = mv[:*top]
+		}
+		tbl := report.NewTable(fmt.Sprintf("top %d metrics by magnitude", len(mv)),
+			"metric", "type", "value", "count")
+		for _, v := range mv {
+			count := ""
+			if v.Type == "histogram" {
+				count = strconv.FormatInt(v.Count, 10)
+			}
+			tbl.AddRow(v.Name+v.Labels, v.Type, formatValue(v), count)
+		}
+		fmt.Println()
+		fmt.Print(tbl.String())
+	}
+	return nil
+}
+
+// validate checks each file against its schema, sniffing manifests
+// (JSON) from metric files (Prometheus text) by the leading byte.
+func validate(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("validate wants at least one file")
+	}
+	failed := 0
+	for _, path := range args {
+		kind, err := validateFile(path)
+		if err != nil {
+			failed++
+			fmt.Printf("%-30s FAIL  %v\n", path, err)
+			continue
+		}
+		fmt.Printf("%-30s ok    (%s)\n", path, kind)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d files invalid", failed, len(args))
+	}
+	return nil
+}
+
+func validateFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	if len(data) > 0 && data[0] == '{' {
+		if _, err := telemetry.ParseManifest(data); err != nil {
+			return "", err
+		}
+		return "manifest", nil
+	}
+	fams, err := telemetry.ParsePrometheus(strings.NewReader(string(data)))
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("prometheus, %d families", len(fams)), nil
+}
+
+// merge combines Chrome-trace documents into one, re-numbering each
+// input's pid so the tracks sit side by side in chrome://tracing.
+func merge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	out := fs.String("out", "", "merged Chrome trace output path (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("merge wants at least one trace file")
+	}
+	var readers []io.Reader
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		readers = append(readers, f)
+		closers = append(closers, f)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := telemetry.MergeChromeTraces(w, readers...); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("merged %d traces into %s\n", fs.NArg(), *out)
+	}
+	return nil
+}
+
+func readManifest(path string) (*telemetry.Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.ParseManifest(data)
+}
+
+// formatValue prints counters as integers and everything else with a
+// magnitude-appropriate precision.
+func formatValue(v telemetry.MetricValue) string {
+	if v.Type == "counter" {
+		return strconv.FormatInt(int64(v.Value), 10)
+	}
+	switch av := math.Abs(v.Value); {
+	case av != 0 && av < 0.01:
+		return fmt.Sprintf("%.3g", v.Value)
+	case av >= 1e6:
+		return fmt.Sprintf("%.4g", v.Value)
+	default:
+		return fmt.Sprintf("%.3f", v.Value)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mlperf-telemetry <subcommand>
+  summarize [-top N] <run.json>   render a run manifest and its largest metrics
+  validate <file> ...             schema-check manifests (.json) and Prometheus files
+  merge [-out F] <trace.json> ... merge Chrome traces into one document`)
+}

@@ -21,6 +21,7 @@ import (
 	"mlperf/internal/hw"
 	"mlperf/internal/sim"
 	"mlperf/internal/sweep"
+	"mlperf/internal/telemetry"
 	"mlperf/internal/units"
 	"mlperf/internal/workload"
 )
@@ -118,7 +119,24 @@ type Config struct {
 	// Observers subscribe to the run's typed event stream (the same
 	// sim.Observer interface pipeline runs publish to).
 	Observers []sim.Observer
+	// Telemetry, when non-nil, receives per-policy metrics (JCT
+	// histogram, preemption/job counters, queue-depth gauges, makespan
+	// and utilization) plus one span per job in simulated time. Nil
+	// disables instrumentation with zero behavioural difference.
+	Telemetry *telemetry.Registry
 }
+
+// Metric names the scheduler registers, all labeled policy=<name>.
+const (
+	MetricJCTSeconds      = "cluster_jct_seconds"       // histogram of job completion times
+	MetricJobsTotal       = "cluster_jobs_total"        // counter
+	MetricPreemptions     = "cluster_preemptions_total" // counter
+	MetricQueueDepth      = "cluster_queue_depth"       // gauge, live pending jobs
+	MetricQueueDepthPeak  = "cluster_queue_depth_peak"  // gauge, high-water pending jobs
+	MetricMakespanSeconds = "cluster_makespan_seconds"  // gauge
+	MetricGPUUtil         = "cluster_gpu_util"          // gauge, 0..1
+	MetricOverheadSeconds = "cluster_overhead_seconds"  // gauge, total preemption charge
+)
 
 // Segment is one executed slice of a job: a width-GPU reservation on one
 // machine from Start to End. A preempted job has several segments.

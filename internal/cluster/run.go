@@ -7,6 +7,7 @@ import (
 
 	"mlperf/internal/fault"
 	"mlperf/internal/sim"
+	"mlperf/internal/telemetry"
 )
 
 // jobState is one job's live scheduling state.
@@ -57,6 +58,13 @@ type run struct {
 	events  []sim.Event
 	segs    []Segment
 	err     error
+
+	// policyLbl tags every instrument with the run's policy name;
+	// queueGauge/queuePeak track the pending queue (nil no-ops when
+	// cfg.Telemetry is nil).
+	policyLbl  telemetry.Label
+	queueGauge *telemetry.Gauge
+	queuePeak  *telemetry.Gauge
 }
 
 // maxDecideRounds bounds the policy fixpoint loop at one scheduling
@@ -103,7 +111,36 @@ func Run(cfg Config) (*Result, error) {
 		Events:   r.events,
 	}
 	res.Metrics = computeMetrics(cfg.Policy.Name(), r.fleet, outcomes, r.segs)
+	r.publishTelemetry(res)
 	return res, nil
+}
+
+// publishTelemetry reports the finished run to the attached registry:
+// summary gauges, per-job JCT observations and one KindClusterJob span
+// per job in simulated time, parented under a run-wide span.
+func (r *run) publishTelemetry(res *Result) {
+	reg := r.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	m := res.Metrics
+	reg.Gauge(MetricMakespanSeconds, r.policyLbl).Set(m.Makespan)
+	reg.Gauge(MetricGPUUtil, r.policyLbl).Set(m.GPUUtil)
+	reg.Gauge(MetricOverheadSeconds, r.policyLbl).Set(m.OverheadSec)
+	jct := reg.Histogram(MetricJCTSeconds, telemetry.SimSecondsBuckets, r.policyLbl)
+	jobs := reg.Counter(MetricJobsTotal, r.policyLbl)
+	preempts := reg.Counter(MetricPreemptions, r.policyLbl)
+	tr := reg.Tracer()
+	runSpan := tr.StartAt(telemetry.KindRun, "cluster/"+m.Policy, 0, 0)
+	for _, j := range res.Jobs {
+		jct.Observe(j.JCT)
+		jobs.Inc()
+		preempts.Add(int64(j.Preemptions))
+		id := tr.StartAt(telemetry.KindClusterJob, j.Name, runSpan, j.Submit,
+			"benchmark="+j.Benchmark)
+		tr.EndAt(id, j.Completed)
+	}
+	tr.EndAt(runSpan, m.Makespan)
 }
 
 // newRun validates the config and prices every feasible duration cell.
@@ -137,6 +174,11 @@ func newRun(cfg Config) (*run, error) {
 		machByName: make(map[string]int, len(cfg.Fleet)),
 		free:       make([][]bool, len(cfg.Fleet)),
 		nfree:      make([]int, len(cfg.Fleet)),
+		policyLbl:  telemetry.L("policy", cfg.Policy.Name()),
+	}
+	if cfg.Telemetry != nil {
+		r.queueGauge = cfg.Telemetry.Gauge(MetricQueueDepth, r.policyLbl)
+		r.queuePeak = cfg.Telemetry.Gauge(MetricQueueDepthPeak, r.policyLbl)
 	}
 	for i, m := range cfg.Fleet {
 		if m.GPUs < 1 {
@@ -254,12 +296,15 @@ func (r *run) enqueue(st *jobState) {
 	r.pending = append(r.pending, nil)
 	copy(r.pending[i+1:], r.pending[i:])
 	r.pending[i] = st
+	r.queueGauge.Set(float64(len(r.pending)))
+	r.queuePeak.Max(float64(len(r.pending)))
 }
 
 func (r *run) dequeue(st *jobState) {
 	for i, p := range r.pending {
 		if p == st {
 			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			r.queueGauge.Set(float64(len(r.pending)))
 			return
 		}
 	}

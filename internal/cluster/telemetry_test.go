@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"mlperf/internal/fault"
+	"mlperf/internal/telemetry"
+	"mlperf/internal/units"
+)
+
+func TestRunTelemetryMetricsAndSpans(t *testing.T) {
+	dur := synthDurations(map[string]float64{"long": 10000, "short": 100},
+		map[string]float64{"long": 0, "short": 0})
+	plan := &fault.Plan{Checkpoint: fault.Checkpoint{
+		Interval: 30, SnapshotBytes: 20 * units.GB, ReplayFrac: 1,
+	}}
+	reg := telemetry.New()
+	cfg := Config{
+		Fleet: testFleet(4),
+		Jobs: []Job{
+			{Name: "long", Benchmark: "long", Submit: 0, Widths: []int{4}},
+			{Name: "short", Benchmark: "short", Submit: 50, Widths: []int{4}},
+		},
+		Policy:       SRTF(),
+		Durations:    dur,
+		Fault:        plan,
+		RestartDelay: 5,
+		Telemetry:    reg,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl := telemetry.L("policy", res.Policy)
+	if got := reg.Counter(MetricJobsTotal, lbl).Value(); got != 2 {
+		t.Errorf("jobs counter = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricPreemptions, lbl).Value(); got != int64(res.Metrics.Preemptions) {
+		t.Errorf("preemptions counter = %d, want %d", got, res.Metrics.Preemptions)
+	}
+	if res.Metrics.Preemptions == 0 {
+		t.Fatal("scenario should preempt (SRTF evicts the long job)")
+	}
+	jct := reg.Histogram(MetricJCTSeconds, nil, lbl)
+	if jct.Count() != 2 {
+		t.Errorf("JCT histogram has %d observations, want 2", jct.Count())
+	}
+	wantJCT := res.Jobs[0].JCT + res.Jobs[1].JCT
+	if math.Abs(jct.Sum()-wantJCT) > 1e-9 {
+		t.Errorf("JCT histogram sum %v, want %v", jct.Sum(), wantJCT)
+	}
+	if got := reg.Gauge(MetricMakespanSeconds, lbl).Value(); got != res.Metrics.Makespan {
+		t.Errorf("makespan gauge %v, want %v", got, res.Metrics.Makespan)
+	}
+	if got := reg.Gauge(MetricGPUUtil, lbl).Value(); got != res.Metrics.GPUUtil {
+		t.Errorf("gpu util gauge %v, want %v", got, res.Metrics.GPUUtil)
+	}
+	// The preemption re-queues the long job behind the short one: queue
+	// depth peaks at 1 or more and drains to zero by the end.
+	if peak := reg.Gauge(MetricQueueDepthPeak, lbl).Value(); peak < 1 {
+		t.Errorf("queue depth peak %v, want >= 1", peak)
+	}
+	if depth := reg.Gauge(MetricQueueDepth, lbl).Value(); depth != 0 {
+		t.Errorf("queue depth %v after the run, want 0", depth)
+	}
+
+	// Spans: one run span plus one job span each, in simulated time.
+	spans := reg.Tracer().Spans()
+	if err := telemetry.ValidateSpans(spans); err != nil {
+		t.Fatal(err)
+	}
+	var runID telemetry.SpanID
+	jobSpans := map[string]telemetry.Span{}
+	for _, s := range spans {
+		switch s.Kind {
+		case telemetry.KindRun:
+			runID = s.ID
+		case telemetry.KindClusterJob:
+			jobSpans[s.Name] = s
+		}
+	}
+	if runID == 0 || len(jobSpans) != 2 {
+		t.Fatalf("spans: %+v", spans)
+	}
+	for _, j := range res.Jobs {
+		s, ok := jobSpans[j.Name]
+		if !ok {
+			t.Fatalf("no span for job %s", j.Name)
+		}
+		if s.Parent != runID {
+			t.Errorf("job %s span parent %d, want run %d", j.Name, s.Parent, runID)
+		}
+		if s.Start != j.Submit || s.End != j.Completed {
+			t.Errorf("job %s span [%v,%v], want simulated [%v,%v]",
+				j.Name, s.Start, s.End, j.Submit, j.Completed)
+		}
+	}
+}
+
+// TestRunTelemetryDisabledIdentical pins the no-op guarantee: a nil
+// registry must not change a single field of the result.
+func TestRunTelemetryDisabledIdentical(t *testing.T) {
+	dur := synthDurations(map[string]float64{"x": 400, "y": 100}, nil)
+	cfg := Config{
+		Fleet: testFleet(4),
+		Jobs: []Job{
+			{Name: "first", Benchmark: "x", Submit: 0, Widths: []int{4}},
+			{Name: "second", Benchmark: "y", Submit: 1, Widths: []int{4}},
+		},
+		Policy:    FIFO(),
+		Durations: dur,
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = telemetry.New()
+	watched, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != watched.Metrics {
+		t.Errorf("telemetry perturbed metrics:\n%+v\n%+v", plain.Metrics, watched.Metrics)
+	}
+	if len(plain.Events) != len(watched.Events) {
+		t.Errorf("telemetry perturbed the event stream: %d vs %d events",
+			len(plain.Events), len(watched.Events))
+	}
+}

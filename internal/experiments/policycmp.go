@@ -6,6 +6,7 @@ import (
 
 	"mlperf/internal/cluster"
 	"mlperf/internal/fault"
+	"mlperf/internal/telemetry"
 )
 
 // PolicyRow is one scheduling policy's outcome on the shared arrival
@@ -37,6 +38,9 @@ type PolicySweepConfig struct {
 	// MeanGapSec is the mean exponential interarrival gap (default
 	// 1800 s, which keeps a queue in front of the fleet).
 	MeanGapSec float64
+	// Telemetry, when non-nil, receives per-policy cluster metrics and
+	// job spans (see internal/cluster's Metric* families).
+	Telemetry *telemetry.Registry
 }
 
 // policyPlan is the preemption price shared by every policy: 10-minute
@@ -76,6 +80,7 @@ func policyRun(c PolicySweepConfig, pol cluster.Policy) (*cluster.Result, error)
 		Policy:       pol,
 		Fault:        policyPlan(),
 		RestartDelay: policyRestartDelay,
+		Telemetry:    c.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("policy %s: %w", pol.Name(), err)

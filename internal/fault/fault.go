@@ -106,7 +106,7 @@ const defaultMaxRetries = 3
 type Plan struct {
 	// Seed drives every random draw (transient failures). Equal plans
 	// with equal seeds replay identically.
-	Seed int64
+	Seed        int64
 	Stragglers  []Straggler
 	Links       []LinkFault
 	Transients  []Transient

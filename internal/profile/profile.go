@@ -19,6 +19,7 @@ package profile
 import (
 	"fmt"
 
+	"mlperf/internal/fault"
 	"mlperf/internal/hw"
 	"mlperf/internal/precision"
 	"mlperf/internal/sim"
@@ -64,8 +65,25 @@ type Profile struct {
 // Collect simulates the benchmark once with the profiler's observers
 // subscribed and returns the shared profile every tool reads from.
 func Collect(b workload.Benchmark, system *hw.System, gpus int) (*Profile, error) {
+	return CollectWithFaults(b, system, gpus, nil)
+}
+
+// CollectWithFaults is Collect under a fault plan: the run is simulated
+// through the fault layer (stragglers, retries, checkpoints, restarts
+// land on the event stream and the timeline's "faults" lane), and any
+// extra observers — a sim.TelemetryObserver, an external log — ride the
+// same single simulation. A nil plan is the plain Collect path.
+func CollectWithFaults(b workload.Benchmark, system *hw.System, gpus int, plan *fault.Plan, obs ...sim.Observer) (*Profile, error) {
 	log := &sim.EventLog{}
-	res, err := sim.RunObserved(sim.Config{System: system, GPUCount: gpus, Job: b.Job}, log)
+	cfg := sim.Config{System: system, GPUCount: gpus, Job: b.Job}
+	all := append([]sim.Observer{log}, obs...)
+	var res *sim.Result
+	var err error
+	if plan == nil {
+		res, err = sim.RunObserved(cfg, all...)
+	} else {
+		res, err = sim.RunWithFaults(cfg, plan, all...)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -2,9 +2,11 @@ package profile
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
+	"mlperf/internal/fault"
 	"mlperf/internal/hw"
 	"mlperf/internal/sim"
 	"mlperf/internal/workload"
@@ -245,5 +247,79 @@ func TestCSVExports(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "kernel,invocations") {
 		t.Error("kernel CSV missing header")
+	}
+}
+
+// TestCollectWithFaultsTraceAndPhaseTotals pins the fault-aware profile
+// path: the faults lane must reach the Chrome trace, and the phase
+// counters must stay consistent with the event stream — summed per-kind
+// durations reproduce the timeline's busy seconds and no span outlives
+// the simulated run.
+func TestCollectWithFaultsTraceAndPhaseTotals(t *testing.T) {
+	b, err := workload.ByName("MLPf_Res50_TF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{
+		Seed:        3,
+		Stragglers:  []fault.Straggler{{Lane: "gpu", Factor: 2}},
+		Transients:  []fault.Transient{{Lane: "compute", Prob: 0.4, RetryCost: 0.01}},
+		Preemptions: []fault.Preemption{{At: 1, RestartDelay: 2}},
+		Checkpoint:  fault.Checkpoint{Interval: 0.5, ReplayFrac: 0.5},
+	}
+	totals := sim.NewPhaseTotals()
+	p, err := CollectWithFaults(b, hw.DSS8440(), 4, plan, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.Timeline().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trace := buf.String()
+	if !strings.Contains(trace, `"`+sim.LaneFaults+`"`) {
+		t.Error("faults lane missing from the Chrome trace")
+	}
+	if !strings.Contains(trace, "fault ") {
+		t.Error("no fault marker events in the Chrome trace")
+	}
+
+	// Phase counters vs the event stream: per-kind sums must equal the
+	// sum of event durations, and every span must end by the run's end.
+	var end float64
+	perKind := map[sim.EventKind]float64{}
+	for _, ev := range p.Events {
+		if ev.End > end {
+			end = ev.End
+		}
+		if ev.Kind != sim.EvStepDone {
+			perKind[ev.Kind] += ev.Duration()
+		}
+	}
+	if end <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	var phaseSum, eventSum float64
+	for kind, secs := range totals.Seconds {
+		phaseSum += secs
+		eventSum += perKind[kind]
+		if diff := math.Abs(secs - perKind[kind]); diff > 1e-9*math.Max(1, perKind[kind]) {
+			t.Errorf("%s phase total %v != event-stream sum %v", kind, secs, perKind[kind])
+		}
+	}
+	if math.Abs(phaseSum-eventSum) > 1e-9*math.Max(1, eventSum) {
+		t.Errorf("phase totals %v != total event seconds %v", phaseSum, eventSum)
+	}
+	for _, ev := range p.Events {
+		if ev.End > end+1e-9 {
+			t.Errorf("event %+v extends past run end %v", ev, end)
+		}
+	}
+	if totals.Steps == 0 {
+		t.Error("no steps counted under the fault plan")
+	}
+	if p.Result.Faults == nil || p.Result.Faults.Activations == 0 {
+		t.Errorf("fault plan exercised nothing: %+v", p.Result.Faults)
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strconv"
 
 	"mlperf/internal/units"
@@ -57,7 +58,22 @@ const (
 	// machine GPU lane ("dss8440/gpu2"), so cluster schedules render
 	// through the same Timeline/Chrome-trace machinery as pipeline runs.
 	EvJobRan
+
+	// evKindCount is the sentinel one past the last declared kind. New
+	// kinds must be added above it; TestEventKindStringIsTotal walks
+	// [0, evKindCount) and fails on any kind String() cannot name.
+	evKindCount
 )
+
+// EventKinds returns every declared event kind in declaration order —
+// the enumeration telemetry and exhaustiveness tests iterate.
+func EventKinds() []EventKind {
+	kinds := make([]EventKind, evKindCount)
+	for i := range kinds {
+		kinds[i] = EventKind(i)
+	}
+	return kinds
+}
 
 // String returns the kind's timeline label prefix.
 func (k EventKind) String() string {
@@ -97,7 +113,7 @@ func (k EventKind) String() string {
 	case EvJobRan:
 		return "job-ran"
 	}
-	return "unknown"
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
 
 // Lane names of the built-in pipeline stations.

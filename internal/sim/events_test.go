@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"mlperf/internal/hw"
@@ -167,13 +168,49 @@ func TestEventLabels(t *testing.T) {
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
-		if s == "" || s == "unknown" || seen[s] {
+		if s == "" || strings.HasPrefix(s, "EventKind(") || seen[s] {
 			t.Errorf("kind %d stringifies to %q", k, s)
 		}
 		seen[s] = true
 	}
-	if EventKind(200).String() != "unknown" {
-		t.Error("out-of-range kind should stringify to unknown")
+	if got := EventKind(200).String(); got != "EventKind(200)" {
+		t.Errorf("out-of-range kind stringifies to %q, want EventKind(200)", got)
+	}
+}
+
+// TestEventKindStringIsTotal pins satellite coverage: every declared
+// kind — the seven EvJob* cluster kinds and the four fault kinds
+// included — must map to a stable human label, never the raw
+// "EventKind(%d)" fallback, and no two kinds may collide.
+func TestEventKindStringIsTotal(t *testing.T) {
+	kinds := EventKinds()
+	if len(kinds) != int(evKindCount) || len(kinds) < 17 {
+		t.Fatalf("EventKinds() returned %d kinds, want %d (>= 17)", len(kinds), evKindCount)
+	}
+	var jobKinds, faultKinds int
+	seen := map[string]EventKind{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "EventKind(") {
+			t.Errorf("kind %d has no name: String() = %q", k, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share the label %q", prev, k, s)
+		}
+		seen[s] = k
+		switch k {
+		case EvJobSubmitted, EvJobPlaced, EvJobPreempted, EvJobCheckpointed,
+			EvJobResumed, EvJobCompleted, EvJobRan:
+			jobKinds++
+		case EvFaultInjected, EvStageRetried, EvCheckpointSaved, EvRestarted:
+			faultKinds++
+		}
+	}
+	if jobKinds != 7 {
+		t.Errorf("%d EvJob* kinds enumerated, want 7", jobKinds)
+	}
+	if faultKinds != 4 {
+		t.Errorf("%d fault kinds enumerated, want 4", faultKinds)
 	}
 }
 

@@ -1,0 +1,68 @@
+package sim
+
+import "mlperf/internal/telemetry"
+
+// TelemetryObserver bridges the simulator's event stream into a
+// telemetry.Registry: every published event increments a per-kind
+// counter, span events feed a per-kind duration histogram, and step
+// markers drive a dedicated step counter plus a simulated-clock
+// high-water gauge. Instruments are resolved once at construction —
+// publishing an event costs two atomic operations, no map lookups —
+// so a sweep can attach one observer per cell without perturbing the
+// benchmark it is measuring.
+//
+// A nil registry yields a valid observer whose instruments are all
+// nil no-ops, preserving the telemetry-disabled guarantee that runs
+// are byte-identical with and without the observer attached.
+type TelemetryObserver struct {
+	events [evKindCount]*telemetry.Counter
+	stages [evKindCount]*telemetry.Histogram
+	steps  *telemetry.Counter
+	clock  *telemetry.Gauge
+}
+
+// Metric names the observer registers. Exported as constants so CLIs
+// and tests reference the schema instead of re-typing strings.
+const (
+	MetricEventsTotal  = "sim_events_total"
+	MetricStageSeconds = "sim_stage_seconds"
+	MetricStepsTotal   = "sim_steps_total"
+	MetricSimSeconds   = "sim_simulated_seconds"
+)
+
+// NewTelemetryObserver resolves one counter and one histogram per
+// declared event kind (labeled kind="<String()>") against reg. Passing
+// a nil registry is allowed and produces a no-op observer.
+func NewTelemetryObserver(reg *telemetry.Registry) *TelemetryObserver {
+	o := &TelemetryObserver{}
+	if reg == nil {
+		return o
+	}
+	for _, k := range EventKinds() {
+		lbl := telemetry.L("kind", k.String())
+		o.events[k] = reg.Counter(MetricEventsTotal, lbl)
+		if k != EvStepDone {
+			o.stages[k] = reg.Histogram(MetricStageSeconds, telemetry.SimSecondsBuckets, lbl)
+		}
+	}
+	o.steps = reg.Counter(MetricStepsTotal)
+	o.clock = reg.Gauge(MetricSimSeconds)
+	return o
+}
+
+// OnEvent records the event. Kinds outside the declared range (never
+// produced by this package, but possible through hand-built Events)
+// are dropped rather than registered lazily, keeping the hot path
+// allocation-free.
+func (o *TelemetryObserver) OnEvent(ev Event) {
+	if ev.Kind >= evKindCount {
+		return
+	}
+	o.events[ev.Kind].Inc()
+	if ev.Kind == EvStepDone {
+		o.steps.Inc()
+	} else {
+		o.stages[ev.Kind].Observe(ev.Duration())
+	}
+	o.clock.Max(ev.End)
+}

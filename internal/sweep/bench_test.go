@@ -1,6 +1,10 @@
 package sweep
 
-import "testing"
+import (
+	"testing"
+
+	"mlperf/internal/telemetry"
+)
 
 // tableIVGrid is the Table IV-sized workload the acceptance criterion
 // measures: the six scaling benchmarks across the DSS 8440's 1/2/4/8 GPU
@@ -30,6 +34,21 @@ func BenchmarkSweepParallel(b *testing.B) {
 	g := tableIVGrid()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewEngine(0).Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallelTelemetry is BenchmarkSweepParallel with a live
+// metrics registry attached: the acceptance budget is <= 2% overhead
+// against the plain parallel run (compare their ns/op).
+func BenchmarkSweepParallelTelemetry(b *testing.B) {
+	g := tableIVGrid()
+	reg := telemetry.New()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(0)
+		e.SetTelemetry(reg)
+		if _, err := e.Run(g); err != nil {
 			b.Fatal(err)
 		}
 	}

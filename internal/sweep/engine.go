@@ -2,8 +2,11 @@ package sweep
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"mlperf/internal/telemetry"
 )
 
 // Engine executes sweep cells on a bounded worker pool and memoizes every
@@ -20,9 +23,24 @@ type Engine struct {
 	// in tests to exercise the panic/timeout/retry machinery.
 	simulate func(CellKey) (Record, error)
 
-	mu    sync.Mutex
-	cache map[CellKey]*cellEntry
-	hits  int64
+	// tel is the attached telemetry registry (nil = disabled; every
+	// instrument call is then a nil no-op). Held atomically so it can be
+	// attached to the shared Default engine mid-process without racing
+	// in-flight sweeps.
+	tel atomic.Pointer[telemetry.Registry]
+	// runSpan is the open top-level span of the current grid run, the
+	// parent cell spans attach to (0 = none). Concurrent Run calls on
+	// one engine share whichever run span opened last; the hierarchy
+	// stays valid, only the attribution blurs.
+	runSpan atomic.Uint64
+
+	mu sync.Mutex
+	// cache memoizes settled cells. Its length is NOT the miss count:
+	// hardened retries forget poisoned entries, so misses get their own
+	// monotone counter below.
+	cache  map[CellKey]*cellEntry
+	hits   int64
+	misses int64
 }
 
 // cellEntry memoizes one cell, singleflight-style: the first goroutine to
@@ -50,6 +68,28 @@ var Default = NewEngine(0)
 // default). It applies to subsequent Run calls.
 func (e *Engine) SetWorkers(n int) { e.workers.Store(int64(n)) }
 
+// SetTelemetry attaches (or, with nil, detaches) a metrics registry.
+// While attached, the engine publishes cache traffic, per-cell latency
+// histograms, failure/retry counters, worker-pool occupancy and one
+// span per simulated cell. Detached (the default), every telemetry
+// call is a nil no-op and results are byte-identical to an engine that
+// never heard of telemetry.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) { e.tel.Store(reg) }
+
+// Telemetry returns the attached registry (nil when detached).
+func (e *Engine) Telemetry() *telemetry.Registry { return e.tel.Load() }
+
+// Metric names the engine registers. Exported so CLIs and tests share
+// one schema.
+const (
+	MetricCacheTotal  = "sweep_cache_total"         // counter, result=hit|miss
+	MetricCellSeconds = "sweep_cell_seconds"        // histogram, wall time per simulated cell
+	MetricFailures    = "sweep_cell_failures_total" // counter, kind=error|panic|timeout|canceled (per failed attempt)
+	MetricRetries     = "sweep_retries_total"       // counter
+	MetricWorkersBusy = "sweep_workers_busy"        // gauge, live busy workers
+	MetricWorkersPeak = "sweep_workers_busy_peak"   // gauge, high-water occupancy
+)
+
 // WorkerCount reports the effective concurrency bound.
 func (e *Engine) WorkerCount() int {
 	if w := int(e.workers.Load()); w > 0 {
@@ -65,9 +105,40 @@ func (e *Engine) Run(g Grid) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	finish := e.startRunSpan(len(keys))
+	defer finish()
 	return Map(e.WorkerCount(), len(keys), func(i int) (Record, error) {
 		return e.cell(keys[i])
 	})
+}
+
+// startRunSpan opens the top-level grid span cell spans parent to and
+// returns its closer. With no registry attached both are no-ops.
+func (e *Engine) startRunSpan(cells int) func() {
+	reg := e.tel.Load()
+	if reg == nil {
+		return func() {}
+	}
+	id := reg.Tracer().Start(telemetry.KindRun, "sweep", 0,
+		"cells="+strconv.Itoa(cells))
+	e.runSpan.Store(uint64(id))
+	return func() {
+		e.runSpan.CompareAndSwap(uint64(id), 0)
+		reg.Tracer().End(id)
+	}
+}
+
+// trackBusy bumps the worker-occupancy gauges around one cell
+// execution and returns the matching release.
+func (e *Engine) trackBusy() func() {
+	reg := e.tel.Load()
+	if reg == nil {
+		return func() {}
+	}
+	busy := reg.Gauge(MetricWorkersBusy)
+	busy.Add(1)
+	reg.Gauge(MetricWorkersPeak).Max(busy.Value())
+	return func() { busy.Add(-1) }
 }
 
 // Cell simulates (or recalls) a single cell. The key may use any accepted
@@ -91,17 +162,43 @@ func (e *Engine) Cells(keys []CellKey) ([]Record, error) {
 // simulation runs panic-guarded: a panicking cell settles its entry
 // with a *PanicError instead of unwinding through the worker pool.
 func (e *Engine) cell(k CellKey) (Record, error) {
+	reg := e.tel.Load()
 	e.mu.Lock()
 	en, ok := e.cache[k]
 	if !ok {
 		en = &cellEntry{}
 		e.cache[k] = en
+		e.misses++
 	} else {
 		e.hits++
 	}
 	e.mu.Unlock()
-	en.once.Do(func() { en.rec, en.err = safeCell(e.simulate, k) })
+	if ok {
+		reg.Counter(MetricCacheTotal, telemetry.L("result", "hit")).Inc()
+	} else {
+		reg.Counter(MetricCacheTotal, telemetry.L("result", "miss")).Inc()
+	}
+	en.once.Do(func() {
+		release := e.trackBusy()
+		defer release()
+		var span telemetry.SpanID
+		start := reg.Now()
+		if reg != nil {
+			span = reg.Tracer().Start(telemetry.KindSweepCell, cellName(k),
+				telemetry.SpanID(e.runSpan.Load()))
+		}
+		en.rec, en.err = safeCell(e.simulate, k)
+		if reg != nil {
+			reg.Histogram(MetricCellSeconds, telemetry.LatencyBuckets).Observe(reg.Now() - start)
+			reg.Tracer().End(span)
+		}
+	})
 	return en.rec, en.err
+}
+
+// cellName renders the span label of one cell ("res50_tf/dss8440@4").
+func cellName(k CellKey) string {
+	return k.Benchmark + "/" + k.System + "@" + strconv.Itoa(k.GPUs)
 }
 
 // forget drops one memoized cell so a retry can re-simulate it; the
@@ -117,7 +214,10 @@ type CacheStats struct {
 	// Hits counts cell requests answered from the cache (including waits
 	// on a simulation already in flight).
 	Hits int64
-	// Misses counts cells that had to be simulated.
+	// Misses counts cell requests that had to start a simulation. This
+	// is a dedicated monotone counter, not the cache's size: hardened
+	// retries forget poisoned entries, so a retried cell is two misses
+	// while occupying (at most) one cache slot.
 	Misses int64
 }
 
@@ -125,7 +225,7 @@ type CacheStats struct {
 func (e *Engine) Stats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return CacheStats{Hits: e.hits, Misses: int64(len(e.cache))}
+	return CacheStats{Hits: e.hits, Misses: e.misses}
 }
 
 // ResetCache drops all memoized results and zeroes the counters.
@@ -134,6 +234,7 @@ func (e *Engine) ResetCache() {
 	defer e.mu.Unlock()
 	e.cache = make(map[CellKey]*cellEntry)
 	e.hits = 0
+	e.misses = 0
 }
 
 // Map runs fn(0..n-1) on up to workers goroutines and returns the results

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mlperf/internal/telemetry"
 )
 
 // FailKind classifies why a cell failed.
@@ -162,6 +164,8 @@ func (e *Engine) RunWithOptions(ctx context.Context, g Grid, opts Options) ([]Re
 	if err != nil {
 		return nil, nil, err
 	}
+	finish := e.startRunSpan(len(keys))
+	defer finish()
 	recs, report := e.runHardened(ctx, keys, opts)
 	if !opts.Partial {
 		if err := firstFailure(report); err != nil {
@@ -182,6 +186,8 @@ func (e *Engine) RunCellsWithOptions(ctx context.Context, keys []CellKey, opts O
 		}
 		norm[i] = nk
 	}
+	finish := e.startRunSpan(len(norm))
+	defer finish()
 	recs, report := e.runHardened(ctx, norm, opts)
 	if !opts.Partial {
 		if err := firstFailure(report); err != nil {
@@ -269,6 +275,7 @@ func (e *Engine) runHardenedCell(ctx context.Context, k CellKey, i int, opts Opt
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
 	}
+	reg := e.tel.Load()
 	var lastErr error
 	attempt := 0
 	for ; ; attempt++ {
@@ -277,10 +284,12 @@ func (e *Engine) runHardenedCell(ctx context.Context, k CellKey, i int, opts Opt
 			return rec, nil
 		}
 		lastErr = err
+		reg.Counter(MetricFailures, telemetry.L("kind", string(classify(err)))).Inc()
 		if ctx.Err() != nil || attempt >= opts.Retries || !retryIf(err) {
 			break
 		}
 		retries.Add(1)
+		reg.Counter(MetricRetries).Inc()
 		// Drop the poisoned cache entry so the retry actually
 		// re-simulates instead of replaying the failure.
 		e.forget(k)

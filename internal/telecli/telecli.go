@@ -1,0 +1,108 @@
+// Package telecli is the shared -metrics/-manifest flag plumbing of
+// the command-line tools: every CLI registers the same two flags,
+// activates one telemetry registry when either is set, and flushes a
+// Prometheus text file and/or a JSON run manifest on exit. With both
+// flags unset no registry exists and every instrumented code path runs
+// its nil no-op branch, preserving byte-identical output.
+package telecli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlperf/internal/telemetry"
+)
+
+// Sink owns a CLI's telemetry lifecycle: flag values, the registry
+// handed to instrumented layers, and the run manifest flushed at exit.
+type Sink struct {
+	// MetricsPath and ManifestPath are the -metrics/-manifest values.
+	MetricsPath  string
+	ManifestPath string
+	// Reg is the active registry (nil until Activate, and nil forever
+	// when neither flag was given).
+	Reg *telemetry.Registry
+	// Manifest is the run manifest under construction; CLIs record
+	// their configuration into Manifest.Config before Flush.
+	Manifest *telemetry.Manifest
+
+	tool  string
+	start time.Time
+}
+
+// Register declares -metrics and -manifest on fs (nil = the default
+// flag set) and returns the sink to Activate after parsing.
+func Register(tool string, fs *flag.FlagSet) *Sink {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	s := &Sink{tool: tool}
+	fs.StringVar(&s.MetricsPath, "metrics", "",
+		"write metrics in Prometheus text format to this file at exit")
+	fs.StringVar(&s.ManifestPath, "manifest", "",
+		"write a JSON run manifest to this file at exit")
+	return s
+}
+
+// Activate builds the registry and manifest when either flag was set
+// and returns the registry — nil when telemetry is disabled, which
+// every instrumented layer accepts as a no-op.
+func (s *Sink) Activate() *telemetry.Registry {
+	if s.MetricsPath == "" && s.ManifestPath == "" {
+		return nil
+	}
+	s.Reg = telemetry.New()
+	s.Manifest = telemetry.NewManifest(s.tool)
+	s.start = time.Now()
+	return s.Reg
+}
+
+// Enabled reports whether telemetry was requested.
+func (s *Sink) Enabled() bool { return s.Reg != nil }
+
+// Config records one configuration pair into the manifest (no-op when
+// disabled).
+func (s *Sink) Config(key, value string) {
+	if s.Manifest != nil && value != "" {
+		s.Manifest.Config[key] = value
+	}
+}
+
+// Flush finalizes the manifest against the registry snapshot and
+// writes the requested files. Safe to call when disabled.
+func (s *Sink) Flush() error {
+	if !s.Enabled() {
+		return nil
+	}
+	s.Manifest.Finish(s.Reg, time.Since(s.start))
+	if s.MetricsPath != "" {
+		f, err := os.Create(s.MetricsPath)
+		if err != nil {
+			return err
+		}
+		if err := s.Reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if s.ManifestPath != "" {
+		if err := s.Manifest.WriteFile(s.ManifestPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustFlush is Flush for main() tails: it prints and exits non-zero on
+// failure instead of returning.
+func (s *Sink) MustFlush() {
+	if err := s.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: telemetry: %v\n", s.tool, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+package telecli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlperf/internal/telemetry"
+)
+
+// TestSinkRoundTrip drives the full CLI lifecycle: register flags,
+// activate, record, flush — then re-reads both artifacts through the
+// strict parsers.
+func TestSinkRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	prom := filepath.Join(dir, "out.prom")
+	manifest := filepath.Join(dir, "run.json")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s := Register("test-tool", fs)
+	if err := fs.Parse([]string{"-metrics", prom, "-manifest", manifest}); err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Activate()
+	if reg == nil || !s.Enabled() {
+		t.Fatal("Activate returned nil with both flags set")
+	}
+	reg.Counter("test_total", telemetry.L("k", "v")).Add(3)
+	reg.Gauge("test_gauge").Set(1.5)
+	s.Config("bench", "res50_tf")
+	s.Config("empty", "") // dropped
+	s.Manifest.Cells = 4
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := telemetry.ParseManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "test-tool" || m.Cells != 4 || m.Config["bench"] != "res50_tf" {
+		t.Errorf("manifest round-trip lost fields: %+v", m)
+	}
+	if _, ok := m.Config["empty"]; ok {
+		t.Error("empty config value should be dropped")
+	}
+	if len(m.Metrics) != 2 {
+		t.Errorf("manifest has %d metrics, want 2", len(m.Metrics))
+	}
+
+	pf, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParsePrometheus(strings.NewReader(string(pf)))
+	if err != nil {
+		t.Fatalf("metrics file rejected by the strict parser: %v", err)
+	}
+	if len(fams) != 2 {
+		t.Errorf("prometheus file has %d families, want 2", len(fams))
+	}
+}
+
+// TestSinkDisabledIsNoOp pins the default path: no flags, no registry,
+// no files.
+func TestSinkDisabledIsNoOp(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s := Register("test-tool", fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if reg := s.Activate(); reg != nil {
+		t.Fatal("Activate built a registry with no flags set")
+	}
+	if s.Enabled() {
+		t.Error("Enabled() true when disabled")
+	}
+	s.Config("k", "v") // must not panic on the nil manifest
+	if err := s.Flush(); err != nil {
+		t.Errorf("disabled Flush errored: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleManifest() *Manifest {
+	m := NewManifest("mlperf-sweep")
+	m.Config["bench"] = "res50_tf"
+	m.Config["gpus"] = "1,2,4"
+	m.Seed = 42
+	m.Cells = 3
+	m.CacheHits = 1
+	m.CacheMisses = 3
+	m.SimulatedSeconds = 1234.5
+	m.FaultPlanHash = HashPlan(`{"Seed":1}`)
+	return m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	reg := New()
+	reg.Counter("x_total").Add(2)
+	id := reg.Tracer().Start(KindRun, "sweep", 0)
+	reg.Tracer().End(id)
+	m.Finish(reg, 2*time.Second)
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseManifest(buf.Bytes())
+	if err != nil {
+		t.Fatalf("own output failed schema validation: %v\n%s", err, buf.String())
+	}
+	if got.Tool != "mlperf-sweep" || got.Version != Version || got.Seed != 42 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Spans != 1 || len(got.Metrics) != 1 || got.Metrics[0].Name != "x_total" {
+		t.Fatalf("registry snapshot lost: %+v", got)
+	}
+	if got.WallSeconds != 2 {
+		t.Fatalf("wall seconds %v", got.WallSeconds)
+	}
+}
+
+func TestManifestDeterministicModuloWallClock(t *testing.T) {
+	enc := func() string {
+		m := sampleManifest()
+		m.StripVolatile()
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := enc(), enc()
+	if a != b {
+		t.Fatalf("stripped manifests differ:\n%s\n---\n%s", a, b)
+	}
+	if strings.Contains(a, "started_at") || strings.Contains(a, "hostname") || strings.Contains(a, "wall_seconds") {
+		t.Fatalf("volatile fields survived StripVolatile:\n%s", a)
+	}
+}
+
+func TestParseManifestRejectsBadSchema(t *testing.T) {
+	mustFail := func(name string, mutate func(m map[string]any)) {
+		t.Helper()
+		base := sampleManifest()
+		raw, _ := json.Marshal(base)
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		out, _ := json.Marshal(m)
+		if _, err := ParseManifest(out); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	mustFail("unknown field", func(m map[string]any) { m["surprise"] = 1 })
+	mustFail("missing tool", func(m map[string]any) { delete(m, "tool") })
+	mustFail("missing version", func(m map[string]any) { delete(m, "version") })
+	mustFail("negative hits", func(m map[string]any) { m["cache_hits"] = -1 })
+	mustFail("negative sim time", func(m map[string]any) { m["simulated_seconds"] = -3.0 })
+	mustFail("bad hash", func(m map[string]any) { m["fault_plan_hash"] = "zz" })
+	mustFail("bad started_at", func(m map[string]any) { m["started_at"] = "yesterday" })
+	if _, err := ParseManifest([]byte("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ParseManifest([]byte(`{"tool":"t","version":"1"}{}`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestHashPlan(t *testing.T) {
+	if HashPlan("") != "" {
+		t.Fatal("empty plan should hash to empty")
+	}
+	a, b := HashPlan(`{"Seed":1}`), HashPlan(`{"Seed":2}`)
+	if a == b || len(a) != 64 {
+		t.Fatalf("hashes %q %q", a, b)
+	}
+}
+
+func TestWriteAndMergeChromeTraces(t *testing.T) {
+	tr := NewTracer(nil)
+	run := tr.Start(KindRun, "sweep", 0)
+	cell := tr.Start(KindSweepCell, "res50", run)
+	tr.End(cell)
+	tr.End(run)
+
+	var spansDoc bytes.Buffer
+	if err := WriteSpansChromeTrace(&spansDoc, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	// A second source mimicking a simulator timeline export.
+	other := `{"traceEvents":[{"name":"compute 0","ph":"X","ts":0,"dur":5,"pid":1,"tid":0}]}`
+
+	var merged bytes.Buffer
+	if err := MergeChromeTraces(&merged, bytes.NewReader(spansDoc.Bytes()), strings.NewReader(other)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(merged.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		if pid, ok := ev["pid"].(float64); ok {
+			pids[pid] = true
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("merged trace pids %v, want both 1 and 2", pids)
+	}
+	// Span slices survive with their hierarchy args.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "res50" && ev["ph"] == "X" {
+			found = true
+			args := ev["args"].(map[string]any)
+			if args["parent"].(float64) == 0 {
+				t.Fatal("cell span lost its parent")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cell span missing from merged trace")
+	}
+}

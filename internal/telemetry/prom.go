@@ -1,0 +1,409 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus exports every instrument in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` header per metric
+// family, samples sorted by (name, labels), histograms expanded into
+// cumulative `_bucket{le=...}` series plus `_sum` and `_count`. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	type family struct {
+		name string
+		typ  string
+		emit func() // writes the family's samples
+	}
+	var fams []family
+	byFamily := map[string]int{}
+	add := func(name, typ string, emit func()) {
+		if i, ok := byFamily[name]; ok {
+			prev := fams[i].emit
+			fams[i].emit = func() { prev(); emit() }
+			return
+		}
+		byFamily[name] = len(fams)
+		fams = append(fams, family{name: name, typ: typ, emit: emit})
+	}
+	sort.Slice(counters, func(i, j int) bool {
+		return orderID(counters[i].name, counters[i].id, counters[j].name, counters[j].id)
+	})
+	sort.Slice(gauges, func(i, j int) bool { return orderID(gauges[i].name, gauges[i].id, gauges[j].name, gauges[j].id) })
+	sort.Slice(hists, func(i, j int) bool { return orderID(hists[i].name, hists[i].id, hists[j].name, hists[j].id) })
+	for _, c := range counters {
+		c := c
+		add(c.name, "counter", func() {
+			fmt.Fprintf(bw, "%s%s %d\n", c.name, c.id, c.Value())
+		})
+	}
+	for _, g := range gauges {
+		g := g
+		add(g.name, "gauge", func() {
+			fmt.Fprintf(bw, "%s%s %s\n", g.name, g.id, formatFloat(g.Value()))
+		})
+	}
+	for _, h := range hists {
+		h := h
+		add(h.name, "histogram", func() {
+			bounds, cum := h.Buckets()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", h.name, withLabel(h.id, "le", formatFloat(b)), cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", h.name, withLabel(h.id, "le", "+Inf"), cum[len(cum)-1])
+			fmt.Fprintf(bw, "%s_sum%s %s\n", h.name, h.id, formatFloat(h.Sum()))
+			fmt.Fprintf(bw, "%s_count%s %d\n", h.name, h.id, h.Count())
+		})
+	}
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		f.emit()
+	}
+	return bw.Flush()
+}
+
+func orderID(n1, id1, n2, id2 string) bool {
+	if n1 != n2 {
+		return n1 < n2
+	}
+	return id1 < id2
+}
+
+// withLabel appends one label to a canonical `{...}` suffix (or starts
+// one), preserving the existing order and placing the new label last —
+// the convention Prometheus uses for `le`.
+func withLabel(id, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if id == "" {
+		return "{" + pair + "}"
+	}
+	return id[:len(id)-1] + "," + pair + "}"
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromSample is one parsed exposition line.
+type PromSample struct {
+	// Name is the full sample name (histogram series keep their
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels holds the parsed label pairs in order of appearance.
+	Labels []Label
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// PromFamily is one `# TYPE` group.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePrometheus is a strict parser for the subset of the text
+// exposition format WritePrometheus emits: every sample must belong to
+// a preceding # TYPE header of its family, names and labels must be
+// well-formed, histogram bucket counts must be cumulative and agree
+// with _count, and counter values must be non-negative integers. It is
+// the validation gate the CI telemetry-smoke job runs on real CLI
+// output.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var fams []PromFamily
+	byName := map[string]int{}
+	typeOf := map[string]string{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return nil, fmt.Errorf("prom: line %d: malformed comment %q", lineNo, line)
+			}
+			name, typ := fields[2], fields[3]
+			if !validName(name) {
+				return nil, fmt.Errorf("prom: line %d: invalid family name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("prom: line %d: unknown type %q", lineNo, typ)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("prom: line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			byName[name] = len(fams)
+			typeOf[name] = typ
+			fams = append(fams, PromFamily{Name: name, Type: typ})
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", lineNo, err)
+		}
+		fam := familyOf(s.Name, typeOf)
+		i, ok := byName[fam]
+		if !ok {
+			return nil, fmt.Errorf("prom: line %d: sample %q has no preceding # TYPE", lineNo, s.Name)
+		}
+		if typeOf[fam] == "counter" && (s.Value < 0 || s.Value != math.Trunc(s.Value)) {
+			return nil, fmt.Errorf("prom: line %d: counter %q value %v is not a non-negative integer", lineNo, s.Name, s.Value)
+		}
+		fams[i].Samples = append(fams[i].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyOf strips histogram series suffixes when the base name has a
+// registered histogram TYPE.
+func familyOf(sample string, typeOf map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suf); ok && typeOf[base] == "histogram" {
+			return base
+		}
+	}
+	return sample
+}
+
+// checkHistogram verifies bucket series are cumulative, end at +Inf,
+// and agree with the _count series, per label set.
+func checkHistogram(f PromFamily) error {
+	type state struct {
+		last    int64
+		lastLe  float64
+		infSeen bool
+		inf     int64
+		count   int64
+		hasCnt  bool
+	}
+	states := map[string]*state{}
+	get := func(labels []Label) *state {
+		var rest []Label
+		for _, l := range labels {
+			if l.Key != "le" {
+				rest = append(rest, l)
+			}
+		}
+		k := labelID(rest)
+		st, ok := states[k]
+		if !ok {
+			st = &state{lastLe: math.Inf(-1)}
+			states[k] = st
+		}
+		return st
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			var le string
+			for _, l := range s.Labels {
+				if l.Key == "le" {
+					le = l.Value
+				}
+			}
+			if le == "" {
+				return fmt.Errorf("prom: histogram %s bucket without le label", f.Name)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("prom: histogram %s bad le %q", f.Name, le)
+				}
+				bound = v
+			}
+			st := get(s.Labels)
+			if bound <= st.lastLe {
+				return fmt.Errorf("prom: histogram %s buckets out of order at le=%s", f.Name, le)
+			}
+			c := int64(s.Value)
+			if c < st.last {
+				return fmt.Errorf("prom: histogram %s bucket counts not cumulative at le=%s", f.Name, le)
+			}
+			st.last, st.lastLe = c, bound
+			if math.IsInf(bound, 1) {
+				st.infSeen, st.inf = true, c
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			st := get(s.Labels)
+			st.count, st.hasCnt = int64(s.Value), true
+		}
+	}
+	for k, st := range states {
+		if !st.infSeen {
+			return fmt.Errorf("prom: histogram %s%s missing +Inf bucket", f.Name, k)
+		}
+		if st.hasCnt && st.count != st.inf {
+			return fmt.Errorf("prom: histogram %s%s count %d != +Inf bucket %d", f.Name, k, st.count, st.inf)
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{k="v",...} value`.
+func parseSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.Name = rest[:brace]
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		if s.Labels, err = parseLabels(rest[brace+1 : end]); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"` (empty allowed).
+func parseLabels(s string) ([]Label, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		k := strings.TrimSpace(s[:eq])
+		if !validName(k) {
+			return nil, fmt.Errorf("invalid label name %q", k)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", k)
+		}
+		v, rest, err := unquoteLabel(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Label{Key: k, Value: v})
+		s = rest
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q", k)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+// unquoteLabel consumes a leading quoted string with \" \\ \n escapes.
+func unquoteLabel(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}

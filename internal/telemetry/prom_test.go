@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fill builds a registry with one of each instrument type.
+func fill() *Registry {
+	r := New()
+	r.Counter("sweep_cache_total", L("result", "hit")).Add(7)
+	r.Counter("sweep_cache_total", L("result", "miss")).Add(3)
+	r.Gauge("sweep_workers_busy").Set(2.5)
+	h := r.Histogram("sweep_cell_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+	return r
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := fill()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	fams, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("strict parse of own output failed: %v\n%s", err, text)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	cache, ok := byName["sweep_cache_total"]
+	if !ok || cache.Type != "counter" || len(cache.Samples) != 2 {
+		t.Fatalf("sweep_cache_total family wrong: %+v", cache)
+	}
+	if cache.Samples[0].Value+cache.Samples[1].Value != 10 {
+		t.Fatalf("counter values %v", cache.Samples)
+	}
+	hist, ok := byName["sweep_cell_seconds"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatalf("histogram family wrong: %+v", hist)
+	}
+	// 3 buckets + +Inf + sum + count.
+	if len(hist.Samples) != 6 {
+		t.Fatalf("histogram has %d samples, want 6: %+v", len(hist.Samples), hist.Samples)
+	}
+	var sum, count float64
+	for _, s := range hist.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		}
+	}
+	if math.Abs(sum-100.55) > 1e-9 || count != 3 {
+		t.Fatalf("sum %v count %v", sum, count)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := fill().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fill().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two identical registries exported differently:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty export")
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":    "x_total 3\n",
+		"bad family name":        "# TYPE 9bad counter\n9bad 1\n",
+		"unknown type":           "# TYPE x wat\nx 1\n",
+		"duplicate TYPE":         "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"negative counter":       "# TYPE x counter\nx -1\n",
+		"fractional counter":     "# TYPE x counter\nx 1.5\n",
+		"unterminated labels":    "# TYPE x gauge\nx{a=\"1\" 2\n",
+		"unquoted label":         "# TYPE x gauge\nx{a=1} 2\n",
+		"no value":               "# TYPE x gauge\nx\n",
+		"garbage value":          "# TYPE x gauge\nx pancake\n",
+		"malformed comment":      "# TIPE x counter\n",
+		"bucket without le":      "# TYPE h histogram\nh_bucket 1\nh_count 1\nh_sum 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf bucket":    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count != +Inf":          "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+		"buckets out of order":   "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, text)
+		}
+	}
+}
+
+func TestParsePrometheusAcceptsValidVariants(t *testing.T) {
+	text := "# HELP x helpful words\n" +
+		"# TYPE x gauge\n" +
+		"x{a=\"with \\\"quotes\\\" and \\\\slash\\\\ and \\n\"} +Inf\n" +
+		"\n" +
+		"# TYPE y gauge\n" +
+		"y 1.5 1700000000\n" // timestamp allowed
+	fams, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("%d families", len(fams))
+	}
+	if v := fams[0].Samples[0].Labels[0].Value; v != "with \"quotes\" and \\slash\\ and \n" {
+		t.Fatalf("escape handling: %q", v)
+	}
+	if !math.IsInf(fams[0].Samples[0].Value, 1) {
+		t.Fatalf("+Inf value parsed as %v", fams[0].Samples[0].Value)
+	}
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value %d", c.Value())
+	}
+	g := r.Gauge("x")
+	g.Set(3)
+	g.Add(1)
+	g.Max(10)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value %v", g.Value())
+	}
+	h := r.Histogram("x_seconds", LatencyBuckets)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram recorded %d/%v", h.Count(), h.Sum())
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	if r.Tracer() != nil {
+		t.Fatal("nil registry tracer not nil")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("cells_total", L("kind", "hit"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if again := r.Counter("cells_total", L("kind", "hit")); again != c {
+		t.Fatal("same name+labels returned a different counter")
+	}
+	if other := r.Counter("cells_total", L("kind", "miss")); other == c {
+		t.Fatal("different labels shared a counter")
+	}
+
+	g := r.Gauge("occupancy")
+	g.Set(2)
+	g.Add(0.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Max(1) // below current: no-op
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge after Max(1) = %v, want 2.5", got)
+	}
+	g.Max(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after Max(7) = %v, want 7", got)
+	}
+
+	h := r.Histogram("lat_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count %d, want 4 (NaN dropped)", h.Count())
+	}
+	if h.Sum() != 105 {
+		t.Fatalf("histogram sum %v, want 105", h.Sum())
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("buckets %v %v", bounds, cum)
+	}
+	want := []int64{1, 2, 3, 4} // cumulative: <=1, <=2, <=4, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", L("b", "2"), L("a", "1"))
+	b := r.Counter("x_total", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad metric name did not panic")
+		}
+	}()
+	New().Counter("bad name")
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_seconds", LatencyBuckets).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h_seconds", nil).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := New()
+	r.Counter("z_total").Inc()
+	r.Counter("a_total", L("k", "2")).Inc()
+	r.Counter("a_total", L("k", "1")).Inc()
+	r.Gauge("m").Set(1)
+	r.Histogram("h_seconds", nil).Observe(0.5)
+	snap := r.Snapshot()
+	want := []string{"a_total" + labelID([]Label{L("k", "1")}), "a_total" + labelID([]Label{L("k", "2")}), "h_seconds", "m", "z_total"}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d", len(snap), len(want))
+	}
+	for i, mv := range snap {
+		if mv.Name+mv.Labels != want[i] {
+			t.Fatalf("snapshot[%d] = %s%s, want %s", i, mv.Name, mv.Labels, want[i])
+		}
+	}
+}
+
+func TestTracerHierarchyAndDeterminism(t *testing.T) {
+	tr := NewTracer(nil) // tick clock: fully deterministic
+	run := tr.Start(KindRun, "sweep", 0)
+	cellA := tr.Start(KindSweepCell, "res50", run, "gpus=4")
+	tr.End(cellA)
+	cellB := tr.Start(KindSweepCell, "ncf", run)
+	tr.End(cellB)
+	tr.End(run)
+	if n := tr.OpenCount(); n != 0 {
+		t.Fatalf("%d spans left open", n)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(spans))
+	}
+	if err := ValidateSpans(spans); err != nil {
+		t.Fatal(err)
+	}
+	if spans[0].Kind != KindRun || spans[0].Parent != 0 {
+		t.Fatalf("first span by start should be the run: %+v", spans[0])
+	}
+	for _, s := range spans[1:] {
+		if s.Parent != spans[0].ID {
+			t.Fatalf("cell span %q parent %d, want %d", s.Name, s.Parent, spans[0].ID)
+		}
+	}
+	if spans[1].Attrs[0] != "gpus=4" {
+		t.Fatalf("attrs lost: %+v", spans[1])
+	}
+
+	// Same sequence on a fresh tracer allocates identical IDs and times.
+	tr2 := NewTracer(nil)
+	run2 := tr2.Start(KindRun, "sweep", 0)
+	a2 := tr2.Start(KindSweepCell, "res50", run2, "gpus=4")
+	tr2.End(a2)
+	b2 := tr2.Start(KindSweepCell, "ncf", run2)
+	tr2.End(b2)
+	tr2.End(run2)
+	spans2 := tr2.Spans()
+	for i := range spans {
+		if spans[i].ID != spans2[i].ID || spans[i].Start != spans2[i].Start || spans[i].End != spans2[i].End {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, spans[i], spans2[i])
+		}
+	}
+}
+
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	id := tr.Start(KindRun, "x", 0)
+	if id != 0 {
+		t.Fatalf("nil tracer allocated id %d", id)
+	}
+	tr.End(id)
+	tr.EndAt(id, 1)
+	if tr.Spans() != nil || tr.OpenCount() != 0 {
+		t.Fatal("nil tracer recorded spans")
+	}
+}
+
+func TestValidateSpansRejectsBadForest(t *testing.T) {
+	bad := []Span{{ID: 1, Parent: 99, Kind: KindRun, Name: "x", Start: 0, End: 1}}
+	if err := ValidateSpans(bad); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	dup := []Span{{ID: 1, Name: "a", End: 1}, {ID: 1, Name: "b", End: 1}}
+	if err := ValidateSpans(dup); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}

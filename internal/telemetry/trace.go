@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export for spans, and a merge that folds several
+// trace documents — a simulator timeline plus the harness's own span
+// hierarchy — into one file loadable in chrome://tracing or Perfetto.
+// Each source document keeps its lanes; documents are separated by
+// process ID so the simulated pipeline and the telemetry spans render
+// as distinct process groups on one shared time axis.
+
+// traceDoc is the common {"traceEvents": [...]} envelope.
+type traceDoc struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// spanEvent is one exported span ("X" complete event) or metadata line.
+type spanEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts,omitempty"`  // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteSpansChromeTrace exports spans as a Chrome trace: one track per
+// span kind (run, experiment, sweep-cell, ...), each span a slice whose
+// args carry its ID, parent and attributes, so the hierarchy survives
+// the flattening into lanes.
+func WriteSpansChromeTrace(w io.Writer, spans []Span) error {
+	kinds := map[string]bool{}
+	for _, s := range spans {
+		kinds[s.Kind] = true
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	tidOf := map[string]int{}
+	doc := traceDoc{TraceEvents: []json.RawMessage{}}
+	push := func(ev spanEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		doc.TraceEvents = append(doc.TraceEvents, b)
+		return nil
+	}
+	for tid, k := range names {
+		tidOf[k] = tid
+		if err := push(spanEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": k},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		args := map[string]any{"id": s.ID, "parent": s.Parent}
+		for _, a := range s.Attrs {
+			args["attr:"+a] = true
+		}
+		if err := push(spanEvent{
+			Name: s.Name, Ph: "X",
+			Ts: s.Start * 1e6, Dur: s.Duration() * 1e6,
+			PID: 1, TID: tidOf[s.Kind], Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// MergeChromeTraces folds several Chrome trace documents into one: the
+// i-th document's events are re-labeled with process ID i+1 (metadata
+// and slices alike), so each source renders as its own process group —
+// the simulator's timeline lanes next to the telemetry span lanes, on
+// one time axis.
+func MergeChromeTraces(w io.Writer, docs ...io.Reader) error {
+	out := traceDoc{TraceEvents: []json.RawMessage{}}
+	for i, r := range docs {
+		var doc traceDoc
+		if err := json.NewDecoder(r).Decode(&doc); err != nil {
+			return fmt.Errorf("telemetry: trace %d: %w", i+1, err)
+		}
+		for _, raw := range doc.TraceEvents {
+			var ev map[string]any
+			if err := json.Unmarshal(raw, &ev); err != nil {
+				return fmt.Errorf("telemetry: trace %d: bad event: %w", i+1, err)
+			}
+			ev["pid"] = i + 1
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			out.TraceEvents = append(out.TraceEvents, b)
+		}
+		// Name the process group after its position so merged traces
+		// are navigable ("trace 1", "trace 2").
+		meta, err := json.Marshal(spanEvent{
+			Name: "process_name", Ph: "M", PID: i + 1,
+			Args: map[string]any{"name": fmt.Sprintf("trace %d", i+1)},
+		})
+		if err != nil {
+			return err
+		}
+		out.TraceEvents = append(out.TraceEvents, meta)
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -40,6 +40,7 @@ import (
 	"mlperf/internal/sched"
 	"mlperf/internal/sim"
 	"mlperf/internal/sweep"
+	"mlperf/internal/telemetry"
 	"mlperf/internal/train"
 	"mlperf/internal/workload"
 )
@@ -276,6 +277,70 @@ type SweepCellError = sweep.CellError
 // execution path; ctx cancels the run cooperatively.
 func SweepWithOptions(ctx context.Context, g SweepGrid, opts SweepOptions) ([]SweepRecord, *SweepReport, error) {
 	return sweep.Default.RunWithOptions(ctx, g, opts)
+}
+
+// ---- Telemetry (DESIGN.md §"Telemetry") ----
+
+// Telemetry is a zero-dependency metrics registry plus a hierarchical
+// span tracer: counters, gauges and fixed-bucket histograms, all
+// atomic and race-clean, with a strict no-op guarantee — a nil
+// *Telemetry disables every instrument and observer in the library at
+// zero cost, leaving all outputs byte-identical.
+type Telemetry = telemetry.Registry
+
+// TelemetrySpan is one recorded span of the run → experiment → sweep
+// cell / cluster job hierarchy.
+type TelemetrySpan = telemetry.Span
+
+// TelemetryMetric is one exported instrument value from a registry
+// snapshot.
+type TelemetryMetric = telemetry.MetricValue
+
+// RunManifest is the reproducibility record of one CLI run: tool,
+// version, configuration, seeds, fault-plan hash, cache statistics,
+// metrics snapshot and wall-clock provenance. Manifests from equal
+// seeds are identical modulo the volatile wall-clock fields.
+type RunManifest = telemetry.Manifest
+
+// NewTelemetry returns an enabled registry on a monotonic wall clock.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewTelemetryWithClock returns a registry on an injected clock — a
+// simulated or tick clock makes span replay fully deterministic.
+func NewTelemetryWithClock(clock func() float64) *Telemetry { return telemetry.NewWithClock(clock) }
+
+// WithTelemetry adapts a registry into a SimObserver that publishes
+// per-stage event counts and duration histograms for any simulated run
+// (pass it to SimulateObserved or SimulateWithFaults). A nil registry
+// yields a no-op observer.
+func WithTelemetry(reg *Telemetry) SimObserver { return sim.NewTelemetryObserver(reg) }
+
+// SetSweepTelemetry attaches a registry to the shared sweep engine:
+// cell latency histograms, cache hit/miss counters, retry/timeout/
+// panic counters, worker-pool occupancy gauges and per-cell spans.
+// Pass nil to detach.
+func SetSweepTelemetry(reg *Telemetry) { sweep.Default.SetTelemetry(reg) }
+
+// NewRunManifest starts a manifest for the named tool.
+func NewRunManifest(tool string) *RunManifest { return telemetry.NewManifest(tool) }
+
+// ParseRunManifest decodes and schema-validates a manifest produced by
+// any of the CLIs' -manifest flags.
+func ParseRunManifest(data []byte) (*RunManifest, error) { return telemetry.ParseManifest(data) }
+
+// WriteTelemetryPrometheus exports every instrument of the registry in
+// the Prometheus text exposition format.
+func WriteTelemetryPrometheus(w io.Writer, reg *Telemetry) error { return reg.WritePrometheus(w) }
+
+// HashFaultPlan returns the SHA-256 hex digest of a fault plan's
+// canonical JSON — the provenance field run manifests carry ("" for a
+// nil or empty plan).
+func HashFaultPlan(plan *FaultPlan) (string, error) {
+	canon, err := plan.Canon()
+	if err != nil {
+		return "", err
+	}
+	return telemetry.HashPlan(canon), nil
 }
 
 // ---- Roofline ----
