@@ -277,11 +277,13 @@ func BenchmarkNCFTrainingEpoch(b *testing.B) {
 // Table IV-sized grid (6 benchmarks x DSS 8440 x 1/2/4/8 GPUs).
 func BenchmarkSweepSequential(b *testing.B) {
 	g := tableIVSweepGrid()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := SweepSequential(g); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportGridStepMetric(b, g)
 }
 
 // BenchmarkSweepParallel runs the same grid on the worker pool. A fresh
@@ -289,11 +291,13 @@ func BenchmarkSweepSequential(b *testing.B) {
 // BenchmarkSweepSequential is the pool's speedup (CI records both).
 func BenchmarkSweepParallel(b *testing.B) {
 	g := tableIVSweepGrid()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewSweepEngine(0).Run(g); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportGridStepMetric(b, g)
 }
 
 func tableIVSweepGrid() SweepGrid {
@@ -304,7 +308,24 @@ func tableIVSweepGrid() SweepGrid {
 	}
 }
 
-// BenchmarkSimulateStep measures the simulator itself.
+// simDefaultSteps mirrors the simulator's default window so per-step
+// metrics stay comparable across the sweep and single-run benchmarks.
+const simDefaultSteps = 32
+
+// reportGridStepMetric normalizes a whole-grid measurement to the same
+// ns_per_step metric the perfsnap suite records.
+func reportGridStepMetric(b *testing.B, g SweepGrid) {
+	cells := len(g.Benchmarks) * len(g.GPUCounts)
+	if n := len(g.Systems); n > 0 {
+		cells *= n
+	}
+	steps := float64(cells * simDefaultSteps)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/steps, "ns_per_step")
+}
+
+// BenchmarkSimulateStep measures the simulator itself, under both
+// execution strategies: "step" pins the step-by-step pipeline, "fast"
+// forces the analytic steady-state collapse.
 func BenchmarkSimulateStep(b *testing.B) {
 	sys, err := SystemByName("dss8440")
 	if err != nil {
@@ -314,11 +335,20 @@ func BenchmarkSimulateStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Simulate(sys, 8, bench); err != nil {
-			b.Fatal(err)
-		}
+	for name, mode := range map[string]SimFastPathMode{
+		"step": SimFastPathOff, "fast": SimFastPathForce,
+	} {
+		b.Run(name, func(b *testing.B) {
+			cfg := SimConfig{System: sys, GPUCount: 8, Job: bench.Job, FastPath: mode}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SimulateJob(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/simDefaultSteps, "ns_per_step")
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ package comm
 
 import (
 	"fmt"
+	"strings"
 
 	"mlperf/internal/hw"
 	"mlperf/internal/units"
@@ -38,11 +39,23 @@ const ringStepOverhead = 12e-6
 // BestRing searches GPU orderings for the ring with the widest bottleneck
 // pair bandwidth, fixing the first element (rotations are equivalent). For
 // the ≤8-GPU systems of the paper an exhaustive permutation search is
-// cheap and exact.
+// cheap and exact — but it dominates per-run setup when every simulated
+// step asks for the same ring, so the answer is memoized on the topology
+// per GPU set.
 func BestRing(topo *hw.Topology, gpus []string) []string {
 	if len(gpus) <= 2 {
 		return append([]string(nil), gpus...)
 	}
+	ring := topo.Memo("comm.ring:"+strings.Join(gpus, ","), func() any {
+		return bestRingSearch(topo, gpus)
+	}).([]string)
+	// Callers receive their own copy: Result.Ring is exported and must not
+	// alias the cache.
+	return append([]string(nil), ring...)
+}
+
+// bestRingSearch is the uncached exhaustive search behind BestRing.
+func bestRingSearch(topo *hw.Topology, gpus []string) []string {
 	// Precompute the pair-bandwidth matrix once; the permutation search
 	// then runs on indices only.
 	n := len(gpus)

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlperf/internal/sim"
+	"mlperf/internal/sweep"
+)
+
+// TestGoldenFastPathForced re-runs the full golden suite on a fresh
+// engine with the analytic fast path force-enabled: every cell must
+// collapse (Force errors otherwise) and every CSV must match the
+// committed snapshot byte for byte. Combined with TestGolden — whose
+// cells may take either path — this pins the paper numbers to both
+// execution strategies.
+func TestGoldenFastPathForced(t *testing.T) {
+	old := sweep.Default
+	forced := sweep.NewEngine(0)
+	forced.SetFastPath(sim.FastPathForce)
+	sweep.Default = forced
+	defer func() { sweep.Default = old }()
+
+	for name, gen := range goldenCases() {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gen(&buf); err != nil {
+				t.Fatalf("forced fast path: %v", err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s under forced fast path drifted from golden snapshot:\n%s",
+					name, diffLines(want, buf.Bytes()))
+			}
+		})
+	}
+}

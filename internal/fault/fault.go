@@ -450,3 +450,27 @@ func (s *Schedule) ActivationsAt(t, step int) []Activation {
 	}
 	return out
 }
+
+// MaxEffectStep returns the last step index at which the schedule
+// perturbs any target — a service multiplier different from 1, a drawn
+// retry, or an activation edge — or -1 when the schedule is effect-free.
+// Every step past it executes exactly as an un-faulted pipeline would,
+// which is what lets the simulator's analytic fast path collapse the
+// remaining window after a faulty warm-up prefix.
+func (s *Schedule) MaxEffectStep() int {
+	last := -1
+	for t := range s.mult {
+		for step := s.steps - 1; step > last; step-- {
+			if s.mult[t][step] != 1 || s.retries[t][step] != 0 {
+				last = step
+				break
+			}
+		}
+		for _, a := range s.activations[t] {
+			if a.Step > last {
+				last = a.Step
+			}
+		}
+	}
+	return last
+}

@@ -3,6 +3,7 @@ package hw
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mlperf/internal/units"
 )
@@ -55,6 +56,59 @@ type edge struct {
 type Topology struct {
 	nodes map[string]*Node
 	adj   map[string][]edge
+
+	// Query caches. Topologies are built single-threaded and then queried
+	// read-only (possibly from many sweep workers sharing one System), so
+	// the caches take a lock of their own rather than racing; AddNode and
+	// Connect invalidate them. Cached Paths are returned by reference —
+	// WidestPath's contract is that callers treat the result as read-only.
+	mu     sync.RWMutex
+	sorted []string // memoized Nodes() order
+	paths  map[[2]string]pathResult
+	memo   map[string]any
+}
+
+// pathResult is one memoized WidestPath answer.
+type pathResult struct {
+	p  Path
+	ok bool
+}
+
+// invalidate drops the query caches after a topology mutation.
+func (t *Topology) invalidate() {
+	t.mu.Lock()
+	t.sorted = nil
+	t.paths = nil
+	t.memo = nil
+	t.mu.Unlock()
+}
+
+// Memo returns the value cached under key, calling compute on a miss and
+// caching its result. It lets higher layers (package comm's ring search)
+// scope expensive derived queries to the topology's lifetime; like the
+// path cache, entries are dropped when the topology mutates. compute runs
+// outside the cache lock (it may itself query the topology); on a racing
+// double-compute the first stored value wins, and compute must therefore
+// be deterministic. Cached values are shared — treat them as read-only.
+func (t *Topology) Memo(key string, compute func() any) any {
+	t.mu.RLock()
+	v, hit := t.memo[key]
+	t.mu.RUnlock()
+	if hit {
+		return v
+	}
+	v = compute()
+	t.mu.Lock()
+	if prior, hit := t.memo[key]; hit {
+		v = prior
+	} else {
+		if t.memo == nil {
+			t.memo = make(map[string]any)
+		}
+		t.memo[key] = v
+	}
+	t.mu.Unlock()
+	return v
 }
 
 // NewTopology returns an empty topology.
@@ -73,6 +127,7 @@ func (t *Topology) AddNode(n Node) {
 	}
 	cp := n
 	t.nodes[n.ID] = &cp
+	t.invalidate()
 }
 
 // Connect adds an undirected link between two existing nodes.
@@ -85,18 +140,35 @@ func (t *Topology) Connect(a, b string, l Link) {
 	}
 	t.adj[a] = append(t.adj[a], edge{to: b, link: l})
 	t.adj[b] = append(t.adj[b], edge{to: a, link: l})
+	t.invalidate()
 }
 
 // Node returns the vertex with the given ID, or nil.
 func (t *Topology) Node(id string) *Node { return t.nodes[id] }
 
-// Nodes returns all vertex IDs sorted, for deterministic iteration.
+// Nodes returns all vertex IDs sorted, for deterministic iteration. The
+// slice is freshly allocated; callers may keep or reorder it.
 func (t *Topology) Nodes() []string {
-	ids := make([]string, 0, len(t.nodes))
+	return append([]string(nil), t.sortedIDs()...)
+}
+
+// sortedIDs returns the memoized sorted vertex list. The cached slice is
+// shared — internal callers iterate it without mutating.
+func (t *Topology) sortedIDs() []string {
+	t.mu.RLock()
+	ids := t.sorted
+	t.mu.RUnlock()
+	if ids != nil {
+		return ids
+	}
+	ids = make([]string, 0, len(t.nodes))
 	for id := range t.nodes {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	t.mu.Lock()
+	t.sorted = ids
+	t.mu.Unlock()
 	return ids
 }
 
@@ -146,7 +218,32 @@ type Path struct {
 // WidestPath finds the route from src to dst maximizing the bottleneck
 // bandwidth (ties broken by fewer hops), the metric NCCL's topology search
 // optimizes. It returns false when dst is unreachable.
+//
+// Answers are memoized per (src, dst): path queries dominate per-run setup
+// (every simulated run asks for host→GPU routes and collective rings), and
+// a topology is immutable once built, so each pair runs Dijkstra exactly
+// once. The returned Path shares the cached Hops/Kinds slices — callers
+// must treat it as read-only.
 func (t *Topology) WidestPath(src, dst string) (Path, bool) {
+	key := [2]string{src, dst}
+	t.mu.RLock()
+	r, hit := t.paths[key]
+	t.mu.RUnlock()
+	if hit {
+		return r.p, r.ok
+	}
+	p, ok := t.widestPath(src, dst)
+	t.mu.Lock()
+	if t.paths == nil {
+		t.paths = make(map[[2]string]pathResult)
+	}
+	t.paths[key] = pathResult{p: p, ok: ok}
+	t.mu.Unlock()
+	return p, ok
+}
+
+// widestPath is the uncached search behind WidestPath.
+func (t *Topology) widestPath(src, dst string) (Path, bool) {
 	if _, ok := t.nodes[src]; !ok {
 		return Path{}, false
 	}
@@ -166,13 +263,14 @@ func (t *Topology) WidestPath(src, dst string) (Path, bool) {
 	prev := map[string]string{}
 	prevLink := map[string]Link{}
 	visited := map[string]bool{}
+	ids := t.sortedIDs()
 
 	for {
 		// Pick the unvisited node with the best (width, -hops).
 		var cur string
 		var curBest state
 		found := false
-		for _, id := range t.Nodes() {
+		for _, id := range ids {
 			if visited[id] {
 				continue
 			}

@@ -1,0 +1,97 @@
+package perfsnap
+
+import (
+	"testing"
+
+	"mlperf/internal/hw"
+	"mlperf/internal/sim"
+	"mlperf/internal/workload"
+)
+
+// SimSuite is the snapshot suite name for the simulation benchmarks, and
+// SimSnapshotFile the committed file that tracks them.
+const (
+	SimSuite        = "sim"
+	SimSnapshotFile = "BENCH_sim.json"
+)
+
+// SpeedupKey is the derived ratio the fast path is gated on: step-by-step
+// ns/op over analytic ns/op for the 1000-step sweep cell.
+const SpeedupKey = "steady_speedup_x"
+
+// simSteps is the window the headline entries collapse; it matches the
+// paper-scale runs the sweep engine issues.
+const simSteps = 1000
+
+// SimSpecs returns the simulation benchmark suite. The pairs measure the
+// same configuration under both execution strategies:
+//
+//	sim_cell_fast_1000 / sim_cell_step_1000  - the sweep-cell shape
+//	  (NoTimeline, the configuration every grid cell runs)
+//	sim_full_fast_1000 / sim_full_step_1000  - timeline materialized
+//	sim_fixed_overhead                       - Steps=1 forced collapse;
+//	  the floor a run pays before any step is saved
+//
+// Each spec builds its System once and reuses it across iterations, so
+// topology caches warm exactly as they do across a long-lived run; the
+// cost under measurement is the simulation itself.
+func SimSpecs() ([]Spec, error) {
+	bench, err := workload.ByName("res50_tf")
+	if err != nil {
+		return nil, err
+	}
+	job := bench.Job
+
+	mk := func(steps int, mode sim.FastPathMode, noTimeline bool) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := sim.Config{
+				System:     hw.DSS8440(),
+				GPUCount:   8,
+				Job:        job,
+				Steps:      steps,
+				FastPath:   mode,
+				NoTimeline: noTimeline,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(steps), "ns_per_step")
+		}
+	}
+
+	return []Spec{
+		{Name: "sim_cell_fast_1000", Bench: mk(simSteps, sim.FastPathForce, true)},
+		{Name: "sim_cell_step_1000", Bench: mk(simSteps, sim.FastPathOff, true)},
+		{Name: "sim_full_fast_1000", Bench: mk(simSteps, sim.FastPathForce, false)},
+		{Name: "sim_full_step_1000", Bench: mk(simSteps, sim.FastPathOff, false)},
+		{Name: "sim_fixed_overhead", Bench: mk(1, sim.FastPathForce, true)},
+	}, nil
+}
+
+// CollectSim measures the simulation suite and derives the
+// machine-independent speedup ratios.
+func CollectSim() (*Snapshot, error) {
+	specs, err := SimSpecs()
+	if err != nil {
+		return nil, err
+	}
+	snap := Collect(SimSuite, specs)
+	snap.Derived = map[string]float64{}
+	ratio := func(num, den string) (float64, bool) {
+		n, d := snap.Entry(num), snap.Entry(den)
+		if n == nil || d == nil || d.NsPerOp <= 0 {
+			return 0, false
+		}
+		return n.NsPerOp / d.NsPerOp, true
+	}
+	if r, ok := ratio("sim_cell_step_1000", "sim_cell_fast_1000"); ok {
+		snap.Derived[SpeedupKey] = r
+	}
+	if r, ok := ratio("sim_full_step_1000", "sim_full_fast_1000"); ok {
+		snap.Derived["timeline_speedup_x"] = r
+	}
+	return snap, nil
+}

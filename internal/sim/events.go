@@ -184,6 +184,10 @@ type nopObserver struct{}
 
 func (nopObserver) OnEvent(Event) {}
 
+// OnSteadySteps makes Discard bulk-capable so it never forces the
+// step-by-step pipeline.
+func (nopObserver) OnSteadySteps(*SteadySteps) {}
+
 // publisher fans one event out to a fixed observer set without
 // allocating.
 type publisher []Observer

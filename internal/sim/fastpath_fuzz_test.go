@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"mlperf/internal/fault"
+	"mlperf/internal/hw"
+)
+
+// FuzzFastPathEquivalence drives the steady-state detector across
+// arbitrary step counts, fault schedules (including ones straddling the
+// warm-up boundary) and observer capability mixes, holding the fast path
+// to its contract: it is never taken when a per-step divergence source
+// exists (bit-equality with the slow path proves it), a refused Force is
+// always a typed *FastPathError, and no input produces a panic, NaN, or
+// non-positive timing.
+func FuzzFastPathEquivalence(f *testing.F) {
+	f.Add(uint8(8), uint8(2), "", false)
+	f.Add(uint8(16), uint8(4), `{"Stragglers":[{"Lane":"compute","Factor":1.5,"FromStep":1,"ToStep":4}]}`, false)
+	f.Add(uint8(16), uint8(4), `{"Stragglers":[{"Lane":"gpu","Factor":2}]}`, false)
+	f.Add(uint8(5), uint8(1), `{"Stragglers":[{"Lane":"gpu","Factor":2,"FromStep":3,"ToStep":5}]}`, false)
+	f.Add(uint8(6), uint8(1), `{"Stragglers":[{"Lane":"gpu","Factor":2,"FromStep":3,"ToStep":5}]}`, true)
+	f.Add(uint8(12), uint8(2), `{"Checkpoint":{"Interval":0.05}}`, false)
+	f.Add(uint8(12), uint8(2), `{"Preemptions":[{"At":0.4,"RestartDelay":2}]}`, true)
+	f.Add(uint8(12), uint8(2), `{"Preemptions":[{"At":1e9,"RestartDelay":2}]}`, false)
+	f.Add(uint8(3), uint8(2), `{"Links":[{"Lane":"pcie-h2d","BandwidthFrac":0.5,"Period":4,"Up":2}]}`, false)
+	f.Add(uint8(40), uint8(3), `{"Seed":9,"Transients":[{"Lane":"h2d","Prob":0.4,"RetryCost":0.002}]}`, false)
+	f.Fuzz(func(t *testing.T, stepsB, gpusB uint8, planJSON string, attachLog bool) {
+		steps := int(stepsB)%64 + 1
+		gpus := int(gpusB)%8 + 1
+		plan, err := fault.Parse(planJSON)
+		if err != nil {
+			return // malformed plan, nothing to compare
+		}
+		cfg := Config{System: hw.DSS8440(), GPUCount: gpus, Job: testJob(), Steps: steps}
+
+		runMode := func(mode FastPathMode) (*Result, *EventLog, error) {
+			cfg.FastPath = mode
+			if attachLog {
+				log := &EventLog{}
+				res, err := RunWithFaults(cfg, plan, log)
+				return res, log, err
+			}
+			res, err := RunWithFaults(cfg, plan)
+			return res, nil, err
+		}
+
+		slow, slowLog, err := runMode(FastPathOff)
+		if err != nil {
+			return // plan rejected by the simulator; both paths agree trivially
+		}
+		auto, autoLog, err := runMode(FastPathAuto)
+		if err != nil {
+			t.Fatalf("auto errored where slow succeeded: %v", err)
+		}
+		if !reflect.DeepEqual(slow, auto) {
+			t.Fatalf("auto diverged from slow path (plan %q steps=%d gpus=%d)", planJSON, steps, gpus)
+		}
+		if attachLog && !reflect.DeepEqual(slowLog.Events, autoLog.Events) {
+			t.Fatalf("auto fed the EventLog a different stream (plan %q)", planJSON)
+		}
+
+		fast, _, err := runMode(FastPathForce)
+		if err != nil {
+			var fe *FastPathError
+			if !errors.As(err, &fe) || fe.Reason == "" {
+				t.Fatalf("force refused without a reasoned *FastPathError: %v", err)
+			}
+			return
+		}
+		if attachLog {
+			t.Fatal("force succeeded with a non-bulk observer attached")
+		}
+		if !reflect.DeepEqual(slow, fast) {
+			t.Fatalf("forced fast path diverged (plan %q steps=%d gpus=%d)", planJSON, steps, gpus)
+		}
+		for _, v := range []float64{fast.StepTime, fast.TimeToTrain.Seconds(), fast.Throughput} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Fatalf("non-finite or non-positive timing %v (plan %q)", v, planJSON)
+			}
+		}
+	})
+}

@@ -51,6 +51,11 @@ type faultRun struct {
 	// steady-state step-time estimate subtracts their overlap so their
 	// cost is charged exactly once (via the analytic TTT surcharges).
 	excluded []Interval
+
+	// evBuf is the reused per-callback event staging buffer. Callbacks
+	// run to completion one at a time and publish by value, so a single
+	// buffer serves the whole run without allocation past the first lane.
+	evBuf []Event
 }
 
 // newFaultRun compiles the plan against the pipeline's stations.
@@ -97,8 +102,17 @@ func newFaultRun(plan *fault.Plan, lanes []laneExec, steps int, modelBytes units
 // path never comes through here, so the original pipeline stays
 // byte-identical.
 func (fr *faultRun) runPipeline(lanes []laneExec, steps int, pub publisher) []float64 {
-	e := NewEngine()
 	stepEnd := make([]float64, steps)
+	fr.run(lanes, stepEnd, pub)
+	return stepEnd
+}
+
+// run executes len(stepEnd) steps, filling the completion times in
+// place. The fast path uses it directly to simulate only the faulty
+// warm-up prefix before collapsing the remaining window analytically.
+func (fr *faultRun) run(lanes []laneExec, stepEnd []float64, pub publisher) {
+	e := NewEngine()
+	steps := len(stepEnd)
 	last := len(lanes) - 1
 
 	inflight := 0
@@ -109,22 +123,16 @@ func (fr *faultRun) runPipeline(lanes []laneExec, steps int, pub publisher) []fl
 		lane := lanes[l]
 		base := fr.offsets[l]
 
-		// Per-stage scaled service plus retry re-execution time.
-		type slot struct {
-			st      Stage
-			svc     float64
-			retry   float64
-			retries int
-		}
-		slots := make([]slot, 0, len(lane.stages))
+		// Per-stage scaled service plus retry re-execution time. The
+		// per-stage values are recomputed in the completion callback
+		// (identical arithmetic) instead of staged in a slice, keeping
+		// the hot path allocation-free.
 		var total float64
 		for si, st := range lane.stages {
 			t := base + si
 			svc := st.Service() * fr.sched.Mult(t, step)
 			n, cost := fr.sched.Retries(t, step)
-			retry := float64(n) * (cost + svc)
-			slots = append(slots, slot{st: st, svc: svc, retry: retry, retries: n})
-			total += svc + retry
+			total += svc + float64(n)*(cost+svc)
 		}
 
 		// Checkpoint snapshot: taken on the gpu lane once the checkpoint
@@ -151,29 +159,33 @@ func (fr *faultRun) runPipeline(lanes []laneExec, steps int, pub publisher) []fl
 			// Partition [start, end] in stage order, each stage followed
 			// by its retry span, the checkpoint write last; the final
 			// boundary is pinned to the span end.
-			evs := make([]Event, 0, 2*len(slots)+1)
+			evs := fr.evBuf[:0]
 			b := start
-			for _, s := range slots {
-				if s.svc > 0 {
+			for si, st := range lane.stages {
+				t := base + si
+				svc := st.Service() * fr.sched.Mult(t, step)
+				n, cost := fr.sched.Retries(t, step)
+				retry := float64(n) * (cost + svc)
+				if svc > 0 {
 					evs = append(evs, Event{
-						Kind:  s.st.Kind(),
+						Kind:  st.Kind(),
 						Lane:  lane.name,
 						Step:  step,
 						Start: b,
-						End:   b + s.svc,
-						Bytes: s.st.Bytes(),
-						FLOPs: s.st.FLOPs(),
+						End:   b + svc,
+						Bytes: st.Bytes(),
+						FLOPs: st.FLOPs(),
 					})
-					b += s.svc
+					b += svc
 				}
-				if s.retry > 0 {
-					fr.report.Retries += s.retries
+				if retry > 0 {
+					fr.report.Retries += n
 					evs = append(evs, Event{
 						Kind: EvStageRetried, Lane: lane.name, Step: step,
-						Start: b, End: b + s.retry,
-						Note: fmt.Sprintf("%s retried x%d", s.st.Kind(), s.retries),
+						Start: b, End: b + retry,
+						Note: fmt.Sprintf("%s retried x%d", st.Kind(), n),
 					})
-					b += s.retry
+					b += retry
 				}
 			}
 			if ckpt > 0 {
@@ -195,6 +207,7 @@ func (fr *faultRun) runPipeline(lanes []laneExec, steps int, pub publisher) []fl
 			for i := range evs {
 				pub.publish(evs[i])
 			}
+			fr.evBuf = evs[:0]
 			if l < last {
 				process(step, l+1)
 				return
@@ -216,7 +229,6 @@ func (fr *faultRun) runPipeline(lanes []laneExec, steps int, pub publisher) []fl
 	}
 	tryLaunch()
 	e.Run()
-	return stepEnd
 }
 
 // preemptAt fires every preemption whose time has passed: the node goes

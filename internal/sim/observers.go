@@ -1,6 +1,10 @@
 package sim
 
-import "mlperf/internal/units"
+import (
+	"strconv"
+
+	"mlperf/internal/units"
+)
 
 // TimelineObserver rebuilds the station timeline from the event stream:
 // every span event becomes a labeled interval on its lane. It is one of
@@ -34,8 +38,65 @@ func (o *TimelineObserver) OnEvent(ev Event) {
 // Timeline returns the accumulated timeline.
 func (o *TimelineObserver) Timeline() *Timeline { return o.tl }
 
+// OnSteadySteps appends the collapsed window's intervals lane by lane —
+// the same intervals, in the same per-lane order, OnEvent would have
+// appended step by step. Interval slices are presized and each lane's
+// labels are built in one backing string (labels become substrings of
+// it): per-interval label allocation is otherwise the dominant cost of
+// materializing a long steady window.
+func (o *TimelineObserver) OnSteadySteps(b *SteadySteps) {
+	var buf []byte
+	var offs []int
+	for li := range b.Lanes {
+		sl := &b.Lanes[li]
+		if len(sl.Stages) == 0 {
+			continue
+		}
+		ivs := o.tl.Lanes[sl.Name]
+		count := len(sl.Stages) * len(sl.Spans)
+		if need := len(ivs) + count; cap(ivs) < need {
+			grown := make([]Interval, len(ivs), need)
+			copy(grown, ivs)
+			ivs = grown
+		}
+		buf = buf[:0]
+		offs = offs[:0]
+		if cap(offs) < count {
+			offs = make([]int, 0, count)
+		}
+		for i := range sl.Spans {
+			step := int64(b.From + i)
+			for si := range sl.Stages {
+				buf = append(buf, sl.Stages[si].Kind.String()...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, step, 10)
+				offs = append(offs, len(buf))
+			}
+		}
+		arena := string(buf)
+		k, prev := 0, 0
+		for _, sp := range sl.Spans {
+			bnd := sp.Start
+			for si := range sl.Stages {
+				end := bnd + sl.Stages[si].Service
+				if si == len(sl.Stages)-1 {
+					end = sp.End
+				}
+				ivs = append(ivs, Interval{Start: bnd, End: end, Label: arena[prev:offs[k]]})
+				prev = offs[k]
+				k++
+				bnd = end
+			}
+		}
+		o.tl.Lanes[sl.Name] = ivs
+	}
+}
+
 // EventLog records the full event stream in publication order — the
-// profiler analogs' raw input.
+// profiler analogs' raw input. It deliberately does NOT implement
+// BulkObserver: its contract is the discrete-event publication order,
+// which interleaves overlapping steps across lanes in simulated-time
+// order, so attaching one forces the step-by-step pipeline.
 type EventLog struct {
 	Events []Event
 }
@@ -73,6 +134,12 @@ func (p *PhaseTotals) OnEvent(ev Event) {
 	p.Bytes[ev.Kind] += ev.Bytes
 	p.FLOPs[ev.Kind] += ev.FLOPs
 }
+
+// OnSteadySteps replays the collapsed window through OnEvent. Per-kind
+// accumulation order matches the step-by-step stream (each kind is
+// produced by one lane, and per-lane order is identical), so the float
+// sums are bit-identical.
+func (p *PhaseTotals) OnSteadySteps(b *SteadySteps) { b.Events(p.OnEvent) }
 
 // laneUsage is one lane's merged occupancy: consecutive events of the
 // same step fuse into a single interval, so the occupancy is exactly the
@@ -114,6 +181,37 @@ func (u *usageObserver) OnEvent(ev Event) {
 	}
 	lu.intervals = append(lu.intervals, Interval{Start: ev.Start, End: ev.End})
 	lu.lastStep = ev.Step
+}
+
+// OnSteadySteps ingests the collapsed window directly: each step's
+// events on a lane merge into exactly the lane's busy span (the last
+// stage's end is pinned to the span end), so the merged intervals are
+// the spans themselves.
+func (u *usageObserver) OnSteadySteps(b *SteadySteps) {
+	for li := range b.Lanes {
+		sl := &b.Lanes[li]
+		if len(sl.Stages) == 0 {
+			continue
+		}
+		lu := u.lanes[sl.Name]
+		if lu == nil {
+			lu = &laneUsage{lastStep: -1}
+			u.lanes[sl.Name] = lu
+		}
+		if len(lu.intervals) == 0 {
+			// The block is freshly built per run and immutable after
+			// publication, so an untouched lane adopts the span slice
+			// outright instead of copying it.
+			lu.intervals = sl.Spans
+		} else {
+			lu.intervals = append(lu.intervals, sl.Spans...)
+		}
+		lu.lastStep = b.To - 1
+	}
+	for len(u.stepEnd) < b.To {
+		u.stepEnd = append(u.stepEnd, 0)
+	}
+	copy(u.stepEnd[b.From:b.To], b.StepEnd)
 }
 
 // utilizationOver returns the lane's busy fraction during [from, to].

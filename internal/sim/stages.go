@@ -250,6 +250,10 @@ func runPipeline(lanes []laneExec, steps int, pub publisher) []float64 {
 	e := NewEngine()
 	stepEnd := make([]float64, steps)
 	last := len(lanes) - 1
+	// Per-stage service times are step-invariant on the fault-free path:
+	// compile each lane's summed total and positive-service stages once
+	// instead of re-walking the Stage interfaces every step.
+	fl := compileLanes(lanes)
 
 	inflight := 0
 	next := 0
@@ -257,11 +261,7 @@ func runPipeline(lanes []laneExec, steps int, pub publisher) []float64 {
 	var process func(step, l int)
 	process = func(step, l int) {
 		lane := lanes[l]
-		var total float64
-		for _, st := range lane.stages {
-			total += st.Service()
-		}
-		start, end := lane.res.AcquireSpan(e.Now(), total)
+		start, end := lane.res.AcquireSpan(e.Now(), fl[l].total)
 		e.Schedule(end, func() {
 			// Publish the lane's stage events, partitioning [start, end]
 			// in stage order; the final boundary is pinned to the span end
@@ -269,19 +269,16 @@ func runPipeline(lanes []laneExec, steps int, pub publisher) []float64 {
 			var evs [4]Event
 			n := 0
 			b := start
-			for _, st := range lane.stages {
-				svc := st.Service()
-				if svc <= 0 {
-					continue
-				}
+			for si := range fl[l].stages {
+				st := &fl[l].stages[si]
 				evs[n] = Event{
-					Kind:  st.Kind(),
+					Kind:  st.Kind,
 					Lane:  lane.name,
 					Step:  step,
 					Start: b,
-					End:   b + svc,
-					Bytes: st.Bytes(),
-					FLOPs: st.FLOPs(),
+					End:   b + st.Service,
+					Bytes: st.Bytes,
+					FLOPs: st.FLOPs,
 				}
 				b = evs[n].End
 				n++

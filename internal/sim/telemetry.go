@@ -66,3 +66,8 @@ func (o *TelemetryObserver) OnEvent(ev Event) {
 	}
 	o.clock.Max(ev.End)
 }
+
+// OnSteadySteps replays the collapsed window through OnEvent: counters
+// and histograms only aggregate, and the clock gauge keeps a maximum,
+// so the replay order cannot change any reading.
+func (o *TelemetryObserver) OnSteadySteps(b *SteadySteps) { b.Events(o.OnEvent) }

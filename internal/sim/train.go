@@ -126,6 +126,17 @@ type Config struct {
 	// Steps is how many pipeline steps to simulate for the steady state
 	// (default 32).
 	Steps int
+	// FastPath selects whether the run may collapse steady-state steps
+	// analytically (FastPathAuto, the default, with fallback), must walk
+	// the discrete-event pipeline (FastPathOff), or must take the fast
+	// path or fail (FastPathForce). Either path yields bit-identical
+	// results; see FastPathMode.
+	FastPath FastPathMode
+	// NoTimeline skips materializing Result.Timeline (it comes back with
+	// its lanes registered but empty). Sweeps aggregate Records and never
+	// render per-run timelines, so they opt out of the one Result field
+	// whose cost grows with Steps. All other fields are unaffected.
+	NoTimeline bool
 }
 
 // Phases is the per-step time breakdown in seconds.
@@ -253,11 +264,13 @@ func runObserved(cfg Config, plan *fault.Plan, obs []Observer) (*Result, error) 
 
 	// Execute the stage pipeline, publishing every span to the built-in
 	// observers plus any external subscribers.
-	lanes := groupLanes([]Stage{input, h2d, compute, allreduce, optimizer})
+	stageList := []Stage{input, h2d, compute, allreduce, optimizer}
+	lanes := groupLanes(stageList)
 	var fr *faultRun
+	var snapshot units.Bytes
 	tlLanes := []string{LaneCPU, LanePCIe, LaneGPU}
 	if plan != nil {
-		snapshot := units.Bytes(float64(j.Net.ParamBytes(4)) +
+		snapshot = units.Bytes(float64(j.Net.ParamBytes(4)) +
 			float64(j.Net.OptimizerStateBytes(j.OptimizerSlots)))
 		if fr, err = newFaultRun(plan, lanes, steps, snapshot); err != nil {
 			return nil, err
@@ -267,13 +280,33 @@ func runObserved(cfg Config, plan *fault.Plan, obs []Observer) (*Result, error) 
 	use := newUsageObserver()
 	tl := NewTimelineObserver(tlLanes...)
 	pub := make(publisher, 0, 2+len(obs))
-	pub = append(pub, use, tl)
+	pub = append(pub, use)
+	if !cfg.NoTimeline {
+		pub = append(pub, tl)
+	}
 	pub = append(pub, obs...)
 	var stepEnd []float64
-	if fr == nil {
-		stepEnd = runPipeline(lanes, steps, pub)
-	} else {
-		stepEnd = fr.runPipeline(lanes, steps, pub)
+	if cfg.FastPath != FastPathOff {
+		fastEnd, dirty, reason := tryFastPipeline(lanes, fr, steps, pub)
+		if fastEnd == nil && cfg.FastPath == FastPathForce {
+			return nil, &FastPathError{Reason: reason}
+		}
+		if fastEnd == nil && dirty {
+			// The abandoned attempt pushed warm-up steps through the
+			// stations; rebuild them untouched for the slow run.
+			lanes = groupLanes(stageList)
+			if fr, err = newFaultRun(plan, lanes, steps, snapshot); err != nil {
+				return nil, err
+			}
+		}
+		stepEnd = fastEnd
+	}
+	if stepEnd == nil {
+		if fr == nil {
+			stepEnd = runPipeline(lanes, steps, pub)
+		} else {
+			stepEnd = fr.runPipeline(lanes, steps, pub)
+		}
 	}
 
 	// Steady-state step time over the back half of the run. Checkpoint

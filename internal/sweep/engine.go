@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mlperf/internal/sim"
 	"mlperf/internal/telemetry"
 )
 
@@ -18,6 +19,11 @@ import (
 // and Figure 5 have in common.
 type Engine struct {
 	workers atomic.Int64
+	// fastPath is the sim.FastPathMode cells run with (default
+	// sim.FastPathAuto). Any mode yields bit-identical Records; the knob
+	// exists so equivalence tests can pin a path and perf-sensitive
+	// callers can assert one.
+	fastPath atomic.Int32
 
 	// simulate is the cell evaluator — runCell in production, swappable
 	// in tests to exercise the panic/timeout/retry machinery.
@@ -55,7 +61,8 @@ type cellEntry struct {
 // NewEngine returns an engine running at most workers cells concurrently
 // (<= 0 means GOMAXPROCS).
 func NewEngine(workers int) *Engine {
-	e := &Engine{simulate: runCell, cache: make(map[CellKey]*cellEntry)}
+	e := &Engine{cache: make(map[CellKey]*cellEntry)}
+	e.simulate = func(k CellKey) (Record, error) { return runCell(k, e.FastPath()) }
 	e.workers.Store(int64(workers))
 	return e
 }
@@ -67,6 +74,17 @@ var Default = NewEngine(0)
 // SetWorkers changes the concurrency bound (<= 0 restores the GOMAXPROCS
 // default). It applies to subsequent Run calls.
 func (e *Engine) SetWorkers(n int) { e.workers.Store(int64(n)) }
+
+// SetFastPath pins the sim.FastPathMode subsequent cell simulations use.
+// The default, sim.FastPathAuto, collapses steady-state windows
+// analytically where possible and falls back to the discrete-event
+// pipeline otherwise; any mode produces bit-identical Records. Already
+// memoized cells are not re-simulated — safe precisely because the modes
+// cannot disagree.
+func (e *Engine) SetFastPath(m sim.FastPathMode) { e.fastPath.Store(int32(m)) }
+
+// FastPath reports the engine's current cell fast-path mode.
+func (e *Engine) FastPath() sim.FastPathMode { return sim.FastPathMode(e.fastPath.Load()) }
 
 // SetTelemetry attaches (or, with nil, detaches) a metrics registry.
 // While attached, the engine publishes cache traffic, per-cell latency

@@ -142,10 +142,14 @@ func (k CellKey) normalize() (CellKey, error) {
 }
 
 // runCell simulates one normalized cell. It is a pure function of the
-// key: everything it touches (benchmark registry, system constructors,
-// the simulator) is either freshly built or read-only, which is what
-// makes concurrent cells race-free.
-func runCell(k CellKey) (Record, error) {
+// key and the fast-path mode: everything it touches (benchmark registry,
+// system constructors, the simulator) is either freshly built or
+// read-only, which is what makes concurrent cells race-free. Cells run
+// with sim.Config.NoTimeline set — Records only carry aggregates, so
+// materializing per-step timelines would be pure overhead — and with the
+// given fast-path mode, which cannot change any Record: either path is
+// bit-identical by the simulator's contract.
+func runCell(k CellKey, mode sim.FastPathMode) (Record, error) {
 	b, err := workload.ByName(k.Benchmark)
 	if err != nil {
 		return Record{}, err
@@ -176,9 +180,15 @@ func runCell(k CellKey) (Record, error) {
 		if perr != nil {
 			return Record{}, perr
 		}
-		res, err = sim.RunWithFaults(sim.Config{System: sys, GPUCount: k.GPUs, Job: job}, plan)
+		res, err = sim.RunWithFaults(sim.Config{
+			System: sys, GPUCount: k.GPUs, Job: job,
+			FastPath: mode, NoTimeline: true,
+		}, plan)
 	} else {
-		res, err = sim.Run(sim.Config{System: sys, GPUCount: k.GPUs, Job: job})
+		res, err = sim.Run(sim.Config{
+			System: sys, GPUCount: k.GPUs, Job: job,
+			FastPath: mode, NoTimeline: true,
+		})
 	}
 	if err != nil {
 		return Record{}, fmt.Errorf("sweep: %s on %s @%d: %w", b.Abbrev, sys.Name, k.GPUs, err)
@@ -289,8 +299,9 @@ func expand(g Grid) ([]CellKey, error) {
 func Run(g Grid) ([]Record, error) { return Default.Run(g) }
 
 // RunSequential executes the grid one cell at a time on the calling
-// goroutine, with no caching — the reference path parallel execution is
-// proven byte-identical to.
+// goroutine, with no caching and with the analytic fast path disabled —
+// the step-by-step reference every engine configuration (parallel,
+// cached, fast-path) is proven byte-identical to.
 func RunSequential(g Grid) ([]Record, error) {
 	keys, err := expand(g)
 	if err != nil {
@@ -298,7 +309,7 @@ func RunSequential(g Grid) ([]Record, error) {
 	}
 	out := make([]Record, len(keys))
 	for i, k := range keys {
-		rec, err := runCell(k)
+		rec, err := runCell(k, sim.FastPathOff)
 		if err != nil {
 			return nil, err
 		}

@@ -110,8 +110,46 @@ type SimEvent = sim.Event
 type SimObserver = sim.Observer
 
 // SimEventLog is a ready-made observer that records the full event
-// stream in publication order.
+// stream in publication order. Attaching one forces the step-by-step
+// pipeline: its contract is the discrete-event publication order, which
+// the analytic fast path does not produce.
 type SimEventLog = sim.EventLog
+
+// SimFastPathMode selects the simulator's execution strategy: Auto (the
+// default) collapses steady-state step windows analytically when no
+// per-step divergence source exists and falls back to the discrete-event
+// pipeline otherwise, Off always walks the pipeline, Force demands the
+// analytic path or fails with a *SimFastPathError. Either path yields
+// bit-identical results — the mode is a performance knob, never a
+// modeling one.
+type SimFastPathMode = sim.FastPathMode
+
+// Fast-path modes for SimConfig.FastPath and SetSweepFastPath.
+const (
+	SimFastPathAuto  = sim.FastPathAuto
+	SimFastPathOff   = sim.FastPathOff
+	SimFastPathForce = sim.FastPathForce
+)
+
+// SimFastPathError reports why a Force-mode run could not take the
+// analytic fast path.
+type SimFastPathError = sim.FastPathError
+
+// SimBulkObserver is the capability an observer implements to keep the
+// fast path available: it accepts a whole steady-state window as one
+// SimSteadySteps block instead of per-step events.
+type SimBulkObserver = sim.BulkObserver
+
+// SimSteadySteps is the analytically collapsed steady-state window a
+// bulk observer receives; its Events method replays the exact event
+// stream of the window in canonical step-major order.
+type SimSteadySteps = sim.SteadySteps
+
+// SetSweepFastPath pins the fast-path mode the shared sweep engine (and
+// with it every experiment/table/figure helper) simulates cells with.
+// Records are bit-identical across modes; the knob exists for perf
+// comparisons and forcing-tests.
+func SetSweepFastPath(m SimFastPathMode) { sweep.Default.SetFastPath(m) }
 
 // SimulateObserved runs one benchmark like Simulate but additionally
 // publishes the run's typed event stream to the given observers — the
