@@ -22,6 +22,7 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	engineFlags := sweep.RegisterCLIFlags(nil)
 	sink := telecli.Register("mlperf-ablate", nil)
 	flag.Parse()
 	w, err := sweep.ValidateWorkers(*workers)
@@ -30,6 +31,11 @@ func main() {
 		os.Exit(2)
 	}
 	sweep.Default.SetWorkers(w)
+	if err := engineFlags.Apply(sweep.Default); err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-ablate:", err)
+		os.Exit(2)
+	}
+	defer sweep.Default.SetStore(nil)
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
@@ -39,11 +45,15 @@ func main() {
 		defer sweep.Default.SetTelemetry(nil)
 		sink.Config("ablation", which)
 		sink.Config("workers", strconv.Itoa(w))
+		engineFlags.Record(sink.Config)
 	}
 	if err := run(which); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-ablate:", err)
 		sink.MustFlush()
 		os.Exit(1)
+	}
+	if sink.Enabled() {
+		sweep.Default.Stats().FillManifest(sink.Manifest)
 	}
 	sink.MustFlush()
 }

@@ -29,6 +29,7 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
+	engineFlags := sweep.RegisterCLIFlags(nil)
 	sink := telecli.Register("mlperf-sim", nil)
 	flag.Usage = func() { usage() }
 	flag.Parse()
@@ -38,6 +39,11 @@ func main() {
 		os.Exit(2)
 	}
 	sweep.Default.SetWorkers(w)
+	if err := engineFlags.Apply(sweep.Default); err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-sim:", err)
+		os.Exit(2)
+	}
+	defer sweep.Default.SetStore(nil)
 	if reg := sink.Activate(); reg != nil {
 		sweep.Default.SetTelemetry(reg)
 		defer sweep.Default.SetTelemetry(nil)
@@ -45,6 +51,7 @@ func main() {
 			sink.Config("subcommand", flag.Arg(0))
 		}
 		sink.Config("workers", strconv.Itoa(w))
+		engineFlags.Record(sink.Config)
 	}
 	if err := run(flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sim:", err)
@@ -52,8 +59,7 @@ func main() {
 		os.Exit(1)
 	}
 	if sink.Enabled() {
-		stats := sweep.Default.Stats()
-		sink.Manifest.CacheHits, sink.Manifest.CacheMisses = stats.Hits, stats.Misses
+		sweep.Default.Stats().FillManifest(sink.Manifest)
 	}
 	sink.MustFlush()
 }

@@ -6,10 +6,16 @@
 //	mlperf-sweep -bench res50_tf -gpus 8 -precision fp32,mixed -out amp.csv
 //	mlperf-sweep -workers 4 -bench res50_tf -gpus 1,2,4,8
 //	mlperf-sweep -bench gnmt_py -gpus 4 -faults plan.json -cell-timeout 30s -retries 2 -partial
+//	mlperf-sweep -bench res50_tf -gpus 1,2,4,8 -cache-dir ~/.cache/mlperf-cells
+//	mlperf-sweep -bench res50_tf,ncf_py -gpus 1,2,4 -shards 4
 //
 // Cells run concurrently on the sweep engine's worker pool (-workers,
-// default GOMAXPROCS); -seq forces the sequential reference path. Output
-// order and values are identical either way.
+// default GOMAXPROCS); -seq forces the sequential reference path. With
+// -cache-dir, results persist in a content-addressed store and a later
+// run over the same cells replays from disk without simulating; with
+// -shards N, cells are partitioned across N digest-sharded queues with
+// work stealing. Output order and values are identical in every
+// configuration.
 //
 // The hardened path engages when any of -faults, -cell-timeout, -retries
 // or -partial is set: each cell runs with panic containment, the given
@@ -47,6 +53,7 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell attempt deadline (0 = unbounded)")
 	retries := flag.Int("retries", 0, "retry budget per cell for panics and timeouts")
 	partial := flag.Bool("partial", false, "keep going past failed cells; write completed cells and report the rest")
+	engineFlags := sweep.RegisterCLIFlags(nil)
 	sink := telecli.Register("mlperf-sweep", nil)
 	flag.Parse()
 
@@ -56,6 +63,11 @@ func main() {
 		os.Exit(2)
 	}
 	sweep.Default.SetWorkers(w)
+	if err := engineFlags.Apply(sweep.Default); err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-sweep:", err)
+		os.Exit(2)
+	}
+	defer sweep.Default.SetStore(nil)
 	if reg := sink.Activate(); reg != nil {
 		sweep.Default.SetTelemetry(reg)
 		defer sweep.Default.SetTelemetry(nil)
@@ -65,11 +77,13 @@ func main() {
 		} {
 			sink.Config(k, v)
 		}
+		engineFlags.Record(sink.Config)
 	}
 	cfg := runConfig{
 		bench: *bench, system: *system, gpus: *gpus, batch: *batch, prec: *prec,
 		out: *out, seq: *seq, faults: *faults,
 		cellTimeout: *cellTimeout, retries: *retries, partial: *partial,
+		shards: engineFlags.Shards, cacheDir: engineFlags.CacheDir,
 		sink: sink,
 	}
 	if err := run(cfg); err != nil {
@@ -82,9 +96,10 @@ func main() {
 
 type runConfig struct {
 	bench, system, gpus, batch, prec, out, faults string
+	cacheDir                                      string
 	seq, partial                                  bool
 	cellTimeout                                   time.Duration
-	retries                                       int
+	retries, shards                               int
 	sink                                          *telecli.Sink
 }
 
@@ -127,14 +142,25 @@ func run(cfg runConfig) error {
 		if hardened {
 			return fmt.Errorf("-seq is the plain reference path; it cannot combine with -cell-timeout/-retries/-partial")
 		}
+		if cfg.shards > 1 || cfg.cacheDir != "" {
+			return fmt.Errorf("-seq is the plain reference path; it cannot combine with -shards/-cache-dir")
+		}
 		recs, err = sweep.RunSequential(g)
 	case hardened:
-		recs, report, err = sweep.Default.RunWithOptions(context.Background(), g, sweep.Options{
+		opts := sweep.Options{
 			CellTimeout: cfg.cellTimeout,
 			Retries:     cfg.retries,
 			Partial:     cfg.partial,
-		})
+		}
+		if cfg.shards > 1 {
+			recs, report, err = sweep.Default.RunSharded(context.Background(), g,
+				sweep.ShardOptions{Options: opts, Shards: cfg.shards})
+		} else {
+			recs, report, err = sweep.Default.RunWithOptions(context.Background(), g, opts)
+		}
 	default:
+		// sweep.Run routes through the shard coordinator itself when
+		// SetShards was applied.
 		recs, err = sweep.Run(g)
 	}
 	if err != nil {
@@ -168,8 +194,7 @@ func run(cfg runConfig) error {
 	if cfg.sink != nil && cfg.sink.Enabled() {
 		m := cfg.sink.Manifest
 		m.Cells = len(recs)
-		stats := sweep.Default.Stats()
-		m.CacheHits, m.CacheMisses = stats.Hits, stats.Misses
+		sweep.Default.Stats().FillManifest(m)
 		for _, r := range recs {
 			m.SimulatedSeconds += r.TimeToTrainMin * 60
 		}

@@ -1,0 +1,303 @@
+// Package cas is a minimal on-disk content-addressed store: fixed-size
+// hex digests name immutable blobs, writes are atomic (write to a temp
+// file, then rename into place), and reads verify a checksummed,
+// versioned envelope so a corrupt or truncated entry is never returned —
+// it is quarantined and reported as a miss instead. The store is the
+// persistent tier behind the sweep engine's memo cache: a digest is the
+// canonical content address of one sweep cell, and the blob is that
+// cell's serialized record, so repeated paper-scale grids across
+// processes and runs replay from disk instead of re-simulating.
+//
+// The envelope is deliberately strict. Every entry starts with a magic
+// line naming the codec version, a SHA-256 checksum of the payload, and
+// the payload length; Get re-verifies all three. Anything that fails —
+// bad magic, unknown version, short payload, checksum mismatch — is
+// moved into the store's quarantine/ directory (preserving the evidence
+// for inspection) and treated as a cache miss, so a crashed writer or a
+// flipped bit costs one re-simulation, never a wrong result.
+package cas
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// EnvelopeVersion is the on-disk entry format version. Get rejects (and
+// quarantines) any other version: a format change must not be silently
+// misread as data.
+const EnvelopeVersion = 1
+
+// magic is the first envelope line, including the version.
+const magic = "mlperf-cas"
+
+// quarantineDir is the subdirectory corrupt entries are moved into.
+const quarantineDir = "quarantine"
+
+// ErrCorrupt marks an entry that failed envelope verification; callers
+// normally never see it (Get turns it into a miss after quarantining)
+// but Verify returns it for inspection tools.
+var ErrCorrupt = errors.New("cas: corrupt entry")
+
+// Stats counts a store's traffic since Open. All counters are monotone.
+type Stats struct {
+	// Hits counts Gets that returned a verified payload.
+	Hits int64
+	// Misses counts Gets that found no entry (including entries lost to
+	// quarantine on the same call).
+	Misses int64
+	// Puts counts blobs written (idempotent re-puts of an existing
+	// digest are not counted; see PutsSkipped).
+	Puts int64
+	// PutsSkipped counts Puts that found the digest already stored and
+	// wrote nothing — the content-addressed fast path.
+	PutsSkipped int64
+	// Quarantined counts entries evicted into quarantine/ after failing
+	// envelope verification.
+	Quarantined int64
+}
+
+// Store is an on-disk content-addressed blob store rooted at one
+// directory. It is safe for concurrent use by multiple goroutines and —
+// thanks to atomic rename and content addressing — by multiple
+// processes sharing the directory.
+type Store struct {
+	dir string
+
+	hits, misses, puts, putsSkipped, quarantined atomic.Int64
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cas: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cas: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validDigest vets the hex digest used as a content address.
+func validDigest(digest string) error {
+	if len(digest) != sha256.Size*2 {
+		return fmt.Errorf("cas: digest %q is not a sha256 hex digest", digest)
+	}
+	if _, err := hex.DecodeString(digest); err != nil {
+		return fmt.Errorf("cas: digest %q is not hex: %v", digest, err)
+	}
+	return nil
+}
+
+// path maps a digest to its entry file, fanned out over 256 prefix
+// directories so huge grids do not pile every entry into one dir.
+func (s *Store) path(digest string) string {
+	return filepath.Join(s.dir, digest[:2], digest)
+}
+
+// Get returns the payload stored under digest. ok is false on a miss;
+// a corrupt or truncated entry is quarantined and reported as a miss.
+// The returned error is reserved for environmental failures (bad
+// digest, unreadable directory), never for bad content.
+func (s *Store) Get(digest string) (payload []byte, ok bool, err error) {
+	if err := validDigest(digest); err != nil {
+		return nil, false, err
+	}
+	data, rerr := os.ReadFile(s.path(digest))
+	if rerr != nil {
+		if errors.Is(rerr, fs.ErrNotExist) {
+			s.misses.Add(1)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("cas: %w", rerr)
+	}
+	payload, verr := decodeEnvelope(data)
+	if verr != nil {
+		s.Quarantine(digest)
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	return payload, true, nil
+}
+
+// Put stores payload under digest, atomically: the envelope is written
+// to a temp file in the store and renamed into place, so readers (and
+// concurrent writers in other processes) only ever observe absent or
+// complete entries. Re-putting an existing digest is a cheap no-op —
+// content addressing guarantees the bytes are the same.
+func (s *Store) Put(digest string, payload []byte) error {
+	if err := validDigest(digest); err != nil {
+		return err
+	}
+	dst := s.path(digest)
+	if _, err := os.Stat(dst); err == nil {
+		s.putsSkipped.Add(1)
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".put-*")
+	if err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encodeEnvelope(payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cas: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Quarantine evicts the entry under digest into quarantine/, preserving
+// the bytes for inspection. Callers use it when the payload verified at
+// the envelope layer but failed a stricter application-level decode
+// (Get quarantines envelope failures itself). Missing entries are a
+// no-op.
+func (s *Store) Quarantine(digest string) {
+	if validDigest(digest) != nil {
+		return
+	}
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	dst := filepath.Join(qdir, digest+"."+strconv.FormatInt(time.Now().UnixNano(), 10))
+	if err := os.Rename(s.path(digest), dst); err == nil {
+		s.quarantined.Add(1)
+	}
+}
+
+// Len walks the store and counts intact-looking entries (quarantined
+// ones excluded). It is an inspection helper, not a hot path.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == quarantineDir && filepath.Dir(path) == s.dir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if validDigest(d.Name()) == nil {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		PutsSkipped: s.putsSkipped.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+}
+
+// encodeEnvelope wraps a payload in the versioned, checksummed entry
+// format:
+//
+//	mlperf-cas <version>\n
+//	sha256 <hex of payload>\n
+//	len <decimal payload length>\n
+//	\n
+//	<payload bytes>
+func encodeEnvelope(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %d\n", magic, EnvelopeVersion)
+	fmt.Fprintf(&buf, "sha256 %s\n", hex.EncodeToString(sum[:]))
+	fmt.Fprintf(&buf, "len %d\n\n", len(payload))
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// decodeEnvelope verifies magic, version, length and checksum, returning
+// the payload or ErrCorrupt (wrapped with the reason).
+func decodeEnvelope(data []byte) ([]byte, error) {
+	r := bufio.NewReader(bytes.NewReader(data))
+	line := func() (string, error) {
+		l, err := r.ReadString('\n')
+		if err != nil {
+			return "", fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		return l[:len(l)-1], nil
+	}
+	head, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var version int
+	if _, err := fmt.Sscanf(head, magic+" %d", &version); err != nil {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head)
+	}
+	if version != EnvelopeVersion {
+		return nil, fmt.Errorf("%w: envelope version %d, want %d", ErrCorrupt, version, EnvelopeVersion)
+	}
+	sumLine, err := line()
+	if err != nil {
+		return nil, err
+	}
+	wantSum, ok := strings.CutPrefix(sumLine, "sha256 ")
+	if !ok || len(wantSum) != sha256.Size*2 {
+		return nil, fmt.Errorf("%w: bad checksum line %q", ErrCorrupt, sumLine)
+	}
+	lenLine, err := line()
+	if err != nil {
+		return nil, err
+	}
+	lenStr, ok := strings.CutPrefix(lenLine, "len ")
+	if !ok {
+		return nil, fmt.Errorf("%w: bad length line %q", ErrCorrupt, lenLine)
+	}
+	want, err := strconv.Atoi(lenStr)
+	if err != nil || want < 0 {
+		return nil, fmt.Errorf("%w: bad length %q", ErrCorrupt, lenStr)
+	}
+	if blank, err := line(); err != nil {
+		return nil, err
+	} else if blank != "" {
+		return nil, fmt.Errorf("%w: missing header separator", ErrCorrupt)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: unreadable payload", ErrCorrupt)
+	}
+	if len(payload) != want {
+		return nil, fmt.Errorf("%w: payload %d bytes, header says %d", ErrCorrupt, len(payload), want)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}

@@ -1,0 +1,206 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func digestOf(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"record":"hello"}`)
+	d := digestOf(payload)
+
+	if _, ok, err := s.Get(d); err != nil || ok {
+		t.Fatalf("get before put: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(d, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(d)
+	if err != nil || !ok {
+		t.Fatalf("get after put: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round trip: got %q", got)
+	}
+	// Idempotent re-put takes the content-addressed fast path.
+	if err := s.Put(d, payload); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.PutsSkipped != 1 || st.Quarantined != 0 {
+		t.Errorf("stats %+v, want 1 hit / 1 miss / 1 put / 1 skipped / 0 quarantined", st)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+func TestBadDigestRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"", "abc", "zz" + digestOf(nil)[2:]} {
+		if _, _, err := s.Get(d); err == nil {
+			t.Errorf("Get(%q): no error", d)
+		}
+		if err := s.Put(d, nil); err == nil {
+			t.Errorf("Put(%q): no error", d)
+		}
+	}
+}
+
+// TestCorruptionQuarantined proves the hard promise of the store: no
+// damaged entry is ever returned. Every corruption mode reads as a miss,
+// the bytes land in quarantine/, and a fresh Put repairs the slot.
+func TestCorruptionQuarantined(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mod  func(path string) error
+	}{
+		{"truncated", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data[:len(data)/2], 0o644)
+		}},
+		{"bit flip", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)-1] ^= 0x40
+			return os.WriteFile(p, data, 0o644)
+		}},
+		{"bad magic", func(p string) error {
+			return os.WriteFile(p, []byte("not-a-cas-file\n"), 0o644)
+		}},
+		{"future version", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, bytes.Replace(data, []byte("mlperf-cas 1"), []byte("mlperf-cas 99"), 1), 0o644)
+		}},
+		{"empty file", func(p string) error {
+			return os.WriteFile(p, nil, 0o644)
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := []byte("payload for " + tc.name)
+			d := digestOf(payload)
+			if err := s.Put(d, payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.mod(s.path(d)); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get(d)
+			if err != nil {
+				t.Fatalf("corrupt entry surfaced an error: %v", err)
+			}
+			if ok {
+				t.Fatalf("corrupt entry returned as a hit: %q", got)
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Errorf("stats %+v, want 1 quarantined", st)
+			}
+			q, err := filepath.Glob(filepath.Join(dir, quarantineDir, d+".*"))
+			if err != nil || len(q) != 1 {
+				t.Errorf("quarantine evidence: %v, %v", q, err)
+			}
+			// The slot is reusable: a fresh Put and Get succeed.
+			if err := s.Put(d, payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.Get(d); !ok {
+				t.Error("slot unusable after quarantine + re-put")
+			}
+		})
+	}
+}
+
+func TestEnvelopeRejectsLengthMismatch(t *testing.T) {
+	env := encodeEnvelope([]byte("abc"))
+	env = bytes.Replace(env, []byte("len 3"), []byte("len 2"), 1)
+	if _, err := decodeEnvelope(env); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				payload := []byte(fmt.Sprintf("blob %d", i))
+				d := digestOf(payload)
+				if err := s.Put(d, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok, err := s.Get(d)
+				if err != nil || !ok || !bytes.Equal(got, payload) {
+					t.Errorf("blob %d: ok=%v err=%v", i, ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n2, err := s.Len(); err != nil || n2 != n {
+		t.Errorf("Len = %d, %v; want %d", n2, err, n)
+	}
+}
+
+// TestCrossStoreSharing is the cross-process story in miniature: two
+// Store handles over one directory see each other's writes.
+func TestCrossStoreSharing(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("shared")
+	d := digestOf(payload)
+	if err := a.Put(d, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := b.Get(d)
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("second handle misses the first's write: ok=%v err=%v", ok, err)
+	}
+}

@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"sync"
 
 	"mlperf/internal/units"
 )
@@ -317,6 +318,42 @@ func SystemByName(name string) (*System, error) {
 	default:
 		return nil, fmt.Errorf("hw: unknown system %q", name)
 	}
+}
+
+// sharedSystems memoizes SharedSystemByName, keyed by every spelling
+// seen plus the canonical name, so aliases resolve to one instance.
+var (
+	sharedMu      sync.Mutex
+	sharedSystems = map[string]*System{}
+)
+
+// SharedSystemByName is SystemByName without the per-call topology
+// construction: the first lookup of each system builds it, every later
+// lookup (under any alias) returns the same instance. Sharing is safe
+// because a System and its Topology are read-only after construction —
+// the topology's route/bandwidth query caches are mutex-guarded and
+// built for many concurrent readers — so one instance can serve every
+// sweep worker. Callers that intend to mutate a System must use
+// SystemByName and own their copy.
+func SharedSystemByName(name string) (*System, error) {
+	key := normalize(name)
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if s, ok := sharedSystems[key]; ok {
+		return s, nil
+	}
+	s, err := SystemByName(name)
+	if err != nil {
+		return nil, err
+	}
+	canon := normalize(s.Name)
+	if prev, ok := sharedSystems[canon]; ok {
+		s = prev // alias of an already-shared system
+	} else {
+		sharedSystems[canon] = s
+	}
+	sharedSystems[key] = s
+	return s, nil
 }
 
 func normalize(s string) string {

@@ -230,3 +230,35 @@ func TestDGX1BeatsDSS8440OnCommHeavy(t *testing.T) {
 		t.Error("DGX-1 cross-quad bandwidth should beat DSS 8440's staged route")
 	}
 }
+
+func TestSharedSystemByName(t *testing.T) {
+	a, err := SharedSystemByName("c4140k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same instance for the canonical name and any alias spelling.
+	for _, alias := range []string{"c4140k", "C4140 (K)", "C4140K"} {
+		s, err := SharedSystemByName(alias)
+		if err != nil {
+			t.Fatalf("%s: %v", alias, err)
+		}
+		if s != a {
+			t.Errorf("alias %q resolved to a distinct instance", alias)
+		}
+	}
+	// Distinct systems stay distinct; unknown names still fail.
+	b, err := SharedSystemByName("t640")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Error("t640 and c4140k share an instance")
+	}
+	if _, err := SharedSystemByName("nope"); err == nil {
+		t.Error("unknown system resolved")
+	}
+	// SystemByName still constructs fresh, mutable copies.
+	if s, _ := SystemByName("c4140k"); s == a {
+		t.Error("SystemByName returned the shared instance")
+	}
+}

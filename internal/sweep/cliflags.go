@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+
+	"mlperf/internal/telemetry"
+)
+
+// CLIFlags binds the engine-shaping flags every sweep-driving CLI
+// shares: the persistent cache directory and the shard count. Register
+// before flag.Parse, Apply after.
+type CLIFlags struct {
+	// CacheDir is the -cache-dir value ("" = memory-only).
+	CacheDir string
+	// Shards is the -shards value (0/1 = plain worker pool).
+	Shards int
+}
+
+// RegisterCLIFlags declares -cache-dir and -shards on fs (nil = the
+// default flag set).
+func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &CLIFlags{}
+	fs.StringVar(&f.CacheDir, "cache-dir", "",
+		"persistent content-addressed cell cache directory (created if missing; sharable across runs and processes)")
+	fs.IntVar(&f.Shards, "shards", 0,
+		"partition grid cells across N digest-sharded queues with work stealing (0/1 = plain worker pool)")
+	return f
+}
+
+// Apply configures the engine from the parsed flags: validates the
+// shard count, opens (creating if needed) the persistent tier and
+// attaches both. Callers should detach the store at exit
+// (defer e.SetStore(nil)) so a process-shared engine does not outlive
+// the flag scope.
+func (f *CLIFlags) Apply(e *Engine) error {
+	if f.Shards < 0 {
+		return fmt.Errorf("sweep: -shards must be >= 0 (0 = unsharded), got %d", f.Shards)
+	}
+	e.SetShards(f.Shards)
+	if f.CacheDir != "" {
+		ds, err := OpenDiskStore(f.CacheDir)
+		if err != nil {
+			return fmt.Errorf("sweep: -cache-dir %s: %w", f.CacheDir, err)
+		}
+		e.SetStore(ds)
+	}
+	return nil
+}
+
+// Record writes the flags into a telemetry sink's config via set (the
+// CLI's sink.Config function); values that equal their defaults are
+// recorded too, so a manifest states the cache/shard posture
+// explicitly.
+func (f *CLIFlags) Record(set func(key, value string)) {
+	if f.CacheDir != "" {
+		set("cache-dir", f.CacheDir)
+	}
+	set("shards", strconv.Itoa(f.Shards))
+}
+
+// FillManifest copies the cache snapshot into a run manifest — the
+// shared tail every sweep-driving CLI runs before flushing telemetry.
+func (st CacheStats) FillManifest(m *telemetry.Manifest) {
+	m.CacheHits, m.CacheMisses = st.Hits, st.Misses
+	m.CacheSchema = st.Schema
+	m.DiskCacheHits = st.Disk.Hits
+	m.DiskCacheMisses = st.Disk.Misses
+	m.DiskCacheEvictions = st.Disk.Evictions
+	m.Simulations = st.Simulations
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"strconv"
 	"sync"
@@ -34,6 +35,22 @@ type Engine struct {
 	// attached to the shared Default engine mid-process without racing
 	// in-flight sweeps.
 	tel atomic.Pointer[telemetry.Registry]
+	// disk is the optional persistent second tier (nil = memory only),
+	// consulted on a memory miss before simulating and written through
+	// after every successful simulation. Held atomically for the same
+	// mid-process attach reason as tel.
+	disk atomic.Pointer[storeRef]
+	// shards is the shard count grid runs fan out over (<= 1 = the plain
+	// worker pool). See SetShards and sharded.go.
+	shards atomic.Int64
+
+	// diskHits/diskMisses count second-tier traffic; simulations counts
+	// cells that actually ran the simulator (a memory miss promoted from
+	// disk is NOT a simulation — that distinction is the whole point of
+	// the persistent tier, and CI asserts it).
+	diskHits    atomic.Int64
+	diskMisses  atomic.Int64
+	simulations atomic.Int64
 	// runSpan is the open top-level span of the current grid run, the
 	// parent cell spans attach to (0 = none). Concurrent Run calls on
 	// one engine share whichever run span opened last; the hierarchy
@@ -44,10 +61,15 @@ type Engine struct {
 	// cache memoizes settled cells. Its length is NOT the miss count:
 	// hardened retries forget poisoned entries, so misses get their own
 	// monotone counter below.
-	cache  map[CellKey]*cellEntry
-	hits   int64
-	misses int64
+	cache     map[CellKey]*cellEntry
+	hits      int64
+	misses    int64
+	evictions int64
 }
+
+// storeRef boxes the Store interface so it can live in an
+// atomic.Pointer.
+type storeRef struct{ s Store }
 
 // cellEntry memoizes one cell, singleflight-style: the first goroutine to
 // request a key simulates it inside once; everyone else blocks on the
@@ -97,15 +119,43 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) { e.tel.Store(reg) }
 // Telemetry returns the attached registry (nil when detached).
 func (e *Engine) Telemetry() *telemetry.Registry { return e.tel.Load() }
 
+// SetStore attaches (or, with nil, detaches) a persistent second cache
+// tier. While attached, a memory miss first consults the store — a disk
+// hit is promoted into the memory tier without simulating — and every
+// successful simulation is written through, so a later process pointed
+// at the same store replays the grid instead of recomputing it. Stored
+// records are verified content (digest-addressed, checksummed,
+// strictly decoded), so attaching a store can change performance but
+// never results.
+func (e *Engine) SetStore(s Store) {
+	if s == nil {
+		e.disk.Store(nil)
+		return
+	}
+	e.disk.Store(&storeRef{s: s})
+}
+
+// Store returns the attached persistent tier (nil when detached).
+func (e *Engine) Store() Store {
+	if ref := e.disk.Load(); ref != nil {
+		return ref.s
+	}
+	return nil
+}
+
 // Metric names the engine registers. Exported so CLIs and tests share
 // one schema.
 const (
-	MetricCacheTotal  = "sweep_cache_total"         // counter, result=hit|miss
-	MetricCellSeconds = "sweep_cell_seconds"        // histogram, wall time per simulated cell
-	MetricFailures    = "sweep_cell_failures_total" // counter, kind=error|panic|timeout|canceled (per failed attempt)
-	MetricRetries     = "sweep_retries_total"       // counter
-	MetricWorkersBusy = "sweep_workers_busy"        // gauge, live busy workers
-	MetricWorkersPeak = "sweep_workers_busy_peak"   // gauge, high-water occupancy
+	MetricCacheTotal      = "sweep_cache_total"            // counter, result=hit|miss (memory tier)
+	MetricDiskCacheTotal  = "sweep_disk_cache_total"       // counter, result=hit|miss (persistent tier, consulted on memory misses)
+	MetricCellSeconds     = "sweep_cell_seconds"           // histogram, wall time per simulated cell
+	MetricFailures        = "sweep_cell_failures_total"    // counter, kind=error|panic|timeout|canceled (per failed attempt)
+	MetricRetries         = "sweep_retries_total"          // counter
+	MetricWorkersBusy     = "sweep_workers_busy"           // gauge, live busy workers
+	MetricWorkersPeak     = "sweep_workers_busy_peak"      // gauge, high-water occupancy
+	MetricShardCells      = "sweep_shard_cells_total"      // counter, cells completed per shard (shard=<index>)
+	MetricShardSteals     = "sweep_shard_steals_total"     // counter, work-stealing transfers between shards
+	MetricShardRedispatch = "sweep_shard_redispatch_total" // counter, straggler re-dispatches
 )
 
 // WorkerCount reports the effective concurrency bound.
@@ -117,8 +167,15 @@ func (e *Engine) WorkerCount() int {
 }
 
 // Run executes the grid's cells across the worker pool, returning records
-// in the same deterministic order as RunSequential.
+// in the same deterministic order as RunSequential. With a shard count
+// set (SetShards > 1) the cells are instead partitioned across shard
+// queues by content digest and run through the sharded coordinator —
+// same records, same order, same first-failure error.
 func (e *Engine) Run(g Grid) ([]Record, error) {
+	if s := e.ShardCount(); s > 1 {
+		recs, _, err := e.RunSharded(context.Background(), g, ShardOptions{Shards: s})
+		return recs, err
+	}
 	keys, err := expand(g)
 	if err != nil {
 		return nil, err
@@ -126,8 +183,20 @@ func (e *Engine) Run(g Grid) ([]Record, error) {
 	finish := e.startRunSpan(len(keys))
 	defer finish()
 	return Map(e.WorkerCount(), len(keys), func(i int) (Record, error) {
-		return e.cell(keys[i])
+		return e.cell(keys[i], 0)
 	})
+}
+
+// SetShards sets the shard count grid runs fan out over (<= 1 restores
+// the plain worker pool). It applies to subsequent Run calls.
+func (e *Engine) SetShards(n int) { e.shards.Store(int64(n)) }
+
+// ShardCount reports the configured shard count (minimum 1).
+func (e *Engine) ShardCount() int {
+	if s := int(e.shards.Load()); s > 1 {
+		return s
+	}
+	return 1
 }
 
 // startRunSpan opens the top-level grid span cell spans parent to and
@@ -166,7 +235,7 @@ func (e *Engine) Cell(k CellKey) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	return e.cell(nk)
+	return e.cell(nk, 0)
 }
 
 // Cells runs the given cells across the worker pool, preserving order.
@@ -179,7 +248,9 @@ func (e *Engine) Cells(keys []CellKey) ([]Record, error) {
 // cell is the memoized core; k must already be normalized. The
 // simulation runs panic-guarded: a panicking cell settles its entry
 // with a *PanicError instead of unwinding through the worker pool.
-func (e *Engine) cell(k CellKey) (Record, error) {
+// parent is the span the cell span attaches under (0 = the current run
+// span; sharded runs pass their shard span instead).
+func (e *Engine) cell(k CellKey, parent telemetry.SpanID) (Record, error) {
 	reg := e.tel.Load()
 	e.mu.Lock()
 	en, ok := e.cache[k]
@@ -197,18 +268,40 @@ func (e *Engine) cell(k CellKey) (Record, error) {
 		reg.Counter(MetricCacheTotal, telemetry.L("result", "miss")).Inc()
 	}
 	en.once.Do(func() {
+		// Second tier: a disk hit promotes into the memory map without
+		// simulating. Only verified content comes back from the store, so
+		// this branch can change wall time but never records.
+		if ds := e.Store(); ds != nil {
+			if rec, ok := ds.Get(k); ok {
+				e.diskHits.Add(1)
+				reg.Counter(MetricDiskCacheTotal, telemetry.L("result", "hit")).Inc()
+				en.rec, en.err = rec, nil
+				return
+			}
+			e.diskMisses.Add(1)
+			reg.Counter(MetricDiskCacheTotal, telemetry.L("result", "miss")).Inc()
+		}
 		release := e.trackBusy()
 		defer release()
 		var span telemetry.SpanID
 		start := reg.Now()
 		if reg != nil {
-			span = reg.Tracer().Start(telemetry.KindSweepCell, cellName(k),
-				telemetry.SpanID(e.runSpan.Load()))
+			p := parent
+			if p == 0 {
+				p = telemetry.SpanID(e.runSpan.Load())
+			}
+			span = reg.Tracer().Start(telemetry.KindSweepCell, cellName(k), p)
 		}
+		e.simulations.Add(1)
 		en.rec, en.err = safeCell(e.simulate, k)
 		if reg != nil {
 			reg.Histogram(MetricCellSeconds, telemetry.LatencyBuckets).Observe(reg.Now() - start)
 			reg.Tracer().End(span)
+		}
+		if en.err == nil {
+			if ds := e.Store(); ds != nil {
+				ds.Put(k, en.rec)
+			}
 		}
 	})
 	return en.rec, en.err
@@ -220,39 +313,85 @@ func cellName(k CellKey) string {
 }
 
 // forget drops one memoized cell so a retry can re-simulate it; the
-// hit/miss counters keep their history.
+// hit/miss counters keep their history and the drop is counted as a
+// memory-tier eviction.
 func (e *Engine) forget(k CellKey) {
 	e.mu.Lock()
+	if _, ok := e.cache[k]; ok {
+		e.evictions++
+	}
 	delete(e.cache, k)
 	e.mu.Unlock()
 }
 
-// CacheStats reports the memo cache's activity.
+// CacheStats reports the two-tier memo cache's activity. Hits and
+// Misses describe the in-memory tier (and mirror Memory, kept as the
+// stable legacy surface); Disk describes the persistent tier as seen by
+// this engine; Simulations counts cells that actually ran the
+// simulator. The accounting identity every configuration maintains:
+// Simulations == Misses - Disk.Hits, because a memory miss either
+// promotes from disk or simulates — and Misses stays monotone either
+// way, which the regression tests pin.
 type CacheStats struct {
-	// Hits counts cell requests answered from the cache (including waits
-	// on a simulation already in flight).
+	// Hits counts cell requests answered from the in-memory tier
+	// (including waits on a simulation already in flight).
 	Hits int64
-	// Misses counts cell requests that had to start a simulation. This
+	// Misses counts cell requests the memory tier could not answer. This
 	// is a dedicated monotone counter, not the cache's size: hardened
 	// retries forget poisoned entries, so a retried cell is two misses
-	// while occupying (at most) one cache slot.
+	// while occupying (at most) one cache slot, and a disk promotion is
+	// still a memory miss.
 	Misses int64
+	// Memory is the in-memory tier's traffic (Hits/Misses restated, plus
+	// evictions from hardened-retry forgets).
+	Memory TierStats
+	// Disk is the persistent tier's traffic as driven by this engine,
+	// with Evictions (quarantined corrupt entries) read from the store
+	// itself. Zero-valued when no store is attached.
+	Disk TierStats
+	// Simulations counts cells that ran the simulator — the work the
+	// cache exists to avoid.
+	Simulations int64
+	// Schema is the cell-key content-address schema version (KeySchema):
+	// which digest namespace this engine reads and writes.
+	Schema int
 }
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() CacheStats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return CacheStats{Hits: e.hits, Misses: e.misses}
+	hits, misses, evict := e.hits, e.misses, e.evictions
+	e.mu.Unlock()
+	st := CacheStats{
+		Hits:   hits,
+		Misses: misses,
+		Memory: TierStats{Hits: hits, Misses: misses, Evictions: evict},
+		Disk: TierStats{
+			Hits:   e.diskHits.Load(),
+			Misses: e.diskMisses.Load(),
+		},
+		Simulations: e.simulations.Load(),
+		Schema:      KeySchema,
+	}
+	if ds := e.Store(); ds != nil {
+		st.Disk.Evictions = ds.Stats().Evictions
+	}
+	return st
 }
 
-// ResetCache drops all memoized results and zeroes the counters.
+// ResetCache drops all memoized results and zeroes this engine's
+// counters. An attached persistent store is NOT cleared — its entries
+// and eviction history outlive any one engine by design.
 func (e *Engine) ResetCache() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.cache = make(map[CellKey]*cellEntry)
 	e.hits = 0
 	e.misses = 0
+	e.evictions = 0
+	e.mu.Unlock()
+	e.diskHits.Store(0)
+	e.diskMisses.Store(0)
+	e.simulations.Store(0)
 }
 
 // Map runs fn(0..n-1) on up to workers goroutines and returns the results

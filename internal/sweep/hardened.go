@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mlperf/internal/shard"
 	"mlperf/internal/telemetry"
 )
 
@@ -117,6 +118,9 @@ type Report struct {
 	Canceled bool
 	// Failures holds one CellError per failed cell, in grid order.
 	Failures []*CellError
+	// Sharding describes how the shard coordinator distributed the run
+	// (nil for unsharded runs).
+	Sharding *shard.Stats
 }
 
 // Failed reports whether any cell failed.
@@ -242,7 +246,7 @@ func (e *Engine) runHardened(ctx context.Context, keys []CellKey, opts Options) 
 					return
 				}
 				attempted[i] = true
-				recs[i], cellErrs[i] = e.runHardenedCell(ctx, keys[i], i, opts, &retries)
+				recs[i], cellErrs[i] = e.runHardenedCell(ctx, keys[i], i, opts, &retries, 0)
 			}
 		}()
 	}
@@ -265,8 +269,9 @@ func (e *Engine) runHardened(ctx context.Context, keys []CellKey, opts Options) 
 	return recs, report
 }
 
-// runHardenedCell drives one cell through its attempt loop.
-func (e *Engine) runHardenedCell(ctx context.Context, k CellKey, i int, opts Options, retries *atomic.Int64) (Record, *CellError) {
+// runHardenedCell drives one cell through its attempt loop. parent is
+// the telemetry span the cell span attaches under (0 = the run span).
+func (e *Engine) runHardenedCell(ctx context.Context, k CellKey, i int, opts Options, retries *atomic.Int64, parent telemetry.SpanID) (Record, *CellError) {
 	retryIf := opts.RetryIf
 	if retryIf == nil {
 		retryIf = defaultRetryIf
@@ -279,7 +284,7 @@ func (e *Engine) runHardenedCell(ctx context.Context, k CellKey, i int, opts Opt
 	var lastErr error
 	attempt := 0
 	for ; ; attempt++ {
-		rec, err := e.attemptCell(ctx, k, opts.CellTimeout)
+		rec, err := e.attemptCell(ctx, k, opts.CellTimeout, parent)
 		if err == nil {
 			return rec, nil
 		}
@@ -331,9 +336,9 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // run's context. On timeout the simulation goroutine keeps running in
 // the background — a CPU-bound cell cannot be interrupted — and its
 // eventual result stays available in the cache.
-func (e *Engine) attemptCell(ctx context.Context, k CellKey, timeout time.Duration) (Record, error) {
+func (e *Engine) attemptCell(ctx context.Context, k CellKey, timeout time.Duration, parent telemetry.SpanID) (Record, error) {
 	if timeout <= 0 && ctx.Done() == nil {
-		return e.cell(k)
+		return e.cell(k, parent)
 	}
 	type outcome struct {
 		rec Record
@@ -341,7 +346,7 @@ func (e *Engine) attemptCell(ctx context.Context, k CellKey, timeout time.Durati
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		rec, err := e.cell(k)
+		rec, err := e.cell(k, parent)
 		ch <- outcome{rec, err}
 	}()
 	var deadline <-chan time.Time

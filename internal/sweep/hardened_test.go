@@ -268,7 +268,7 @@ func TestTimeoutLeavesResultInCache(t *testing.T) {
 		t.Fatalf("report: %+v", report)
 	}
 	close(release)
-	rec, err := e.cell(keys[0]) // waits on the same in-flight entry
+	rec, err := e.cell(keys[0], 0) // waits on the same in-flight entry
 	if err != nil || rec.TimeToTrainMin != 7 {
 		t.Errorf("background result lost: %+v, %v", rec, err)
 	}

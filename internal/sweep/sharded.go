@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"mlperf/internal/shard"
+	"mlperf/internal/telemetry"
+)
+
+// ShardOptions configure a sharded grid run: the hardened Options plus
+// the partition geometry. The zero value is a single shard driven by
+// the engine's worker pool — Engine.Run semantics.
+type ShardOptions struct {
+	Options
+	// Shards is the number of shard partitions cells are consistent-hashed
+	// into by content digest (<= 1 = 1).
+	Shards int
+	// MaxDuplicates caps concurrent straggler re-dispatches per cell
+	// (< 2 = 2). Duplicates are harmless: the engine's singleflight memo
+	// coalesces them onto one simulation.
+	MaxDuplicates int
+}
+
+// RunSharded executes the grid through the shard coordinator: cells are
+// partitioned across opts.Shards queues by consistent hashing on their
+// canonical digest, executed by the worker pool with work stealing and
+// straggler re-dispatch, and merged back in the grid's deterministic
+// expansion order. Records, order and first-failure errors are
+// byte-identical to RunSequential for every worker and shard count —
+// sharding moves work around, never results. Each cell runs through the
+// hardened attempt loop, so CellTimeout/Retries/Partial behave exactly
+// as in RunWithOptions.
+func (e *Engine) RunSharded(ctx context.Context, g Grid, opts ShardOptions) ([]Record, *Report, error) {
+	keys, err := expand(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	finish := e.startRunSpan(len(keys))
+	defer finish()
+	recs, report := e.runSharded(ctx, keys, opts)
+	if !opts.Partial {
+		if err := firstFailure(report); err != nil {
+			return nil, report, err
+		}
+	}
+	return recs, report, nil
+}
+
+// RunCellsSharded is RunSharded over an explicit cell list (keys may
+// use any accepted spelling).
+func (e *Engine) RunCellsSharded(ctx context.Context, keys []CellKey, opts ShardOptions) ([]Record, *Report, error) {
+	norm := make([]CellKey, len(keys))
+	for i, k := range keys {
+		nk, err := k.normalize()
+		if err != nil {
+			return nil, nil, err
+		}
+		norm[i] = nk
+	}
+	finish := e.startRunSpan(len(norm))
+	defer finish()
+	recs, report := e.runSharded(ctx, norm, opts)
+	if !opts.Partial {
+		if err := firstFailure(report); err != nil {
+			return nil, report, err
+		}
+	}
+	return recs, report, nil
+}
+
+// runSharded is the sharded counterpart of runHardened: the shard
+// coordinator owns scheduling, the hardened attempt loop owns each
+// cell, and a per-index once makes re-dispatched duplicates idempotent
+// (the engine's singleflight memo already coalesces their simulations).
+// keys must be normalized.
+func (e *Engine) runSharded(ctx context.Context, keys []CellKey, opts ShardOptions) ([]Record, *Report) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(keys)
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = e.WorkerCount()
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+
+	recs := make([]Record, n)
+	cellErrs := make([]*CellError, n)
+	attempted := make([]atomic.Bool, n)
+	settled := make([]sync.Once, n)
+	var retries atomic.Int64
+
+	// One span per shard under the run span; cells parent to the shard
+	// whose worker completed them, which is the observable trace of
+	// stealing and re-dispatch.
+	reg := e.tel.Load()
+	shardSpans := make([]telemetry.SpanID, shards)
+	if reg != nil {
+		parent := telemetry.SpanID(e.runSpan.Load())
+		for s := range shardSpans {
+			shardSpans[s] = reg.Tracer().Start(telemetry.KindShard,
+				"shard-"+strconv.Itoa(s), parent)
+		}
+	}
+
+	stats := shard.Run(ctx, n,
+		func(i int) string { return digestOf(keys[i]) },
+		func(i, home int) {
+			attempted[i].Store(true)
+			rec, ce := e.runHardenedCell(ctx, keys[i], i, opts.Options, &retries, shardSpans[home])
+			settled[i].Do(func() {
+				recs[i], cellErrs[i] = rec, ce
+			})
+		},
+		shard.Options{Shards: shards, Workers: workers, MaxDuplicates: opts.MaxDuplicates})
+
+	if reg != nil {
+		for _, id := range shardSpans {
+			reg.Tracer().End(id)
+		}
+		for s, c := range stats.Completed {
+			reg.Counter(MetricShardCells, telemetry.L("shard", strconv.Itoa(s))).Add(c)
+		}
+		reg.Counter(MetricShardSteals).Add(stats.Steals)
+		reg.Counter(MetricShardRedispatch).Add(stats.Redispatches)
+	}
+
+	report := &Report{Cells: n, RetriesUsed: retries.Load(), Canceled: ctx.Err() != nil, Sharding: &stats}
+	for i := range keys {
+		if !attempted[i].Load() {
+			cellErrs[i] = &CellError{
+				Key: keys[i], Index: i, Kind: FailCanceled, Attempts: 0,
+				Err: context.Cause(ctx),
+			}
+		}
+		if cellErrs[i] != nil {
+			report.Failures = append(report.Failures, cellErrs[i])
+		} else {
+			report.Completed++
+		}
+	}
+	return recs, report
+}

@@ -1,0 +1,245 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mlperf/internal/telemetry"
+)
+
+// shardGrid is the grid the sharded-equivalence matrix runs: large
+// enough that 16 workers and 4 shards all see real work.
+func shardGrid() Grid {
+	return Grid{
+		Benchmarks: []string{"res50_tf", "ncf_py", "xfmr_py"},
+		Systems:    []string{"dss8440", "c4140k"},
+		GPUCounts:  []int{1, 2, 4},
+	}
+}
+
+// TestShardedMatchesSequential is the acceptance matrix: for every
+// combination of 1/4/16 workers and 1/2/4 shards, a sharded run's CSV
+// is byte-identical to RunSequential's.
+func TestShardedMatchesSequential(t *testing.T) {
+	g := shardGrid()
+	seq, err := RunSequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := csvBytes(t, seq)
+	for _, workers := range []int{1, 4, 16} {
+		for _, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("w%d_s%d", workers, shards), func(t *testing.T) {
+				e := NewEngine(workers)
+				recs, report, err := e.RunSharded(context.Background(), g, ShardOptions{Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(csvBytes(t, recs), want) {
+					t.Error("sharded CSV differs from RunSequential")
+				}
+				if report.Completed != len(seq) || report.Failed() {
+					t.Errorf("report %+v, want %d completed and no failures", report, len(seq))
+				}
+				st := report.Sharding
+				if st == nil || st.Shards != shards {
+					t.Fatalf("report sharding stats %+v, want %d shards", st, shards)
+				}
+				var assigned, completed int64
+				for s := 0; s < st.Shards; s++ {
+					assigned += st.Assigned[s]
+					completed += st.Completed[s]
+				}
+				if assigned != int64(len(seq)) || completed != int64(len(seq)) {
+					t.Errorf("sharding stats assigned %d / completed %d, want %d each", assigned, completed, len(seq))
+				}
+			})
+		}
+	}
+}
+
+// TestShardedWithDiskStore combines both tentpole halves: a sharded run
+// over a warm persistent store performs zero simulations and still
+// produces the sequential reference bytes.
+func TestShardedWithDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	g := shardGrid()
+	seq, err := RunSequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewEngine(4)
+	cold.SetStore(ds)
+	if _, _, err := cold.RunSharded(context.Background(), g, ShardOptions{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Simulations != int64(len(seq)) {
+		t.Fatalf("cold sharded run simulated %d cells, want %d", st.Simulations, len(seq))
+	}
+
+	ds2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewEngine(4)
+	warm.SetStore(ds2)
+	recs, _, err := warm.RunSharded(context.Background(), g, ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvBytes(t, recs), csvBytes(t, seq)) {
+		t.Error("disk-warm sharded CSV differs from RunSequential")
+	}
+	if st := warm.Stats(); st.Simulations != 0 || st.Disk.Hits != int64(len(seq)) {
+		t.Errorf("warm sharded run stats %+v, want 0 simulations and %d disk hits", st, len(seq))
+	}
+}
+
+// TestSetShardsRoutesRun proves the facade knob: Engine.Run with a
+// shard count behaves exactly like the plain pool.
+func TestSetShardsRoutesRun(t *testing.T) {
+	g := shardGrid()
+	seq, err := RunSequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(4)
+	e.SetShards(3)
+	if e.ShardCount() != 3 {
+		t.Fatalf("ShardCount() = %d, want 3", e.ShardCount())
+	}
+	recs, err := e.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvBytes(t, recs), csvBytes(t, seq)) {
+		t.Error("SetShards-routed Run differs from RunSequential")
+	}
+	if st := e.Stats(); st.Misses != int64(len(seq)) {
+		t.Errorf("stats %+v, want %d misses", st, len(seq))
+	}
+}
+
+// TestShardedFirstFailureDeterministic pins the error contract: without
+// Partial, a sharded run reports the lowest-index failure, exactly like
+// a sequential loop.
+func TestShardedFirstFailureDeterministic(t *testing.T) {
+	g := shardGrid()
+	keys, err := expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	fail := map[CellKey]bool{keys[3]: true, keys[7]: true}
+	e := NewEngine(8)
+	e.simulate = func(k CellKey) (Record, error) {
+		if fail[k] {
+			return Record{}, boom
+		}
+		return runCell(k, e.FastPath())
+	}
+	_, report, err := e.RunSharded(context.Background(), g, ShardOptions{Shards: 4})
+	if err == nil {
+		t.Fatal("sharded run with failing cells returned no error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 3 {
+		t.Errorf("error %v, want the lowest-index CellError (index 3)", err)
+	}
+	if len(report.Failures) != 2 {
+		t.Errorf("report holds %d failures, want 2", len(report.Failures))
+	}
+
+	// Partial mode returns the survivors.
+	e2 := NewEngine(8)
+	e2.simulate = e.simulate
+	recs, report2, err := e2.RunSharded(context.Background(), g, ShardOptions{Shards: 4, Options: Options{Partial: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.Completed != len(keys)-2 || len(recs) != len(keys) {
+		t.Errorf("partial sharded run completed %d of %d", report2.Completed, len(keys))
+	}
+}
+
+// TestShardedSpanHierarchy checks the telemetry story: one run span,
+// one shard span per shard under it, and every cell span under some
+// shard span.
+func TestShardedSpanHierarchy(t *testing.T) {
+	g := storeGrid()
+	reg := telemetry.New()
+	e := NewEngine(4)
+	e.SetTelemetry(reg)
+	if _, _, err := e.RunSharded(context.Background(), g, ShardOptions{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	spans := reg.Tracer().Spans()
+	if err := telemetry.ValidateSpans(spans); err != nil {
+		t.Fatal(err)
+	}
+	var runID telemetry.SpanID
+	shardIDs := map[telemetry.SpanID]bool{}
+	cells := 0
+	for _, s := range spans {
+		switch s.Kind {
+		case telemetry.KindRun:
+			runID = s.ID
+		case telemetry.KindShard:
+			shardIDs[s.ID] = true
+		}
+	}
+	for _, s := range spans {
+		switch s.Kind {
+		case telemetry.KindShard:
+			if s.Parent != runID {
+				t.Errorf("shard span %d parents to %d, want run span %d", s.ID, s.Parent, runID)
+			}
+		case telemetry.KindSweepCell:
+			cells++
+			if !shardIDs[s.Parent] {
+				t.Errorf("cell span %q parents to %d, want a shard span", s.Name, s.Parent)
+			}
+		}
+	}
+	if len(shardIDs) != 2 {
+		t.Errorf("found %d shard spans, want 2", len(shardIDs))
+	}
+	if cells == 0 {
+		t.Error("no cell spans recorded")
+	}
+	total := int64(0)
+	for s := 0; s < 2; s++ {
+		total += reg.Counter(MetricShardCells, telemetry.L("shard", fmt.Sprint(s))).Value()
+	}
+	if want := reg.Counter(MetricCacheTotal, telemetry.L("result", "miss")).Value(); total != want {
+		t.Errorf("shard cell counters sum to %d, want %d", total, want)
+	}
+}
+
+// TestShardedCanceledContext pins graceful cancellation: no hang, a
+// canceled report, and failures marked canceled.
+func TestShardedCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := NewEngine(2)
+	_, report, err := e.RunSharded(ctx, shardGrid(), ShardOptions{Shards: 2, Options: Options{Partial: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Canceled {
+		t.Error("report not marked canceled")
+	}
+	for _, f := range report.Failures {
+		if f.Kind != FailCanceled {
+			t.Errorf("failure %v kind %s, want canceled", f, f.Kind)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"mlperf/internal/cas"
+)
+
+// RecordCodec is the serialization schema version of on-disk cell
+// records. Decoding is strict — unknown fields, a version mismatch or a
+// key that does not round-trip to the requested digest all reject the
+// entry — so a Record struct change bumps this constant and old entries
+// become clean misses instead of half-decoded garbage.
+const RecordCodec = 1
+
+// Store is the pluggable persistent tier behind the engine's in-memory
+// singleflight map: consulted on a memory miss before simulating, and
+// written through after every successful simulation. Implementations
+// must be safe for concurrent use, must only return records they can
+// verify (a doubtful entry is a miss, never an error), and must never
+// store failures — errors are process-local, results are forever.
+type Store interface {
+	// Get returns the stored record for a normalized key, if present.
+	Get(k CellKey) (Record, bool)
+	// Put stores the record for a normalized key, best-effort: the cache
+	// is an accelerator, so persistence failures must not fail the sweep.
+	Put(k CellKey, rec Record)
+	// Stats reports the tier's traffic.
+	Stats() TierStats
+}
+
+// TierStats counts one cache tier's traffic. All counters are monotone.
+type TierStats struct {
+	// Hits counts lookups answered by this tier.
+	Hits int64
+	// Misses counts lookups this tier could not answer.
+	Misses int64
+	// Evictions counts entries this tier dropped: forgotten poisoned
+	// cells for the memory tier, quarantined corrupt entries for the
+	// disk tier.
+	Evictions int64
+}
+
+// storedRecord is the on-disk envelope payload: codec version, the
+// normalized key (for verification — a misfiled or stale entry must not
+// be attributed to the wrong cell) and the record itself.
+type storedRecord struct {
+	Codec  int     `json:"codec"`
+	Key    CellKey `json:"key"`
+	Record Record  `json:"record"`
+}
+
+// DiskStore adapts the content-addressed blob store into the engine's
+// persistent tier: keys address entries by their canonical digest and
+// records travel in the strict versioned codec above. A DiskStore can
+// be shared by concurrent sweeps in one process and — via the underlying
+// store's atomic writes — by multiple processes over one directory,
+// which is what turns repeated paper-scale grids into near-free replays.
+type DiskStore struct {
+	cas *cas.Store
+}
+
+// OpenDiskStore opens (creating if needed) the persistent cell-record
+// tier rooted at dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	s, err := cas.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskStore{cas: s}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.cas.Dir() }
+
+// Get implements Store. Any defect — unreadable entry, codec mismatch,
+// key mismatch — reads as a miss; entries that passed the envelope
+// checksum but fail the record codec are quarantined like corrupt ones.
+func (d *DiskStore) Get(k CellKey) (Record, bool) {
+	digest := digestOf(k)
+	payload, ok, err := d.cas.Get(digest)
+	if err != nil || !ok {
+		return Record{}, false
+	}
+	rec, err := decodeRecord(payload, k)
+	if err != nil {
+		// The envelope was intact but the payload is from another codec
+		// era (or another key): evict it so the slot heals on re-put.
+		d.cas.Quarantine(digest)
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Put implements Store (best-effort; see the interface contract).
+func (d *DiskStore) Put(k CellKey, rec Record) {
+	payload, err := json.Marshal(storedRecord{Codec: RecordCodec, Key: k, Record: rec})
+	if err != nil {
+		return
+	}
+	_ = d.cas.Put(digestOf(k), payload)
+}
+
+// Stats implements Store, mapping the blob store's counters onto the
+// tier view (quarantines are this tier's evictions).
+func (d *DiskStore) Stats() TierStats {
+	st := d.cas.Stats()
+	return TierStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Quarantined}
+}
+
+// Len reports how many intact entries the store holds (inspection
+// helper for CLIs and tests).
+func (d *DiskStore) Len() (int, error) { return d.cas.Len() }
+
+// decodeRecord strictly decodes a stored record destined for key k.
+func decodeRecord(payload []byte, k CellKey) (Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var sr storedRecord
+	if err := dec.Decode(&sr); err != nil {
+		return Record{}, fmt.Errorf("sweep: bad stored record: %w", err)
+	}
+	if dec.More() {
+		return Record{}, fmt.Errorf("sweep: trailing data after stored record")
+	}
+	if sr.Codec != RecordCodec {
+		return Record{}, fmt.Errorf("sweep: stored record codec %d, want %d", sr.Codec, RecordCodec)
+	}
+	if sr.Key != k {
+		return Record{}, fmt.Errorf("sweep: stored record key %+v does not match requested %+v", sr.Key, k)
+	}
+	return sr.Record, nil
+}

@@ -1,0 +1,266 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// storeGrid is a small grid the disk-tier tests run repeatedly.
+func storeGrid() Grid {
+	return Grid{
+		Benchmarks: []string{"res50_tf", "ncf_py"},
+		Systems:    []string{"c4140k"},
+		GPUCounts:  []int{1, 4},
+	}
+}
+
+// TestDiskStoreRoundTrip is the cross-process replay story: one engine
+// fills the store, a second engine (a stand-in for a fresh process over
+// the same -cache-dir) replays the whole grid with zero simulations and
+// byte-identical CSV.
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := storeGrid()
+
+	ds1, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewEngine(4)
+	cold.SetStore(ds1)
+	want, err := cold.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.Simulations != int64(len(want)) || st.Disk.Hits != 0 {
+		t.Fatalf("cold run stats %+v, want %d simulations / 0 disk hits", st, len(want))
+	}
+	if n, err := ds1.Len(); err != nil || n != len(want) {
+		t.Fatalf("store holds %d entries (%v), want %d", n, err, len(want))
+	}
+
+	// "New process": fresh engine, fresh store handle, same directory.
+	ds2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewEngine(4)
+	warm.SetStore(ds2)
+	got, err := warm.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("disk replay differs from the original run")
+	}
+	st = warm.Stats()
+	if st.Simulations != 0 {
+		t.Errorf("warm run simulated %d cells, want 0 (stats %+v)", st.Simulations, st)
+	}
+	if st.Disk.Hits != int64(len(want)) || st.Misses != int64(len(want)) {
+		t.Errorf("warm run stats %+v, want %d disk hits and %d memory misses", st, len(want), len(want))
+	}
+
+	// Byte-level contract: warm-disk CSV is identical to the sequential
+	// reference path's.
+	seq, err := RunSequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvBytes(t, got), csvBytes(t, seq)) {
+		t.Error("disk-replayed CSV differs from RunSequential")
+	}
+}
+
+// TestMissesMonotoneAcrossPromotions is the satellite regression test:
+// Misses counts memory-tier misses monotonically whether the miss is
+// answered by a simulation or promoted from the disk tier, and the
+// accounting identity Simulations == Misses - Disk.Hits holds at every
+// observation point.
+func TestMissesMonotoneAcrossPromotions(t *testing.T) {
+	dir := t.TempDir()
+	g := storeGrid()
+
+	ds, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := NewEngine(2)
+	seed.SetStore(ds)
+	recs, err := seed.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(len(recs))
+
+	e := NewEngine(2)
+	e.SetStore(ds)
+	var last CacheStats
+	check := func(stage string) CacheStats {
+		t.Helper()
+		st := e.Stats()
+		if st.Misses < last.Misses || st.Hits < last.Hits || st.Simulations < last.Simulations {
+			t.Errorf("%s: counters went backwards: %+v after %+v", stage, st, last)
+		}
+		if st.Simulations != st.Misses-st.Disk.Hits {
+			t.Errorf("%s: identity violated: Simulations=%d, Misses=%d, Disk.Hits=%d",
+				stage, st.Simulations, st.Misses, st.Disk.Hits)
+		}
+		last = st
+		return st
+	}
+
+	if _, err := e.Run(g); err != nil { // every cell promotes from disk
+		t.Fatal(err)
+	}
+	st := check("after disk-warm run")
+	if st.Misses != n || st.Disk.Hits != n || st.Simulations != 0 {
+		t.Errorf("disk-warm run stats %+v, want %d misses / %d disk hits / 0 simulations", st, n, n)
+	}
+	if _, err := e.Run(g); err != nil { // every cell hits memory now
+		t.Fatal(err)
+	}
+	st = check("after memory-warm run")
+	if st.Hits != n || st.Misses != n {
+		t.Errorf("memory-warm run stats %+v, want %d hits / unchanged %d misses", st, n, n)
+	}
+	if st.Schema != KeySchema {
+		t.Errorf("stats schema %d, want %d", st.Schema, KeySchema)
+	}
+}
+
+// TestDiskStoreCorruptEntryIsMiss proves a damaged entry costs one
+// re-simulation, never a wrong record: truncate one stored cell, rerun,
+// results identical, corruption counted as a disk eviction.
+func TestDiskStoreCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	g := storeGrid()
+	ds, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(2)
+	e.SetStore(ds)
+	want, err := e.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the first cell's entry in place.
+	d, err := (CellKey{Benchmark: "res50_tf", System: "c4140k", GPUs: 1}).Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, d[:2], d)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ds2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewEngine(2)
+	fresh.SetStore(ds2)
+	got, err := fresh.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("corrupted store changed results")
+	}
+	st := fresh.Stats()
+	if st.Simulations != 1 {
+		t.Errorf("simulated %d cells after one corruption, want exactly 1 (stats %+v)", st.Simulations, st)
+	}
+	if st.Disk.Evictions != 1 {
+		t.Errorf("disk evictions %d, want 1 quarantine (stats %+v)", st.Disk.Evictions, st)
+	}
+	if q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*")); len(q) != 1 {
+		t.Errorf("quarantine holds %d entries, want 1", len(q))
+	}
+	// The slot healed: the write-through re-stored the record.
+	if _, ok := ds2.Get(CellKey{Benchmark: "MLPf_Res50_TF", System: "C4140 (K)", GPUs: 1, Precision: "mixed"}); !ok {
+		t.Error("re-simulated record was not written back to disk")
+	}
+}
+
+// TestDiskStoreRejectsForeignCodec proves the strict record codec: an
+// entry whose envelope is intact but whose payload speaks another codec
+// version (or belongs to another key) is quarantined and re-simulated.
+func TestDiskStoreRejectsForeignCodec(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := CellKey{Benchmark: "res50_tf", System: "c4140k", GPUs: 1}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A payload from "the future": valid JSON, wrong codec version.
+	future, err := json.Marshal(storedRecord{Codec: RecordCodec + 1, Key: k, Record: Record{Benchmark: "bogus"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putRaw(t, ds, k, future)
+	if _, ok := ds.Get(k); ok {
+		t.Error("foreign-codec entry returned as a hit")
+	}
+
+	// A record filed under the wrong digest (misattribution).
+	other := k
+	other.GPUs = 4
+	misfiled, err := json.Marshal(storedRecord{Codec: RecordCodec, Key: other, Record: Record{Benchmark: "bogus"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putRaw(t, ds, k, misfiled)
+	if _, ok := ds.Get(k); ok {
+		t.Error("misfiled entry returned as a hit")
+	}
+
+	if st := ds.Stats(); st.Evictions != 2 {
+		t.Errorf("disk evictions %d, want 2", st.Evictions)
+	}
+}
+
+// putRaw writes an arbitrary payload under k's digest, bypassing the
+// record codec (simulating an entry written by different code).
+func putRaw(t *testing.T, ds *DiskStore, k CellKey, payload []byte) {
+	t.Helper()
+	if err := ds.cas.Put(digestOf(k), payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineWithoutStoreUnchanged pins the nil-store contract: the
+// disk-tier counters stay zero and behaviour is exactly the legacy
+// single-tier engine's.
+func TestEngineWithoutStoreUnchanged(t *testing.T) {
+	e := NewEngine(2)
+	if e.Store() != nil {
+		t.Fatal("fresh engine has a store attached")
+	}
+	recs, err := e.Run(storeGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Disk != (TierStats{}) {
+		t.Errorf("disk tier stats %+v without a store", st.Disk)
+	}
+	if st.Simulations != int64(len(recs)) || st.Misses != int64(len(recs)) {
+		t.Errorf("stats %+v, want %d simulations == misses", st, len(recs))
+	}
+}

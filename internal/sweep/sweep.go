@@ -111,7 +111,7 @@ func (k CellKey) normalize() (CellKey, error) {
 		return CellKey{}, err
 	}
 	k.Benchmark = b.Abbrev
-	sys, err := hw.SystemByName(k.System)
+	sys, err := hw.SharedSystemByName(k.System)
 	if err != nil {
 		return CellKey{}, err
 	}
@@ -143,9 +143,12 @@ func (k CellKey) normalize() (CellKey, error) {
 
 // runCell simulates one normalized cell. It is a pure function of the
 // key and the fast-path mode: everything it touches (benchmark registry,
-// system constructors, the simulator) is either freshly built or
-// read-only, which is what makes concurrent cells race-free. Cells run
-// with sim.Config.NoTimeline set — Records only carry aggregates, so
+// the shared system instances, the simulator) is read-only, which is
+// what makes concurrent cells race-free. Resolution is two map probes —
+// the benchmark registry index and the shared-system memo — so a cell
+// resolved once by normalize is not rebuilt here (that used to
+// reconstruct the whole topology per cell, twice). Cells run with
+// sim.Config.NoTimeline set — Records only carry aggregates, so
 // materializing per-step timelines would be pure overhead — and with the
 // given fast-path mode, which cannot change any Record: either path is
 // bit-identical by the simulator's contract.
@@ -154,7 +157,7 @@ func runCell(k CellKey, mode sim.FastPathMode) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	sys, err := hw.SystemByName(k.System)
+	sys, err := hw.SharedSystemByName(k.System)
 	if err != nil {
 		return Record{}, err
 	}
@@ -248,7 +251,7 @@ func expand(g Grid) ([]CellKey, error) {
 	}
 	systems := make([]*hw.System, len(g.Systems))
 	for i, name := range g.Systems {
-		sys, err := hw.SystemByName(name)
+		sys, err := hw.SharedSystemByName(name)
 		if err != nil {
 			return nil, err
 		}

@@ -31,9 +31,24 @@ type Manifest struct {
 	FaultPlanHash string `json:"fault_plan_hash,omitempty"`
 	// Cells is the number of sweep cells (or jobs, or runs) executed.
 	Cells int `json:"cells,omitempty"`
-	// CacheHits/CacheMisses snapshot the sweep engine's memo counters.
+	// CacheHits/CacheMisses snapshot the sweep engine's in-memory memo
+	// counters.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	// CacheSchema is the cell-key content-address schema version the run's
+	// cache traffic (memory and disk) was keyed under; 0 when the run did
+	// not touch the sweep cache.
+	CacheSchema int `json:"cache_schema,omitempty"`
+	// DiskCacheHits/DiskCacheMisses/DiskCacheEvictions snapshot the
+	// persistent cache tier (all zero when none was attached). Evictions
+	// are quarantined corrupt or foreign entries.
+	DiskCacheHits      int64 `json:"disk_cache_hits,omitempty"`
+	DiskCacheMisses    int64 `json:"disk_cache_misses,omitempty"`
+	DiskCacheEvictions int64 `json:"disk_cache_evictions,omitempty"`
+	// Simulations counts cells that actually ran the simulator — memory
+	// misses not answered by the disk tier. A warm-cache replay is
+	// Simulations == 0, which CI asserts.
+	Simulations int64 `json:"simulations,omitempty"`
 	// SimulatedSeconds totals simulated time covered by the run's
 	// results (0 when not applicable).
 	SimulatedSeconds float64 `json:"simulated_seconds"`
@@ -138,7 +153,9 @@ func (m *Manifest) Validate() error {
 	if m.Version == "" {
 		return fmt.Errorf("telemetry: manifest missing version")
 	}
-	if m.CacheHits < 0 || m.CacheMisses < 0 || m.Cells < 0 || m.Spans < 0 {
+	if m.CacheHits < 0 || m.CacheMisses < 0 || m.Cells < 0 || m.Spans < 0 ||
+		m.CacheSchema < 0 || m.DiskCacheHits < 0 || m.DiskCacheMisses < 0 ||
+		m.DiskCacheEvictions < 0 || m.Simulations < 0 {
 		return fmt.Errorf("telemetry: manifest has negative counters")
 	}
 	if m.SimulatedSeconds < 0 || m.WallSeconds < 0 {

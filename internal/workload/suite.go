@@ -48,11 +48,31 @@ type Benchmark struct {
 	RefJob sim.Job
 }
 
-// registry is built once at init.
-var registry []Benchmark
+// registry is built once at init; byName indexes it by every accepted
+// spelling so lookups on the sweep hot path are one map probe, not a
+// scan. First registration wins on (hypothetical) alias collisions,
+// preserving the old first-match scan order.
+var (
+	registry []Benchmark
+	byName   map[string]int
+)
 
 func init() {
 	registry = buildRegistry()
+	byName = make(map[string]int, 4*len(registry))
+	for i, b := range registry {
+		ab := strings.ToLower(b.Abbrev)
+		for _, alias := range []string{
+			ab,
+			strings.TrimPrefix(ab, "mlpf_"),
+			strings.TrimPrefix(ab, "dawn_"),
+			strings.TrimPrefix(ab, "deep_"),
+		} {
+			if _, dup := byName[alias]; !dup {
+				byName[alias] = i
+			}
+		}
+	}
 }
 
 func buildRegistry() []Benchmark {
@@ -181,14 +201,8 @@ func MLPerfSuite() []Benchmark { return BySuite(MLPerf) }
 // ByName finds a benchmark by abbreviation (case-insensitive; also
 // accepts the short form without the suite prefix, e.g. "res50_tf").
 func ByName(name string) (Benchmark, error) {
-	norm := strings.ToLower(strings.TrimSpace(name))
-	for _, b := range registry {
-		ab := strings.ToLower(b.Abbrev)
-		if ab == norm || strings.TrimPrefix(ab, "mlpf_") == norm ||
-			strings.TrimPrefix(ab, "dawn_") == norm ||
-			strings.TrimPrefix(ab, "deep_") == norm {
-			return b, nil
-		}
+	if i, ok := byName[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return registry[i], nil
 	}
 	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (have %s)",
 		name, strings.Join(Names(), ", "))
