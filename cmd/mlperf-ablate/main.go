@@ -47,8 +47,25 @@ func main() {
 		sink.Config("workers", strconv.Itoa(w))
 		engineFlags.Record(sink.Config)
 	}
-	if err := run(which); err != nil {
-		fmt.Fprintln(os.Stderr, "mlperf-ablate:", err)
+	// Ctrl-C/SIGTERM: stop after the current ablation, flush whatever
+	// cache traffic accumulated, exit 130.
+	ctx, stop := telecli.InterruptContext()
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(which) }()
+	var runErr error
+	select {
+	case runErr = <-errCh:
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "mlperf-ablate: interrupted")
+		if sink.Enabled() {
+			sweep.Default.Stats().FillManifest(sink.Manifest)
+		}
+		sink.MustFlush()
+		os.Exit(130)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-ablate:", runErr)
 		sink.MustFlush()
 		os.Exit(1)
 	}

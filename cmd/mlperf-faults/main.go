@@ -195,9 +195,30 @@ func sensitivity(args []string) error {
 		sink.Config("workers", strconv.Itoa(w))
 		defer sink.MustFlush()
 	}
-	rows, err := experiments.FaultSensitivity()
-	if err != nil {
-		return err
+	// Ctrl-C/SIGTERM: abandon the sweep but still flush the manifest
+	// (the deferred MustFlush above) before exiting 130.
+	ctx, stop := telecli.InterruptContext()
+	defer stop()
+	type outcome struct {
+		rows []experiments.FaultRow
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rows, err := experiments.FaultSensitivity()
+		ch <- outcome{rows, err}
+	}()
+	var rows []experiments.FaultRow
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return o.err
+		}
+		rows = o.rows
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "mlperf-faults: interrupted")
+		sink.MustFlush()
+		os.Exit(130)
 	}
 	if *out == "" {
 		fmt.Print(experiments.RenderFaultSensitivity(rows))

@@ -1,0 +1,88 @@
+// Command mlperf-loadgen drives a running mlperf-serve daemon with a
+// synthetic open-loop client stream and asserts service-level
+// objectives on what came back. Open-loop means arrivals follow an
+// exponential clock regardless of server backpressure — the only way
+// to genuinely overload a server and observe its shedding behaviour.
+//
+//	mlperf-loadgen -url http://127.0.0.1:8080 -rate 50 -duration 10s
+//	mlperf-loadgen -url ... -rate 200 -tenants 4 -hot 0.9 \
+//	    -slo-p99 2s -min-shed 0.01 -max-5xx 0 -assert-coalesced
+//
+// The exit status is the SLO verdict: 0 when every asserted bound
+// holds, 1 when any is violated — which is what makes it a CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlperf/internal/serve"
+	"mlperf/internal/telecli"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the serve daemon")
+	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
+	rate := flag.Float64("rate", 20, "open-loop arrival rate, requests/second")
+	tenants := flag.Int("tenants", 0, "distinct X-Tenant identities to rotate (0 = anonymous)")
+	hot := flag.Float64("hot", 0.8, "fraction of requests from the hot (cacheable, coalesceable) query set")
+	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request propagated deadline")
+	seed := flag.Int64("seed", 1, "arrival and query-mix seed")
+	sloP99 := flag.Duration("slo-p99", 0, "SLO: max p99 latency of admitted requests (0 = unchecked)")
+	maxShed := flag.Float64("max-shed", 0, "SLO: max shed fraction of sent requests (0 = unchecked)")
+	minShed := flag.Float64("min-shed", 0, "SLO: min shed fraction — asserts overload was actually reached (0 = unchecked)")
+	max5xx := flag.Int("max-5xx", 0, "SLO: max tolerated 5xx responses")
+	assertCoalesced := flag.Bool("assert-coalesced", false, "SLO: require simulations < admitted requests (coalescing happened)")
+	sink := telecli.Register("mlperf-loadgen", nil)
+	flag.Parse()
+
+	reg := sink.Activate()
+	if sink.Enabled() {
+		sink.Config("url", *url)
+		sink.Config("rate", fmt.Sprintf("%g", *rate))
+		sink.Config("duration", duration.String())
+		sink.Manifest.Seed = *seed
+	}
+
+	ctx, stop := telecli.InterruptContext()
+	defer stop()
+
+	rep, err := serve.RunLoad(ctx, serve.LoadOptions{
+		BaseURL:        *url,
+		Duration:       *duration,
+		Rate:           *rate,
+		Tenants:        *tenants,
+		HotFraction:    *hot,
+		RequestTimeout: *reqTimeout,
+		Seed:           *seed,
+		Telemetry:      reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-loadgen:", err)
+		sink.MustFlush()
+		os.Exit(1)
+	}
+	fmt.Print(serve.RenderLoadReport(rep))
+	if sink.Enabled() {
+		sink.Manifest.Cells = rep.Sent
+	}
+
+	slo := serve.SLO{
+		MaxP99:            *sloP99,
+		MaxShedRate:       *maxShed,
+		MinShedRate:       *minShed,
+		MaxServerErrors:   *max5xx,
+		RequireCoalescing: *assertCoalesced,
+	}
+	violations := slo.Violations(rep)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "mlperf-loadgen: SLO violation:", v)
+	}
+	sink.MustFlush()
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("SLO: pass")
+}

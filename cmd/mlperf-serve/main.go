@@ -1,0 +1,124 @@
+// Command mlperf-serve runs the benchmark-as-a-service daemon: the
+// simulator, sweep engine and cluster scheduler behind an HTTP/JSON
+// API with admission control, per-tenant quotas, request coalescing, a
+// circuit breaker over the persistent cache tier and graceful drain.
+//
+//	mlperf-serve                              serve on :8080
+//	mlperf-serve -addr :9000 -workers 8
+//	mlperf-serve -cache-dir /var/cache/mlperf -shards 4
+//	mlperf-serve -max-inflight 16 -max-queue 64 -tenant-rate 50
+//
+// Endpoints:
+//
+//	GET /v1/simulate?benchmark=res50_tf&system=dss8440&gpus=4   one cell
+//	GET /v1/sweep?benchmarks=res50_tf,ncf_py&gpus=1,2,4         a grid
+//	GET /v1/whatif                                            the NVLink-at-8 study
+//	GET /v1/schedule?policy=srtf&n=12&seed=1                  an online scheduling run
+//	GET /healthz /readyz /metrics /v1/stats                   operations
+//
+// Clients set X-Tenant for quota accounting and Request-Timeout (or
+// ?timeout=) in seconds for deadline propagation: the deadline flows
+// into the engine's per-cell context machinery, so an expired client
+// gets back whatever completed (a partial sweep) and the rest is
+// cancelled, not orphaned.
+//
+// On SIGTERM/SIGINT the daemon drains: /readyz flips not-ready, new
+// API requests are refused with 503, in-flight requests get
+// -drain-timeout to finish (then their work is cancelled and partial
+// results returned), and the final manifest is flushed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"mlperf/internal/serve"
+	"mlperf/internal/telecli"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "sweep engine worker pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent cell cache directory, guarded by the circuit breaker")
+	shards := flag.Int("shards", 0, "shard grid queries across N digest-sharded queues (0/1 = plain pool)")
+	maxInflight := flag.Int("max-inflight", 8, "max concurrently executing requests")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a slot before shedding (0 = 2*max-inflight)")
+	maxCells := flag.Int64("max-cells", 4096, "max summed simulation cost (cells) of executing requests")
+	tenantRate := flag.Float64("tenant-rate", 100, "per-tenant sustained requests/second (negative = unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (0 = 2*rate)")
+	defTimeout := flag.Duration("default-timeout", 30*time.Second, "request deadline when the client names none")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	drain := flag.Duration("drain-timeout", 15*time.Second, "how long in-flight requests get to finish on SIGTERM")
+	brkThreshold := flag.Int("breaker-threshold", 5, "consecutive disk-cache errors that trip the breaker to memory-only")
+	brkCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-state dwell before a half-open probe")
+	sink := telecli.Register("mlperf-serve", nil)
+	flag.Parse()
+
+	reg := sink.Activate()
+	srv, err := serve.New(serve.Config{
+		Workers:          *workers,
+		CacheDir:         *cacheDir,
+		Shards:           *shards,
+		MaxInFlight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		MaxCellsInFlight: *maxCells,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Telemetry:        reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-serve:", err)
+		os.Exit(1)
+	}
+	if sink.Enabled() {
+		sink.Config("addr", *addr)
+		sink.Config("cache-dir", *cacheDir)
+		sink.Config("shards", strconv.Itoa(*shards))
+		sink.Config("max-inflight", strconv.Itoa(*maxInflight))
+		sink.Config("max-cells", strconv.FormatInt(*maxCells, 10))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mlperf-serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := telecli.InterruptContext()
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err = <-done:
+		// Listener failed outright — nothing to drain.
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "mlperf-serve: signal received, draining (up to %v)\n", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if serr := srv.Shutdown(dctx); serr != nil {
+			fmt.Fprintf(os.Stderr, "mlperf-serve: drain deadline expired, in-flight work cancelled: %v\n", serr)
+		}
+		cancel()
+		err = <-done
+	}
+
+	if sink.Enabled() {
+		srv.FillManifest(sink.Manifest)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-serve:", err)
+		sink.MustFlush()
+		os.Exit(1)
+	}
+	sink.MustFlush()
+}

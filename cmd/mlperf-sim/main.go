@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,8 +54,27 @@ func main() {
 		sink.Config("workers", strconv.Itoa(w))
 		engineFlags.Record(sink.Config)
 	}
-	if err := run(flag.Args()); err != nil {
-		fmt.Fprintln(os.Stderr, "mlperf-sim:", err)
+	// Ctrl-C/SIGTERM: cancel whatever experiment is running (grid
+	// experiments observe the context; the rest finish their current
+	// table), flush the manifest with the cache traffic so far, and exit
+	// with the interrupt status.
+	ctx, stop := telecli.InterruptContext()
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, flag.Args()) }()
+	var err2 error
+	select {
+	case err2 = <-errCh:
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "mlperf-sim: interrupted")
+		if sink.Enabled() {
+			sweep.Default.Stats().FillManifest(sink.Manifest)
+		}
+		sink.MustFlush()
+		os.Exit(130)
+	}
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, "mlperf-sim:", err2)
 		sink.MustFlush()
 		os.Exit(1)
 	}
@@ -64,7 +84,7 @@ func main() {
 	sink.MustFlush()
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -122,7 +142,7 @@ func run(args []string) error {
 		}
 		fmt.Print(experiments.RenderFig5(rows))
 	case "whatif":
-		rows, err := experiments.WhatIfNVLinkAt8()
+		rows, err := experiments.WhatIfNVLinkAt8On(ctx, sweep.Default)
 		if err != nil {
 			return err
 		}
@@ -142,7 +162,7 @@ func run(args []string) error {
 	case "all":
 		for _, sub := range []string{"table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5"} {
 			fmt.Printf("==== %s ====\n", sub)
-			if err := run([]string{sub}); err != nil {
+			if err := run(ctx, []string{sub}); err != nil {
 				return err
 			}
 			fmt.Println()

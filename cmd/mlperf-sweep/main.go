@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,11 @@ import (
 	"mlperf/internal/telecli"
 	"mlperf/internal/telemetry"
 )
+
+// errInterrupted marks a run cut short by SIGINT/SIGTERM: completed
+// cells were written, the manifest is flushed, and the exit status is
+// 130 (the shell convention for death-by-SIGINT).
+var errInterrupted = errors.New("interrupted")
 
 func main() {
 	bench := flag.String("bench", "", "comma-separated benchmarks (default: all MLPerf)")
@@ -86,9 +92,17 @@ func main() {
 		shards: engineFlags.Shards, cacheDir: engineFlags.CacheDir,
 		sink: sink,
 	}
-	if err := run(cfg); err != nil {
+	// SIGINT/SIGTERM cancels the run context: in-flight cells stop, the
+	// completed prefix is written as a partial CSV, and the manifest
+	// still flushes — Ctrl-C loses patience, not provenance.
+	ctx, stop := telecli.InterruptContext()
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-sweep:", err)
 		sink.MustFlush()
+		if errors.Is(err, errInterrupted) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	sink.MustFlush()
@@ -103,7 +117,7 @@ type runConfig struct {
 	sink                                          *telecli.Sink
 }
 
-func run(cfg runConfig) error {
+func run(ctx context.Context, cfg runConfig) error {
 	g := sweep.Grid{
 		Benchmarks: splitList(cfg.bench),
 		Systems:    splitList(cfg.system),
@@ -137,8 +151,7 @@ func run(cfg runConfig) error {
 	hardened := cfg.cellTimeout > 0 || cfg.retries > 0 || cfg.partial
 	var recs []sweep.Record
 	var report *sweep.Report
-	switch {
-	case cfg.seq:
+	if cfg.seq {
 		if hardened {
 			return fmt.Errorf("-seq is the plain reference path; it cannot combine with -cell-timeout/-retries/-partial")
 		}
@@ -146,25 +159,32 @@ func run(cfg runConfig) error {
 			return fmt.Errorf("-seq is the plain reference path; it cannot combine with -shards/-cache-dir")
 		}
 		recs, err = sweep.RunSequential(g)
-	case hardened:
+		if err != nil {
+			return err
+		}
+	} else {
+		// Every engine path runs Partial internally so an interrupt can
+		// salvage the completed prefix; -partial only decides whether cell
+		// FAILURES degrade gracefully or abort like before.
 		opts := sweep.Options{
 			CellTimeout: cfg.cellTimeout,
 			Retries:     cfg.retries,
-			Partial:     cfg.partial,
+			Partial:     true,
 		}
 		if cfg.shards > 1 {
-			recs, report, err = sweep.Default.RunSharded(context.Background(), g,
+			recs, report, err = sweep.Default.RunSharded(ctx, g,
 				sweep.ShardOptions{Options: opts, Shards: cfg.shards})
 		} else {
-			recs, report, err = sweep.Default.RunWithOptions(context.Background(), g, opts)
+			recs, report, err = sweep.Default.RunWithOptions(ctx, g, opts)
 		}
-	default:
-		// sweep.Run routes through the shard coordinator itself when
-		// SetShards was applied.
-		recs, err = sweep.Run(g)
-	}
-	if err != nil {
-		return err
+		if err != nil {
+			return err
+		}
+		if report.Failed() && !cfg.partial && !report.Canceled {
+			// Without -partial a failed cell aborts with the lowest-index
+			// error, exactly as the unhardened path always has.
+			return report.Failures[0]
+		}
 	}
 
 	w := os.Stdout
@@ -209,8 +229,19 @@ func run(cfg runConfig) error {
 		if report.RetriesUsed > 0 {
 			fmt.Fprintf(os.Stderr, "mlperf-sweep: %d retr%s used\n", report.RetriesUsed, plural(report.RetriesUsed, "y", "ies"))
 		}
+		// Print real failures individually; an interrupt marks every
+		// unreached cell canceled, which would be pure noise line by line.
+		var canceled int
 		for _, ce := range report.Failures {
+			if ce.Kind == sweep.FailCanceled {
+				canceled++
+				continue
+			}
 			fmt.Fprintln(os.Stderr, "mlperf-sweep:", ce)
+		}
+		if report.Canceled {
+			return fmt.Errorf("%w: wrote %d of %d cells (%d canceled)",
+				errInterrupted, report.Completed, report.Cells, canceled)
 		}
 		if report.Failed() {
 			return fmt.Errorf("%d of %d cells failed", len(report.Failures), report.Cells)

@@ -28,8 +28,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -44,6 +46,13 @@ const magic = "mlperf-cas"
 
 // quarantineDir is the subdirectory corrupt entries are moved into.
 const quarantineDir = "quarantine"
+
+// DefaultQuarantineLimit bounds how many quarantined entries a store
+// keeps. Quarantine preserves evidence, but evidence must not become a
+// disk leak: an attacker (or a flaky disk) feeding the store corrupt
+// entries forever would otherwise grow quarantine/ without limit. Beyond
+// the cap the oldest entries are dropped.
+const DefaultQuarantineLimit = 64
 
 // ErrCorrupt marks an entry that failed envelope verification; callers
 // normally never see it (Get turns it into a miss after quarantining)
@@ -66,6 +75,9 @@ type Stats struct {
 	// Quarantined counts entries evicted into quarantine/ after failing
 	// envelope verification.
 	Quarantined int64
+	// QuarantineDropped counts quarantined entries discarded because the
+	// quarantine directory exceeded its cap (oldest dropped first).
+	QuarantineDropped int64
 }
 
 // Store is an on-disk content-addressed blob store rooted at one
@@ -75,7 +87,14 @@ type Stats struct {
 type Store struct {
 	dir string
 
-	hits, misses, puts, putsSkipped, quarantined atomic.Int64
+	hits, misses, puts, putsSkipped, quarantined, quarantineDropped atomic.Int64
+
+	// qmu serializes quarantine moves and the prune that follows, so two
+	// goroutines quarantining at once cannot both skip pruning.
+	qmu sync.Mutex
+	// quarantineLimit caps quarantine/ entries (0 = DefaultQuarantineLimit,
+	// negative = unlimited).
+	quarantineLimit atomic.Int64
 }
 
 // Open creates (if needed) and returns the store rooted at dir.
@@ -87,6 +106,23 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("cas: %w", err)
 	}
 	return &Store{dir: dir}, nil
+}
+
+// SetQuarantineLimit caps how many quarantined entries are retained
+// (oldest dropped beyond the cap). 0 restores DefaultQuarantineLimit;
+// a negative limit disables pruning (unbounded, test use only).
+func (s *Store) SetQuarantineLimit(n int) { s.quarantineLimit.Store(int64(n)) }
+
+// QuarantineLimit reports the effective cap (-1 = unbounded).
+func (s *Store) QuarantineLimit() int {
+	n := int(s.quarantineLimit.Load())
+	if n == 0 {
+		return DefaultQuarantineLimit
+	}
+	if n < 0 {
+		return -1
+	}
+	return n
 }
 
 // Dir returns the store's root directory.
@@ -184,9 +220,58 @@ func (s *Store) Quarantine(digest string) {
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
 		return
 	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
 	dst := filepath.Join(qdir, digest+"."+strconv.FormatInt(time.Now().UnixNano(), 10))
 	if err := os.Rename(s.path(digest), dst); err == nil {
 		s.quarantined.Add(1)
+	}
+	s.pruneQuarantineLocked(qdir)
+}
+
+// pruneQuarantineLocked drops the oldest quarantined entries beyond the
+// cap. Quarantine names end in the nanosecond timestamp of the move
+// (rename preserves the file's own mtime, so ModTime would reflect when
+// the corrupt entry was written, not when it was caught); entries
+// without a parseable suffix sort first and go before dated ones.
+// Callers hold qmu.
+func (s *Store) pruneQuarantineLocked(qdir string) {
+	limit := s.QuarantineLimit()
+	if limit < 0 {
+		return
+	}
+	entries, err := os.ReadDir(qdir)
+	if err != nil || len(entries) <= limit {
+		return
+	}
+	type aged struct {
+		name string
+		when int64
+	}
+	files := make([]aged, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var when int64
+		if i := strings.LastIndexByte(e.Name(), '.'); i >= 0 {
+			when, _ = strconv.ParseInt(e.Name()[i+1:], 10, 64)
+		}
+		files = append(files, aged{name: e.Name(), when: when})
+	}
+	if len(files) <= limit {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].when != files[j].when {
+			return files[i].when < files[j].when
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files[:len(files)-limit] {
+		if os.Remove(filepath.Join(qdir, f.name)) == nil {
+			s.quarantineDropped.Add(1)
+		}
 	}
 }
 
@@ -215,11 +300,12 @@ func (s *Store) Len() (int, error) {
 // Stats snapshots the store's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Puts:        s.puts.Load(),
-		PutsSkipped: s.putsSkipped.Load(),
-		Quarantined: s.quarantined.Load(),
+		Hits:              s.hits.Load(),
+		Misses:            s.misses.Load(),
+		Puts:              s.puts.Load(),
+		PutsSkipped:       s.putsSkipped.Load(),
+		Quarantined:       s.quarantined.Load(),
+		QuarantineDropped: s.quarantineDropped.Load(),
 	}
 }
 

@@ -204,3 +204,81 @@ func TestCrossStoreSharing(t *testing.T) {
 		t.Fatalf("second handle misses the first's write: ok=%v err=%v", ok, err)
 	}
 }
+
+// TestQuarantineBounded proves repeated corruption cannot grow disk
+// without limit: quarantine/ holds at most the configured cap, the
+// oldest entries are dropped first, and the drops are counted.
+func TestQuarantineBounded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 5
+	s.SetQuarantineLimit(limit)
+
+	const rounds = 3 * limit
+	var digests []string
+	for i := 0; i < rounds; i++ {
+		payload := []byte(fmt.Sprintf("payload %d", i))
+		d := digestOf(payload)
+		digests = append(digests, d)
+		if err := s.Put(d, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt it in place, then read it back: the damaged entry is
+		// quarantined, and quarantine/ is pruned past the cap.
+		if err := os.WriteFile(s.path(d), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := s.Get(d); err != nil || ok {
+			t.Fatalf("round %d: corrupt entry ok=%v err=%v", i, ok, err)
+		}
+	}
+
+	q, err := filepath.Glob(filepath.Join(dir, quarantineDir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) > limit {
+		t.Errorf("quarantine holds %d entries, cap is %d", len(q), limit)
+	}
+	st := s.Stats()
+	if st.Quarantined != rounds {
+		t.Errorf("quarantined %d, want %d", st.Quarantined, rounds)
+	}
+	if want := int64(rounds - limit); st.QuarantineDropped != want {
+		t.Errorf("dropped %d, want %d", st.QuarantineDropped, want)
+	}
+	// The survivors are the newest entries.
+	for _, d := range digests[:rounds-limit] {
+		if m, _ := filepath.Glob(filepath.Join(dir, quarantineDir, d+".*")); len(m) != 0 {
+			t.Errorf("old quarantined entry %s survived pruning", d)
+		}
+	}
+	for _, d := range digests[rounds-limit:] {
+		if m, _ := filepath.Glob(filepath.Join(dir, quarantineDir, d+".*")); len(m) != 1 {
+			t.Errorf("new quarantined entry %s was dropped", d)
+		}
+	}
+}
+
+// TestQuarantineLimitKnob pins the knob's contract: 0 is the default
+// cap, negatives disable pruning.
+func TestQuarantineLimitKnob(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.QuarantineLimit(); got != DefaultQuarantineLimit {
+		t.Errorf("default limit %d, want %d", got, DefaultQuarantineLimit)
+	}
+	s.SetQuarantineLimit(-1)
+	if got := s.QuarantineLimit(); got != -1 {
+		t.Errorf("unbounded limit %d, want -1", got)
+	}
+	s.SetQuarantineLimit(7)
+	if got := s.QuarantineLimit(); got != 7 {
+		t.Errorf("limit %d, want 7", got)
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mlperf/internal/sweep"
+)
+
+// flakyStore is a FallibleStore whose error is a knob.
+type flakyStore struct {
+	err  error
+	rec  sweep.Record
+	ok   bool
+	gets int
+	puts int
+}
+
+func (f *flakyStore) GetE(sweep.CellKey) (sweep.Record, bool, error) {
+	f.gets++
+	return f.rec, f.ok, f.err
+}
+func (f *flakyStore) PutE(sweep.CellKey, sweep.Record) error { f.puts++; return f.err }
+func (f *flakyStore) Stats() sweep.TierStats                 { return sweep.TierStats{Hits: 42} }
+
+func testBreaker(inner FallibleStore, threshold int, cooldown time.Duration) (*Breaker, *time.Time) {
+	clock := time.Unix(1000, 0)
+	b := NewBreaker(inner, BreakerConfig{
+		Threshold: threshold,
+		Cooldown:  cooldown,
+		now:       func() time.Time { return clock },
+	})
+	return b, &clock
+}
+
+func TestBreakerTripsOpensAndBypasses(t *testing.T) {
+	inner := &flakyStore{err: errors.New("disk yanked")}
+	b, _ := testBreaker(inner, 3, time.Minute)
+	k := sweep.CellKey{Benchmark: "res50_tf", System: "dss8440", GPUs: 1}
+
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Get(k); ok {
+			t.Fatal("errored Get reported a hit")
+		}
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after %d consecutive errors = %s, want open", 3, got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+
+	// Open circuit: the disk tier must not be touched at all.
+	before := inner.gets
+	for i := 0; i < 5; i++ {
+		if _, ok := b.Get(k); ok {
+			t.Fatal("open breaker reported a hit")
+		}
+		b.Put(k, sweep.Record{})
+	}
+	if inner.gets != before || inner.puts != 0 {
+		t.Fatalf("open breaker leaked traffic to the inner store: gets %d→%d, puts %d",
+			before, inner.gets, inner.puts)
+	}
+	if b.Dropped() == 0 {
+		t.Fatal("bypassed operations not counted as dropped")
+	}
+}
+
+func TestBreakerHalfOpenProbeHealsOrReopens(t *testing.T) {
+	inner := &flakyStore{err: errors.New("enospc")}
+	b, clock := testBreaker(inner, 2, time.Minute)
+	k := sweep.CellKey{Benchmark: "res50_tf", System: "dss8440", GPUs: 1}
+
+	b.Get(k)
+	b.Get(k)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+
+	// Cooldown elapses → half-open; a still-failing probe reopens.
+	*clock = clock.Add(time.Minute)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half-open", b.State())
+	}
+	gets := inner.gets
+	b.Get(k)
+	if inner.gets != gets+1 {
+		t.Fatal("half-open did not admit the probe")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed probe left state %s, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+
+	// Disk recovers; the next probe closes the circuit and traffic flows.
+	*clock = clock.Add(time.Minute)
+	inner.err = nil
+	inner.ok = true
+	inner.rec = sweep.Record{Benchmark: "res50_tf", TimeToTrainMin: 5}
+	rec, ok := b.Get(k)
+	if !ok || rec.TimeToTrainMin != 5 {
+		t.Fatalf("healing probe lost the result: ok=%v rec=%+v", ok, rec)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
+	}
+	gets = inner.gets
+	b.Get(k)
+	if inner.gets != gets+1 {
+		t.Fatal("closed breaker not passing traffic")
+	}
+}
+
+func TestBreakerMissesAndSuccessesDoNotTrip(t *testing.T) {
+	// Misses (err == nil, ok == false) are normal operation, not failures.
+	inner := &flakyStore{}
+	b, _ := testBreaker(inner, 2, time.Minute)
+	k := sweep.CellKey{Benchmark: "res50_tf", System: "dss8440", GPUs: 1}
+	for i := 0; i < 20; i++ {
+		b.Get(k)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("misses tripped the breaker: state %s", b.State())
+	}
+
+	// A success between errors resets the consecutive-failure streak.
+	boom := errors.New("eio")
+	inner.err = boom
+	b.Get(k)
+	inner.err = nil
+	b.Get(k)
+	inner.err = boom
+	b.Get(k)
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive errors tripped the breaker")
+	}
+}
+
+func TestBreakerStatsPassThrough(t *testing.T) {
+	b, _ := testBreaker(&flakyStore{}, 2, time.Minute)
+	if got := b.Stats().Hits; got != 42 {
+		t.Fatalf("Stats not passed through: hits %d, want 42", got)
+	}
+}

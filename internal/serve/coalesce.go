@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// coalescer collapses identical concurrent queries onto one
+// computation, keyed by content digest — the request-level analogue of
+// the engine's per-cell singleflight. Fifty dashboards refreshing the
+// same sweep cost one grid execution, not fifty.
+//
+// Cancellation is refcounted: every joined caller holds a reference,
+// and the shared computation is cancelled only when ALL of them have
+// gone away. A lone client's timeout cancels its work (deadline
+// propagation); one impatient client among many does not kill the
+// result the patient ones are still waiting for.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	refs     int
+	finished bool
+
+	// result fields, valid after done closes.
+	val    any
+	status int
+	err    error
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// do runs fn for key, or joins an identical in-flight run. parent is
+// the server's hard-stop context; callerCtx carries this caller's
+// deadline/disconnect. The leader's deadline bounds the computation —
+// a follower with a shorter deadline gives up individually (its ctx
+// error, flight undisturbed), one with a longer deadline accepts the
+// leader's bound (the flight's partial result is still a valid answer).
+//
+// fn receives the flight's context and must honor it. joined reports
+// whether this caller shared another caller's computation.
+func (c *coalescer) do(parent, callerCtx context.Context, key string, fn func(ctx context.Context) (any, int, error)) (val any, status int, err error, joined bool) {
+	c.mu.Lock()
+	f, ok := c.flights[key]
+	if ok && !f.join(callerCtx) {
+		// Finished with no references between lookup and join — it is
+		// being deleted; start fresh.
+		ok = false
+	}
+	if !ok {
+		base, cancelBase := context.WithCancel(parent)
+		fctx, cancel := base, cancelBase
+		if dl, has := callerCtx.Deadline(); has {
+			var cancelDL context.CancelFunc
+			fctx, cancelDL = context.WithDeadline(base, dl)
+			cancel = func() { cancelDL(); cancelBase() }
+		}
+		f = &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
+		c.flights[key] = f
+		// The leader's departure decrements like any follower's.
+		f.watch(callerCtx)
+		go func() {
+			defer func() {
+				// A panic in fn must still complete the flight, or every
+				// joined caller hangs; it surfaces as an error result the
+				// handler maps to a 500.
+				if v := recover(); v != nil {
+					f.complete(nil, 0, panicError{v})
+				}
+				c.mu.Lock()
+				delete(c.flights, key)
+				c.mu.Unlock()
+			}()
+			v, s, e := fn(fctx)
+			f.complete(v, s, e)
+		}()
+	}
+	c.mu.Unlock()
+	joined = ok
+	select {
+	case <-f.done:
+		return f.val, f.status, f.err, joined
+	case <-callerCtx.Done():
+		// The flight is usually bounded by this caller's own deadline (the
+		// leader seeds it), so when the deadline fires the engine is being
+		// cancelled and its partial result is moments away. A short grace
+		// keeps "deadline at T" meaning "partial answer at T" rather than a
+		// race between the partial payload and a bare timeout error.
+		grace := time.NewTimer(250 * time.Millisecond)
+		defer grace.Stop()
+		select {
+		case <-f.done:
+			return f.val, f.status, f.err, joined
+		case <-grace.C:
+			return nil, 0, callerCtx.Err(), joined
+		}
+	}
+}
+
+// join adds a reference for a new follower, failing if the flight
+// already finished with no one left (it is about to be deleted).
+// Callers hold c.mu.
+func (f *flight) join(callerCtx context.Context) bool {
+	f.mu.Lock()
+	if f.finished && f.refs == 0 {
+		f.mu.Unlock()
+		return false
+	}
+	f.refs++
+	f.mu.Unlock()
+	f.watch(callerCtx)
+	return true
+}
+
+// watch decrements the flight's refcount when ctx ends (caller
+// timeout, disconnect, or the handler returning — net/http cancels the
+// request context then). Last one out cancels the computation if it is
+// still running: that is the deadline-propagation path, where a sole
+// client's departure stops the engine work instead of orphaning it.
+func (f *flight) watch(ctx context.Context) {
+	var once sync.Once
+	dec := func() {
+		once.Do(func() {
+			f.mu.Lock()
+			f.refs--
+			cancelNow := f.refs == 0 && !f.finished
+			f.mu.Unlock()
+			if cancelNow {
+				f.cancel()
+			}
+		})
+	}
+	stop := context.AfterFunc(ctx, dec)
+	// Also release on completion, so references do not leak when the
+	// flight outpaces the caller's context.
+	go func() {
+		<-f.done
+		stop()
+		dec()
+	}()
+}
+
+func (f *flight) complete(val any, status int, err error) {
+	f.mu.Lock()
+	f.val, f.status, f.err = val, status, err
+	f.finished = true
+	f.mu.Unlock()
+	f.cancel() // release the deadline timer; the work is done
+	close(f.done)
+}
+
+// panicError carries a contained flight panic to every joined caller.
+type panicError struct{ v any }
+
+func (p panicError) Error() string { return "panic in coalesced computation" }
+
+// Value returns the recovered panic value.
+func (p panicError) Value() any { return p.v }
+
+// inFlight reports how many computations are currently running (test
+// hook).
+func (c *coalescer) inFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flights)
+}
+
+// refs reports how many callers currently hold the flight for key —
+// 0 when no such flight exists (test hook).
+func (c *coalescer) refs(key string) int {
+	c.mu.Lock()
+	f := c.flights[key]
+	c.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.refs
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCoalescerCollapsesIdenticalQueries(t *testing.T) {
+	c := newCoalescer()
+	var runs atomic.Int32
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	fn := func(ctx context.Context) (any, int, error) {
+		runs.Add(1)
+		entered <- struct{}{}
+		<-gate
+		return "answer", 200, nil
+	}
+
+	const callers = 6
+	var wg sync.WaitGroup
+	vals := make([]any, callers)
+	joins := make([]bool, callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, status, err, joined := c.do(context.Background(), context.Background(), "k", fn)
+			if err != nil || status != 200 {
+				t.Errorf("caller %d: status %d err %v", i, status, err)
+			}
+			vals[i], joins[i] = v, joined
+		}(i)
+	}
+	<-entered // the leader is inside fn; everyone else must join it
+	deadline := time.Now().Add(5 * time.Second)
+	for c.refs("k") != callers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d callers joined the flight", c.refs("k"), callers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for %d identical callers, want 1", got, callers)
+	}
+	var joined int
+	for i := range vals {
+		if vals[i] != "answer" {
+			t.Fatalf("caller %d got %v", i, vals[i])
+		}
+		if joins[i] {
+			joined++
+		}
+	}
+	if joined != callers-1 {
+		t.Fatalf("%d callers marked joined, want %d", joined, callers-1)
+	}
+	if c.inFlight() != 0 {
+		t.Fatalf("flight map leaked: %d entries", c.inFlight())
+	}
+}
+
+func TestCoalescerLoneCallerCancelStopsWork(t *testing.T) {
+	c := newCoalescer()
+	canceled := make(chan struct{})
+	fn := func(ctx context.Context) (any, int, error) {
+		<-ctx.Done()
+		close(canceled)
+		return nil, 0, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err, _ := c.do(context.Background(), ctx, "k", fn)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sole caller's departure did not cancel the computation")
+	}
+}
+
+func TestCoalescerSurvivorKeepsFlightAlive(t *testing.T) {
+	c := newCoalescer()
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var fctx context.Context
+	fn := func(ctx context.Context) (any, int, error) {
+		fctx = ctx
+		close(entered)
+		<-gate
+		return "late answer", 200, ctx.Err()
+	}
+
+	patient := make(chan any, 1)
+	go func() {
+		v, _, err := func() (any, int, error) {
+			v, s, e, _ := c.do(context.Background(), context.Background(), "k", fn)
+			return v, s, e
+		}()
+		if err != nil {
+			t.Errorf("patient caller: %v", err)
+		}
+		patient <- v
+	}()
+	<-entered
+
+	// An impatient second caller joins, then times out. Its own answer is
+	// a deadline error — but the shared flight must keep running for the
+	// patient caller.
+	impatientCtx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err, joined := c.do(context.Background(), impatientCtx, "k", fn)
+	if !joined {
+		t.Fatal("second caller did not join the in-flight computation")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("impatient caller err = %v, want deadline exceeded", err)
+	}
+	if fctx.Err() != nil {
+		t.Fatal("one impatient caller among two canceled the shared flight")
+	}
+
+	close(gate)
+	select {
+	case v := <-patient:
+		if v != "late answer" {
+			t.Fatalf("patient caller got %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("patient caller never answered")
+	}
+}
+
+func TestCoalescerPanicReachesEveryCaller(t *testing.T) {
+	c := newCoalescer()
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	fn := func(ctx context.Context) (any, int, error) {
+		close(entered)
+		<-gate
+		panic("poisoned query")
+	}
+
+	leader := make(chan error, 1)
+	follower := make(chan error, 1)
+	go func() {
+		_, _, err, _ := c.do(context.Background(), context.Background(), "k", fn)
+		leader <- err
+	}()
+	<-entered
+	go func() {
+		_, _, err, _ := c.do(context.Background(), context.Background(), "k", fn)
+		follower <- err
+	}()
+	// Give the follower a beat to join the flight, then release the
+	// panic: both callers must see it as an error, not a hang.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+
+	var pe panicError
+	for name, ch := range map[string]chan error{"leader": leader, "follower": follower} {
+		select {
+		case err := <-ch:
+			if !errors.As(err, &pe) || pe.Value() != "poisoned query" {
+				t.Fatalf("%s err = %v, want panicError(poisoned query)", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s hung on a panicked flight", name)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package serve is the benchmark-as-a-service daemon: an HTTP/JSON
+// front end over the sweep engine that answers simulate / sweep /
+// what-if / schedule queries for many concurrent clients. The headline
+// is not the routing — it is the robustness envelope:
+//
+//   - Admission control. A bounded work queue with explicit load
+//     shedding: once queue depth, in-flight requests or in-flight
+//     simulation cost exceed configured limits, requests are refused
+//     with 429 + Retry-After instead of queuing without bound. Per-tenant
+//     token buckets (keyed by the X-Tenant header) keep one noisy client
+//     from starving the rest.
+//   - Deadline propagation. A request deadline (Request-Timeout header
+//     or ?timeout=, capped by MaxTimeout, defaulted by DefaultTimeout)
+//     flows into the sweep engine's per-cell context machinery, so a
+//     client timeout cancels simulation work instead of orphaning it —
+//     and a sweep interrupted mid-grid returns the cells it completed
+//     through the engine's Partial/Report path.
+//   - Dependency protection. A circuit breaker guards the persistent
+//     disk cache tier: repeated cas errors trip the server to
+//     memory-only operation with a half-open probe after a cooldown.
+//     Identical concurrent queries are coalesced onto one computation by
+//     content digest, on top of the engine's per-cell singleflight.
+//     Per-request panics are contained to a 500 for that request.
+//   - Lifecycle. Graceful drain on Shutdown (stop accepting, finish
+//     in-flight under a drain deadline, then cancel the rest), with
+//     /healthz, /readyz and /metrics (Prometheus text straight from the
+//     telemetry registry) for orchestration.
+//
+// The daemon binary is cmd/mlperf-serve; cmd/mlperf-loadgen is the
+// synthetic-client harness that drives it to overload and asserts SLOs.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mlperf/internal/sweep"
+	"mlperf/internal/telemetry"
+)
+
+// Metric names the server registers. Exported so the loadgen harness,
+// CI assertions and tests share one schema.
+const (
+	MetricRequests       = "serve_requests_total"          // counter, endpoint= code=
+	MetricShed           = "serve_shed_total"              // counter, reason=quota|queue|inflight|cost|deadline
+	MetricInFlight       = "serve_inflight"                // gauge, admitted requests executing
+	MetricQueueDepth     = "serve_queue_depth"             // gauge, requests waiting for a slot
+	MetricCellsInFlight  = "serve_cells_inflight"          // gauge, admitted simulation cost units
+	MetricRequestSeconds = "serve_request_seconds"         // histogram, wall time per admitted request
+	MetricCoalesced      = "serve_coalesced_total"         // counter, requests answered by joining an identical in-flight query
+	MetricPanics         = "serve_panics_total"            // counter, contained per-request panics
+	MetricBreakerState   = "serve_breaker_state"           // gauge, 0=closed 1=half-open 2=open
+	MetricBreakerTrips   = "serve_breaker_trips_total"     // counter
+	MetricPartials       = "serve_partial_responses_total" // counter, sweeps answered with a partial grid
+)
+
+// Config shapes the daemon. The zero value serves on a private engine
+// with the documented defaults — every limit exists and is finite, so a
+// misconfigured deployment degrades by shedding, not by growing queues.
+type Config struct {
+	// Engine executes the cells (nil = a private engine; the process-wide
+	// sweep.Default is deliberately NOT used so a daemon cannot be
+	// perturbed by library callers in the same process).
+	Engine *sweep.Engine
+	// Workers bounds the engine's worker pool when Engine is nil
+	// (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir, when set, attaches the persistent content-addressed cell
+	// store, wrapped in the circuit breaker.
+	CacheDir string
+	// Shards routes grid queries through the shard coordinator (<=1 =
+	// plain worker pool).
+	Shards int
+
+	// MaxInFlight caps concurrently executing admitted requests
+	// (default 8).
+	MaxInFlight int
+	// MaxQueue caps requests waiting for an execution slot; beyond it
+	// the server sheds with 429 (default 2*MaxInFlight).
+	MaxQueue int
+	// MaxCellsInFlight caps the summed simulation cost (grid cells,
+	// scheduler jobs) of admitted requests (default 4096). A single
+	// request costing more than this is rejected with 413 — it can never
+	// be admitted.
+	MaxCellsInFlight int64
+	// TenantRate is each tenant's sustained request rate in requests per
+	// second (default 100; <0 = unlimited).
+	TenantRate float64
+	// TenantBurst is each tenant's token-bucket depth (default
+	// max(2*TenantRate, 1)).
+	TenantBurst float64
+
+	// DefaultTimeout bounds a request that names no deadline
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps a client-requested deadline (default 5m).
+	MaxTimeout time.Duration
+
+	// BreakerThreshold is how many consecutive disk-tier errors trip the
+	// breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a
+	// half-open probe (default 5s).
+	BreakerCooldown time.Duration
+
+	// Telemetry is the registry /metrics serves from (nil = a private
+	// registry; the daemon always measures itself).
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.MaxCellsInFlight <= 0 {
+		c.MaxCellsInFlight = 4096
+	}
+	if c.TenantRate == 0 {
+		c.TenantRate = 100
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = max(2*c.TenantRate, 1)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Server is one daemon instance. Create with New, expose with Handler
+// or ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	eng     *sweep.Engine
+	reg     *telemetry.Registry
+	adm     *admission
+	tenants *tenantLimiter
+	coal    *coalescer
+	breaker *Breaker
+
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	// draining flips when Shutdown begins: /readyz reports 503 and new
+	// API requests are refused, while in-flight ones finish.
+	draining atomic.Bool
+	// hardCtx parents every coalesced computation; hardCancel fires when
+	// the drain deadline expires, cancelling whatever is still running
+	// (the engine returns partial results on the way out).
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	started time.Time
+	// requests/shed/coalesced/partials mirror the registry counters as
+	// plain atomics so /v1/stats and FillManifest do not depend on
+	// telemetry being enabled.
+	requests  atomic.Int64
+	shed      atomic.Int64
+	coalesced atomic.Int64
+	partials  atomic.Int64
+	panics    atomic.Int64
+}
+
+// New builds a server. The error is reserved for an unopenable
+// CacheDir.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sweep.NewEngine(cfg.Workers)
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	eng.SetTelemetry(reg)
+	if cfg.Shards > 1 {
+		eng.SetShards(cfg.Shards)
+	}
+	s := &Server{
+		cfg:     cfg,
+		eng:     eng,
+		reg:     reg,
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.MaxCellsInFlight, reg),
+		tenants: newTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
+		coal:    newCoalescer(),
+		started: time.Now(),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	if cfg.CacheDir != "" {
+		ds, err := sweep.OpenDiskStore(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: cache dir %s: %w", cfg.CacheDir, err)
+		}
+		s.breaker = NewBreaker(ds, BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+			Registry:  reg,
+		})
+		eng.SetStore(s.breaker)
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Engine returns the engine the server executes on (tests inspect its
+// cache stats).
+func (s *Server) Engine() *sweep.Engine { return s.eng }
+
+// Registry returns the telemetry registry /metrics serves from.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler returns the full HTTP surface, panic containment included.
+func (s *Server) Handler() http.Handler { return s.recoverWrap(s.mux) }
+
+// recoverWrap contains a per-request panic to a 500 for that request —
+// one poisoned query must not take the daemon down with it. The sweep
+// engine already converts cell panics into typed *CellError results;
+// this is the outer hull for everything else.
+func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				s.reg.Counter(MetricPanics).Inc()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ListenAndServe serves on addr until Shutdown. It returns nil after a
+// graceful shutdown, like net/http.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Addr returns the bound address once Serve is running ("" before).
+func (s *Server) Addr() string {
+	if s.httpSrv == nil {
+		return ""
+	}
+	return s.httpSrv.Addr
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: new API requests are refused immediately
+// (503 + /readyz not-ready), listeners close, and in-flight requests
+// get until ctx's deadline to finish. When the deadline expires the
+// remaining computations are cancelled — the engine's Partial path
+// returns whatever completed — and connections are force-closed. Safe
+// to call without a listener (tests drive Handler directly).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+		if err != nil {
+			// Drain deadline expired: cancel in-flight work and force the
+			// connections closed. The cancellation is what turns "killed
+			// mid-sweep" into "partial report".
+			s.hardCancel()
+			s.httpSrv.Close()
+		}
+	} else {
+		<-ctx.Done()
+	}
+	s.hardCancel()
+	return err
+}
+
+// Stats is the /v1/stats snapshot: the admission posture, the breaker
+// state and the engine's cache counters, for clients (and the loadgen
+// harness) that assert on server behaviour.
+type Stats struct {
+	Uptime        float64          `json:"uptime_seconds"`
+	Draining      bool             `json:"draining"`
+	Requests      int64            `json:"requests"`
+	Shed          int64            `json:"shed"`
+	Coalesced     int64            `json:"coalesced"`
+	Partials      int64            `json:"partial_responses"`
+	Panics        int64            `json:"panics"`
+	InFlight      int64            `json:"inflight"`
+	Queued        int64            `json:"queued"`
+	CellsInFlight int64            `json:"cells_inflight"`
+	Breaker       string           `json:"breaker,omitempty"`
+	Cache         sweep.CacheStats `json:"cache"`
+}
+
+// Snapshot assembles the current Stats.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		Uptime:        time.Since(s.started).Seconds(),
+		Draining:      s.draining.Load(),
+		Requests:      s.requests.Load(),
+		Shed:          s.shed.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Partials:      s.partials.Load(),
+		Panics:        s.panics.Load(),
+		InFlight:      s.adm.inFlight.Load(),
+		Queued:        s.adm.queued.Load(),
+		CellsInFlight: s.adm.cells.Load(),
+		Cache:         s.eng.Stats(),
+	}
+	if s.breaker != nil {
+		st.Breaker = s.breaker.State().String()
+	}
+	return st
+}
+
+// FillManifest records the serving run into a telemetry manifest — the
+// final flush a drained daemon performs.
+func (s *Server) FillManifest(m *telemetry.Manifest) {
+	st := s.Snapshot()
+	m.Config["requests"] = fmt.Sprintf("%d", st.Requests)
+	m.Config["shed"] = fmt.Sprintf("%d", st.Shed)
+	m.Config["coalesced"] = fmt.Sprintf("%d", st.Coalesced)
+	m.Config["partial_responses"] = fmt.Sprintf("%d", st.Partials)
+	if st.Breaker != "" {
+		m.Config["breaker"] = st.Breaker
+	}
+	st.Cache.FillManifest(m)
+}

@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlperf/internal/sweep"
+	"mlperf/internal/telemetry"
+)
+
+// gateStore is a sweep.Store whose lookups park on a gate — a
+// controllable stand-in for a slow dependency, so tests can hold
+// requests "executing" for as long as they need.
+type gateStore struct {
+	gate    chan struct{}
+	blockOn func(sweep.CellKey) bool // nil = block every lookup
+	entered chan sweep.CellKey       // one signal per parked lookup
+}
+
+func newGateStore(blockOn func(sweep.CellKey) bool) *gateStore {
+	return &gateStore{
+		gate:    make(chan struct{}),
+		blockOn: blockOn,
+		entered: make(chan sweep.CellKey, 64),
+	}
+}
+
+func (g *gateStore) Get(k sweep.CellKey) (sweep.Record, bool) {
+	if g.blockOn == nil || g.blockOn(k) {
+		select {
+		case g.entered <- k:
+		default:
+		}
+		<-g.gate
+	}
+	return sweep.Record{}, false
+}
+func (g *gateStore) Put(sweep.CellKey, sweep.Record) {}
+func (g *gateStore) Stats() sweep.TierStats          { return sweep.TierStats{} }
+
+func newTestServer(t *testing.T, cfg Config, gs *gateStore) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = sweep.NewEngine(4)
+	}
+	if gs != nil {
+		cfg.Engine.SetStore(gs)
+	}
+	if cfg.TenantRate == 0 {
+		cfg.TenantRate = -1 // most tests exercise admission, not quotas
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string, hdr ...string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Overload must produce clean, typed 429s with Retry-After — never 5xx,
+// never unbounded queueing. This is the acceptance scenario at 2x the
+// admission limit, made deterministic: fill the slots, fill the queue,
+// then watch everything beyond shed instantly.
+func TestServerShedsUnderOverloadNever5xx(t *testing.T) {
+	gs := newGateStore(nil)
+	srv, ts := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: 1}, gs)
+
+	statuses := make(chan int, 3)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			code, _, _ := get(t, fmt.Sprintf("%s/v1/simulate?benchmark=res50_tf&batch=%d", ts.URL, 100+i))
+			statuses <- code
+		}(i)
+	}
+	<-gs.entered
+	<-gs.entered // both slots held, parked in the slow dependency
+
+	go func() {
+		code, _, _ := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf&batch=102")
+		statuses <- code
+	}()
+	waitFor(t, "third request to queue", func() bool { return srv.adm.queued.Load() == 1 })
+
+	// Queue full: requests 4-6 must shed on the spot.
+	for i := 0; i < 3; i++ {
+		code, body, hdr := get(t, fmt.Sprintf("%s/v1/simulate?benchmark=res50_tf&batch=%d", ts.URL, 200+i))
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("overload request %d: status %d (%s), want 429", i, code, strings.TrimSpace(body))
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatal("shed response missing Retry-After")
+		}
+	}
+
+	close(gs.gate)
+	for i := 0; i < 3; i++ {
+		if code := <-statuses; code != http.StatusOK {
+			t.Fatalf("admitted request finished with %d, want 200", code)
+		}
+	}
+	st := srv.Snapshot()
+	if st.Shed != 3 {
+		t.Fatalf("snapshot shed = %d, want 3", st.Shed)
+	}
+	if st.Panics != 0 || st.Requests != 6 {
+		t.Fatalf("snapshot %+v: want 6 requests, 0 panics", st)
+	}
+}
+
+// Identical concurrent queries must collapse onto one computation: the
+// engine runs the cell once and every other caller joins the flight.
+func TestServerCoalescesIdenticalQueries(t *testing.T) {
+	gs := newGateStore(nil)
+	srv, ts := newTestServer(t, Config{}, gs)
+
+	const callers = 5
+	var wg sync.WaitGroup
+	bodies := make([]string, callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			code, body, _ := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf&gpus=4")
+			if code != http.StatusOK {
+				t.Errorf("caller %d: status %d (%s)", i, code, strings.TrimSpace(body))
+			}
+			bodies[i] = body
+		}(i)
+	}
+	// The coalesce key is the cell digest; wait until every caller holds
+	// a reference on the one flight before letting it finish.
+	k := sweep.CellKey{Benchmark: "res50_tf", System: "dss8440", GPUs: 4}
+	digest, err := k.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "all callers on one flight", func() bool { return srv.coal.refs("cell:"+digest) == callers })
+	close(gs.gate)
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("caller %d got a different payload than caller 0", i)
+		}
+	}
+	st := srv.Snapshot()
+	if st.Coalesced != callers-1 {
+		t.Fatalf("coalesced = %d, want %d (identical concurrent queries must share one flight)",
+			st.Coalesced, callers-1)
+	}
+	if sims := st.Cache.Simulations; sims != 1 {
+		t.Fatalf("engine ran %d simulations for %d identical requests, want 1", sims, callers)
+	}
+}
+
+// Drain: the instant Shutdown begins, /readyz flips and new API
+// requests get clean 503s — while requests already executing run to
+// completion.
+func TestServerDrainRefusesNewFinishesInFlight(t *testing.T) {
+	gs := newGateStore(nil)
+	srv, ts := newTestServer(t, Config{}, gs)
+
+	inflight := make(chan int, 1)
+	go func() {
+		code, _, _ := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf&gpus=2")
+		inflight <- code
+	}()
+	<-gs.entered
+
+	shutCtx, stopShutdown := context.WithCancel(context.Background())
+	defer stopShutdown()
+	go srv.Shutdown(shutCtx) // handler-driven: Shutdown holds until ctx ends
+	waitFor(t, "drain to begin", func() bool { return srv.Draining() })
+
+	if code, _, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", code)
+	}
+	if code, _, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatal("liveness must stay green during drain")
+	}
+	code, body, hdr := get(t, ts.URL+"/v1/simulate?benchmark=ncf_py")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("new request during drain = %d (%s), want 503", code, strings.TrimSpace(body))
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("drain refusal missing Retry-After")
+	}
+
+	close(gs.gate)
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain finished with %d, want 200", code)
+	}
+}
+
+// A client deadline mid-sweep must come back as a 200 with the partial
+// flag and the completed cells — the engine's Partial/Report contract
+// over the wire, not a timeout error that throws away finished work.
+func TestServerDeadlineReturnsPartialSweep(t *testing.T) {
+	gs := newGateStore(func(k sweep.CellKey) bool { return k.Batch == 99 })
+	defer close(gs.gate)
+	srv, ts := newTestServer(t, Config{}, gs)
+
+	code, body, _ := get(t, ts.URL+"/v1/sweep?benchmarks=res50_tf&gpus=1&batches=32,99&timeout=0.3")
+	if code != http.StatusOK {
+		t.Fatalf("partial sweep status %d (%s), want 200", code, strings.TrimSpace(body))
+	}
+	var resp struct {
+		Records   []sweep.Record `json:"records"`
+		Cells     int            `json:"cells"`
+		Completed int            `json:"completed"`
+		Partial   bool           `json:"partial"`
+		Canceled  bool           `json:"canceled"`
+		Failures  []string       `json:"failures"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Partial || !resp.Canceled {
+		t.Fatalf("partial=%v canceled=%v, want both true", resp.Partial, resp.Canceled)
+	}
+	if resp.Cells != 2 || resp.Completed != 1 || len(resp.Failures) != 1 {
+		t.Fatalf("cells=%d completed=%d failures=%d, want 2/1/1",
+			resp.Cells, resp.Completed, len(resp.Failures))
+	}
+	if len(resp.Records) != 2 || resp.Records[0].TimeToTrainMin <= 0 {
+		t.Fatalf("completed cell's record missing: %+v", resp.Records)
+	}
+	if resp.Records[1].TimeToTrainMin != 0 {
+		t.Fatalf("canceled cell has a record: %+v", resp.Records[1])
+	}
+	if st := srv.Snapshot(); st.Partials != 1 {
+		t.Fatalf("partials counter = %d, want 1", st.Partials)
+	}
+}
+
+// Per-tenant token buckets: a noisy tenant exhausts its own budget and
+// gets 429s while other tenants' requests still flow.
+func TestServerTenantQuota(t *testing.T) {
+	srv, ts := newTestServer(t, Config{TenantRate: 1, TenantBurst: 2}, nil)
+	_ = srv
+
+	for i := 0; i < 2; i++ {
+		code, body, _ := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf", "X-Tenant", "noisy")
+		if code != http.StatusOK {
+			t.Fatalf("burst request %d: status %d (%s)", i, code, strings.TrimSpace(body))
+		}
+	}
+	code, _, hdr := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf", "X-Tenant", "noisy")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("noisy tenant's third request = %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("quota refusal missing Retry-After")
+	}
+	if code, _, _ := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf", "X-Tenant", "calm"); code != http.StatusOK {
+		t.Fatalf("calm tenant starved by noisy one: %d", code)
+	}
+}
+
+// A panicking computation is contained to a 500 for that request; the
+// daemon keeps serving.
+func TestServerPanicContainedToOneRequest(t *testing.T) {
+	srv, err := New(Config{Engine: sweep.NewEngine(2), TenantRate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/v1/simulate", nil)
+	srv.runQuery(rr, req, "test", 1, "poison", func(ctx context.Context) (any, int, error) {
+		panic("boom")
+	})
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking query status %d, want 500", rr.Code)
+	}
+	if st := srv.Snapshot(); st.Panics != 1 {
+		t.Fatalf("panics counter = %d, want 1", st.Panics)
+	}
+
+	rr = httptest.NewRecorder()
+	srv.runQuery(rr, req, "test", 1, "healthy", func(ctx context.Context) (any, int, error) {
+		return map[string]string{"ok": "yes"}, http.StatusOK, nil
+	})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("server not serving after a contained panic: %d", rr.Code)
+	}
+}
+
+// The observability surface: /metrics exposes the serve_* schema,
+// /v1/stats parses as Stats, and FillManifest records the run.
+func TestServerObservabilitySurface(t *testing.T) {
+	srv, ts := newTestServer(t, Config{}, nil)
+
+	if code, _, _ := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf"); code != http.StatusOK {
+		t.Fatalf("simulate = %d", code)
+	}
+	code, body, _ := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, MetricRequests) {
+		t.Fatalf("/metrics missing %s (status %d)", MetricRequests, code)
+	}
+	code, body, _ = get(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/stats = %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 {
+		t.Fatalf("stats requests = %d, want 1", st.Requests)
+	}
+
+	m := telemetry.NewManifest("test")
+	srv.FillManifest(m)
+	if m.Config["requests"] != "1" {
+		t.Fatalf("manifest requests = %q, want 1", m.Config["requests"])
+	}
+}
+
+// slowStore makes every cold lookup cost real time, so an open-loop
+// stream overruns MaxInFlight=1 and the server must shed.
+type slowStore struct{ d time.Duration }
+
+func (s slowStore) Get(sweep.CellKey) (sweep.Record, bool) { time.Sleep(s.d); return sweep.Record{}, false }
+func (s slowStore) Put(sweep.CellKey, sweep.Record)        {}
+func (s slowStore) Stats() sweep.TierStats                 { return sweep.TierStats{} }
+
+// End-to-end acceptance: the loadgen harness drives a small server past
+// its admission limit. Overload must shed (429) and never 5xx, and the
+// SLO gate must agree.
+func TestLoadgenOverloadShedsCleanly(t *testing.T) {
+	eng := sweep.NewEngine(2)
+	eng.SetStore(slowStore{d: 10 * time.Millisecond})
+	srv, ts := newTestServer(t, Config{Engine: eng, MaxInFlight: 1, MaxQueue: 2}, nil)
+	_ = srv
+
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:        ts.URL,
+		Duration:       600 * time.Millisecond,
+		Rate:           300,
+		HotFraction:    0.5,
+		RequestTimeout: 5 * time.Second,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent < 20 {
+		t.Fatalf("open-loop generator only sent %d requests", rep.Sent)
+	}
+	if rep.ServerErrors != 0 {
+		t.Fatalf("%d server errors under overload — overload must shed, never 5xx", rep.ServerErrors)
+	}
+	if rep.ClientErrors != 0 {
+		t.Fatalf("%d client errors: the loadgen query mix is broken", rep.ClientErrors)
+	}
+	if rep.TransportErrors != 0 {
+		t.Fatalf("%d transport errors against a local server", rep.TransportErrors)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("no shedding at 300 rps against MaxInFlight=1 — overload never happened")
+	}
+	if rep.OK == 0 {
+		t.Fatal("nothing admitted at all")
+	}
+	slo := SLO{MaxServerErrors: 0, MinShedRate: 0.01}
+	if v := slo.Violations(rep); len(v) != 0 {
+		t.Fatalf("SLO violations: %v", v)
+	}
+}

@@ -71,5 +71,6 @@ func (st CacheStats) FillManifest(m *telemetry.Manifest) {
 	m.DiskCacheHits = st.Disk.Hits
 	m.DiskCacheMisses = st.Disk.Misses
 	m.DiskCacheEvictions = st.Disk.Evictions
+	m.DiskCacheQuarantined = st.Disk.Quarantined
 	m.Simulations = st.Simulations
 }

@@ -346,8 +346,8 @@ type CacheStats struct {
 	// evictions from hardened-retry forgets).
 	Memory TierStats
 	// Disk is the persistent tier's traffic as driven by this engine,
-	// with Evictions (quarantined corrupt entries) read from the store
-	// itself. Zero-valued when no store is attached.
+	// with Evictions and Quarantined read from the store itself.
+	// Zero-valued when no store is attached.
 	Disk TierStats
 	// Simulations counts cells that ran the simulator — the work the
 	// cache exists to avoid.
@@ -374,7 +374,9 @@ func (e *Engine) Stats() CacheStats {
 		Schema:      KeySchema,
 	}
 	if ds := e.Store(); ds != nil {
-		st.Disk.Evictions = ds.Stats().Evictions
+		dst := ds.Stats()
+		st.Disk.Evictions = dst.Evictions
+		st.Disk.Quarantined = dst.Quarantined
 	}
 	return st
 }

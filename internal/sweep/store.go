@@ -37,10 +37,15 @@ type TierStats struct {
 	Hits int64
 	// Misses counts lookups this tier could not answer.
 	Misses int64
-	// Evictions counts entries this tier dropped: forgotten poisoned
-	// cells for the memory tier, quarantined corrupt entries for the
-	// disk tier.
+	// Evictions counts intact entries this tier deliberately dropped —
+	// forgotten poisoned cells for the memory tier, capacity evictions
+	// for a bounded disk tier. Corrupt entries are NOT evictions; they
+	// are counted under Quarantined.
 	Evictions int64
+	// Quarantined counts entries this tier removed because they failed
+	// verification (envelope corruption, foreign codec, key mismatch) —
+	// the disk tier's quarantine/ traffic. Always 0 for the memory tier.
+	Quarantined int64
 }
 
 // storedRecord is the on-disk envelope payload: codec version, the
@@ -79,35 +84,52 @@ func (d *DiskStore) Dir() string { return d.cas.Dir() }
 // key mismatch — reads as a miss; entries that passed the envelope
 // checksum but fail the record codec are quarantined like corrupt ones.
 func (d *DiskStore) Get(k CellKey) (Record, bool) {
+	rec, ok, _ := d.GetE(k)
+	return rec, ok
+}
+
+// GetE is Get with the environmental error surfaced: a corrupt entry is
+// still a clean miss (quarantined, err == nil), but an unreadable
+// directory or failing disk reports its error so callers that protect
+// the tier — the serve daemon's circuit breaker — can distinguish "not
+// cached" from "cache down".
+func (d *DiskStore) GetE(k CellKey) (Record, bool, error) {
 	digest := digestOf(k)
 	payload, ok, err := d.cas.Get(digest)
 	if err != nil || !ok {
-		return Record{}, false
+		return Record{}, false, err
 	}
-	rec, err := decodeRecord(payload, k)
-	if err != nil {
+	rec, derr := decodeRecord(payload, k)
+	if derr != nil {
 		// The envelope was intact but the payload is from another codec
 		// era (or another key): evict it so the slot heals on re-put.
 		d.cas.Quarantine(digest)
-		return Record{}, false
+		return Record{}, false, nil
 	}
-	return rec, true
+	return rec, true, nil
 }
 
 // Put implements Store (best-effort; see the interface contract).
-func (d *DiskStore) Put(k CellKey, rec Record) {
+func (d *DiskStore) Put(k CellKey, rec Record) { _ = d.PutE(k, rec) }
+
+// PutE is Put with the write error surfaced (full disk, permissions),
+// for callers that track the tier's health.
+func (d *DiskStore) PutE(k CellKey, rec Record) error {
 	payload, err := json.Marshal(storedRecord{Codec: RecordCodec, Key: k, Record: rec})
 	if err != nil {
-		return
+		return err
 	}
-	_ = d.cas.Put(digestOf(k), payload)
+	return d.cas.Put(digestOf(k), payload)
 }
 
 // Stats implements Store, mapping the blob store's counters onto the
-// tier view (quarantines are this tier's evictions).
+// tier view. Quarantines (corrupt, foreign-codec or misfiled entries
+// moved aside) are reported as Quarantined, distinct from Evictions —
+// the two used to be conflated, which made a corruption storm read as a
+// capacity problem.
 func (d *DiskStore) Stats() TierStats {
 	st := d.cas.Stats()
-	return TierStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Quarantined}
+	return TierStats{Hits: st.Hits, Misses: st.Misses, Quarantined: st.Quarantined}
 }
 
 // Len reports how many intact entries the store holds (inspection

@@ -182,8 +182,11 @@ func TestDiskStoreCorruptEntryIsMiss(t *testing.T) {
 	if st.Simulations != 1 {
 		t.Errorf("simulated %d cells after one corruption, want exactly 1 (stats %+v)", st.Simulations, st)
 	}
-	if st.Disk.Evictions != 1 {
-		t.Errorf("disk evictions %d, want 1 quarantine (stats %+v)", st.Disk.Evictions, st)
+	if st.Disk.Quarantined != 1 {
+		t.Errorf("disk quarantines %d, want 1 (stats %+v)", st.Disk.Quarantined, st)
+	}
+	if st.Disk.Evictions != 0 {
+		t.Errorf("disk evictions %d, want 0 — quarantines are not evictions (stats %+v)", st.Disk.Evictions, st)
 	}
 	if q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*")); len(q) != 1 {
 		t.Errorf("quarantine holds %d entries, want 1", len(q))
@@ -230,8 +233,8 @@ func TestDiskStoreRejectsForeignCodec(t *testing.T) {
 		t.Error("misfiled entry returned as a hit")
 	}
 
-	if st := ds.Stats(); st.Evictions != 2 {
-		t.Errorf("disk evictions %d, want 2", st.Evictions)
+	if st := ds.Stats(); st.Quarantined != 2 {
+		t.Errorf("disk quarantines %d, want 2 (stats %+v)", st.Quarantined, st)
 	}
 }
 

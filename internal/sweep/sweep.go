@@ -297,6 +297,13 @@ func expand(g Grid) ([]CellKey, error) {
 	return keys, nil
 }
 
+// Cells enumerates the grid's feasible cells in deterministic order —
+// the exact normalized list every Run variant executes. Callers that
+// need the cell count before committing to a run (the serve daemon's
+// admission controller prices requests by it) expand once here and hand
+// the keys to RunCellsWithOptions/RunCellsSharded.
+func (g Grid) Cells() ([]CellKey, error) { return expand(g) }
+
 // Run executes the full grid on the Default engine, returning one record
 // per cell in deterministic order.
 func Run(g Grid) ([]Record, error) { return Default.Run(g) }

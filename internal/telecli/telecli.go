@@ -7,13 +7,31 @@
 package telecli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mlperf/internal/telemetry"
 )
+
+// InterruptContext returns a context cancelled on SIGINT or SIGTERM —
+// the shared graceful-shutdown hook of the CLIs. The first signal
+// cancels the context so the tool can emit a partial report and flush
+// its manifest; signal delivery is unregistered at that moment, so a
+// second Ctrl-C during a wedged drain kills the process the default
+// way instead of being swallowed.
+func InterruptContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
 
 // Sink owns a CLI's telemetry lifecycle: flag values, the registry
 // handed to instrumented layers, and the run manifest flushed at exit.

@@ -39,12 +39,15 @@ type Manifest struct {
 	// cache traffic (memory and disk) was keyed under; 0 when the run did
 	// not touch the sweep cache.
 	CacheSchema int `json:"cache_schema,omitempty"`
-	// DiskCacheHits/DiskCacheMisses/DiskCacheEvictions snapshot the
-	// persistent cache tier (all zero when none was attached). Evictions
-	// are quarantined corrupt or foreign entries.
-	DiskCacheHits      int64 `json:"disk_cache_hits,omitempty"`
-	DiskCacheMisses    int64 `json:"disk_cache_misses,omitempty"`
-	DiskCacheEvictions int64 `json:"disk_cache_evictions,omitempty"`
+	// DiskCacheHits/DiskCacheMisses/DiskCacheEvictions/DiskCacheQuarantined
+	// snapshot the persistent cache tier (all zero when none was
+	// attached). Evictions are intact entries dropped for capacity;
+	// Quarantined are corrupt, foreign-codec or misfiled entries moved
+	// into quarantine/.
+	DiskCacheHits        int64 `json:"disk_cache_hits,omitempty"`
+	DiskCacheMisses      int64 `json:"disk_cache_misses,omitempty"`
+	DiskCacheEvictions   int64 `json:"disk_cache_evictions,omitempty"`
+	DiskCacheQuarantined int64 `json:"disk_cache_quarantined,omitempty"`
 	// Simulations counts cells that actually ran the simulator — memory
 	// misses not answered by the disk tier. A warm-cache replay is
 	// Simulations == 0, which CI asserts.
@@ -155,7 +158,7 @@ func (m *Manifest) Validate() error {
 	}
 	if m.CacheHits < 0 || m.CacheMisses < 0 || m.Cells < 0 || m.Spans < 0 ||
 		m.CacheSchema < 0 || m.DiskCacheHits < 0 || m.DiskCacheMisses < 0 ||
-		m.DiskCacheEvictions < 0 || m.Simulations < 0 {
+		m.DiskCacheEvictions < 0 || m.DiskCacheQuarantined < 0 || m.Simulations < 0 {
 		return fmt.Errorf("telemetry: manifest has negative counters")
 	}
 	if m.SimulatedSeconds < 0 || m.WallSeconds < 0 {
