@@ -28,6 +28,7 @@ func main() {
 	rate := flag.Float64("rate", 20, "open-loop arrival rate, requests/second")
 	tenants := flag.Int("tenants", 0, "distinct X-Tenant identities to rotate (0 = anonymous)")
 	hot := flag.Float64("hot", 0.8, "fraction of requests from the hot (cacheable, coalesceable) query set")
+	stream := flag.Float64("stream", 0, "fraction of sweep requests issued as streaming /v1/sweep/stream clients")
 	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request propagated deadline")
 	seed := flag.Int64("seed", 1, "arrival and query-mix seed")
 	sloP99 := flag.Duration("slo-p99", 0, "SLO: max p99 latency of admitted requests (0 = unchecked)")
@@ -55,6 +56,7 @@ func main() {
 		Rate:           *rate,
 		Tenants:        *tenants,
 		HotFraction:    *hot,
+		StreamFraction: *stream,
 		RequestTimeout: *reqTimeout,
 		Seed:           *seed,
 		Telemetry:      reg,

@@ -45,6 +45,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "sweep engine worker pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent cell cache directory, guarded by the circuit breaker")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "cap the cache directory's size in bytes, evicting oldest entries on overflow (0 = unbounded)")
 	shards := flag.Int("shards", 0, "shard grid queries across N digest-sharded queues (0/1 = plain pool)")
 	maxInflight := flag.Int("max-inflight", 8, "max concurrently executing requests")
 	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a slot before shedding (0 = 2*max-inflight)")
@@ -63,6 +64,7 @@ func main() {
 	srv, err := serve.New(serve.Config{
 		Workers:          *workers,
 		CacheDir:         *cacheDir,
+		CacheMaxBytes:    *cacheMax,
 		Shards:           *shards,
 		MaxInFlight:      *maxInflight,
 		MaxQueue:         *maxQueue,
@@ -82,6 +84,7 @@ func main() {
 	if sink.Enabled() {
 		sink.Config("addr", *addr)
 		sink.Config("cache-dir", *cacheDir)
+		sink.Config("cache-max-bytes", strconv.FormatInt(*cacheMax, 10))
 		sink.Config("shards", strconv.Itoa(*shards))
 		sink.Config("max-inflight", strconv.Itoa(*maxInflight))
 		sink.Config("max-cells", strconv.FormatInt(*maxCells, 10))

@@ -78,6 +78,12 @@ type Stats struct {
 	// QuarantineDropped counts quarantined entries discarded because the
 	// quarantine directory exceeded its cap (oldest dropped first).
 	QuarantineDropped int64
+	// Evictions counts intact entries removed to keep the store under its
+	// byte capacity (SetMaxBytes), oldest first. Distinct from Quarantined:
+	// an eviction is a deliberate capacity decision about a good entry, a
+	// quarantine is a verification failure — conflating them makes a
+	// corruption storm read as a capacity problem and vice versa.
+	Evictions int64
 }
 
 // Store is an on-disk content-addressed blob store rooted at one
@@ -88,6 +94,7 @@ type Store struct {
 	dir string
 
 	hits, misses, puts, putsSkipped, quarantined, quarantineDropped atomic.Int64
+	evictions                                                       atomic.Int64
 
 	// qmu serializes quarantine moves and the prune that follows, so two
 	// goroutines quarantining at once cannot both skip pruning.
@@ -95,6 +102,19 @@ type Store struct {
 	// quarantineLimit caps quarantine/ entries (0 = DefaultQuarantineLimit,
 	// negative = unlimited).
 	quarantineLimit atomic.Int64
+
+	// maxBytes caps the summed size of intact entries (<= 0 = unbounded).
+	maxBytes atomic.Int64
+	// approxBytes tracks the store's size as this process sees it: seeded
+	// by the scan in SetMaxBytes, advanced by each Put, and re-anchored to
+	// the authoritative on-disk total at every eviction scan. With several
+	// processes sharing the directory each one's estimate drifts between
+	// scans, so the cap is enforced eventually, not instantaneously —
+	// which is the right trade for a cache.
+	approxBytes atomic.Int64
+	// emu serializes eviction scans so concurrent over-cap Puts do not
+	// race each other deleting files.
+	emu sync.Mutex
 }
 
 // Open creates (if needed) and returns the store rooted at dir.
@@ -124,6 +144,22 @@ func (s *Store) QuarantineLimit() int {
 	}
 	return n
 }
+
+// SetMaxBytes caps the summed size of intact entries (envelope bytes on
+// disk; quarantined entries do not count — they have their own cap).
+// When a Put pushes the store past the cap, the oldest entries (by
+// modification time) are evicted until it fits again, each counted in
+// Stats.Evictions. n <= 0 removes the cap. Setting a cap evicts
+// immediately if the store already exceeds it.
+func (s *Store) SetMaxBytes(n int64) {
+	s.maxBytes.Store(n)
+	if n > 0 {
+		s.evictToCap()
+	}
+}
+
+// MaxBytes reports the capacity cap (<= 0 = unbounded).
+func (s *Store) MaxBytes() int64 { return s.maxBytes.Load() }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -193,7 +229,8 @@ func (s *Store) Put(digest string, payload []byte) error {
 		return fmt.Errorf("cas: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(encodeEnvelope(payload)); err != nil {
+	env := encodeEnvelope(payload)
+	if _, err := tmp.Write(env); err != nil {
 		tmp.Close()
 		return fmt.Errorf("cas: %w", err)
 	}
@@ -204,7 +241,80 @@ func (s *Store) Put(digest string, payload []byte) error {
 		return fmt.Errorf("cas: %w", err)
 	}
 	s.puts.Add(1)
+	// Write-through capacity check: only a successful write can push the
+	// store over its cap, so this is the one place eviction triggers.
+	if limit := s.maxBytes.Load(); limit > 0 && s.approxBytes.Add(int64(len(env))) > limit {
+		s.evictToCap()
+	}
 	return nil
+}
+
+// evictToCap walks the store, re-anchors the size estimate to the
+// authoritative on-disk total, and — if it exceeds the cap — removes the
+// oldest entries (modification time, name as tiebreak) until it fits.
+// The entry just written is by construction the newest, so it survives
+// any eviction the cap allows. Quarantine and in-flight temp files are
+// invisible to the scan.
+func (s *Store) evictToCap() {
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	limit := s.maxBytes.Load()
+	if limit <= 0 {
+		return
+	}
+	type aged struct {
+		path string
+		size int64
+		when time.Time
+	}
+	var files []aged
+	var total int64
+	dirs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, d := range dirs {
+		if !d.IsDir() || d.Name() == quarantineDir {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.dir, d.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || validDigest(e.Name()) != nil {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			files = append(files, aged{
+				path: filepath.Join(s.dir, d.Name(), e.Name()),
+				size: info.Size(),
+				when: info.ModTime(),
+			})
+			total += info.Size()
+		}
+	}
+	if total > limit {
+		sort.Slice(files, func(i, j int) bool {
+			if !files[i].when.Equal(files[j].when) {
+				return files[i].when.Before(files[j].when)
+			}
+			return files[i].path < files[j].path
+		})
+		for _, f := range files {
+			if total <= limit {
+				break
+			}
+			if os.Remove(f.path) == nil {
+				total -= f.size
+				s.evictions.Add(1)
+			}
+		}
+	}
+	s.approxBytes.Store(total)
 }
 
 // Quarantine evicts the entry under digest into quarantine/, preserving
@@ -306,6 +416,7 @@ func (s *Store) Stats() Stats {
 		PutsSkipped:       s.putsSkipped.Load(),
 		Quarantined:       s.quarantined.Load(),
 		QuarantineDropped: s.quarantineDropped.Load(),
+		Evictions:         s.evictions.Load(),
 	}
 }
 

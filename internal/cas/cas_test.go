@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func digestOf(payload []byte) string {
@@ -280,5 +281,148 @@ func TestQuarantineLimitKnob(t *testing.T) {
 	s.SetQuarantineLimit(7)
 	if got := s.QuarantineLimit(); got != 7 {
 		t.Errorf("limit %d, want 7", got)
+	}
+}
+
+// fileSize reports the on-disk envelope size of one stored digest.
+func fileSize(t *testing.T, s *Store, d string) int64 {
+	t.Helper()
+	info, err := os.Stat(s.path(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// age backdates a stored entry's mtime so eviction order is
+// deterministic regardless of filesystem timestamp granularity.
+func age(t *testing.T, s *Store, d string, secondsAgo int) {
+	t.Helper()
+	when := time.Now().Add(-time.Duration(secondsAgo) * time.Second)
+	if err := os.Chtimes(s.path(d), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SetMaxBytes on an over-capacity store evicts oldest-first until it
+// fits, counting each removal — and only counts removals of intact
+// entries, under Evictions.
+func TestSetMaxBytesEvictsOldestFirst(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var digests []string
+	for i := 0; i < 5; i++ {
+		p := []byte(fmt.Sprintf(`{"cell":%d,"pad":"0123456789abcdef"}`, i))
+		d := digestOf(p)
+		if err := s.Put(d, p); err != nil {
+			t.Fatal(err)
+		}
+		age(t, s, d, 100-i) // entry 0 oldest, entry 4 newest
+		digests = append(digests, d)
+	}
+	size := fileSize(t, s, digests[0])
+
+	// Room for two entries plus slack smaller than a third.
+	s.SetMaxBytes(2*size + size/2)
+
+	st := s.Stats()
+	if st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+	for i, d := range digests {
+		_, ok, err := s.Get(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i >= 3; ok != want {
+			t.Fatalf("entry %d present=%v, want %v (oldest three must go first)", i, ok, want)
+		}
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("capacity eviction bled into quarantined: %+v", st)
+	}
+}
+
+// A Put that overflows the cap triggers eviction on the spot; the entry
+// just written survives (it is the newest).
+func TestPutOverflowEvictsOnWriteThrough(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(i, ageS int) string {
+		p := []byte(fmt.Sprintf(`{"cell":%d,"pad":"0123456789abcdef"}`, i))
+		d := digestOf(p)
+		if err := s.Put(d, p); err != nil {
+			t.Fatal(err)
+		}
+		age(t, s, d, ageS)
+		return d
+	}
+	d0 := put(0, 100)
+	size := fileSize(t, s, d0)
+	s.SetMaxBytes(2*size + size/2)
+	d1 := put(1, 50)
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("under-cap puts evicted: %+v", st)
+	}
+	d2 := put(2, 0)
+
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (the overflow put)", st.Evictions)
+	}
+	if _, ok, _ := s.Get(d0); ok {
+		t.Fatal("oldest entry survived the overflow")
+	}
+	for _, d := range []string{d1, d2} {
+		if _, ok, _ := s.Get(d); !ok {
+			t.Fatalf("entry %s evicted though it fit", d[:8])
+		}
+	}
+}
+
+// Quarantines are not evictions: a corrupt entry moved aside must count
+// under Quarantined only, and quarantined bytes do not occupy capacity.
+func TestQuarantineDoesNotCountAsEviction(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []byte(`{"cell":"good"}`)
+	bad := []byte(`{"cell":"bad"}`)
+	gd, bd := digestOf(good), digestOf(bad)
+	for d, p := range map[string][]byte{gd: good, bd: bad} {
+		if err := s.Put(d, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt one entry on disk, then read it: quarantine path.
+	if err := os.WriteFile(s.path(bd), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(bd); ok || err != nil {
+		t.Fatalf("corrupt get: ok=%v err=%v", ok, err)
+	}
+
+	// A cap large enough for the surviving entry: the quarantined bytes
+	// must neither count toward capacity nor be deleted by the scan.
+	s.SetMaxBytes(2 * fileSize(t, s, gd))
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 — quarantines must not count as evictions", st.Evictions)
+	}
+	if _, ok, _ := s.Get(gd); !ok {
+		t.Fatal("intact entry lost")
+	}
+	qdir := filepath.Join(s.Dir(), quarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("quarantine dir entries = %d (%v), want 1 — eviction must not touch quarantine", len(entries), err)
 	}
 }

@@ -1,0 +1,786 @@
+// Package front is the multi-process serving tier: one HTTP front
+// fanning requests across N mlperf-serve backends that share a single
+// content-addressed cache directory. Routing is by cell digest over a
+// consistent-hash ring, so the same cell always lands on the same
+// backend — its memory tier stays hot and concurrent identical queries
+// coalesce inside one process instead of simulating twice — while the
+// shared disk CAS makes every backend's results visible to all of them.
+//
+// Grid sweeps are digest-partitioned: the front expands the request to
+// its cell list (the exact expansion the backends use), slices it by
+// ring owner, POSTs each slice as an explicit {"cells": [...]} sub-grid,
+// and merges the sub-results back into the global cell order — byte-
+// identical to a single process running the whole grid. Streaming
+// sweeps merge the backends' frame streams the same way, re-indexing
+// each record frame from its slice-local index to the global one as it
+// arrives.
+//
+// Failover: a health loop polls each backend's /readyz; a draining or
+// dead backend drops out of the preferred-routing set, and an in-flight
+// attempt that hits a connection error or a 503 (drain) retries on the
+// next healthy ring member. 429s do NOT fail over — a shed is a
+// backend-local admission decision, and bouncing shed traffic to the
+// next backend would defeat load shedding exactly when it matters.
+package front
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlperf/internal/serve"
+	"mlperf/internal/shard"
+	"mlperf/internal/sweep"
+	"mlperf/internal/telemetry"
+)
+
+// Metric names the front registers.
+const (
+	MetricRequests  = "front_requests_total"  // counter by endpoint/code
+	MetricFailovers = "front_failovers_total" // counter, attempts moved to another backend
+	MetricFanouts   = "front_fanouts_total"   // counter, sweep sub-requests issued
+	MetricUnhealthy = "front_backend_down"    // gauge per backend, 1 = failing /readyz
+)
+
+// Config shapes the front tier.
+type Config struct {
+	// Backends are the mlperf-serve base URLs (e.g. http://127.0.0.1:8081).
+	// At least one is required; all should share one -cache-dir for the
+	// cross-process cache story to hold.
+	Backends []string
+	// Replicas is the ring's virtual nodes per backend
+	// (0 = shard.DefaultReplicas).
+	Replicas int
+	// HealthInterval is the /readyz poll cadence (0 = 500ms).
+	HealthInterval time.Duration
+	// Client performs backend requests (nil = a client with no overall
+	// timeout — streams are long-lived — and sane connect behavior).
+	Client *http.Client
+	// Telemetry is the registry /metrics serves from (nil = private).
+	Telemetry *telemetry.Registry
+}
+
+// Stats is the front's operational snapshot (/v1/stats).
+type Stats struct {
+	Backends  []BackendStatus `json:"backends"`
+	Requests  int64           `json:"requests"`
+	Failovers int64           `json:"failovers"`
+	Fanouts   int64           `json:"fanouts"`
+}
+
+// BackendStatus is one backend's view from the front.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+}
+
+// Front is one front-tier instance. Create with New, expose with
+// Handler, stop with Close (stops the health loop).
+type Front struct {
+	cfg      Config
+	backends []string
+	ring     *shard.Ring
+	client   *http.Client
+	reg      *telemetry.Registry
+	mux      *http.ServeMux
+
+	healthy []atomic.Bool
+
+	stopHealth context.CancelFunc
+	healthDone chan struct{}
+	// firstProbe closes after the startup health round completes —
+	// until then the optimistic all-healthy view is in effect.
+	firstProbe chan struct{}
+
+	requests  atomic.Int64
+	failovers atomic.Int64
+	fanouts   atomic.Int64
+}
+
+// New builds a front over cfg.Backends and starts its health loop.
+func New(cfg Config) (*Front, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("front: no backends configured")
+	}
+	backends := make([]string, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if !strings.HasPrefix(b, "http://") && !strings.HasPrefix(b, "https://") {
+			return nil, fmt.Errorf("front: backend %q is not an http(s) URL", cfg.Backends[i])
+		}
+		backends[i] = b
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{} // no Timeout: streams are long-lived
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	f := &Front{
+		cfg:      cfg,
+		backends: backends,
+		ring:     shard.NewRing(len(backends), cfg.Replicas),
+		client:   client,
+		reg:      reg,
+		mux:      http.NewServeMux(),
+		healthy:  make([]atomic.Bool, len(backends)),
+	}
+	// Optimistic start: every backend is presumed healthy until a probe
+	// says otherwise, so the front serves immediately and per-request
+	// failover covers the window before the first poll completes.
+	for i := range f.healthy {
+		f.healthy[i].Store(true)
+	}
+	f.routes()
+	ctx, cancel := context.WithCancel(context.Background())
+	f.stopHealth = cancel
+	f.healthDone = make(chan struct{})
+	f.firstProbe = make(chan struct{})
+	go f.healthLoop(ctx)
+	return f, nil
+}
+
+// Close stops the health loop. In-flight proxied requests finish on
+// their own; the HTTP server owning the handler drains separately.
+func (f *Front) Close() {
+	f.stopHealth()
+	<-f.healthDone
+}
+
+// Handler returns the front's HTTP surface.
+func (f *Front) Handler() http.Handler { return f.mux }
+
+func (f *Front) routes() {
+	f.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	f.mux.HandleFunc("/readyz", f.handleReadyz)
+	f.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = f.reg.WritePrometheus(w)
+	})
+	f.mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Snapshot())
+	})
+	f.mux.HandleFunc("/v1/sweep", f.handleSweep)
+	f.mux.HandleFunc("/v1/sweep/stream", f.handleSweepStream)
+	f.mux.HandleFunc("/v1/simulate", f.handleSimulate)
+	// Everything else (whatif, schedule, ...) proxies whole to one
+	// backend, routed by its request line for cache affinity.
+	f.mux.HandleFunc("/", f.handleProxy)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// ---- health ----
+
+func (f *Front) healthLoop(ctx context.Context) {
+	defer close(f.healthDone)
+	f.probeAll(ctx)
+	close(f.firstProbe)
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			f.probeAll(ctx)
+		}
+	}
+}
+
+func (f *Front) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range f.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ok := f.probe(ctx, i)
+			f.healthy[i].Store(ok)
+			v := 0.0
+			if !ok {
+				v = 1.0
+			}
+			f.reg.Gauge(MetricUnhealthy,
+				telemetry.Label{Key: "backend", Value: strconv.Itoa(i)}).Set(v)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (f *Front) probe(ctx context.Context, i int) bool {
+	pctx, cancel := context.WithTimeout(ctx, f.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, f.backends[i]+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// order returns backend indices to try for a routing key: the ring
+// owner's rotation with healthy backends first. Unhealthy ones stay at
+// the tail as a last resort — a stale health view must not turn into a
+// refusal when the backend is actually back.
+func (f *Front) order(key string) []int {
+	n := len(f.backends)
+	owner := f.ring.Owner(key)
+	rot := make([]int, 0, n)
+	var down []int
+	for s := 0; s < n; s++ {
+		i := (owner + s) % n
+		if f.healthy[i].Load() {
+			rot = append(rot, i)
+		} else {
+			down = append(down, i)
+		}
+	}
+	return append(rot, down...)
+}
+
+// ---- generic proxy ----
+
+// forwardHeaders are the request headers that carry semantics the
+// backends act on.
+var forwardHeaders = []string{"X-Tenant", "Request-Timeout", "Accept"}
+
+// tryBackends walks the routing order issuing attempt(i) until one
+// succeeds. attempt reports retriable=true for failures worth moving to
+// the next backend (connection refused, 503 drain); any other outcome
+// ends the walk.
+func (f *Front) tryBackends(key string, attempt func(i int) (done bool, retriable bool)) bool {
+	for n, i := range f.order(key) {
+		if n > 0 {
+			f.failovers.Add(1)
+			f.reg.Counter(MetricFailovers).Inc()
+		}
+		done, retriable := attempt(i)
+		if done {
+			return true
+		}
+		if !retriable {
+			return false
+		}
+	}
+	return false
+}
+
+// handleProxy forwards the whole request to one backend, failing over
+// on connection errors and drain 503s.
+func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
+	f.count("proxy")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<26))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := r.Method + " " + r.URL.RequestURI()
+	if !f.tryBackends(key, func(i int) (bool, bool) {
+		resp, err := f.send(r, i, r.URL.RequestURI(), body)
+		if err != nil {
+			return false, true
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			return false, true
+		}
+		relay(w, resp)
+		return true, false
+	}) {
+		f.shedNoBackend(w)
+	}
+}
+
+// handleSimulate proxies one cell, routed by its digest so repeated and
+// concurrent queries for the same cell hit the same backend's memory
+// tier and coalescer.
+func (f *Front) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	f.count("simulate")
+	k, err := serve.CellKeyFromRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	digest, err := k.Digest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !f.tryBackends(digest, func(i int) (bool, bool) {
+		resp, err := f.send(r, i, r.URL.RequestURI(), nil)
+		if err != nil {
+			return false, true
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			return false, true
+		}
+		relay(w, resp)
+		return true, false
+	}) {
+		f.shedNoBackend(w)
+	}
+}
+
+// send issues a backend request mirroring the client's method, path and
+// semantic headers. body nil = no body.
+func (f *Front) send(r *http.Request, i int, uri string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, f.backends[i]+uri, rd)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range forwardHeaders {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	if body != nil && r.Header.Get("Content-Type") != "" {
+		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	}
+	return f.client.Do(req)
+}
+
+// relay copies a backend response through to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (f *Front) shedNoBackend(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "no backend available")
+}
+
+func (f *Front) count(endpoint string) {
+	f.requests.Add(1)
+	f.reg.Counter(MetricRequests, telemetry.Label{Key: "endpoint", Value: endpoint}).Inc()
+}
+
+// ---- sweep fan-out ----
+
+// partition slices a cell list by ring owner, remembering each cell's
+// global index so sub-results merge back into the exact order a single
+// process would have returned.
+type partition struct {
+	backendHint int // ring owner; failover may land elsewhere
+	indices     []int
+	keys        []sweep.CellKey
+}
+
+func (f *Front) partition(keys []sweep.CellKey) ([]partition, error) {
+	parts := make(map[int]*partition)
+	for i, k := range keys {
+		d, err := k.Digest()
+		if err != nil {
+			return nil, err
+		}
+		o := f.ring.Owner(d)
+		p := parts[o]
+		if p == nil {
+			p = &partition{backendHint: o}
+			parts[o] = p
+		}
+		p.indices = append(p.indices, i)
+		p.keys = append(p.keys, k)
+	}
+	out := make([]partition, 0, len(parts))
+	for o := 0; o < len(f.backends); o++ {
+		if p := parts[o]; p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out, nil
+}
+
+// subSweep runs one partition's unary sub-sweep with failover, keyed by
+// the partition's first cell digest (any stable key rotates from the
+// owner; the hint IS the owner so attempt 0 goes there).
+func (f *Front) subSweep(r *http.Request, p partition) (*serve.SweepResponse, error) {
+	body, err := serve.CellsBody(p.keys)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.keys[0].Digest()
+	if err != nil {
+		return nil, err
+	}
+	var sub serve.SweepResponse
+	var lastErr error
+	ok := f.tryBackends(d, func(i int) (bool, bool) {
+		f.fanouts.Add(1)
+		f.reg.Counter(MetricFanouts).Inc()
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			f.backends[i]+"/v1/sweep"+timeoutQuery(r), bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			return false, false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for _, h := range forwardHeaders {
+			if v := r.Header.Get(h); v != "" {
+				req.Header.Set(h, v)
+			}
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			lastErr = err
+			return false, true
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			lastErr = fmt.Errorf("backend %s draining", f.backends[i])
+			return false, true
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			lastErr = fmt.Errorf("backend %s: %d %s", f.backends[i], resp.StatusCode, strings.TrimSpace(string(b)))
+			return false, false
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			lastErr = err
+			return false, false
+		}
+		return true, false
+	})
+	if !ok {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no backend available")
+		}
+		return nil, lastErr
+	}
+	return &sub, nil
+}
+
+// timeoutQuery propagates an explicit ?timeout= to sub-requests (the
+// Request-Timeout header travels via forwardHeaders).
+func timeoutQuery(r *http.Request) string {
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		return "?timeout=" + v
+	}
+	return ""
+}
+
+// handleSweep fans a grid out across the backends and merges the
+// sub-responses back into global cell order.
+func (f *Front) handleSweep(w http.ResponseWriter, r *http.Request) {
+	f.count("sweep")
+	keys, err := serve.SweepKeysFromRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	parts, err := f.partition(keys)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	merged := serve.SweepResponse{
+		Records: make([]sweep.Record, len(keys)),
+		Cells:   len(keys),
+	}
+	type subResult struct {
+		part partition
+		resp *serve.SweepResponse
+		err  error
+	}
+	results := make([]subResult, len(parts))
+	var wg sync.WaitGroup
+	for pi, p := range parts {
+		wg.Add(1)
+		go func(pi int, p partition) {
+			defer wg.Done()
+			resp, err := f.subSweep(r, p)
+			results[pi] = subResult{part: p, resp: resp, err: err}
+		}(pi, p)
+	}
+	wg.Wait()
+
+	for _, res := range results {
+		if res.err != nil {
+			// The slice's cells stay zero-valued — the same shape a
+			// single-process partial run gives failed cells.
+			merged.Partial = true
+			merged.Failures = append(merged.Failures,
+				fmt.Sprintf("backend slice (%d cells): %v", len(res.part.keys), res.err))
+			continue
+		}
+		for j, gi := range res.part.indices {
+			merged.Records[gi] = res.resp.Records[j]
+		}
+		merged.Completed += res.resp.Completed
+		merged.Partial = merged.Partial || res.resp.Partial
+		merged.Canceled = merged.Canceled || res.resp.Canceled
+		merged.Failures = append(merged.Failures, res.resp.Failures...)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// ---- streaming fan-out ----
+
+// handleSweepStream fans a grid out as backend streams and interleaves
+// their frames onto one client stream, re-indexing each record frame
+// from its slice-local index to the global one. The terminal summary
+// aggregates the backends' summaries; per-backend cache/sharding detail
+// stays on the backends' own /v1/stats.
+func (f *Front) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	f.count("sweep_stream")
+	keys, err := serve.SweepKeysFromRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	parts, err := f.partition(keys)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+
+	// Frames funnel through one channel (buffered to the grid plus one
+	// summary per partition) so backend readers never block on the
+	// client writer.
+	frames := make(chan serve.StreamFrame, len(keys)+len(parts))
+	type subSummary struct {
+		frame serve.StreamFrame
+		err   error
+		cells int
+	}
+	summaries := make([]subSummary, len(parts))
+	var wg sync.WaitGroup
+	for pi, p := range parts {
+		wg.Add(1)
+		go func(pi int, p partition) {
+			defer wg.Done()
+			sum, err := f.subStream(r, p, frames)
+			summaries[pi] = subSummary{frame: sum, err: err, cells: len(p.keys)}
+		}(pi, p)
+	}
+	go func() { wg.Wait(); close(frames) }()
+
+	emit := func(fr *serve.StreamFrame) bool {
+		data, err := json.Marshal(fr)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", fr.Type, data)
+		} else {
+			_, err = w.Write(append(data, '\n'))
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	clientGone := false
+	for fr := range frames {
+		if clientGone {
+			continue // keep draining so sub-readers finish
+		}
+		if !emit(&fr) {
+			clientGone = true
+		}
+	}
+	if clientGone {
+		return
+	}
+
+	sum := serve.StreamFrame{Type: "summary", Cells: len(keys)}
+	for _, s := range summaries {
+		if s.err != nil {
+			sum.Partial = true
+			sum.Failures = append(sum.Failures,
+				fmt.Sprintf("backend slice (%d cells): %v", s.cells, s.err))
+			continue
+		}
+		sum.Completed += s.frame.Completed
+		sum.Partial = sum.Partial || s.frame.Partial
+		sum.Canceled = sum.Canceled || s.frame.Canceled
+		if sum.Reason == "" {
+			sum.Reason = s.frame.Reason
+		}
+		sum.Failures = append(sum.Failures, s.frame.Failures...)
+	}
+	emit(&sum)
+}
+
+// subStream runs one partition's backend stream, forwarding re-indexed
+// record frames and returning the backend's summary frame. Failover
+// only applies before the first frame arrives: once frames flowed, a
+// broken backend stream is a partial slice, not a retry (the cells
+// already forwarded must not stream twice).
+func (f *Front) subStream(r *http.Request, p partition, frames chan<- serve.StreamFrame) (serve.StreamFrame, error) {
+	body, err := serve.CellsBody(p.keys)
+	if err != nil {
+		return serve.StreamFrame{}, err
+	}
+	d, err := p.keys[0].Digest()
+	if err != nil {
+		return serve.StreamFrame{}, err
+	}
+	var summary serve.StreamFrame
+	var lastErr error
+	ok := f.tryBackends(d, func(i int) (bool, bool) {
+		f.fanouts.Add(1)
+		f.reg.Counter(MetricFanouts).Inc()
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			f.backends[i]+"/v1/sweep/stream"+timeoutQuery(r), bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			return false, false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for _, h := range []string{"X-Tenant", "Request-Timeout"} {
+			if v := r.Header.Get(h); v != "" {
+				req.Header.Set(h, v)
+			}
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			lastErr = err
+			return false, true
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			lastErr = fmt.Errorf("backend %s draining", f.backends[i])
+			return false, true
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			lastErr = fmt.Errorf("backend %s: %d %s", f.backends[i], resp.StatusCode, strings.TrimSpace(string(b)))
+			return false, false
+		}
+		forwarded := false
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 1<<20)
+		sawSummary := false
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var fr serve.StreamFrame
+			if err := json.Unmarshal(line, &fr); err != nil {
+				lastErr = fmt.Errorf("backend %s: bad frame: %v", f.backends[i], err)
+				return forwarded, !forwarded
+			}
+			switch fr.Type {
+			case "record":
+				fr.Index = p.indices[fr.Index] // slice-local -> global
+				frames <- fr
+				forwarded = true
+			case "summary":
+				summary = fr
+				sawSummary = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			lastErr = fmt.Errorf("backend %s: stream broke: %v", f.backends[i], err)
+			return forwarded, !forwarded
+		}
+		if !sawSummary {
+			lastErr = fmt.Errorf("backend %s: stream ended without summary", f.backends[i])
+			return forwarded, !forwarded
+		}
+		return true, false
+	})
+	if !ok {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no backend available")
+		}
+		return serve.StreamFrame{}, lastErr
+	}
+	return summary, nil
+}
+
+// ---- observability ----
+
+func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	for i := range f.healthy {
+		if f.healthy[i].Load() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no healthy backends"})
+}
+
+// Snapshot returns the operational stats.
+func (f *Front) Snapshot() Stats {
+	st := Stats{
+		Requests:  f.requests.Load(),
+		Failovers: f.failovers.Load(),
+		Fanouts:   f.fanouts.Load(),
+	}
+	for i, b := range f.backends {
+		st.Backends = append(st.Backends, BackendStatus{URL: b, Healthy: f.healthy[i].Load()})
+	}
+	return st
+}
+
+// FillManifest records the front's run into a telemetry manifest.
+func (f *Front) FillManifest(m *telemetry.Manifest) {
+	st := f.Snapshot()
+	m.Config["backends"] = strconv.Itoa(len(st.Backends))
+	m.Config["requests"] = strconv.FormatInt(st.Requests, 10)
+	m.Config["failovers"] = strconv.FormatInt(st.Failovers, 10)
+	m.Config["fanouts"] = strconv.FormatInt(st.Fanouts, 10)
+}

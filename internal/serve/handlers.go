@@ -2,8 +2,6 @@ package serve
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +24,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/sweep/stream", s.handleSweepStream)
 	s.mux.HandleFunc("/v1/whatif", s.handleWhatIf)
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
 }
@@ -54,19 +53,29 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 func (s *Server) shedWith(w http.ResponseWriter, reason shedReason, retryAfter time.Duration) {
 	s.shed.Add(1)
 	s.reg.Counter(MetricShed, telemetry.Label{Key: "reason", Value: string(reason)}).Inc()
-	if retryAfter <= 0 {
-		retryAfter = time.Second
-	}
-	secs := int(retryAfter / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 	status := http.StatusTooManyRequests
 	if reason == shedDrain {
 		status = http.StatusServiceUnavailable
 	}
 	writeError(w, status, fmt.Sprintf("overloaded: %s", reason))
+}
+
+// retryAfterSeconds renders a retry hint as whole seconds, rounding UP
+// and never below 1. Retry-After is integral on the wire, so a
+// sub-second hint (a token due in 500ms) must become 1, not
+// integer-divide to 0 — "Retry-After: 0" tells every shed client to
+// hammer the server again immediately, which is the opposite of load
+// shedding.
+func retryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // handleHealthz: liveness — the process is up and serving HTTP.
@@ -272,11 +281,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 // ---- /v1/sweep ----
 
-// sweepResponse is a grid's outcome. Partial reports graceful
+// SweepResponse is a grid's outcome. Partial reports graceful
 // degradation: the run was cut short (client deadline, drain) and
 // Records holds zero values at the failed indices — exactly the
 // engine's Partial/Report contract, over the wire.
-type sweepResponse struct {
+type SweepResponse struct {
 	Records   []sweep.Record `json:"records"`
 	Cells     int            `json:"cells"`
 	Completed int            `json:"completed"`
@@ -331,28 +340,20 @@ func intList(s string) ([]int, error) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	g, err := gridFrom(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	// Expanding up front prices the request for admission and yields the
+	// A GET carries grid parameters; a POST carries an explicit cell
+	// list (the front tier's digest-partitioned sub-grids). Expanding up
+	// front prices the request for admission and yields the
 	// content-addressed coalesce key: the digest of the cell digests.
-	keys, err := g.Cells()
+	keys, err := sweepKeysFrom(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	h := sha256.New()
-	for _, k := range keys {
-		d, derr := k.Digest()
-		if derr != nil {
-			writeError(w, http.StatusBadRequest, derr.Error())
-			return
-		}
-		h.Write([]byte(d))
+	key, err := gridKey(keys)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	key := "grid:" + hex.EncodeToString(h.Sum(nil))
 
 	s.runQuery(w, r, "sweep", int64(len(keys)), key, func(ctx context.Context) (any, int, error) {
 		// Partial on: a deadline mid-grid returns the completed cells with
@@ -370,7 +371,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if rerr != nil {
 			return nil, 0, rerr
 		}
-		resp := sweepResponse{
+		resp := SweepResponse{
 			Records:   recs,
 			Cells:     rep.Cells,
 			Completed: rep.Completed,

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// Retry-After is integral seconds on the wire; the hint must round UP
+// and can never be 0 — a sub-second hint used to pass the <= 0 clamp
+// and integer-divide to "retry immediately", defeating the shed.
+func TestRetryAfterSecondsRoundsUpNeverZero(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want int
+	}{
+		{-time.Second, 1},
+		{0, 1},
+		{time.Millisecond, 1},
+		{500 * time.Millisecond, 1}, // the pinned regression: 500ms is 1s, not 0
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{90 * time.Second, 90},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.in); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// The quota shed path hands shedWith the token-bucket wait, which is
+// routinely sub-second; on the wire it must still arrive as >= 1.
+func TestShedPathsNeverSendRetryAfterZero(t *testing.T) {
+	// Rate 10/s, burst 1: the second request sheds with a ~100ms hint.
+	_, ts := newTestServer(t, Config{TenantRate: 10, TenantBurst: 1}, nil)
+	if code, _, _ := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf", "X-Tenant", "fast"); code != http.StatusOK {
+		t.Fatalf("first request = %d, want 200", code)
+	}
+	code, _, hdr := get(t, ts.URL+"/v1/simulate?benchmark=res50_tf", "X-Tenant", "fast")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", code)
+	}
+	ra := hdr.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer", ra)
+	}
+	if secs < 1 {
+		t.Fatalf("Retry-After %d on the quota shed path: clients told to retry immediately during overload", secs)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -35,6 +36,12 @@ type LoadOptions struct {
 	// of queries (cache hits and coalesce targets); the rest are
 	// cache-cold unique cells. Default 0.8.
 	HotFraction float64
+	// StreamFraction is the share of sweep requests issued against
+	// /v1/sweep/stream as NDJSON-reading clients instead of unary
+	// /v1/sweep (0 = unary only). Streaming clients hold their
+	// connection until the terminal summary frame, which is what makes
+	// thousands of concurrent open streams a distinct load shape.
+	StreamFraction float64
 	// RequestTimeout is each request's propagated deadline (default 10s).
 	RequestTimeout time.Duration
 	// Seed drives arrivals and query choice.
@@ -65,6 +72,12 @@ type LoadReport struct {
 	// TransportErrors counts requests that failed before an HTTP status
 	// (connection refused, client timeout).
 	TransportErrors int `json:"transport_errors"`
+	// Streamed counts 2xx responses read as /v1/sweep/stream clients;
+	// StreamRecords is the total record frames they received. A stream
+	// that died mid-body after a 200 still counts as Streamed — the
+	// records it kept are the point of streaming.
+	Streamed      int `json:"streamed"`
+	StreamRecords int `json:"stream_records"`
 	// P50/P95/P99/Max are latency quantiles in seconds over admitted
 	// (2xx) responses.
 	P50, P95, P99, Max float64
@@ -157,29 +170,33 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 		wg        sync.WaitGroup
 	)
 	reg := opts.Telemetry
-	record := func(status int, partial bool, dur time.Duration, terr error) {
+	record := func(res reqResult, dur time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
 		switch {
-		case terr != nil:
+		case res.err != nil:
 			rep.TransportErrors++
-		case status >= 200 && status < 300:
+		case res.status >= 200 && res.status < 300:
 			rep.OK++
-			if partial {
+			if res.partial {
 				rep.Partial++
+			}
+			if res.stream {
+				rep.Streamed++
+				rep.StreamRecords += res.records
 			}
 			latencies = append(latencies, dur.Seconds())
 			reg.Histogram("loadgen_request_seconds", telemetry.LatencyBuckets).Observe(dur.Seconds())
-		case status == http.StatusTooManyRequests:
+		case res.status == http.StatusTooManyRequests:
 			rep.Shed++
-		case status == http.StatusServiceUnavailable:
+		case res.status == http.StatusServiceUnavailable:
 			rep.Unavailable++
-		case status >= 500:
+		case res.status >= 500:
 			rep.ServerErrors++
 		default:
 			rep.ClientErrors++
 		}
-		reg.Counter("loadgen_responses_total", telemetry.Label{Key: "class", Value: classOf(status, terr)}).Inc()
+		reg.Counter("loadgen_responses_total", telemetry.Label{Key: "class", Value: classOf(res.status, res.err)}).Inc()
 	}
 
 	deadline := time.Now().Add(opts.Duration)
@@ -199,8 +216,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 		go func() {
 			defer wg.Done()
 			start := time.Now()
-			status, partial, err := issue(ctx, client, url, tenant, opts.RequestTimeout)
-			record(status, partial, time.Since(start), err)
+			record(issue(ctx, client, url, tenant, opts.RequestTimeout), time.Since(start))
 		}()
 	}
 	wg.Wait()
@@ -230,18 +246,34 @@ func nextQuery(rng *rand.Rand, opts LoadOptions) (url, tenant string) {
 			"/v1/simulate?benchmark=ncf_py&gpus=2",
 			"/v1/sweep?benchmarks=res50_tf,ncf_py&gpus=1,2",
 		}
-		return opts.BaseURL + hotSet[rng.Intn(len(hotSet))], tenant
+		u := hotSet[rng.Intn(len(hotSet))]
+		// Some sweep clients read the streaming endpoint instead: they
+		// hold the connection open until the summary frame, a different
+		// load shape from one bulk body.
+		if strings.HasPrefix(u, "/v1/sweep?") && rng.Float64() < opts.StreamFraction {
+			u = "/v1/sweep/stream?" + strings.TrimPrefix(u, "/v1/sweep?")
+		}
+		return opts.BaseURL + u, tenant
 	}
 	// Cold: a unique batch size makes a never-before-seen cell.
 	return fmt.Sprintf("%s/v1/simulate?benchmark=res50_tf&gpus=1&batch=%d",
 		opts.BaseURL, 1+rng.Intn(1<<20)), tenant
 }
 
+// reqResult classifies one finished request.
+type reqResult struct {
+	status  int
+	partial bool
+	stream  bool // read as a /v1/sweep/stream client
+	records int  // record frames received (stream clients only)
+	err     error
+}
+
 // issue sends one request and classifies the response.
-func issue(ctx context.Context, client *http.Client, url, tenant string, timeout time.Duration) (status int, partial bool, err error) {
+func issue(ctx context.Context, client *http.Client, url, tenant string, timeout time.Duration) reqResult {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return 0, false, err
+		return reqResult{err: err}
 	}
 	if tenant != "" {
 		req.Header.Set("X-Tenant", tenant)
@@ -249,23 +281,46 @@ func issue(ctx context.Context, client *http.Client, url, tenant string, timeout
 	req.Header.Set("Request-Timeout", fmt.Sprintf("%g", timeout.Seconds()))
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false, err
+		return reqResult{err: err}
 	}
 	defer resp.Body.Close()
-	// Sniff the partial flag from sweep responses; everything else just
-	// drains.
-	if resp.StatusCode == http.StatusOK && strings.Contains(url, "/v1/sweep") {
+	res := reqResult{status: resp.StatusCode}
+	switch {
+	case resp.StatusCode == http.StatusOK && strings.Contains(url, "/v1/sweep/stream"):
+		// Streaming client: read NDJSON frames as they arrive, keeping
+		// the record count and the summary's partial flag.
+		res.stream = true
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var fr StreamFrame
+			if json.Unmarshal([]byte(line), &fr) != nil {
+				continue
+			}
+			switch fr.Type {
+			case "record":
+				res.records++
+			case "summary":
+				res.partial = fr.Partial
+			}
+		}
+	case resp.StatusCode == http.StatusOK && strings.Contains(url, "/v1/sweep"):
+		// Sniff the partial flag from unary sweep responses.
 		var body struct {
 			Partial bool `json:"partial"`
 		}
 		if data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<22)); rerr == nil {
 			_ = json.Unmarshal(data, &body)
-			partial = body.Partial
+			res.partial = body.Partial
 		}
-	} else {
+	default:
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}
-	return resp.StatusCode, partial, nil
+	return res
 }
 
 func classOf(status int, err error) string {
@@ -317,6 +372,9 @@ func RenderLoadReport(r *LoadReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sent %d: %d ok (%d partial), %d shed, %d unavailable, %d client-err, %d server-err, %d transport-err\n",
 		r.Sent, r.OK, r.Partial, r.Shed, r.Unavailable, r.ClientErrors, r.ServerErrors, r.TransportErrors)
+	if r.Streamed > 0 {
+		fmt.Fprintf(&b, "streams: %d completed, %d record frames\n", r.Streamed, r.StreamRecords)
+	}
 	fmt.Fprintf(&b, "latency (admitted): p50 %.3fs  p95 %.3fs  p99 %.3fs  max %.3fs\n", r.P50, r.P95, r.P99, r.Max)
 	admitted := r.Server.Requests - r.ServerBefore.Requests - (r.Server.Shed - r.ServerBefore.Shed)
 	sims := r.Server.Cache.Simulations - r.ServerBefore.Cache.Simulations

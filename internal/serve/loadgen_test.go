@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mlperf/internal/sweep"
+)
+
+// quantile is nearest-rank over sorted samples; the SLO gate silently
+// degrades if any of these edges is off-by-one, so pin them all.
+func TestQuantileEdgeCases(t *testing.T) {
+	hundred := make([]float64, 100)
+	for i := range hundred {
+		hundred[i] = float64(i + 1)
+	}
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty returns zero", nil, 0.99, 0},
+		{"empty q=0", nil, 0, 0},
+		{"single sample q=0", []float64{7}, 0, 7},
+		{"single sample q=0.5", []float64{7}, 0.5, 7},
+		{"single sample q=1", []float64{7}, 1.0, 7},
+		{"q=0 clamps to first", []float64{1, 2, 3, 4}, 0, 1},
+		{"q=1 is last, no overflow", []float64{1, 2, 3, 4}, 1.0, 4},
+		{"q>1 clamps to last", []float64{1, 2, 3, 4}, 1.5, 4},
+		{"median of even count is lower rank", []float64{1, 2, 3, 4}, 0.5, 2},
+		{"median of odd count", []float64{1, 2, 3}, 0.5, 2},
+		{"p99 of 100 is rank 99", hundred, 0.99, 99},
+		{"p95 of 100 is rank 95", hundred, 0.95, 95},
+		{"p50 of 100 is rank 50", hundred, 0.50, 50},
+		{"p99 of 2 is the max", []float64{1, 2}, 0.99, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := quantile(tc.sorted, tc.q); got != tc.want {
+				t.Fatalf("quantile(%v, %g) = %g, want %g", tc.sorted, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// Streaming loadgen clients read /v1/sweep/stream frame by frame: every
+// completed stream must deliver the full 4-cell hot grid, and a
+// streaming mix must not introduce client or server errors.
+func TestLoadgenStreamingClients(t *testing.T) {
+	eng := sweep.NewEngine(4)
+	_, ts := newTestServer(t, Config{Engine: eng, TenantRate: -1}, nil)
+
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:        ts.URL,
+		Duration:       500 * time.Millisecond,
+		Rate:           200,
+		HotFraction:    1.0,
+		StreamFraction: 1.0,
+		RequestTimeout: 5 * time.Second,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streamed == 0 {
+		t.Fatal("StreamFraction=1.0 produced no streaming clients")
+	}
+	if rep.ClientErrors != 0 || rep.ServerErrors != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("errors under streaming mix: %d client, %d server, %d transport",
+			rep.ClientErrors, rep.ServerErrors, rep.TransportErrors)
+	}
+	// The hot sweep grid is benchmarks=res50_tf,ncf_py x gpus=1,2: four
+	// cells, so four record frames per completed stream.
+	if want := 4 * rep.Streamed; rep.StreamRecords != want {
+		t.Fatalf("%d record frames over %d streams, want %d (4 cells each)",
+			rep.StreamRecords, rep.Streamed, want)
+	}
+	if rep.Streamed >= rep.OK {
+		t.Fatalf("every 2xx counted as a stream (%d of %d) — simulate traffic vanished", rep.Streamed, rep.OK)
+	}
+}
+
+// StreamFraction=0 must leave the query mix untouched: no request ever
+// hits the streaming endpoint.
+func TestLoadgenStreamFractionZeroStaysUnary(t *testing.T) {
+	eng := sweep.NewEngine(4)
+	_, ts := newTestServer(t, Config{Engine: eng, TenantRate: -1}, nil)
+
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:        ts.URL,
+		Duration:       300 * time.Millisecond,
+		Rate:           100,
+		HotFraction:    1.0,
+		RequestTimeout: 5 * time.Second,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streamed != 0 || rep.StreamRecords != 0 {
+		t.Fatalf("default options produced %d streams (%d records)", rep.Streamed, rep.StreamRecords)
+	}
+	if rep.OK == 0 {
+		t.Fatal("nothing admitted")
+	}
+}

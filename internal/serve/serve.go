@@ -56,6 +56,8 @@ const (
 	MetricBreakerState   = "serve_breaker_state"           // gauge, 0=closed 1=half-open 2=open
 	MetricBreakerTrips   = "serve_breaker_trips_total"     // counter
 	MetricPartials       = "serve_partial_responses_total" // counter, sweeps answered with a partial grid
+	MetricStreams        = "serve_stream_requests_total"   // counter, admitted /v1/sweep/stream requests
+	MetricStreamRecords  = "serve_stream_records_total"    // counter, record frames delivered to clients
 )
 
 // Config shapes the daemon. The zero value serves on a private engine
@@ -72,6 +74,9 @@ type Config struct {
 	// CacheDir, when set, attaches the persistent content-addressed cell
 	// store, wrapped in the circuit breaker.
 	CacheDir string
+	// CacheMaxBytes caps the cache directory's size; past it the oldest
+	// entries are evicted on write-through (0 = unbounded).
+	CacheMaxBytes int64
 	// Shards routes grid queries through the shard coordinator (<=1 =
 	// plain worker pool).
 	Shards int
@@ -170,11 +175,13 @@ type Server struct {
 	// requests/shed/coalesced/partials mirror the registry counters as
 	// plain atomics so /v1/stats and FillManifest do not depend on
 	// telemetry being enabled.
-	requests  atomic.Int64
-	shed      atomic.Int64
-	coalesced atomic.Int64
-	partials  atomic.Int64
-	panics    atomic.Int64
+	requests      atomic.Int64
+	shed          atomic.Int64
+	coalesced     atomic.Int64
+	partials      atomic.Int64
+	panics        atomic.Int64
+	streams       atomic.Int64
+	streamRecords atomic.Int64
 }
 
 // New builds a server. The error is reserved for an unopenable
@@ -208,6 +215,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: cache dir %s: %w", cfg.CacheDir, err)
 		}
+		ds.SetMaxBytes(cfg.CacheMaxBytes)
 		s.breaker = NewBreaker(ds, BreakerConfig{
 			Threshold: cfg.BreakerThreshold,
 			Cooldown:  cfg.BreakerCooldown,
@@ -317,6 +325,8 @@ type Stats struct {
 	Coalesced     int64            `json:"coalesced"`
 	Partials      int64            `json:"partial_responses"`
 	Panics        int64            `json:"panics"`
+	Streams       int64            `json:"streams"`
+	StreamRecords int64            `json:"stream_records"`
 	InFlight      int64            `json:"inflight"`
 	Queued        int64            `json:"queued"`
 	CellsInFlight int64            `json:"cells_inflight"`
@@ -334,6 +344,8 @@ func (s *Server) Snapshot() Stats {
 		Coalesced:     s.coalesced.Load(),
 		Partials:      s.partials.Load(),
 		Panics:        s.panics.Load(),
+		Streams:       s.streams.Load(),
+		StreamRecords: s.streamRecords.Load(),
 		InFlight:      s.adm.inFlight.Load(),
 		Queued:        s.adm.queued.Load(),
 		CellsInFlight: s.adm.cells.Load(),
@@ -353,6 +365,8 @@ func (s *Server) FillManifest(m *telemetry.Manifest) {
 	m.Config["shed"] = fmt.Sprintf("%d", st.Shed)
 	m.Config["coalesced"] = fmt.Sprintf("%d", st.Coalesced)
 	m.Config["partial_responses"] = fmt.Sprintf("%d", st.Partials)
+	m.Config["streams"] = fmt.Sprintf("%d", st.Streams)
+	m.Config["stream_records"] = fmt.Sprintf("%d", st.StreamRecords)
 	if st.Breaker != "" {
 		m.Config["breaker"] = st.Breaker
 	}

@@ -358,9 +358,12 @@ func TestServerObservabilitySurface(t *testing.T) {
 // stream overruns MaxInFlight=1 and the server must shed.
 type slowStore struct{ d time.Duration }
 
-func (s slowStore) Get(sweep.CellKey) (sweep.Record, bool) { time.Sleep(s.d); return sweep.Record{}, false }
-func (s slowStore) Put(sweep.CellKey, sweep.Record)        {}
-func (s slowStore) Stats() sweep.TierStats                 { return sweep.TierStats{} }
+func (s slowStore) Get(sweep.CellKey) (sweep.Record, bool) {
+	time.Sleep(s.d)
+	return sweep.Record{}, false
+}
+func (s slowStore) Put(sweep.CellKey, sweep.Record) {}
+func (s slowStore) Stats() sweep.TierStats          { return sweep.TierStats{} }
 
 // End-to-end acceptance: the loadgen harness drives a small server past
 // its admission limit. Overload must shed (429) and never 5xx, and the

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlperf/internal/shard"
+	"mlperf/internal/sweep"
+	"mlperf/internal/telemetry"
+)
+
+// The streaming sweep surface: /v1/sweep/stream emits one frame per
+// completed cell straight off the engine's completion path, then a
+// terminal summary frame carrying the run's Report. A deadline-bounded
+// client keeps every cell that finished before the cut instead of
+// receiving one bulk Partial body at the end — which is the difference
+// between "the grid is all-or-nothing" and "results are operationally
+// useful while the run is still going".
+//
+// Two wire formats, negotiated via Accept:
+//
+//   - NDJSON (default, Content-Type application/x-ndjson): one JSON
+//     frame per line.
+//   - SSE (Accept: text/event-stream): each frame as an SSE event named
+//     by its type ("record" / "summary") with the JSON as data.
+//
+// Frames carry the cell's grid index. Frames arrive in completion
+// order — per shard that is queue (index) order, but stealing and
+// re-dispatch may interleave shards — so clients reassemble by index;
+// the concatenated records, index-sorted, are byte-identical to the
+// unary /v1/sweep records at any worker x shard combination.
+//
+// Backpressure: the completion channel is buffered to the full grid,
+// so a slow client never stalls engine workers — the write loop is the
+// only place client pace matters, and the records are small. Streaming
+// requests pass the same admission control as unary ones (drain check,
+// tenant quota, queue, cell-cost budget); they are not coalesced at the
+// request layer (a stream cannot be joined mid-flight) but the engine's
+// per-cell singleflight and the shared CAS still collapse their actual
+// simulation work across concurrent streams and processes.
+
+// StreamFrame is one frame of a /v1/sweep/stream response. Type is
+// "record" (one completed cell: Index + Record) or "summary" (the
+// terminal frame: the Report's counts, failures, cache and sharding
+// stats, and the partial reason when the run was cut short).
+type StreamFrame struct {
+	Type string `json:"type"`
+
+	// Record-frame fields. Index is always emitted (a record frame for
+	// the grid's first cell is index 0, not an absent key); summary
+	// frames carry it too, meaninglessly zero.
+	Index  int           `json:"index"`
+	Record *sweep.Record `json:"record,omitempty"`
+
+	// Summary-frame fields.
+	Cells     int               `json:"cells,omitempty"`
+	Completed int               `json:"completed,omitempty"`
+	Partial   bool              `json:"partial,omitempty"`
+	Canceled  bool              `json:"canceled,omitempty"`
+	Reason    string            `json:"reason,omitempty"`
+	Failures  []string          `json:"failures,omitempty"`
+	Cache     *sweep.CacheStats `json:"cache,omitempty"`
+	Sharding  *shard.Stats      `json:"sharding,omitempty"`
+}
+
+// cellSpec is the JSON wire form of one requested cell, for POST
+// bodies. It mirrors sweep.CellKey with the same defaults the GET
+// parameters apply (system dss8440, 1 GPU).
+type cellSpec struct {
+	Benchmark string `json:"benchmark"`
+	Ref       bool   `json:"ref,omitempty"`
+	System    string `json:"system,omitempty"`
+	GPUs      int    `json:"gpus,omitempty"`
+	Batch     int    `json:"batch,omitempty"`
+	Precision string `json:"precision,omitempty"`
+	Faults    string `json:"faults,omitempty"`
+}
+
+func (c cellSpec) key() sweep.CellKey {
+	k := sweep.CellKey{
+		Benchmark: c.Benchmark,
+		Ref:       c.Ref,
+		System:    c.System,
+		GPUs:      c.GPUs,
+		Batch:     c.Batch,
+		Precision: c.Precision,
+		Faults:    c.Faults,
+	}
+	if k.System == "" {
+		k.System = "dss8440"
+	}
+	if k.GPUs == 0 {
+		k.GPUs = 1
+	}
+	return k
+}
+
+// maxCellsBody bounds a POST cell-list body (a million-cell grid is a
+// few hundred MB of JSON; the front tier never sends more than the
+// admission budget admits anyway).
+const maxCellsBody = 1 << 26
+
+// sweepKeysFrom resolves the requested cell list: a POST body with an
+// explicit {"cells": [...]} list — the form the front tier uses to
+// express a digest-partitioned sub-grid, which no cartesian grid
+// parameter can — or the GET grid parameters expanded in deterministic
+// order.
+func sweepKeysFrom(r *http.Request) ([]sweep.CellKey, error) {
+	if r.Method == http.MethodPost {
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxCellsBody))
+		dec.DisallowUnknownFields()
+		var body struct {
+			Cells []cellSpec `json:"cells"`
+		}
+		if err := dec.Decode(&body); err != nil {
+			return nil, fmt.Errorf("bad cells body: %v", err)
+		}
+		if len(body.Cells) == 0 {
+			return nil, fmt.Errorf("empty cells list")
+		}
+		keys := make([]sweep.CellKey, len(body.Cells))
+		for i, c := range body.Cells {
+			if c.Benchmark == "" {
+				return nil, fmt.Errorf("cell %d: missing benchmark", i)
+			}
+			keys[i] = c.key()
+		}
+		return keys, nil
+	}
+	g, err := gridFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return g.Cells()
+}
+
+// SweepKeysFromRequest resolves a sweep request's cell list — the GET
+// grid parameters or a POST {"cells":[...]} body — exactly as the sweep
+// endpoints do. Exported for the front tier, which must partition the
+// same list the backend will expand.
+func SweepKeysFromRequest(r *http.Request) ([]sweep.CellKey, error) {
+	return sweepKeysFrom(r)
+}
+
+// CellKeyFromRequest parses /v1/simulate's cell-addressing parameters.
+// Exported for the front tier's digest routing.
+func CellKeyFromRequest(r *http.Request) (sweep.CellKey, error) {
+	return cellKeyFrom(r)
+}
+
+// CellsBody renders an explicit cell list as the POST body both sweep
+// endpoints accept — the form a front tier uses to hand a backend its
+// digest-partitioned slice of a grid.
+func CellsBody(keys []sweep.CellKey) ([]byte, error) {
+	body := struct {
+		Cells []cellSpec `json:"cells"`
+	}{Cells: make([]cellSpec, len(keys))}
+	for i, k := range keys {
+		body.Cells[i] = cellSpec{
+			Benchmark: k.Benchmark,
+			Ref:       k.Ref,
+			System:    k.System,
+			GPUs:      k.GPUs,
+			Batch:     k.Batch,
+			Precision: k.Precision,
+			Faults:    k.Faults,
+		}
+	}
+	return json.Marshal(body)
+}
+
+// gridKey derives the content-addressed coalesce key of a cell list:
+// the digest of the cell digests.
+func gridKey(keys []sweep.CellKey) (string, error) {
+	h := sha256.New()
+	for _, k := range keys {
+		d, err := k.Digest()
+		if err != nil {
+			return "", err
+		}
+		h.Write([]byte(d))
+	}
+	return "grid:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// streamWriter renders frames in the negotiated format and flushes
+// after each one, so a frame is on the wire the moment its cell lands.
+type streamWriter struct {
+	w     http.ResponseWriter
+	flush http.Flusher // nil when the ResponseWriter cannot flush
+	sse   bool
+}
+
+func newStreamWriter(w http.ResponseWriter, r *http.Request) *streamWriter {
+	sw := &streamWriter{w: w}
+	sw.flush, _ = w.(http.Flusher)
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		sw.sse = true
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	return sw
+}
+
+// frame writes one frame; the error reports a gone client.
+func (sw *streamWriter) frame(f *StreamFrame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if sw.sse {
+		if _, err := fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", f.Type, data); err != nil {
+			return err
+		}
+	} else {
+		if _, err := sw.w.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	if sw.flush != nil {
+		sw.flush.Flush()
+	}
+	return nil
+}
+
+// handleSweepStream is the streaming grid endpoint. The admission path
+// mirrors runQuery (drain, quota, size, queue, cost budget — every
+// refusal a typed 429/503 with Retry-After) but the response is a frame
+// stream, not one body, so there is no response-level coalescing and
+// the status code is committed before the run finishes.
+func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	code := func(status int) {
+		s.reg.Counter(MetricRequests,
+			telemetry.Label{Key: "endpoint", Value: "sweep_stream"},
+			telemetry.Label{Key: "code", Value: strconv.Itoa(status)}).Inc()
+	}
+
+	keys, err := sweepKeysFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		code(http.StatusBadRequest)
+		return
+	}
+	cost := int64(len(keys))
+
+	if s.draining.Load() {
+		s.shedWith(w, shedDrain, time.Second)
+		code(http.StatusServiceUnavailable)
+		return
+	}
+	if ok, wait := s.tenants.allow(r.Header.Get("X-Tenant")); !ok {
+		s.shedWith(w, shedQuota, wait)
+		code(http.StatusTooManyRequests)
+		return
+	}
+	if s.adm.tooLarge(cost) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request costs %d cells, server admits at most %d", cost, s.cfg.MaxCellsInFlight))
+		code(http.StatusRequestEntityTooLarge)
+		return
+	}
+	dl, err := s.deadlineFor(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		code(http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), dl)
+	defer cancel()
+	// Drain's hard stop cancels streams too: the engine's Partial path
+	// then delivers the summary for whatever completed.
+	stopDrainWatch := context.AfterFunc(s.hardCtx, cancel)
+	defer stopDrainWatch()
+
+	release, reason, ok := s.adm.acquire(ctx, cost)
+	if !ok {
+		s.shedWith(w, reason, time.Second)
+		code(http.StatusTooManyRequests)
+		return
+	}
+	defer release()
+
+	s.streams.Add(1)
+	s.reg.Counter(MetricStreams).Inc()
+	start := time.Now()
+	code(http.StatusOK)
+
+	// Buffered to the whole grid: OnCell (on an engine worker) can never
+	// block on a slow client. Closed after the run returns, by which
+	// point every OnCell send has happened.
+	done := make(chan sweep.CellDone, len(keys))
+	opts := sweep.Options{Partial: true, OnCell: func(d sweep.CellDone) { done <- d }}
+	type outcome struct {
+		rep *sweep.Report
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		var rep *sweep.Report
+		var rerr error
+		if n := s.eng.ShardCount(); n > 1 {
+			_, rep, rerr = s.eng.RunCellsSharded(ctx, keys, sweep.ShardOptions{Options: opts, Shards: n})
+		} else {
+			_, rep, rerr = s.eng.RunCellsWithOptions(ctx, keys, opts)
+		}
+		close(done)
+		resCh <- outcome{rep, rerr}
+	}()
+
+	sw := newStreamWriter(w, r)
+	clientGone := false
+	for d := range done {
+		if d.Err != nil || clientGone {
+			continue // failures travel in the summary; a gone client just drains
+		}
+		rec := d.Record
+		if err := sw.frame(&StreamFrame{Type: "record", Index: d.Index, Record: &rec}); err != nil {
+			// Client went away mid-stream: keep draining the channel so the
+			// engine goroutine can finish, but stop writing.
+			clientGone = true
+			continue
+		}
+		s.streamRecords.Add(1)
+		s.reg.Counter(MetricStreamRecords).Inc()
+	}
+	res := <-resCh
+	s.reg.Histogram(MetricRequestSeconds, telemetry.LatencyBuckets).Observe(time.Since(start).Seconds())
+	if res.err != nil {
+		// Partial mode reserves errors for malformed grids, which were
+		// caught before streaming began; anything here is exceptional and
+		// the stream is already committed — the missing summary frame is
+		// the client's signal.
+		return
+	}
+	if clientGone {
+		return
+	}
+	sum := &StreamFrame{
+		Type:      "summary",
+		Cells:     res.rep.Cells,
+		Completed: res.rep.Completed,
+		Partial:   res.rep.Failed(),
+		Canceled:  res.rep.Canceled,
+		Sharding:  res.rep.Sharding,
+	}
+	if sum.Partial {
+		s.partials.Add(1)
+		s.reg.Counter(MetricPartials).Inc()
+		sum.Reason = partialReason(ctx, s.hardCtx)
+	}
+	for _, f := range res.rep.Failures {
+		sum.Failures = append(sum.Failures, f.Error())
+	}
+	cache := s.eng.Stats()
+	sum.Cache = &cache
+	_ = sw.frame(sum)
+}
+
+// partialReason names why a run was cut short: the server draining, the
+// client's deadline, the client disconnecting, or (otherwise) per-cell
+// failures with the run itself intact.
+func partialReason(ctx, hardCtx context.Context) string {
+	switch {
+	case hardCtx.Err() != nil:
+		return "drain"
+	case errors.Is(context.Cause(ctx), context.DeadlineExceeded):
+		return "deadline"
+	case ctx.Err() != nil:
+		return "disconnect"
+	default:
+		return "cell-failures"
+	}
+}

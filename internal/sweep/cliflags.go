@@ -14,6 +14,9 @@ import (
 type CLIFlags struct {
 	// CacheDir is the -cache-dir value ("" = memory-only).
 	CacheDir string
+	// CacheMaxBytes is the -cache-max-bytes value (0 = unbounded); past
+	// it the oldest cached cells are evicted on write-through.
+	CacheMaxBytes int64
 	// Shards is the -shards value (0/1 = plain worker pool).
 	Shards int
 }
@@ -27,6 +30,8 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	f := &CLIFlags{}
 	fs.StringVar(&f.CacheDir, "cache-dir", "",
 		"persistent content-addressed cell cache directory (created if missing; sharable across runs and processes)")
+	fs.Int64Var(&f.CacheMaxBytes, "cache-max-bytes", 0,
+		"cap the cache directory's size in bytes, evicting oldest entries on overflow (0 = unbounded)")
 	fs.IntVar(&f.Shards, "shards", 0,
 		"partition grid cells across N digest-sharded queues with work stealing (0/1 = plain worker pool)")
 	return f
@@ -41,12 +46,19 @@ func (f *CLIFlags) Apply(e *Engine) error {
 	if f.Shards < 0 {
 		return fmt.Errorf("sweep: -shards must be >= 0 (0 = unsharded), got %d", f.Shards)
 	}
+	if f.CacheMaxBytes < 0 {
+		return fmt.Errorf("sweep: -cache-max-bytes must be >= 0 (0 = unbounded), got %d", f.CacheMaxBytes)
+	}
+	if f.CacheMaxBytes > 0 && f.CacheDir == "" {
+		return fmt.Errorf("sweep: -cache-max-bytes requires -cache-dir")
+	}
 	e.SetShards(f.Shards)
 	if f.CacheDir != "" {
 		ds, err := OpenDiskStore(f.CacheDir)
 		if err != nil {
 			return fmt.Errorf("sweep: -cache-dir %s: %w", f.CacheDir, err)
 		}
+		ds.SetMaxBytes(f.CacheMaxBytes)
 		e.SetStore(ds)
 	}
 	return nil
@@ -59,6 +71,9 @@ func (f *CLIFlags) Apply(e *Engine) error {
 func (f *CLIFlags) Record(set func(key, value string)) {
 	if f.CacheDir != "" {
 		set("cache-dir", f.CacheDir)
+	}
+	if f.CacheMaxBytes > 0 {
+		set("cache-max-bytes", strconv.FormatInt(f.CacheMaxBytes, 10))
 	}
 	set("shards", strconv.Itoa(f.Shards))
 }

@@ -103,6 +103,29 @@ type Options struct {
 	// successes (zero Records at failed indices). When false the run
 	// returns the lowest-index failure as its error, like Engine.Run.
 	Partial bool
+	// OnCell, when non-nil, is invoked exactly once per cell the moment
+	// it settles (success or failure) — the completion stream a serving
+	// layer forwards to clients while the grid is still running. Calls
+	// arrive from worker goroutines concurrently and in completion
+	// order, not index order (CellDone.Index identifies the cell); a
+	// sharded run's straggler re-dispatch never produces a duplicate
+	// call. Cells never attempted (run canceled first) get no call —
+	// they appear only in the final Report. OnCell must not block for
+	// long: it runs on the worker that finished the cell.
+	OnCell func(CellDone)
+}
+
+// CellDone is one settled cell of a streaming run, as delivered to
+// Options.OnCell.
+type CellDone struct {
+	// Index is the cell's position in the grid's deterministic order.
+	Index int
+	// Key is the normalized cell configuration.
+	Key CellKey
+	// Record is the cell's result (zero when Err != nil).
+	Record Record
+	// Err is the cell's failure (nil on success).
+	Err *CellError
 }
 
 // Report is the structured outcome of a hardened run.
@@ -247,6 +270,9 @@ func (e *Engine) runHardened(ctx context.Context, keys []CellKey, opts Options) 
 				}
 				attempted[i] = true
 				recs[i], cellErrs[i] = e.runHardenedCell(ctx, keys[i], i, opts, &retries, 0)
+				if opts.OnCell != nil {
+					opts.OnCell(CellDone{Index: i, Key: keys[i], Record: recs[i], Err: cellErrs[i]})
+				}
 			}
 		}()
 	}

@@ -119,6 +119,12 @@ func (e *Engine) runSharded(ctx context.Context, keys []CellKey, opts ShardOptio
 			rec, ce := e.runHardenedCell(ctx, keys[i], i, opts.Options, &retries, shardSpans[home])
 			settled[i].Do(func() {
 				recs[i], cellErrs[i] = rec, ce
+				// The per-index once also makes the completion stream
+				// exactly-once: a straggler re-dispatch that finishes second
+				// settles nothing and emits nothing.
+				if opts.OnCell != nil {
+					opts.OnCell(CellDone{Index: i, Key: keys[i], Record: rec, Err: ce})
+				}
 			})
 		},
 		shard.Options{Shards: shards, Workers: workers, MaxDuplicates: opts.MaxDuplicates})

@@ -80,6 +80,11 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 // Dir returns the store's root directory.
 func (d *DiskStore) Dir() string { return d.cas.Dir() }
 
+// SetMaxBytes caps the tier's on-disk size; past it the oldest entries
+// are evicted on write-through (counted in TierStats.Evictions).
+// n <= 0 removes the cap.
+func (d *DiskStore) SetMaxBytes(n int64) { d.cas.SetMaxBytes(n) }
+
 // Get implements Store. Any defect — unreadable entry, codec mismatch,
 // key mismatch — reads as a miss; entries that passed the envelope
 // checksum but fail the record codec are quarantined like corrupt ones.
@@ -124,12 +129,17 @@ func (d *DiskStore) PutE(k CellKey, rec Record) error {
 
 // Stats implements Store, mapping the blob store's counters onto the
 // tier view. Quarantines (corrupt, foreign-codec or misfiled entries
-// moved aside) are reported as Quarantined, distinct from Evictions —
-// the two used to be conflated, which made a corruption storm read as a
-// capacity problem.
+// moved aside) are reported as Quarantined, distinct from Evictions
+// (capacity decisions about intact entries) — the two used to be
+// conflated, which made a corruption storm read as a capacity problem.
 func (d *DiskStore) Stats() TierStats {
 	st := d.cas.Stats()
-	return TierStats{Hits: st.Hits, Misses: st.Misses, Quarantined: st.Quarantined}
+	return TierStats{
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Quarantined: st.Quarantined,
+	}
 }
 
 // Len reports how many intact entries the store holds (inspection

@@ -267,3 +267,72 @@ func TestEngineWithoutStoreUnchanged(t *testing.T) {
 		t.Errorf("stats %+v, want %d simulations == misses", st, len(recs))
 	}
 }
+
+// A capacity-bounded disk tier evicts oldest entries on write-through,
+// surfaces the count as TierStats.Evictions (distinct from
+// Quarantined), and the engine transparently re-simulates evicted
+// cells on the next run.
+func TestDiskStoreCapacityEviction(t *testing.T) {
+	dir := t.TempDir()
+	g := storeGrid()
+
+	probe, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := NewEngine(1)
+	e1.SetStore(probe)
+	want, err := e1.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure the store's full size, then cap it to roughly half: the
+	// re-cap evicts the oldest entries immediately.
+	var total int64
+	if err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	probe.SetMaxBytes(total / 2)
+	st := probe.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after capping a full store at half size: %+v", st)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("capacity eviction counted as quarantine: %+v", st)
+	}
+	left, err := probe.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left+int(st.Evictions) != len(want) {
+		t.Fatalf("%d entries + %d evictions != %d cells", left, st.Evictions, len(want))
+	}
+
+	// A fresh engine over the shrunken store re-simulates exactly the
+	// evicted cells and reproduces the run.
+	ds2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(1)
+	e2.SetStore(ds2)
+	got, err := e2.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("post-eviction run differs from the original")
+	}
+	if sims := e2.Stats().Simulations; sims != st.Evictions {
+		t.Fatalf("re-simulated %d cells, want the %d evicted ones", sims, st.Evictions)
+	}
+	// The engine's aggregated cache view carries the tier's evictions.
+	if e1.Stats().Disk.Evictions != st.Evictions {
+		t.Fatalf("engine cache stats lost the eviction count: %+v", e1.Stats().Disk)
+	}
+}
