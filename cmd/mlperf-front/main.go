@@ -30,6 +30,7 @@ import (
 
 	"mlperf/internal/front"
 	"mlperf/internal/telecli"
+	"mlperf/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +39,8 @@ func main() {
 	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "backend /readyz poll cadence")
 	replicas := flag.Int("replicas", 0, "consistent-hash virtual nodes per backend (0 = default)")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "how long in-flight requests get to finish on SIGTERM")
+	flightSize := flag.Int("flight-size", 0, "flight recorder ring capacity (0 = default)")
+	flightDump := flag.String("flight-dump", "", "write the flight ring here on SIGQUIT and drain")
 	sink := telecli.Register("mlperf-front", nil)
 	flag.Parse()
 
@@ -58,12 +61,24 @@ func main() {
 		Replicas:       *replicas,
 		HealthInterval: *healthInterval,
 		Telemetry:      reg,
+		Logger:         sink.Log(),
+		Flight:         telemetry.NewFlightRecorder(*flightSize),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-front:", err)
 		os.Exit(1)
 	}
 	defer f.Close()
+	dump := func(reason string) {
+		if *flightDump == "" {
+			return
+		}
+		if derr := f.Flight().DumpFile(*flightDump, "mlperf-front", reason); derr != nil {
+			fmt.Fprintln(os.Stderr, "mlperf-front: flight dump:", derr)
+		}
+	}
+	stopQuit := telecli.OnSIGQUIT(func() { dump("sigquit") })
+	defer stopQuit()
 	if sink.Enabled() {
 		sink.Config("addr", *addr)
 		sink.Config("backends", strings.Join(urls, ","))
@@ -95,6 +110,7 @@ func main() {
 		if err == http.ErrServerClosed {
 			err = nil
 		}
+		dump("drain")
 	}
 
 	if sink.Enabled() {

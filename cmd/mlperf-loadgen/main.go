@@ -36,6 +36,7 @@ func main() {
 	minShed := flag.Float64("min-shed", 0, "SLO: min shed fraction — asserts overload was actually reached (0 = unchecked)")
 	max5xx := flag.Int("max-5xx", 0, "SLO: max tolerated 5xx responses")
 	assertCoalesced := flag.Bool("assert-coalesced", false, "SLO: require simulations < admitted requests (coalescing happened)")
+	assertRequestIDs := flag.Bool("assert-request-ids", false, "SLO: require X-Request-Id on every response, sheds included")
 	sink := telecli.Register("mlperf-loadgen", nil)
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func main() {
 		MinShedRate:       *minShed,
 		MaxServerErrors:   *max5xx,
 		RequireCoalescing: *assertCoalesced,
+		RequireRequestIDs: *assertRequestIDs,
 	}
 	violations := slo.Violations(rep)
 	for _, v := range violations {

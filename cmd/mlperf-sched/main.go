@@ -31,6 +31,7 @@ import (
 	"mlperf/internal/sim"
 	"mlperf/internal/sweep"
 	"mlperf/internal/telecli"
+	"mlperf/internal/telemetry"
 	"mlperf/internal/workload"
 )
 
@@ -53,6 +54,8 @@ func main() {
 		sweep.Default.SetTelemetry(reg)
 		defer sweep.Default.SetTelemetry(nil)
 	}
+	sink.Log().Info("sched start",
+		telemetry.F("online", *online), telemetry.F("policy", *policy))
 	if sink.Enabled() {
 		if *online {
 			sink.Config("mode", "online")

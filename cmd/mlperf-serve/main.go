@@ -57,6 +57,9 @@ func main() {
 	drain := flag.Duration("drain-timeout", 15*time.Second, "how long in-flight requests get to finish on SIGTERM")
 	brkThreshold := flag.Int("breaker-threshold", 5, "consecutive disk-cache errors that trip the breaker to memory-only")
 	brkCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-state dwell before a half-open probe")
+	flightSize := flag.Int("flight-size", 0, "flight recorder ring capacity (0 = default)")
+	flightDump := flag.String("flight-dump", "", "write the flight ring here on panic, SIGQUIT and drain")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	sink := telecli.Register("mlperf-serve", nil)
 	flag.Parse()
 
@@ -76,11 +79,20 @@ func main() {
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
 		Telemetry:        reg,
+		Logger:           sink.Log(),
+		FlightSize:       *flightSize,
+		FlightDumpPath:   *flightDump,
+		EnablePprof:      *pprof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlperf-serve:", err)
 		os.Exit(1)
 	}
+	// SIGQUIT dumps the flight ring and keeps serving — the live-incident
+	// snapshot, as opposed to the drain/panic dumps the server does
+	// itself.
+	stopQuit := telecli.OnSIGQUIT(func() { srv.DumpFlight("sigquit") })
+	defer stopQuit()
 	if sink.Enabled() {
 		sink.Config("addr", *addr)
 		sink.Config("cache-dir", *cacheDir)

@@ -92,12 +92,16 @@ func main() {
 		shards: engineFlags.Shards, cacheDir: engineFlags.CacheDir,
 		sink: sink,
 	}
+	sink.Log().Info("sweep start",
+		telemetry.F("bench", *bench), telemetry.F("system", *system),
+		telemetry.F("gpus", *gpus), telemetry.F("workers", w))
 	// SIGINT/SIGTERM cancels the run context: in-flight cells stop, the
 	// completed prefix is written as a partial CSV, and the manifest
 	// still flushes — Ctrl-C loses patience, not provenance.
 	ctx, stop := telecli.InterruptContext()
 	defer stop()
 	if err := run(ctx, cfg); err != nil {
+		sink.Log().Error("sweep failed", telemetry.F("err", err.Error()))
 		fmt.Fprintln(os.Stderr, "mlperf-sweep:", err)
 		sink.MustFlush()
 		if errors.Is(err, errInterrupted) {
@@ -105,6 +109,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	sink.Log().Info("sweep complete")
 	sink.MustFlush()
 }
 

@@ -4,16 +4,25 @@
 // and merges Chrome traces into one multi-process document.
 //
 //	mlperf-telemetry summarize [-top N] run.json
-//	mlperf-telemetry validate run.json out.prom ...
+//	mlperf-telemetry validate run.json out.prom trace.json flight.json ...
 //	mlperf-telemetry merge -out merged.json a.json b.json ...
+//	mlperf-telemetry stitch -out fleet.json front.json backend0.json backend1.json
+//
+// stitch joins per-process span traces (the -trace-out artifacts) into
+// one end-to-end Chrome trace: spans sharing a trace ID line up across
+// processes, cross-process parentage is resolved via the wire IDs the
+// traceparent header carried at runtime, and flow arrows connect each
+// RPC span to the remote request span it caused.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -35,6 +44,8 @@ func main() {
 		err = validate(os.Args[2:])
 	case "merge":
 		err = merge(os.Args[2:])
+	case "stitch":
+		err = stitch(os.Args[2:])
 	default:
 		usage()
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
@@ -157,6 +168,23 @@ func validateFile(path string) (string, error) {
 		return "", err
 	}
 	if len(data) > 0 && data[0] == '{' {
+		// JSON artifacts are sniffed by their distinguishing top-level
+		// keys: traceEvents = Chrome trace, entries+tool = flight dump,
+		// anything else = run manifest.
+		switch {
+		case bytes.Contains(data, []byte(`"traceEvents"`)):
+			n, err := telemetry.ValidateChromeTrace(data)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("chrome trace, %d spans", n), nil
+		case bytes.Contains(data, []byte(`"entries"`)) && bytes.Contains(data, []byte(`"tool"`)):
+			d, err := telemetry.ParseFlightDump(data)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("flight dump, %d entries", len(d.Entries)), nil
+		}
 		if _, err := telemetry.ParseManifest(data); err != nil {
 			return "", err
 		}
@@ -167,6 +195,59 @@ func validateFile(path string) (string, error) {
 		return "", err
 	}
 	return fmt.Sprintf("prometheus, %d families", len(fams)), nil
+}
+
+// stitch joins per-process span traces into one end-to-end Chrome
+// trace, resolving cross-process parentage via the wire IDs recorded
+// at runtime. Unlike merge (which only renumbers pids), stitch
+// validates: duplicate wire IDs and malformed span forests are errors,
+// and unresolved remote parents are reported as orphans.
+func stitch(args []string) error {
+	fs := flag.NewFlagSet("stitch", flag.ContinueOnError)
+	out := fs.String("out", "", "stitched Chrome trace output path (default: stdout)")
+	strict := fs.Bool("strict", false, "fail when any remote parent cannot be resolved (orphans)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("stitch wants at least one per-process trace file")
+	}
+	var docs []telemetry.NamedTrace
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		spans, perr := telemetry.ParseSpansChromeTrace(f)
+		f.Close()
+		if perr != nil {
+			return fmt.Errorf("%s: %v", path, perr)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		docs = append(docs, telemetry.NamedTrace{Name: name, Spans: spans})
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	rep, err := telemetry.WriteStitchedChromeTrace(w, docs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stitched %d processes: %d spans, %d traces, %d cross-process links, %d orphans\n",
+		rep.Processes, rep.Spans, rep.Traces, rep.CrossLinks, len(rep.Orphans))
+	for _, o := range rep.Orphans {
+		fmt.Fprintf(os.Stderr, "  orphan: %s\n", o)
+	}
+	if *strict && len(rep.Orphans) > 0 {
+		return fmt.Errorf("%d orphaned remote parents", len(rep.Orphans))
+	}
+	return nil
 }
 
 // merge combines Chrome-trace documents into one, re-numbering each
@@ -239,7 +320,8 @@ func formatValue(v telemetry.MetricValue) string {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mlperf-telemetry <subcommand>
-  summarize [-top N] <run.json>   render a run manifest and its largest metrics
-  validate <file> ...             schema-check manifests (.json) and Prometheus files
-  merge [-out F] <trace.json> ... merge Chrome traces into one document`)
+  summarize [-top N] <run.json>    render a run manifest and its largest metrics
+  validate <file> ...              schema-check manifests, Prometheus files, Chrome traces, flight dumps
+  merge [-out F] <trace.json> ...  merge Chrome traces into one document
+  stitch [-out F] [-strict] <t>... join per-process span traces into one end-to-end trace`)
 }

@@ -45,10 +45,13 @@ import (
 
 // Metric names the front registers.
 const (
-	MetricRequests  = "front_requests_total"  // counter by endpoint/code
-	MetricFailovers = "front_failovers_total" // counter, attempts moved to another backend
-	MetricFanouts   = "front_fanouts_total"   // counter, sweep sub-requests issued
-	MetricUnhealthy = "front_backend_down"    // gauge per backend, 1 = failing /readyz
+	MetricRequests       = "front_requests_total"                    // counter by endpoint/code
+	MetricFailovers      = "front_failovers_total"                   // counter, attempts moved to another backend
+	MetricFanouts        = "front_fanouts_total"                     // counter, sweep sub-requests issued
+	MetricUnhealthy      = "front_backend_down"                      // gauge per backend, 1 = failing /readyz
+	MetricRequestSeconds = "front_request_seconds"                   // histogram by endpoint=, wall time per request
+	MetricTransitions    = "front_backend_transitions_total"         // counter per backend, health flips (up<->down)
+	MetricLastTransition = "front_backend_last_transition_seconds"   // gauge per backend, unix time of the last flip
 )
 
 // Config shapes the front tier.
@@ -67,6 +70,12 @@ type Config struct {
 	Client *http.Client
 	// Telemetry is the registry /metrics serves from (nil = private).
 	Telemetry *telemetry.Registry
+	// Logger emits structured request/failover/health events (nil = no
+	// logging).
+	Logger *telemetry.Logger
+	// Flight is the ring behind /debug/requests and /debug/flight
+	// (nil = a private default-size ring).
+	Flight *telemetry.FlightRecorder
 }
 
 // Stats is the front's operational snapshot (/v1/stats).
@@ -77,10 +86,14 @@ type Stats struct {
 	Fanouts   int64           `json:"fanouts"`
 }
 
-// BackendStatus is one backend's view from the front.
+// BackendStatus is one backend's view from the front. Transitions and
+// LastTransition reconstruct flap windows: how often a backend's health
+// flipped and when it last did.
 type BackendStatus struct {
-	URL     string `json:"url"`
-	Healthy bool   `json:"healthy"`
+	URL            string `json:"url"`
+	Healthy        bool   `json:"healthy"`
+	Transitions    int64  `json:"transitions"`
+	LastTransition string `json:"last_transition,omitempty"` // RFC3339Nano, empty = never flipped
 }
 
 // Front is one front-tier instance. Create with New, expose with
@@ -94,6 +107,13 @@ type Front struct {
 	mux      *http.ServeMux
 
 	healthy []atomic.Bool
+	// transitions / lastTransition record health flips per backend; the
+	// timestamp is unix nanoseconds (0 = never flipped).
+	transitions    []atomic.Int64
+	lastTransition []atomic.Int64
+
+	log    *telemetry.Logger
+	flight *telemetry.FlightRecorder
 
 	stopHealth context.CancelFunc
 	healthDone chan struct{}
@@ -130,14 +150,22 @@ func New(cfg Config) (*Front, error) {
 	if reg == nil {
 		reg = telemetry.New()
 	}
+	flight := cfg.Flight
+	if flight == nil {
+		flight = telemetry.NewFlightRecorder(0)
+	}
 	f := &Front{
-		cfg:      cfg,
-		backends: backends,
-		ring:     shard.NewRing(len(backends), cfg.Replicas),
-		client:   client,
-		reg:      reg,
-		mux:      http.NewServeMux(),
-		healthy:  make([]atomic.Bool, len(backends)),
+		cfg:            cfg,
+		backends:       backends,
+		ring:           shard.NewRing(len(backends), cfg.Replicas),
+		client:         client,
+		reg:            reg,
+		mux:            http.NewServeMux(),
+		healthy:        make([]atomic.Bool, len(backends)),
+		transitions:    make([]atomic.Int64, len(backends)),
+		lastTransition: make([]atomic.Int64, len(backends)),
+		log:            cfg.Logger,
+		flight:         flight,
 	}
 	// Optimistic start: every backend is presumed healthy until a probe
 	// says otherwise, so the front serves immediately and per-request
@@ -161,8 +189,9 @@ func (f *Front) Close() {
 	<-f.healthDone
 }
 
-// Handler returns the front's HTTP surface.
-func (f *Front) Handler() http.Handler { return f.mux }
+// Handler returns the front's HTTP surface, observability middleware
+// outermost.
+func (f *Front) Handler() http.Handler { return f.observe(f.mux) }
 
 func (f *Front) routes() {
 	f.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -179,6 +208,7 @@ func (f *Front) routes() {
 	f.mux.HandleFunc("/v1/sweep", f.handleSweep)
 	f.mux.HandleFunc("/v1/sweep/stream", f.handleSweepStream)
 	f.mux.HandleFunc("/v1/simulate", f.handleSimulate)
+	f.debugRoutes()
 	// Everything else (whatif, schedule, ...) proxies whole to one
 	// backend, routed by its request line for cache affinity.
 	f.mux.HandleFunc("/", f.handleProxy)
@@ -221,6 +251,7 @@ func (f *Front) probeAll(ctx context.Context) {
 		go func(i int) {
 			defer wg.Done()
 			ok := f.probe(ctx, i)
+			prev := f.healthy[i].Load()
 			f.healthy[i].Store(ok)
 			v := 0.0
 			if !ok {
@@ -228,6 +259,29 @@ func (f *Front) probeAll(ctx context.Context) {
 			}
 			f.reg.Gauge(MetricUnhealthy,
 				telemetry.Label{Key: "backend", Value: strconv.Itoa(i)}).Set(v)
+			if prev != ok {
+				// A health flip is timestamped, counted and logged — flap
+				// windows must be reconstructable after the fact.
+				now := time.Now()
+				f.transitions[i].Add(1)
+				f.lastTransition[i].Store(now.UnixNano())
+				bl := telemetry.Label{Key: "backend", Value: strconv.Itoa(i)}
+				f.reg.Counter(MetricTransitions, bl).Inc()
+				f.reg.Gauge(MetricLastTransition, bl).Set(float64(now.UnixNano()) / 1e9)
+				dir := "down -> up"
+				lv := telemetry.LevelInfo
+				if !ok {
+					dir = "up -> down"
+					lv = telemetry.LevelWarn
+				}
+				f.log.Log(lv, "backend health transition",
+					telemetry.F("backend", f.backends[i]),
+					telemetry.F("index", i),
+					telemetry.F("healthy", ok))
+				f.flight.Record(telemetry.FlightEntry{
+					Kind: "event", Msg: "backend " + dir, Backend: f.backends[i],
+				})
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -284,6 +338,12 @@ func (f *Front) tryBackends(key string, attempt func(i int) (done bool, retriabl
 		if n > 0 {
 			f.failovers.Add(1)
 			f.reg.Counter(MetricFailovers).Inc()
+			f.log.Warn("failover",
+				telemetry.F("backend", f.backends[i]),
+				telemetry.F("attempt", n+1))
+			f.flight.Record(telemetry.FlightEntry{
+				Kind: "event", Msg: "failover", Backend: f.backends[i],
+			})
 		}
 		done, retriable := attempt(i)
 		if done {
@@ -319,7 +379,7 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 		relay(w, resp)
 		return true, false
 	}) {
-		f.shedNoBackend(w)
+		f.shedNoBackend(w, r)
 	}
 }
 
@@ -351,7 +411,7 @@ func (f *Front) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		relay(w, resp)
 		return true, false
 	}) {
-		f.shedNoBackend(w)
+		f.shedNoBackend(w, r)
 	}
 }
 
@@ -374,7 +434,10 @@ func (f *Front) send(r *http.Request, i int, uri string, body []byte) (*http.Res
 	if body != nil && r.Header.Get("Content-Type") != "" {
 		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
 	}
-	return f.client.Do(req)
+	finish := f.propagate(r.Context(), req, i)
+	resp, err := f.client.Do(req)
+	finish()
+	return resp, err
 }
 
 // relay copies a backend response through to the client.
@@ -388,7 +451,15 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 	io.Copy(w, resp.Body)
 }
 
-func (f *Front) shedNoBackend(w http.ResponseWriter) {
+func (f *Front) shedNoBackend(w http.ResponseWriter, r *http.Request) {
+	tc, _ := telemetry.TraceFromContext(r.Context())
+	f.log.Warn("shed",
+		telemetry.F("trace_id", tc.TraceID),
+		telemetry.F("reason", "no_backend"),
+		telemetry.F("path", r.URL.Path))
+	f.flight.Record(telemetry.FlightEntry{
+		Kind: "event", Msg: "shed: no backend available", TraceID: tc.TraceID,
+	})
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable, "no backend available")
 }
@@ -463,7 +534,9 @@ func (f *Front) subSweep(r *http.Request, p partition) (*serve.SweepResponse, er
 				req.Header.Set(h, v)
 			}
 		}
+		finish := f.propagate(r.Context(), req, i)
 		resp, err := f.client.Do(req)
+		finish()
 		if err != nil {
 			lastErr = err
 			return false, true
@@ -692,6 +765,11 @@ func (f *Front) subStream(r *http.Request, p partition, frames chan<- serve.Stre
 				req.Header.Set(h, v)
 			}
 		}
+		// The RPC span covers the whole stream read, not just the dial —
+		// the hop's duration in the stitched trace is the slice's wall
+		// time on that backend.
+		finish := f.propagate(r.Context(), req, i)
+		defer finish()
 		resp, err := f.client.Do(req)
 		if err != nil {
 			lastErr = err
@@ -771,7 +849,15 @@ func (f *Front) Snapshot() Stats {
 		Fanouts:   f.fanouts.Load(),
 	}
 	for i, b := range f.backends {
-		st.Backends = append(st.Backends, BackendStatus{URL: b, Healthy: f.healthy[i].Load()})
+		bs := BackendStatus{
+			URL:         b,
+			Healthy:     f.healthy[i].Load(),
+			Transitions: f.transitions[i].Load(),
+		}
+		if ns := f.lastTransition[i].Load(); ns != 0 {
+			bs.LastTransition = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+		}
+		st.Backends = append(st.Backends, bs)
 	}
 	return st
 }
@@ -783,4 +869,11 @@ func (f *Front) FillManifest(m *telemetry.Manifest) {
 	m.Config["requests"] = strconv.FormatInt(st.Requests, 10)
 	m.Config["failovers"] = strconv.FormatInt(st.Failovers, 10)
 	m.Config["fanouts"] = strconv.FormatInt(st.Fanouts, 10)
+	for i, b := range st.Backends {
+		pfx := "backend" + strconv.Itoa(i) + "_"
+		m.Config[pfx+"transitions"] = strconv.FormatInt(b.Transitions, 10)
+		if b.LastTransition != "" {
+			m.Config[pfx+"last_transition"] = b.LastTransition
+		}
+	}
 }

@@ -54,6 +54,10 @@ type BreakerConfig struct {
 	// Registry, when non-nil, receives state-gauge and trip-counter
 	// updates.
 	Registry *telemetry.Registry
+	// OnTransition, when non-nil, observes every state change (logging,
+	// flight recording). Called synchronously with the breaker's lock
+	// held — it must not call back into the breaker.
+	OnTransition func(from, to BreakerState)
 	// now is a test seam (nil = time.Now).
 	now func() time.Time
 }
@@ -127,10 +131,23 @@ func (b *Breaker) Dropped() int64 {
 // elapsed. Callers hold b.mu.
 func (b *Breaker) maybeHalfOpenLocked() {
 	if b.state == BreakerOpen && b.cfg.now().Sub(b.openedAt) >= b.cfg.Cooldown {
-		b.state = BreakerHalfOpen
+		b.setStateLocked(BreakerHalfOpen)
 		b.probing = false
-		b.publishLocked()
 	}
+}
+
+// setStateLocked moves the state machine, notifying the transition
+// observer and the gauge. Callers hold b.mu.
+func (b *Breaker) setStateLocked(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+	b.publishLocked()
 }
 
 // admit decides whether this operation may reach the disk tier. In
@@ -163,8 +180,7 @@ func (b *Breaker) report(err error) {
 		// Success: a half-open probe heals the circuit; in closed state the
 		// consecutive-failure streak resets.
 		if b.state == BreakerHalfOpen {
-			b.state = BreakerClosed
-			b.publishLocked()
+			b.setStateLocked(BreakerClosed)
 		}
 		b.failures = 0
 		b.probing = false
@@ -184,7 +200,7 @@ func (b *Breaker) report(err error) {
 
 // openLocked trips the circuit. Callers hold b.mu.
 func (b *Breaker) openLocked() {
-	b.state = BreakerOpen
+	b.setStateLocked(BreakerOpen)
 	b.openedAt = b.cfg.now()
 	b.failures = 0
 	b.probing = false
@@ -192,7 +208,6 @@ func (b *Breaker) openLocked() {
 	if reg := b.cfg.Registry; reg != nil {
 		reg.Counter(MetricBreakerTrips).Inc()
 	}
-	b.publishLocked()
 }
 
 // publish/publishLocked mirror the state into the gauge

@@ -49,15 +49,28 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // shedWith refuses a request with 429 (or 503 during drain) and a
 // Retry-After hint, counting the shed under its reason. Load shedding
 // is deliberate and visible: overload produces clean, typed refusals —
-// never 5xx — which is what the loadgen harness asserts.
-func (s *Server) shedWith(w http.ResponseWriter, reason shedReason, retryAfter time.Duration) {
+// never 5xx — which is what the loadgen harness asserts. Every shed
+// response still carries the identity headers the middleware set
+// (X-Request-Id) plus Retry-After, and the typed reason lands in the
+// shed log line and the request's flight-recorder summary.
+func (s *Server) shedWith(w http.ResponseWriter, r *http.Request, reason shedReason, retryAfter time.Duration) {
 	s.shed.Add(1)
 	s.reg.Counter(MetricShed, telemetry.Label{Key: "reason", Value: string(reason)}).Inc()
+	if rs, ok := w.(reasonSetter); ok {
+		rs.setReason(string(reason))
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 	status := http.StatusTooManyRequests
 	if reason == shedDrain {
 		status = http.StatusServiceUnavailable
 	}
+	tc, _ := telemetry.TraceFromContext(r.Context())
+	s.log.Warn("shed",
+		telemetry.F("trace_id", tc.TraceID),
+		telemetry.F("reason", string(reason)),
+		telemetry.F("path", r.URL.Path),
+		telemetry.F("tenant", r.Header.Get("X-Tenant")),
+		telemetry.F("retry_after_s", retryAfterSeconds(retryAfter)))
 	writeError(w, status, fmt.Sprintf("overloaded: %s", reason))
 }
 
@@ -148,13 +161,13 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, endpoint strin
 	}
 
 	if s.draining.Load() {
-		s.shedWith(w, shedDrain, time.Second)
+		s.shedWith(w, r, shedDrain, time.Second)
 		code(http.StatusServiceUnavailable)
 		return
 	}
 	tenant := r.Header.Get("X-Tenant")
 	if ok, wait := s.tenants.allow(tenant); !ok {
-		s.shedWith(w, shedQuota, wait)
+		s.shedWith(w, r, shedQuota, wait)
 		code(http.StatusTooManyRequests)
 		return
 	}
@@ -176,16 +189,28 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, endpoint strin
 
 	release, reason, ok := s.adm.acquire(ctx, cost)
 	if !ok {
-		s.shedWith(w, reason, time.Second)
+		s.shedWith(w, r, reason, time.Second)
 		code(http.StatusTooManyRequests)
 		return
 	}
 	defer release()
 
-	val, status, err, joined := s.coal.do(s.hardCtx, ctx, key, fn)
+	// The flight context descends from the server lifecycle, not the
+	// request (drain cancels it, a departing caller must not); re-attach
+	// the request's trace identity so the engine's run span still nests
+	// under this request.
+	rctx := r.Context()
+	val, status, err, joined := s.coal.do(s.hardCtx, ctx, key, func(ctx context.Context) (any, int, error) {
+		return fn(telemetry.WithObsContext(ctx, rctx))
+	})
 	if joined {
 		s.coalesced.Add(1)
 		s.reg.Counter(MetricCoalesced).Inc()
+		tc, _ := telemetry.TraceFromContext(rctx)
+		s.log.Debug("coalesced join",
+			telemetry.F("trace_id", tc.TraceID),
+			telemetry.F("endpoint", endpoint),
+			telemetry.F("key", key))
 	}
 	s.reg.Histogram(MetricRequestSeconds, telemetry.LatencyBuckets).Observe(time.Since(start).Seconds())
 

@@ -72,6 +72,11 @@ type LoadReport struct {
 	// TransportErrors counts requests that failed before an HTTP status
 	// (connection refused, client timeout).
 	TransportErrors int `json:"transport_errors"`
+	// MissingRequestID counts responses (any status — sheds included)
+	// that arrived without an X-Request-Id header. The serving stack
+	// promises identity on every response; this is the client-side audit
+	// of that promise.
+	MissingRequestID int `json:"missing_request_id"`
 	// Streamed counts 2xx responses read as /v1/sweep/stream clients;
 	// StreamRecords is the total record frames they received. A stream
 	// that died mid-body after a 200 still counts as Streamed — the
@@ -105,6 +110,8 @@ type SLO struct {
 	// it ran simulations during the run — identical concurrent queries
 	// were collapsed.
 	RequireCoalescing bool
+	// RequireRequestIDs asserts every response carried X-Request-Id.
+	RequireRequestIDs bool
 }
 
 // Violations checks the report against the gate, returning one line per
@@ -125,6 +132,9 @@ func (s SLO) Violations(r *LoadReport) []string {
 	}
 	if r.ServerErrors > s.MaxServerErrors {
 		v = append(v, fmt.Sprintf("%d server errors exceed bound %d", r.ServerErrors, s.MaxServerErrors))
+	}
+	if s.RequireRequestIDs && r.MissingRequestID > 0 {
+		v = append(v, fmt.Sprintf("%d responses missing X-Request-Id", r.MissingRequestID))
 	}
 	if s.RequireCoalescing {
 		admitted := r.Server.Requests - r.ServerBefore.Requests - (r.Server.Shed - r.ServerBefore.Shed)
@@ -173,6 +183,9 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	record := func(res reqResult, dur time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
+		if res.err == nil && !res.hasRequestID {
+			rep.MissingRequestID++
+		}
 		switch {
 		case res.err != nil:
 			rep.TransportErrors++
@@ -262,11 +275,12 @@ func nextQuery(rng *rand.Rand, opts LoadOptions) (url, tenant string) {
 
 // reqResult classifies one finished request.
 type reqResult struct {
-	status  int
-	partial bool
-	stream  bool // read as a /v1/sweep/stream client
-	records int  // record frames received (stream clients only)
-	err     error
+	status       int
+	partial      bool
+	stream       bool // read as a /v1/sweep/stream client
+	records      int  // record frames received (stream clients only)
+	hasRequestID bool
+	err          error
 }
 
 // issue sends one request and classifies the response.
@@ -284,7 +298,10 @@ func issue(ctx context.Context, client *http.Client, url, tenant string, timeout
 		return reqResult{err: err}
 	}
 	defer resp.Body.Close()
-	res := reqResult{status: resp.StatusCode}
+	res := reqResult{
+		status:       resp.StatusCode,
+		hasRequestID: resp.Header.Get(telemetry.RequestIDHeader) != "",
+	}
 	switch {
 	case resp.StatusCode == http.StatusOK && strings.Contains(url, "/v1/sweep/stream"):
 		// Streaming client: read NDJSON frames as they arrive, keeping
@@ -372,6 +389,9 @@ func RenderLoadReport(r *LoadReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sent %d: %d ok (%d partial), %d shed, %d unavailable, %d client-err, %d server-err, %d transport-err\n",
 		r.Sent, r.OK, r.Partial, r.Shed, r.Unavailable, r.ClientErrors, r.ServerErrors, r.TransportErrors)
+	if r.MissingRequestID > 0 {
+		fmt.Fprintf(&b, "WARNING: %d responses missing X-Request-Id\n", r.MissingRequestID)
+	}
 	if r.Streamed > 0 {
 		fmt.Fprintf(&b, "streams: %d completed, %d record frames\n", r.Streamed, r.StreamRecords)
 	}

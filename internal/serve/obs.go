@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"mlperf/internal/telemetry"
+)
+
+// Request observability: the middleware every request flows through
+// before any handler logic — including the early-exit shed paths — so
+// the three identity guarantees hold unconditionally:
+//
+//   - every response carries X-Request-Id (the request's trace ID),
+//     429/503 sheds included;
+//   - every request gets a KindRequest span carrying wire identity
+//     (trace ID, this process's wire span ID, and the caller's wire
+//     span ID when a traceparent header arrived), with the engine's
+//     run span nesting under it via the request context;
+//   - every request leaves a flight-recorder summary and, when logging
+//     is on, one structured log line quoting the same trace ID.
+
+// statusWriter captures the response status for the request summary and
+// lets the shed path attach its typed reason. It forwards Flush so the
+// streaming handlers keep their per-frame flushing through the wrap.
+type statusWriter struct {
+	http.ResponseWriter
+	code   int
+	reason string // shed reason, set by shedWith
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sw *statusWriter) setReason(reason string) { sw.reason = reason }
+
+// reasonSetter is how shedWith reaches the wrapping statusWriter
+// without threading it through every handler signature.
+type reasonSetter interface{ setReason(string) }
+
+// endpointOf maps a request path to its bounded-cardinality histogram
+// label — label values must enumerate, not mirror client input.
+func endpointOf(path string) string {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return "probe"
+	case "/v1/stats":
+		return "stats"
+	case "/v1/simulate":
+		return "simulate"
+	case "/v1/sweep":
+		return "sweep"
+	case "/v1/sweep/stream":
+		return "sweep_stream"
+	case "/v1/whatif":
+		return "whatif"
+	case "/v1/schedule":
+		return "schedule"
+	}
+	if len(path) >= len("/debug/") && path[:len("/debug/")] == "/debug/" {
+		return "debug"
+	}
+	return "other"
+}
+
+// observe is the outermost middleware: trace identity in, response
+// headers out, span + histogram + flight entry + log line per request.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc, remoteParent := telemetry.TraceFromRequest(r.Header)
+		w.Header().Set(telemetry.RequestIDHeader, tc.TraceID)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+
+		span := s.reg.Tracer().StartSpan(telemetry.SpanStart{
+			Kind:         telemetry.KindRequest,
+			Name:         r.Method + " " + r.URL.Path,
+			Trace:        tc.TraceID,
+			Wire:         tc.SpanID,
+			RemoteParent: remoteParent,
+		})
+		ctx := telemetry.ContextWithTrace(r.Context(), tc)
+		ctx = telemetry.ContextWithSpan(ctx, span)
+
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		s.reg.Tracer().End(span)
+		dur := time.Since(start)
+
+		ep := endpointOf(r.URL.Path)
+		s.reg.Histogram(MetricEndpointSeconds, telemetry.LatencyBuckets,
+			telemetry.L("endpoint", ep)).Observe(dur.Seconds())
+
+		tenant := r.Header.Get("X-Tenant")
+		s.flight.Record(telemetry.FlightEntry{
+			Kind:       "request",
+			TraceID:    tc.TraceID,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     sw.code,
+			Tenant:     tenant,
+			Reason:     sw.reason,
+			DurationMS: float64(dur) / float64(time.Millisecond),
+		})
+		if s.log.Enabled(levelFor(sw.code)) {
+			fields := []telemetry.Field{
+				telemetry.F("trace_id", tc.TraceID),
+				telemetry.F("method", r.Method),
+				telemetry.F("path", r.URL.Path),
+				telemetry.F("endpoint", ep),
+				telemetry.F("status", sw.code),
+				telemetry.F("duration_ms", float64(dur)/float64(time.Millisecond)),
+			}
+			if tenant != "" {
+				fields = append(fields, telemetry.F("tenant", tenant))
+			}
+			if sw.reason != "" {
+				fields = append(fields, telemetry.F("reason", sw.reason))
+			}
+			s.log.Log(levelFor(sw.code), "request", fields...)
+		}
+	})
+}
+
+// levelFor grades a response status for the request log line: server
+// errors are errors, sheds and client errors warn, the rest is info.
+func levelFor(status int) telemetry.Level {
+	switch {
+	case status >= 500 && status != http.StatusServiceUnavailable:
+		return telemetry.LevelError
+	case status >= 400 || status == http.StatusServiceUnavailable:
+		return telemetry.LevelWarn
+	}
+	return telemetry.LevelInfo
+}
+
+// debugRoutes wires the forensic surface: the flight recorder's request
+// and full views, plus the pprof handlers when explicitly enabled
+// (profiling endpoints are opt-in; they expose process internals).
+func (s *Server) debugRoutes() {
+	s.mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.flight.Requests())
+	})
+	s.mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.flight.Dump("mlperf-serve", "debug"))
+	})
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// Flight returns the server's flight recorder (for the daemon's
+// SIGQUIT/drain dump hooks).
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }

@@ -58,6 +58,10 @@ const (
 	MetricPartials       = "serve_partial_responses_total" // counter, sweeps answered with a partial grid
 	MetricStreams        = "serve_stream_requests_total"   // counter, admitted /v1/sweep/stream requests
 	MetricStreamRecords  = "serve_stream_records_total"    // counter, record frames delivered to clients
+	// MetricEndpointSeconds is observed by the request middleware for
+	// EVERY response — sheds and errors included — unlike
+	// MetricRequestSeconds, which times only admitted compute requests.
+	MetricEndpointSeconds = "serve_endpoint_seconds" // histogram, endpoint=
 )
 
 // Config shapes the daemon. The zero value serves on a private engine
@@ -115,6 +119,22 @@ type Config struct {
 	// Telemetry is the registry /metrics serves from (nil = a private
 	// registry; the daemon always measures itself).
 	Telemetry *telemetry.Registry
+	// Logger emits structured request/lifecycle events (nil = no
+	// logging; nil is the valid no-op logger).
+	Logger *telemetry.Logger
+	// Flight is the flight recorder behind /debug/requests and
+	// /debug/flight (nil = a private ring of FlightSize entries).
+	Flight *telemetry.FlightRecorder
+	// FlightSize sizes the private flight ring when Flight is nil
+	// (0 = telemetry.DefaultFlightSize).
+	FlightSize int
+	// EnablePprof exposes net/http/pprof under /debug/pprof/ — opt-in
+	// because profiling endpoints reveal process internals.
+	EnablePprof bool
+	// FlightDumpPath, when set, is where the flight ring is written on a
+	// contained panic and when a drain completes (the daemon adds
+	// SIGQUIT on top). Best-effort: a failed dump is logged, not fatal.
+	FlightDumpPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +178,8 @@ type Server struct {
 	tenants *tenantLimiter
 	coal    *coalescer
 	breaker *Breaker
+	log     *telemetry.Logger
+	flight  *telemetry.FlightRecorder
 
 	mux     *http.ServeMux
 	httpSrv *http.Server
@@ -200,6 +222,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards > 1 {
 		eng.SetShards(cfg.Shards)
 	}
+	flight := cfg.Flight
+	if flight == nil {
+		flight = telemetry.NewFlightRecorder(cfg.FlightSize)
+	}
 	s := &Server{
 		cfg:     cfg,
 		eng:     eng,
@@ -207,6 +233,8 @@ func New(cfg Config) (*Server, error) {
 		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.MaxCellsInFlight, reg),
 		tenants: newTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
 		coal:    newCoalescer(),
+		log:     cfg.Logger,
+		flight:  flight,
 		started: time.Now(),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
@@ -220,11 +248,21 @@ func New(cfg Config) (*Server, error) {
 			Threshold: cfg.BreakerThreshold,
 			Cooldown:  cfg.BreakerCooldown,
 			Registry:  reg,
+			// Breaker transitions are the lifecycle events an operator
+			// greps for first: log them and pin them in the flight ring.
+			OnTransition: func(from, to BreakerState) {
+				s.log.Warn("breaker transition",
+					telemetry.F("from", from.String()), telemetry.F("to", to.String()))
+				s.flight.Record(telemetry.FlightEntry{
+					Kind: "event", Msg: "breaker " + from.String() + " -> " + to.String(),
+				})
+			},
 		})
 		eng.SetStore(s.breaker)
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.debugRoutes()
 	return s, nil
 }
 
@@ -235,8 +273,11 @@ func (s *Server) Engine() *sweep.Engine { return s.eng }
 // Registry returns the telemetry registry /metrics serves from.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
-// Handler returns the full HTTP surface, panic containment included.
-func (s *Server) Handler() http.Handler { return s.recoverWrap(s.mux) }
+// Handler returns the full HTTP surface: the observability middleware
+// (trace identity, X-Request-Id, flight recording) outermost, panic
+// containment inside it, then the routes — so even a panicking request
+// leaves a summary with its status recorded as 500.
+func (s *Server) Handler() http.Handler { return s.observe(s.recoverWrap(s.mux)) }
 
 // recoverWrap contains a per-request panic to a 500 for that request —
 // one poisoned query must not take the daemon down with it. The sweep
@@ -248,6 +289,16 @@ func (s *Server) recoverWrap(next http.Handler) http.Handler {
 			if v := recover(); v != nil {
 				s.panics.Add(1)
 				s.reg.Counter(MetricPanics).Inc()
+				tc, _ := telemetry.TraceFromContext(r.Context())
+				s.flight.Record(telemetry.FlightEntry{
+					Kind: "event", Msg: fmt.Sprintf("panic: %v", v), TraceID: tc.TraceID,
+					Method: r.Method, Path: r.URL.Path,
+				})
+				s.log.Error("panic contained",
+					telemetry.F("trace_id", tc.TraceID),
+					telemetry.F("path", r.URL.Path),
+					telemetry.F("panic", fmt.Sprint(v)))
+				s.DumpFlight("panic")
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 			}
 		}()
@@ -297,6 +348,8 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // to call without a listener (tests drive Handler directly).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.flight.Event("drain begin", "")
+	s.log.Info("drain begin")
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
@@ -304,6 +357,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			// Drain deadline expired: cancel in-flight work and force the
 			// connections closed. The cancellation is what turns "killed
 			// mid-sweep" into "partial report".
+			s.flight.Event("drain deadline expired", "")
+			s.log.Warn("drain deadline expired", telemetry.F("err", err.Error()))
 			s.hardCancel()
 			s.httpSrv.Close()
 		}
@@ -311,7 +366,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-ctx.Done()
 	}
 	s.hardCancel()
+	s.flight.Event("drain complete", "")
+	s.log.Info("drain complete")
+	s.DumpFlight("drain")
 	return err
+}
+
+// DumpFlight writes the flight ring to Config.FlightDumpPath (no-op
+// when unset). reason lands in the dump envelope — "panic", "drain",
+// "sigquit" — so a postmortem knows what triggered the snapshot.
+func (s *Server) DumpFlight(reason string) {
+	if s.cfg.FlightDumpPath == "" {
+		return
+	}
+	if err := s.flight.DumpFile(s.cfg.FlightDumpPath, "mlperf-serve", reason); err != nil {
+		s.log.Warn("flight dump failed",
+			telemetry.F("path", s.cfg.FlightDumpPath), telemetry.F("err", err.Error()))
+	} else {
+		s.log.Info("flight dumped",
+			telemetry.F("path", s.cfg.FlightDumpPath), telemetry.F("reason", reason))
+	}
 }
 
 // Stats is the /v1/stats snapshot: the admission posture, the breaker
@@ -331,6 +405,8 @@ type Stats struct {
 	Queued        int64            `json:"queued"`
 	CellsInFlight int64            `json:"cells_inflight"`
 	Breaker       string           `json:"breaker,omitempty"`
+	BreakerTrips  int64            `json:"breaker_trips"`
+	FlightEntries int              `json:"flight_entries"`
 	Cache         sweep.CacheStats `json:"cache"`
 }
 
@@ -351,8 +427,10 @@ func (s *Server) Snapshot() Stats {
 		CellsInFlight: s.adm.cells.Load(),
 		Cache:         s.eng.Stats(),
 	}
+	st.FlightEntries = len(s.flight.Snapshot())
 	if s.breaker != nil {
 		st.Breaker = s.breaker.State().String()
+		st.BreakerTrips = s.breaker.Trips()
 	}
 	return st
 }
@@ -369,6 +447,7 @@ func (s *Server) FillManifest(m *telemetry.Manifest) {
 	m.Config["stream_records"] = fmt.Sprintf("%d", st.StreamRecords)
 	if st.Breaker != "" {
 		m.Config["breaker"] = st.Breaker
+		m.Config["breaker_trips"] = fmt.Sprintf("%d", st.BreakerTrips)
 	}
 	st.Cache.FillManifest(m)
 }

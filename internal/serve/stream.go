@@ -257,12 +257,12 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	cost := int64(len(keys))
 
 	if s.draining.Load() {
-		s.shedWith(w, shedDrain, time.Second)
+		s.shedWith(w, r, shedDrain, time.Second)
 		code(http.StatusServiceUnavailable)
 		return
 	}
 	if ok, wait := s.tenants.allow(r.Header.Get("X-Tenant")); !ok {
-		s.shedWith(w, shedQuota, wait)
+		s.shedWith(w, r, shedQuota, wait)
 		code(http.StatusTooManyRequests)
 		return
 	}
@@ -287,7 +287,7 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 
 	release, reason, ok := s.adm.acquire(ctx, cost)
 	if !ok {
-		s.shedWith(w, reason, time.Second)
+		s.shedWith(w, r, reason, time.Second)
 		code(http.StatusTooManyRequests)
 		return
 	}

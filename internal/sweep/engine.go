@@ -180,7 +180,7 @@ func (e *Engine) Run(g Grid) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	finish := e.startRunSpan(len(keys))
+	finish := e.startRunSpan(context.Background(), len(keys))
 	defer finish()
 	return Map(e.WorkerCount(), len(keys), func(i int) (Record, error) {
 		return e.cell(keys[i], 0)
@@ -200,13 +200,15 @@ func (e *Engine) ShardCount() int {
 }
 
 // startRunSpan opens the top-level grid span cell spans parent to and
-// returns its closer. With no registry attached both are no-ops.
-func (e *Engine) startRunSpan(cells int) func() {
+// returns its closer. With no registry attached both are no-ops. The
+// run span parents under whatever span the context carries (the serving
+// tier's request span), keeping engine-local runs at the root.
+func (e *Engine) startRunSpan(ctx context.Context, cells int) func() {
 	reg := e.tel.Load()
 	if reg == nil {
 		return func() {}
 	}
-	id := reg.Tracer().Start(telemetry.KindRun, "sweep", 0,
+	id := reg.Tracer().Start(telemetry.KindRun, "sweep", telemetry.SpanFromContext(ctx),
 		"cells="+strconv.Itoa(cells))
 	e.runSpan.Store(uint64(id))
 	return func() {

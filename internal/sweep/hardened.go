@@ -191,7 +191,7 @@ func (e *Engine) RunWithOptions(ctx context.Context, g Grid, opts Options) ([]Re
 	if err != nil {
 		return nil, nil, err
 	}
-	finish := e.startRunSpan(len(keys))
+	finish := e.startRunSpan(ctx, len(keys))
 	defer finish()
 	recs, report := e.runHardened(ctx, keys, opts)
 	if !opts.Partial {
@@ -213,7 +213,7 @@ func (e *Engine) RunCellsWithOptions(ctx context.Context, keys []CellKey, opts O
 		}
 		norm[i] = nk
 	}
-	finish := e.startRunSpan(len(norm))
+	finish := e.startRunSpan(ctx, len(norm))
 	defer finish()
 	recs, report := e.runHardened(ctx, norm, opts)
 	if !opts.Partial {

@@ -38,7 +38,7 @@ func (e *Engine) RunSharded(ctx context.Context, g Grid, opts ShardOptions) ([]R
 	if err != nil {
 		return nil, nil, err
 	}
-	finish := e.startRunSpan(len(keys))
+	finish := e.startRunSpan(ctx, len(keys))
 	defer finish()
 	recs, report := e.runSharded(ctx, keys, opts)
 	if !opts.Partial {
@@ -60,7 +60,7 @@ func (e *Engine) RunCellsSharded(ctx context.Context, keys []CellKey, opts Shard
 		}
 		norm[i] = nk
 	}
-	finish := e.startRunSpan(len(norm))
+	finish := e.startRunSpan(ctx, len(norm))
 	defer finish()
 	recs, report := e.runSharded(ctx, norm, opts)
 	if !opts.Partial {

@@ -1,9 +1,11 @@
-// Package telecli is the shared -metrics/-manifest flag plumbing of
-// the command-line tools: every CLI registers the same two flags,
-// activates one telemetry registry when either is set, and flushes a
-// Prometheus text file and/or a JSON run manifest on exit. With both
-// flags unset no registry exists and every instrumented code path runs
-// its nil no-op branch, preserving byte-identical output.
+// Package telecli is the shared observability flag plumbing of the
+// command-line tools: every CLI registers the same flags, activates one
+// telemetry registry when -metrics/-manifest/-trace is set, builds one
+// structured logger when -log-json is set, and flushes a Prometheus
+// text file, a JSON run manifest and/or a Chrome span trace on exit.
+// With every flag unset no registry or logger exists and every
+// instrumented code path runs its nil no-op branch, preserving
+// byte-identical output.
 package telecli
 
 import (
@@ -33,24 +35,58 @@ func InterruptContext() (context.Context, context.CancelFunc) {
 	return ctx, stop
 }
 
+// OnSIGQUIT runs fn on every SIGQUIT — the flight-recorder dump hook of
+// the daemons. Unlike the Go runtime's default (goroutine dump + exit),
+// the process keeps running; a SIGQUIT is a forensic request, not a
+// kill. Call the returned stop to unregister.
+func OnSIGQUIT(fn func()) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				fn()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
 // Sink owns a CLI's telemetry lifecycle: flag values, the registry
-// handed to instrumented layers, and the run manifest flushed at exit.
+// handed to instrumented layers, the structured logger, and the run
+// manifest flushed at exit.
 type Sink struct {
 	// MetricsPath and ManifestPath are the -metrics/-manifest values.
 	MetricsPath  string
 	ManifestPath string
+	// TracePath is the -trace value: the per-process Chrome span trace
+	// written at exit, the input `mlperf-telemetry stitch` joins.
+	TracePath string
+	// LogLevel and LogJSON are the -log-level/-log-json values.
+	LogLevel string
+	LogJSON  bool
 	// Reg is the active registry (nil until Activate, and nil forever
-	// when neither flag was given).
+	// when no telemetry flag was given).
 	Reg *telemetry.Registry
 	// Manifest is the run manifest under construction; CLIs record
 	// their configuration into Manifest.Config before Flush.
 	Manifest *telemetry.Manifest
+	// Logger is the structured logger (nil unless -log-json was given —
+	// nil is a valid no-op logger everywhere).
+	Logger *telemetry.Logger
 
 	tool  string
 	start time.Time
 }
 
-// Register declares -metrics and -manifest on fs (nil = the default
+// Register declares the observability flags on fs (nil = the default
 // flag set) and returns the sink to Activate after parsing.
 func Register(tool string, fs *flag.FlagSet) *Sink {
 	if fs == nil {
@@ -61,14 +97,29 @@ func Register(tool string, fs *flag.FlagSet) *Sink {
 		"write metrics in Prometheus text format to this file at exit")
 	fs.StringVar(&s.ManifestPath, "manifest", "",
 		"write a JSON run manifest to this file at exit")
+	fs.StringVar(&s.TracePath, "trace-out", "",
+		"write this process's spans as a Chrome trace to this file at exit (stitchable)")
+	fs.StringVar(&s.LogLevel, "log-level", "info",
+		"structured log level: debug|info|warn|error")
+	fs.BoolVar(&s.LogJSON, "log-json", false,
+		"emit structured JSON logs on stderr")
 	return s
 }
 
-// Activate builds the registry and manifest when either flag was set
-// and returns the registry — nil when telemetry is disabled, which
-// every instrumented layer accepts as a no-op.
+// Activate builds the registry and manifest when a telemetry flag was
+// set, and the logger when -log-json was set, returning the registry —
+// nil when telemetry is disabled, which every instrumented layer
+// accepts as a no-op. A bad -log-level is reported and downgraded to
+// info rather than failing the run.
 func (s *Sink) Activate() *telemetry.Registry {
-	if s.MetricsPath == "" && s.ManifestPath == "" {
+	if s.LogJSON {
+		lv, err := telemetry.ParseLevel(s.LogLevel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v (using info)\n", s.tool, err)
+		}
+		s.Logger = telemetry.NewLogger(os.Stderr, lv).With(telemetry.F("tool", s.tool))
+	}
+	if s.MetricsPath == "" && s.ManifestPath == "" && s.TracePath == "" {
 		return nil
 	}
 	s.Reg = telemetry.New()
@@ -79,6 +130,10 @@ func (s *Sink) Activate() *telemetry.Registry {
 
 // Enabled reports whether telemetry was requested.
 func (s *Sink) Enabled() bool { return s.Reg != nil }
+
+// Log returns the structured logger (nil = logging disabled; nil is
+// safe to call).
+func (s *Sink) Log() *telemetry.Logger { return s.Logger }
 
 // Config records one configuration pair into the manifest (no-op when
 // disabled).
@@ -110,6 +165,19 @@ func (s *Sink) Flush() error {
 	}
 	if s.ManifestPath != "" {
 		if err := s.Manifest.WriteFile(s.ManifestPath); err != nil {
+			return err
+		}
+	}
+	if s.TracePath != "" {
+		f, err := os.Create(s.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteSpansChromeTrace(f, s.Reg.Tracer().Spans()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A minimal leveled JSON logger, built to the same contract as the
+// metrics registry: a nil *Logger is valid and strictly no-op, so every
+// instrumented code path can log unconditionally and the
+// logging-disabled configuration stays byte-identical. One log call is
+// one line of JSON on the writer; lines never interleave (derived
+// loggers share the parent's mutex and writer).
+//
+// Every line carries the four mandatory fields first and in fixed
+// order — ts, level, msg, trace_id (empty string when the event is not
+// request-scoped) — followed by the logger's bound fields and then the
+// call's fields, later values winning on duplicate keys. The clock is
+// injected for the same reason the tracer's is: tests pin exact bytes.
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel resolves a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Field is one key/value annotation on a log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field — the call-site shorthand.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger emits leveled JSON lines. Construct with NewLogger; derive
+// request-scoped loggers with With. All methods are safe on a nil
+// receiver and for concurrent use.
+type Logger struct {
+	mu     *sync.Mutex
+	out    io.Writer
+	level  Level
+	clock  func() time.Time
+	fields []Field
+}
+
+// NewLogger builds a logger writing to out at the given minimum level.
+// A nil out yields a nil (no-op) logger, so callers can pass an
+// optional destination straight through.
+func NewLogger(out io.Writer, level Level) *Logger {
+	if out == nil {
+		return nil
+	}
+	return &Logger{mu: &sync.Mutex{}, out: out, level: level, clock: time.Now}
+}
+
+// WithClock returns a copy reading timestamps from clock — the test
+// seam for byte-exact assertions. No-op on nil.
+func (l *Logger) WithClock(clock func() time.Time) *Logger {
+	if l == nil || clock == nil {
+		return l
+	}
+	cp := *l
+	cp.clock = clock
+	return &cp
+}
+
+// With returns a derived logger whose lines always carry fields —
+// request-scoped context (trace_id, tenant, backend) bound once instead
+// of threaded through every call. The derivative shares the parent's
+// writer and mutex.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	cp := *l
+	cp.fields = append(append([]Field(nil), l.fields...), fields...)
+	return &cp
+}
+
+// Enabled reports whether a line at lv would be written — the guard for
+// callers that compute expensive fields.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.level }
+
+// Log writes at an explicit level — for callers that grade severity
+// dynamically (a request line whose level depends on the status code).
+func (l *Logger) Log(lv Level, msg string, fields ...Field) { l.log(lv, msg, fields) }
+
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+func (l *Logger) Info(msg string, fields ...Field)  { l.log(LevelInfo, msg, fields) }
+func (l *Logger) Warn(msg string, fields ...Field)  { l.log(LevelWarn, msg, fields) }
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+// reserved are the mandatory keys the encoder owns; fields under these
+// names are folded into their slots (trace_id) or dropped (the rest)
+// rather than duplicated.
+func reservedKey(k string) bool {
+	return k == "ts" || k == "level" || k == "msg" || k == "trace_id"
+}
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	// Merge bound + call fields: first occurrence fixes the position,
+	// last occurrence fixes the value; trace_id is pulled into its
+	// mandatory slot.
+	traceID := ""
+	merged := make([]Field, 0, len(l.fields)+len(fields))
+	for _, f := range append(append([]Field(nil), l.fields...), fields...) {
+		if f.Key == "trace_id" {
+			if s, ok := f.Value.(string); ok {
+				traceID = s
+			} else {
+				traceID = fmt.Sprint(f.Value)
+			}
+			continue
+		}
+		if reservedKey(f.Key) || f.Key == "" {
+			continue
+		}
+		found := false
+		for i := range merged {
+			if merged[i].Key == f.Key {
+				merged[i].Value = f.Value
+				found = true
+				break
+			}
+		}
+		if !found {
+			merged = append(merged, f)
+		}
+	}
+
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":`...)
+	buf = appendJSON(buf, l.clock().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":`...)
+	buf = appendJSON(buf, lv.String())
+	buf = append(buf, `,"msg":`...)
+	buf = appendJSON(buf, msg)
+	buf = append(buf, `,"trace_id":`...)
+	buf = appendJSON(buf, traceID)
+	for _, f := range merged {
+		buf = append(buf, ',')
+		buf = appendJSON(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSON(buf, f.Value)
+	}
+	buf = append(buf, '}', '\n')
+
+	l.mu.Lock()
+	l.out.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendJSON marshals v onto buf; unmarshalable values degrade to their
+// fmt.Sprint form instead of dropping the line.
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}

@@ -22,6 +22,13 @@ const (
 	KindSweepCell  = "sweep-cell"
 	KindSimStage   = "sim-stage"
 	KindClusterJob = "cluster-job"
+	// KindRequest is a server-side span covering one HTTP request; the
+	// engine's run spans nest under it via the request context.
+	KindRequest = "request"
+	// KindRPC is a client-side span covering one outbound backend
+	// attempt; the receiving process's request span links back to it by
+	// wire ID.
+	KindRPC = "rpc"
 )
 
 // Span is one timed region of the harness's own execution, with an
@@ -35,6 +42,16 @@ type Span struct {
 	End    float64 `json:"end"`
 	// Attrs are sorted key=value annotations ("bench=MLPf_Res50_TF").
 	Attrs []string `json:"attrs,omitempty"`
+
+	// Cross-process identity (tracectx.go), set only on spans that
+	// touch a process boundary; empty for purely local spans.
+	//
+	// Trace is the 128-bit end-to-end trace ID; Wire is this span's
+	// 64-bit on-the-wire ID; RemoteParent is the wire ID of the calling
+	// process's span (the traceparent the request arrived with).
+	Trace        string `json:"trace,omitempty"`
+	Wire         string `json:"wire,omitempty"`
+	RemoteParent string `json:"remote_parent,omitempty"`
 }
 
 // Duration returns the span length in clock seconds.
@@ -94,6 +111,39 @@ func (t *Tracer) Start(kind, name string, parent SpanID, attrs ...string) SpanID
 	sorted := append([]string(nil), attrs...)
 	sort.Strings(sorted)
 	t.open[id] = &Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: at, Attrs: sorted}
+	return id
+}
+
+// SpanStart describes a span opened with cross-process identity — the
+// request and rpc spans of the serving tier.
+type SpanStart struct {
+	Kind   string
+	Name   string
+	Parent SpanID
+	// Trace / Wire / RemoteParent: see the Span fields.
+	Trace        string
+	Wire         string
+	RemoteParent string
+	Attrs        []string
+}
+
+// StartSpan opens a span carrying wire identity. Like Start, it is a
+// no-op returning 0 on a nil tracer.
+func (t *Tracer) StartSpan(st SpanStart) SpanID {
+	if t == nil {
+		return 0
+	}
+	at := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	sorted := append([]string(nil), st.Attrs...)
+	sort.Strings(sorted)
+	t.open[id] = &Span{
+		ID: id, Parent: st.Parent, Kind: st.Kind, Name: st.Name, Start: at, Attrs: sorted,
+		Trace: st.Trace, Wire: st.Wire, RemoteParent: st.RemoteParent,
+	}
 	return id
 }
 

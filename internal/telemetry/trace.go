@@ -19,10 +19,14 @@ type traceDoc struct {
 	TraceEvents []json.RawMessage `json:"traceEvents"`
 }
 
-// spanEvent is one exported span ("X" complete event) or metadata line.
+// spanEvent is one exported span ("X" complete event), metadata line,
+// or flow-arrow endpoint ("s"/"f", used by the stitched export).
 type spanEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"` // flow events require a category
+	ID   int            `json:"id,omitempty"`  // flow binding id
+	BP   string         `json:"bp,omitempty"`  // flow binding point ("e" = enclosing slice)
 	Ts   float64        `json:"ts,omitempty"`  // microseconds
 	Dur  float64        `json:"dur,omitempty"` // microseconds
 	PID  int            `json:"pid"`
@@ -64,7 +68,16 @@ func WriteSpansChromeTrace(w io.Writer, spans []Span) error {
 		}
 	}
 	for _, s := range spans {
-		args := map[string]any{"id": s.ID, "parent": s.Parent}
+		args := map[string]any{"id": s.ID, "parent": s.Parent, "kind": s.Kind}
+		if s.Trace != "" {
+			args["trace"] = s.Trace
+		}
+		if s.Wire != "" {
+			args["wire"] = s.Wire
+		}
+		if s.RemoteParent != "" {
+			args["remote_parent"] = s.RemoteParent
+		}
 		for _, a := range s.Attrs {
 			args["attr:"+a] = true
 		}
